@@ -1,0 +1,111 @@
+"""Ablation: what the scoreboard causality discipline actually buys.
+
+Synthesizes the Figure 5 chart twice — with and without its causality
+arrow — and measures what each monitor catches.  The pattern alone
+already constrains the event *ordering* inside one window; the
+scoreboard matters for (a) cross-window bookkeeping in pipelined
+scenarios (Figure 7's multiset) and (b) cross-clock-domain causality
+(Figure 2), both exercised here.
+"""
+
+import pytest
+
+from repro import Scoreboard, run_monitor, tr
+from repro.cesc.ast import Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import AsyncPar, CrossArrow
+from repro.semantics.run import GlobalRun, Trace
+from repro.synthesis.multiclock import synthesize_network
+
+
+def _fig5(with_arrow=True):
+    builder = (
+        scesc("fig5").props("p1", "p3").instances("A", "B")
+        .tick(ev("e1", guard="p1"))
+        .tick(ev("e2"))
+        .tick(ev("e3", guard="p3"))
+    )
+    if with_arrow:
+        builder.arrow("c1", cause="e1", effect="e3")
+    return builder.build()
+
+
+def test_ablation_single_window_detection_unchanged(report):
+    """Inside one window the pattern subsumes the causality check."""
+    with_sb = tr(_fig5(True))
+    without_sb = tr(_fig5(False))
+    alphabet = {"e1", "e2", "e3", "p1", "p3"}
+    traces = [
+        Trace.from_sets([{"e1", "p1"}, {"e2"}, {"e3", "p3"}],
+                        alphabet=alphabet),
+        Trace.from_sets([{"e2"}, {"e1", "p1"}, {"e3", "p3"}],
+                        alphabet=alphabet),
+        Trace.from_sets([{"e1", "p1"}, {"e2"}, set(), {"e3", "p3"}],
+                        alphabet=alphabet),
+    ]
+    agree = sum(
+        run_monitor(with_sb, t).detections ==
+        run_monitor(without_sb, t).detections
+        for t in traces
+    )
+    report(f"single-window agreement with/without scoreboard: "
+           f"{agree}/{len(traces)}")
+    assert agree == len(traces)
+
+
+def test_ablation_scoreboard_carries_cross_domain_causality(report):
+    """Without cross arrows the network accepts causally-bad runs."""
+    def make_chart(with_arrows):
+        m1 = (
+            scesc("M1", clock=Clock("clk1", period=10)).instances("A")
+            .tick(ev("req")).tick(ev("data"))
+            .build()
+        )
+        m2 = (
+            scesc("M2", clock=Clock("clk2", period=7)).instances("B")
+            .tick(ev("req3")).tick(ev("data3"))
+            .build()
+        )
+        arrows = []
+        if with_arrows:
+            arrows = [CrossArrow("e4", "M1", EventRefInChart(0, "req"),
+                                 "M2", EventRefInChart(0, "req3"))]
+        return AsyncPar([m1, m2], cross_arrows=arrows)
+
+    # Effect fires before cause (req3 at t=0, req at t=10).
+    chart = make_chart(True)
+    clk1 = next(iter(chart.children[0].clocks()))
+    clk2 = next(iter(chart.children[1].clocks()))
+    t1 = Trace.from_sets([set(), {"req"}, {"data"}],
+                         alphabet={"req", "data"})
+    t2 = Trace.from_sets([{"req3"}, {"data3"}, set()],
+                         alphabet={"req3", "data3"})
+    run = GlobalRun.merge({clk1: t1, clk2: t2})
+
+    with_arrows = synthesize_network(make_chart(True)).run(run)
+    without_arrows = synthesize_network(make_chart(False)).run(run)
+    report(f"causally-inverted run: with-scoreboard accepted="
+           f"{with_arrows.accepted}, without={without_arrows.accepted}")
+    assert not with_arrows.accepted
+    assert without_arrows.accepted  # the ablated network misses it
+
+
+def test_ablation_multiset_pipelining(report):
+    """A binary (set) scoreboard would under-count outstanding bursts."""
+    scoreboard = Scoreboard()
+    scoreboard.add("MCmd_rd", "MCmd_rd", "MCmd_rd")
+    scoreboard.delete("MCmd_rd")
+    still_outstanding = scoreboard.contains("MCmd_rd")
+    report(f"3 adds, 1 delete -> still outstanding: {still_outstanding} "
+           f"(count {scoreboard.count('MCmd_rd')})")
+    assert still_outstanding and scoreboard.count("MCmd_rd") == 2
+
+
+def test_ablation_synthesis_overhead(benchmark, report):
+    """Causality handling's synthesis-time cost (arrow vs no arrow)."""
+    chart = _fig5(True)
+    monitor = benchmark(tr, chart)
+    plain = tr(_fig5(False))
+    report(f"transitions with arrow: {monitor.transition_count()}, "
+           f"without: {plain.transition_count()}")
+    assert monitor.transition_count() >= plain.transition_count()

@@ -1,0 +1,103 @@
+"""Figure 7: the OCP pipelined burst-of-4 read monitor (OCP spec p.49).
+
+The figure's monitor: 7 states (0..6), scoreboard actions act1..act8
+adding/removing ``MCmdRd``/``BurstN`` pairs as commands issue while
+responses stream — the multiset scoreboard at work.  Regenerated here
+and run against the pipelined OCP model, including the back-to-back
+double burst that stresses the multiset.
+"""
+
+import pytest
+
+from repro import Clock, Scoreboard, tr
+from repro.logic.expr import ScoreboardCheck
+from repro.monitor.automaton import AddEvt, DelEvt
+from repro.monitor.stats import monitor_stats
+from repro.protocols.ocp import (
+    OcpMaster,
+    OcpSignals,
+    OcpSlave,
+    ocp_burst_read_chart,
+)
+from repro.sim.testbench import Testbench
+
+
+def test_fig7_monitor_matches_figure(report):
+    monitor = tr(ocp_burst_read_chart())
+    stats = monitor_stats(monitor)
+    report(f"fig7 monitor: {stats}")
+    assert monitor.n_states == 7 and monitor.final == 6
+
+    # act1 = Add_evt(MCmdRd, Burst4) on the first command edge.
+    first_edges = [t for t in monitor.transitions
+                   if (t.source, t.target) == (0, 1)]
+    assert any(
+        AddEvt("Burst4", "MCmd_rd") in t.actions for t in first_edges
+    )
+    # The response beats check the outstanding command + burst count
+    # (the figure's c..f guards with their Chk_evt conjunctions).
+    beat_edges = [t for t in monitor.transitions
+                  if (t.source, t.target) == (2, 3)]
+    checked = {
+        atom.event for t in beat_edges for atom in t.guard.atoms()
+        if isinstance(atom, ScoreboardCheck)
+    }
+    assert {"MCmd_rd", "Burst4"} <= checked
+    # act5..act8: backward edges reverse multiple adds at once.
+    multi_dels = [
+        a for t in monitor.transitions if t.source > t.target
+        for a in t.actions if isinstance(a, DelEvt) and len(a.events) >= 2
+    ]
+    assert multi_dels
+    report(f"widest Del_evt: {max(multi_dels, key=lambda a: len(a.events))}")
+
+
+def _burst_traffic(bursts, cycles):
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("ocp_clk", period=1))
+    signals = OcpSignals(bench.sim, clk)
+    master = OcpMaster(signals, schedule=[("burst", c) for c in bursts])
+    slave = OcpSlave(signals, latency=2)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_burst_read_chart())
+    scoreboard = Scoreboard()
+    engine = bench.attach_monitor(monitor, clk, signals.mapping(),
+                                  scoreboard=scoreboard)
+    peak = {"value": 0}
+    bench.sim.add_sampler(
+        clk,
+        lambda s, c, t: peak.__setitem__(
+            "value", max(peak["value"], len(scoreboard))
+        ),
+    )
+    bench.run(clk, cycles)
+    return engine.detections, peak["value"]
+
+
+def test_fig7_pipelined_burst_detected(report):
+    detections, peak = _burst_traffic(bursts=[0], cycles=9)
+    report(f"single burst: detections {detections}, "
+           f"peak scoreboard occupancy {peak}")
+    assert 5 in detections
+    assert peak >= 4  # several command/burst pairs outstanding at once
+
+
+def test_fig7_back_to_back_bursts(report):
+    detections, peak = _burst_traffic(bursts=[0, 6], cycles=16)
+    report(f"two bursts: detections {detections}, peak occupancy {peak}")
+    assert 5 in detections and 11 in detections
+
+
+def test_fig7_synthesis_time(benchmark, report):
+    """The largest figure monitor: 9 symbols -> 512-valuation table."""
+    chart = ocp_burst_read_chart()
+    monitor = benchmark(tr, chart)
+    report(f"transitions in the concrete table: "
+           f"{monitor.transition_count()}")
+    assert monitor.n_states == 7
+
+
+def test_fig7_simulation_throughput(benchmark):
+    detections, _ = benchmark(_burst_traffic, [0, 8, 16], 30)
+    assert len([d for d in detections]) >= 3

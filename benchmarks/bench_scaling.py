@@ -1,0 +1,87 @@
+"""Scaling: synthesis cost and monitor size vs specification length.
+
+The paper's motivation — manual construction and temporal-logic specs
+"do not scale well" with sequence length — made quantitative:
+
+* ``Tr`` monitor states grow linearly (``n + 1``) while the LTL
+  progression automaton for the translated formula grows faster;
+* the translated LTL formula's syntactic size grows with the whole
+  pattern, the chart only with the new grid line;
+* synthesis time follows ``(n+1) * 2^|Sigma|``.
+"""
+
+import time
+
+import pytest
+
+from repro import tr
+from repro.baselines.cesc_to_ltl import formula_size, scesc_to_ltl
+from repro.baselines.ltl_monitor import LtlProgressionMonitor
+from repro.cesc.builder import ev, scesc
+from repro.synthesis.pattern import extract_pattern
+
+_SYMBOLS = ("req", "gnt", "data")
+
+
+def _chain_chart(n_ticks: int):
+    """A protocol-like chain cycling over three phase events."""
+    builder = scesc(f"chain{n_ticks}").instances("M")
+    for index in range(n_ticks):
+        event = _SYMBOLS[index % len(_SYMBOLS)]
+        others = [s for s in _SYMBOLS if s != event]
+        builder.tick(ev(event), *[ev(o, absent=True) for o in others])
+    return builder.build()
+
+
+def test_scaling_states_and_spec_size(report):
+    report("ticks  Tr-states  LTL-formula-size  LTL-automaton-states")
+    for n_ticks in (2, 4, 6, 8, 10):
+        chart = _chain_chart(n_ticks)
+        monitor = tr(chart)
+        formula = scesc_to_ltl(chart)
+        ltl_states = len(
+            LtlProgressionMonitor(formula).reachable_states(_SYMBOLS)
+        )
+        report(f"{n_ticks:5}  {monitor.n_states:9}  "
+               f"{formula_size(formula):16}  {ltl_states:20}")
+        assert monitor.n_states == n_ticks + 1
+        assert ltl_states >= monitor.n_states - 1
+
+
+def test_scaling_alphabet_blowup(report):
+    """Synthesis time is exponential in the restricted alphabet."""
+    report("symbols  ticks  synthesis-seconds")
+    timings = []
+    for n_symbols in (3, 5, 7, 9):
+        builder = scesc(f"wide{n_symbols}").instances("M")
+        symbols = [f"e{i}" for i in range(n_symbols)]
+        builder.tick(*[ev(s) for s in symbols[: n_symbols // 2 + 1]])
+        builder.tick(*[ev(s) for s in symbols[n_symbols // 2 + 1:]])
+        chart = builder.build()
+        start = time.perf_counter()
+        tr(chart)
+        elapsed = time.perf_counter() - start
+        timings.append(elapsed)
+        report(f"{n_symbols:7}  {chart.n_ticks:5}  {elapsed:.4f}")
+    assert timings[-1] > timings[0]  # the 2^|Sigma| term is visible
+
+
+@pytest.mark.parametrize("n_ticks", [4, 8, 16])
+def test_scaling_synthesis_time(benchmark, n_ticks):
+    chart = _chain_chart(n_ticks)
+    monitor = benchmark(tr, chart)
+    assert monitor.n_states == n_ticks + 1
+
+
+def test_scaling_long_chart_monitoring(benchmark, report):
+    from repro import TraceGenerator, run_monitor
+    from repro.cesc.charts import ScescChart
+
+    chart = _chain_chart(12)
+    monitor = tr(chart)
+    generator = TraceGenerator(ScescChart(chart), seed=4)
+    trace = generator.satisfying_trace(prefix=200, suffix=200)
+    result = benchmark(run_monitor, monitor, trace)
+    report(f"412-tick trace over a 12-tick chart: "
+           f"detections {result.detections}")
+    assert result.accepted

@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench both *times* its core operation (pytest-benchmark) and
+*regenerates the paper artifact* — the monitor structure, detection
+series or flow metric the corresponding figure shows.  Regenerated
+artifacts are asserted structurally and appended to
+``benchmarks/_reports/<bench>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be reproduced with a single pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+
+@pytest.fixture()
+def report(request):
+    """Append lines to this bench's report file (and echo with -s)."""
+    _REPORT_DIR.mkdir(exist_ok=True)
+    path = _REPORT_DIR / (request.module.__name__.split(".")[-1] + ".txt")
+    lines = []
+
+    def write(line: str = "") -> None:
+        lines.append(str(line))
+        print(line)
+
+    yield write
+    if lines:
+        with path.open("a") as stream:
+            stream.write(f"--- {request.node.name} ---\n")
+            stream.write("\n".join(lines) + "\n")

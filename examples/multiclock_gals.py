@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Multi-clock (GALS) monitoring: the paper's Figure 2 scenario.
+
+The read protocol splits across two clock domains (clk1 period 10,
+clk2 period 7).  Synthesis produces one local monitor per domain; they
+synchronize through the shared scoreboard, implementing the
+cross-domain causality arrows e4/e5.  The example builds a global run,
+executes the network, and shows the scoreboard enforcing cause-before-
+effect across domains.
+
+Run:  python examples/multiclock_gals.py
+"""
+
+from repro import GlobalRun, Scoreboard, Trace, synthesize_network
+from repro.monitor.dot import network_to_dot
+from repro.protocols.readproto import multiclock_read_chart
+
+
+def main() -> None:
+    chart = multiclock_read_chart()
+    print(f"asynchronous composition: {chart.name}")
+    for child in chart.children:
+        clock = next(iter(child.clocks()))
+        print(f"  component {child.name} on {clock.name} "
+              f"(period {clock.period})")
+    for arrow in chart.cross_arrows:
+        print(f"  cross arrow {arrow.name}: {arrow.cause!r}@"
+              f"{arrow.source_chart} -> {arrow.effect!r}@{arrow.target_chart}")
+    print()
+
+    network = synthesize_network(chart)
+    print(f"network: {len(network.locals)} local monitors, "
+          f"{network.total_states()} states total")
+    print("DOT rendering available via network_to_dot(network)\n")
+
+    clk1 = network.local_for("M1").clock
+    clk2 = network.local_for("M2").clock
+
+    # Domain traces: M1 requests at its tick 0 (t=0); the forwarded
+    # request reaches M2 at clk2 tick 2 (t=14 > t=10, respecting e4);
+    # M2's data lands at clk2 tick 4 (t=28); M1 delivers at clk1 tick 3
+    # (t=30 > t=28, respecting e5).
+    t1 = Trace.from_sets(
+        [
+            {"req1", "rd1", "addr1"},      # t=0
+            {"req2", "rd2", "addr2"},      # t=10
+            {"rdy1"},                      # t=20
+            {"data1"},                     # t=30
+            set(),                         # t=40
+        ],
+        alphabet={"req1", "rd1", "addr1", "req2", "rd2", "addr2",
+                  "rdy1", "data1"},
+    )
+    t2 = Trace.from_sets(
+        [
+            set(),                             # t=0
+            set(),                             # t=7
+            {"req3", "rd3", "addr3"},          # t=14
+            {"rdy3"},                          # t=21
+            {"data3"},                         # t=28
+            set(),                             # t=35
+        ],
+        alphabet={"req3", "rd3", "addr3", "rdy3", "data3"},
+    )
+    run = GlobalRun.merge({clk1: t1, clk2: t2})
+    print(f"global run: {run.length} instants "
+          f"(union of clk1 and clk2 ticks)")
+
+    scoreboard = Scoreboard()
+    result = network.run(run, scoreboard=scoreboard)
+    print(f"network accepted: {result.accepted} "
+          f"(completed at t={result.completed_at})")
+    for component, times in result.detections.items():
+        print(f"  {component} detected at t={[str(t) for t in times]}")
+
+    # Now violate e4: the slave-side request fires before the master's.
+    t2_early = Trace.from_sets(
+        [{"req3", "rd3", "addr3"}, {"rdy3"}, {"data3"}, set(), set(), set()],
+        alphabet={"req3", "rd3", "addr3", "rdy3", "data3"},
+    )
+    result = network.run(GlobalRun.merge({clk1: t1, clk2: t2_early}))
+    print(f"\ncause-before-effect violated: accepted={result.accepted} "
+          f"(M2 detections: {result.detections['M2']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""repro — Automated synthesis of assertion monitors from visual specs.
+
+A full reimplementation of Gadkari & Ramesh, *Automated Synthesis of
+Assertion Monitors using Visual Specifications* (DATE 2005): the CESC
+visual specification language, its formal semantics, the ``Tr`` monitor
+synthesis algorithm with its scoreboard-based causality discipline,
+multi-clock (GALS) monitor networks, and the surrounding verification
+flow — protocol models, a clocked simulation substrate, HDL code
+generation with a Verilog-subset co-simulator, and temporal-logic /
+manual baselines.
+
+Quickstart::
+
+    from repro import ev, scesc, tr, run_monitor, Trace
+
+    chart = (
+        scesc("handshake").instances("M", "S")
+        .tick(ev("req", src="M", dst="S"))
+        .tick(ev("ack", src="S", dst="M"))
+        .arrow("done", cause="req", effect="ack")
+        .build()
+    )
+    monitor = tr(chart)                      # the paper's algorithm
+    trace = Trace.from_sets([{"req"}, {"ack"}], alphabet={"req", "ack"})
+    print(run_monitor(monitor, trace).detections)   # -> [1]
+
+See README.md for the architecture tour and DESIGN.md for the paper
+mapping.
+"""
+
+from repro.cesc.ast import SCESC, CausalityArrow, Clock, EventOccurrence, Tick
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    CrossArrow,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+)
+from repro.cesc.parser import parse_cesc
+from repro.cesc.validate import validate_chart, validate_scesc
+from repro.logic.expr import And, EventRef, Expr, Not, Or, PropRef, ScoreboardCheck
+from repro.logic.parser import parse_expr
+from repro.logic.valuation import Valuation
+from repro.monitor.automaton import AddEvt, DelEvt, Monitor, Transition
+from repro.monitor.checker import AssertionChecker, Verdict
+from repro.monitor.engine import MonitorEngine, MonitorResult, run_monitor
+from repro.monitor.network import MonitorNetwork
+from repro.monitor.scoreboard import Scoreboard
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import GlobalRun, Trace
+from repro.synthesis.compose import MonitorBank, synthesize_chart
+from repro.synthesis.multiclock import synthesize_network
+from repro.synthesis.subset import SubsetMonitor
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import synthesize_monitor, tr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddEvt",
+    "Alt",
+    "And",
+    "AssertionChecker",
+    "AsyncPar",
+    "CausalityArrow",
+    "Chart",
+    "Clock",
+    "CrossArrow",
+    "DelEvt",
+    "EventOccurrence",
+    "EventRef",
+    "Expr",
+    "GlobalRun",
+    "Implication",
+    "Loop",
+    "Monitor",
+    "MonitorBank",
+    "MonitorEngine",
+    "MonitorNetwork",
+    "MonitorResult",
+    "Not",
+    "Or",
+    "Par",
+    "PropRef",
+    "SCESC",
+    "ScescChart",
+    "Scoreboard",
+    "ScoreboardCheck",
+    "Seq",
+    "SubsetMonitor",
+    "Tick",
+    "Trace",
+    "TraceGenerator",
+    "Transition",
+    "Valuation",
+    "Verdict",
+    "ev",
+    "parse_cesc",
+    "parse_expr",
+    "run_monitor",
+    "scesc",
+    "symbolic_monitor",
+    "synthesize_chart",
+    "synthesize_monitor",
+    "synthesize_network",
+    "tr",
+    "validate_chart",
+    "validate_scesc",
+]

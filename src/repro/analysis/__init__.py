@@ -1,0 +1,29 @@
+"""Formal analyses: spec consistency, the correctness theorem, coverage.
+
+* :mod:`repro.analysis.consistency` — semantic lint of charts
+  (unsatisfiable/tautological grid lines, degenerate arrows, ...);
+* :mod:`repro.analysis.equivalence` — machinery for checking the
+  paper's result ``[[C]] = Sigma* . L(M) . Sigma^w``: exhaustive
+  small-alphabet language comparison, product-automaton equivalence of
+  the ``Tr`` monitor against the exact subset detector, and sampled
+  agreement on larger alphabets;
+* :mod:`repro.analysis.coverage` — monitor state/transition coverage
+  accumulated from simulation runs.
+"""
+
+from repro.analysis.consistency import Finding, check_consistency
+from repro.analysis.coverage import CoverageCollector
+from repro.analysis.equivalence import (
+    detectors_equivalent,
+    exhaustive_theorem_check,
+    sampled_theorem_check,
+)
+
+__all__ = [
+    "CoverageCollector",
+    "Finding",
+    "check_consistency",
+    "detectors_equivalent",
+    "exhaustive_theorem_check",
+    "sampled_theorem_check",
+]

@@ -1,0 +1,118 @@
+"""Semantic consistency checks on CESC specifications.
+
+The CESC flow's selling point (Figure 4) is that the verification plan
+"can be formally analyzed for specification inconsistencies".  Beyond
+the structural checks in :mod:`repro.cesc.validate`, this lint looks at
+the chart's *meaning*:
+
+* ``error`` findings make the scenario unmatchable (an unsatisfiable
+  grid line, or an event required and forbidden at once);
+* ``warning`` findings are suspicious but legal (a grid line with no
+  constraints at all, a guard that is tautological, duplicated arrows
+  between the same pair of occurrences, events that never appear after
+  being declared causes, self-overlapping patterns that will produce
+  dense failure transitions).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.cesc.ast import SCESC
+from repro.cesc.charts import Chart, ScescChart, as_chart
+from repro.errors import ChartError
+from repro.logic.expr import TRUE
+from repro.logic.sat import is_satisfiable, is_tautology, jointly_satisfiable
+
+__all__ = ["Finding", "check_consistency"]
+
+
+class Finding(NamedTuple):
+    """One lint result."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+def _check_scesc(chart: SCESC) -> List[Finding]:
+    findings: List[Finding] = []
+    for index, tick in enumerate(chart.ticks):
+        where = f"{chart.name}:tick{index}"
+        expr = tick.expr()
+        if not is_satisfiable(expr):
+            findings.append(
+                Finding("error", where,
+                        f"grid-line constraint {expr!r} is unsatisfiable — "
+                        "the scenario can never be observed")
+            )
+        elif expr == TRUE and len(tick) == 0:
+            findings.append(
+                Finding("warning", where,
+                        "grid line carries no constraints (matches anything)")
+            )
+        for occurrence in tick.occurrences:
+            if occurrence.guard is not None:
+                if not is_satisfiable(occurrence.guard):
+                    findings.append(
+                        Finding("error", where,
+                                f"guard of {occurrence.event!r} is "
+                                "unsatisfiable")
+                    )
+                elif is_tautology(occurrence.guard):
+                    findings.append(
+                        Finding("warning", where,
+                                f"guard of {occurrence.event!r} is always "
+                                "true — drop it")
+                    )
+
+    seen_pairs = set()
+    for arrow in chart.arrows:
+        where = f"{chart.name}:arrow:{arrow.name}"
+        pair = (arrow.cause, arrow.effect)
+        if pair in seen_pairs:
+            findings.append(
+                Finding("warning", where,
+                        f"duplicate causality arrow between {arrow.cause!r} "
+                        f"and {arrow.effect!r}")
+            )
+        seen_pairs.add(pair)
+        if arrow.cause.event == arrow.effect.event:
+            findings.append(
+                Finding("warning", where,
+                        f"arrow relates two occurrences of the same event "
+                        f"{arrow.cause.event!r}; the scoreboard cannot "
+                        "distinguish them")
+            )
+
+    # Self-overlap density: adjacent grid lines that are jointly
+    # satisfiable yield non-trivial KMP failure structure; flag charts
+    # where *every* pair overlaps (monitors get dense backward fans).
+    exprs = chart.pattern_exprs()
+    if len(exprs) >= 2:
+        overlapping = sum(
+            1
+            for i in range(len(exprs))
+            for j in range(i + 1, len(exprs))
+            if jointly_satisfiable(exprs[i], exprs[j])
+        )
+        total_pairs = len(exprs) * (len(exprs) - 1) // 2
+        if overlapping == total_pairs:
+            findings.append(
+                Finding("warning", chart.name,
+                        "every pair of grid lines is jointly satisfiable; "
+                        "the monitor will carry dense failure transitions")
+            )
+    return findings
+
+
+def check_consistency(chart: Chart) -> List[Finding]:
+    """Run the semantic lint over a chart tree; returns all findings."""
+    chart = as_chart(chart)
+    findings: List[Finding] = []
+    for leaf in chart.leaves():
+        findings.extend(_check_scesc(leaf))
+    return findings

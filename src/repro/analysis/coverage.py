@@ -1,0 +1,74 @@
+"""Monitor coverage: which states and transitions simulation exercised.
+
+Verification closure needs to know whether the testbench actually drove
+the monitor through its scenario spine and its failure edges.  The
+collector accumulates over any number of engine runs and reports state
+coverage, transition coverage and the list of never-taken edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.monitor.automaton import Monitor, Transition
+from repro.monitor.engine import MonitorEngine
+
+__all__ = ["CoverageCollector"]
+
+
+class CoverageCollector:
+    """Accumulates coverage for one monitor across runs."""
+
+    def __init__(self, monitor: Monitor):
+        self._monitor = monitor
+        self._states_hit: Set[int] = set()
+        self._transitions_hit: Set[Transition] = set()
+        self._runs = 0
+
+    def record(self, engine: MonitorEngine) -> None:
+        """Fold one finished engine run into the coverage totals."""
+        if engine.monitor is not self._monitor:
+            raise ValueError(
+                "engine ran a different monitor than this collector tracks"
+            )
+        self._states_hit.update(engine.result().states)
+        self._transitions_hit.update(engine.transition_log)
+        self._runs += 1
+
+    @property
+    def runs(self) -> int:
+        return self._runs
+
+    def state_coverage(self) -> float:
+        return len(self._states_hit) / self._monitor.n_states
+
+    def transition_coverage(self) -> float:
+        total = self._monitor.transition_count()
+        if total == 0:
+            return 1.0
+        return len(self._transitions_hit) / total
+
+    def uncovered_states(self) -> List[int]:
+        return sorted(set(self._monitor.states) - self._states_hit)
+
+    def uncovered_transitions(self) -> List[Transition]:
+        return [
+            t for t in self._monitor.transitions
+            if t not in self._transitions_hit
+        ]
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "runs": self._runs,
+            "state_coverage": round(self.state_coverage(), 4),
+            "transition_coverage": round(self.transition_coverage(), 4),
+            "uncovered_states": self.uncovered_states(),
+            "uncovered_transition_count": len(self.uncovered_transitions()),
+        }
+
+    def __repr__(self):
+        return (
+            f"CoverageCollector({self._monitor.name!r}, runs={self._runs}, "
+            f"states={self.state_coverage():.0%}, "
+            f"transitions={self.transition_coverage():.0%})"
+        )

@@ -1,0 +1,96 @@
+"""Translating SCESCs into LTL — the spec-size comparison baseline.
+
+"Capturing high-level assertions using specification languages such as
+PSL/Sugar or temporal logic becomes complex for interactions involving
+long event sequences" (Section 1).  This translator makes that claim
+measurable: an ``n``-tick chart becomes the co-safety formula
+
+    F ( P1 & X ( P2 & X ( ... & X Pn ) ) )
+
+whose syntactic size grows with the full pattern, and whose
+progression automaton (see :mod:`repro.baselines.ltl_monitor`) is the
+temporal-logic route's monitor.  ``formula_size`` provides the node
+count used in the spec-complexity comparison bench.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.ltl import (
+    Atom,
+    Eventually,
+    LtlAnd,
+    LtlFormula,
+    LtlNot,
+    LtlOr,
+    Next,
+    TRUE_LTL,
+    FALSE_LTL,
+)
+from repro.cesc.ast import SCESC
+from repro.errors import LtlError
+from repro.logic.expr import And, Const, EventRef, Expr, Not, Or, PropRef
+
+__all__ = ["expr_to_ltl", "scesc_to_ltl", "formula_size"]
+
+
+def expr_to_ltl(expr: Expr) -> LtlFormula:
+    """Map a guard expression to a propositional LTL formula."""
+    if isinstance(expr, Const):
+        return TRUE_LTL if expr.value else FALSE_LTL
+    if isinstance(expr, (EventRef, PropRef)):
+        return Atom(expr.name)
+    if isinstance(expr, Not):
+        return LtlNot(expr_to_ltl(expr.operand))
+    if isinstance(expr, And):
+        if not expr.args:
+            return TRUE_LTL
+        out = expr_to_ltl(expr.args[0])
+        for arg in expr.args[1:]:
+            out = LtlAnd(out, expr_to_ltl(arg))
+        return out
+    if isinstance(expr, Or):
+        if not expr.args:
+            return FALSE_LTL
+        out = expr_to_ltl(expr.args[0])
+        for arg in expr.args[1:]:
+            out = LtlOr(out, expr_to_ltl(arg))
+        return out
+    raise LtlError(
+        f"cannot translate {expr!r} to LTL (scoreboard checks have no "
+        "propositional equivalent — causality is exactly what the "
+        "temporal-logic route struggles to express)"
+    )
+
+
+def scesc_to_ltl(chart: SCESC) -> LtlFormula:
+    """``F(P1 & X(P2 & X(... Pn)))`` — the chart's detection formula.
+
+    Causality arrows are *not* translated: their scoreboard semantics
+    has no direct propositional-LTL counterpart (one would need to
+    duplicate the pattern per outstanding occurrence), which is the
+    comparison's qualitative point.
+    """
+    pattern = [tick.expr() for tick in chart.ticks]
+    if not pattern:
+        raise LtlError(f"chart {chart.name!r} has no grid lines")
+    formula = expr_to_ltl(pattern[-1])
+    for expr in reversed(pattern[:-1]):
+        formula = LtlAnd(expr_to_ltl(expr), Next(formula))
+    return Eventually(formula)
+
+
+def formula_size(formula: LtlFormula) -> int:
+    """Node count of a formula (the spec-complexity metric)."""
+    if isinstance(formula, Atom) or formula in (TRUE_LTL, FALSE_LTL):
+        return 1
+    if isinstance(formula, LtlNot):
+        return 1 + formula_size(formula.operand)
+    if isinstance(formula, (LtlAnd, LtlOr)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if hasattr(formula, "operand"):
+        return 1 + formula_size(formula.operand)
+    if hasattr(formula, "left"):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    raise LtlError(f"unknown formula node {formula!r}")

@@ -1,0 +1,367 @@
+"""A small LTL engine with finite-trace (LTLf) semantics.
+
+Supports the operators the temporal-logic baseline needs: atoms,
+Boolean connectives, ``X`` (strong next), ``F``, ``G`` and ``U``.
+Formulas are immutable and hashable (the progression monitor uses them
+as automaton states), evaluate over finite traces, and parse from the
+conventional textual syntax (``F (req & X ack)``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import LtlError
+from repro.logic.valuation import Valuation
+from repro.semantics.run import Trace
+
+__all__ = [
+    "LtlFormula",
+    "LtlTrue",
+    "LtlFalse",
+    "Atom",
+    "LtlNot",
+    "LtlAnd",
+    "LtlOr",
+    "Next",
+    "Eventually",
+    "Always",
+    "Until",
+    "TRUE_LTL",
+    "FALSE_LTL",
+    "parse_ltl",
+]
+
+
+class LtlFormula:
+    """Base class; subclasses are immutable value objects."""
+
+    def holds(self, trace: Trace, position: int = 0) -> bool:
+        """LTLf satisfaction at ``position`` of a finite trace."""
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "LtlFormula") -> "LtlFormula":
+        return LtlAnd(self, other)
+
+    def __or__(self, other: "LtlFormula") -> "LtlFormula":
+        return LtlOr(self, other)
+
+    def __invert__(self) -> "LtlFormula":
+        return LtlNot(self)
+
+
+class LtlTrue(LtlFormula):
+    def holds(self, trace, position=0):
+        return True
+
+    def atoms(self):
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, LtlTrue)
+
+    def __hash__(self):
+        return hash("LtlTrue")
+
+    def __repr__(self):
+        return "true"
+
+
+class LtlFalse(LtlFormula):
+    def holds(self, trace, position=0):
+        return False
+
+    def atoms(self):
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, LtlFalse)
+
+    def __hash__(self):
+        return hash("LtlFalse")
+
+    def __repr__(self):
+        return "false"
+
+
+TRUE_LTL = LtlTrue()
+FALSE_LTL = LtlFalse()
+
+
+class Atom(LtlFormula):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise LtlError("atom name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom is immutable")
+
+    def holds(self, trace, position=0):
+        if position >= trace.length:
+            return False
+        return trace[position].is_true(self.name)
+
+    def atoms(self):
+        return frozenset({self.name})
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Atom", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+class LtlNot(LtlFormula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: LtlFormula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("LtlNot is immutable")
+
+    def holds(self, trace, position=0):
+        return not self.operand.holds(trace, position)
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def __eq__(self, other):
+        return isinstance(other, LtlNot) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("LtlNot", self.operand))
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class _Binary(LtlFormula):
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: LtlFormula, right: LtlFormula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __repr__(self):
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class LtlAnd(_Binary):
+    _symbol = "&"
+
+    def holds(self, trace, position=0):
+        return self.left.holds(trace, position) and self.right.holds(
+            trace, position
+        )
+
+
+class LtlOr(_Binary):
+    _symbol = "|"
+
+    def holds(self, trace, position=0):
+        return self.left.holds(trace, position) or self.right.holds(
+            trace, position
+        )
+
+
+class Until(_Binary):
+    _symbol = "U"
+
+    def holds(self, trace, position=0):
+        for index in range(position, trace.length):
+            if self.right.holds(trace, index):
+                return True
+            if not self.left.holds(trace, index):
+                return False
+        return False
+
+
+class _Unary(LtlFormula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: LtlFormula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.operand))
+
+
+class Next(_Unary):
+    """Strong next: requires a successor position."""
+
+    def holds(self, trace, position=0):
+        return position + 1 < trace.length and self.operand.holds(
+            trace, position + 1
+        )
+
+    def __repr__(self):
+        return f"X ({self.operand!r})"
+
+
+class Eventually(_Unary):
+    def holds(self, trace, position=0):
+        return any(
+            self.operand.holds(trace, index)
+            for index in range(position, trace.length)
+        )
+
+    def __repr__(self):
+        return f"F ({self.operand!r})"
+
+
+class Always(_Unary):
+    def holds(self, trace, position=0):
+        return all(
+            self.operand.holds(trace, index)
+            for index in range(position, trace.length)
+        )
+
+    def __repr__(self):
+        return f"G ({self.operand!r})"
+
+
+# ---------------------------------------------------------------- parser ----
+_LTL_TOKEN = re.compile(
+    r"\s+|(?P<name>[A-Za-z_][A-Za-z0-9_]*)|(?P<op>\|\||&&|[()!&|])"
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _LTL_TOKEN.match(source, pos)
+        if match is None:
+            raise LtlError(f"unexpected character {source[pos]!r} at {pos}")
+        if match.lastgroup is not None:
+            kind = "name" if match.lastgroup == "name" else "op"
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("end", "", len(source)))
+    return tokens
+
+
+class _LtlParser:
+    """Precedence: U lowest, then |, &, unary (X F G !), atoms."""
+
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def parse(self) -> LtlFormula:
+        formula = self._until()
+        if self._peek().kind != "end":
+            raise LtlError(f"trailing input at {self._peek().pos}")
+        return formula
+
+    def _until(self) -> LtlFormula:
+        left = self._or()
+        if self._peek().kind == "name" and self._peek().text == "U":
+            self._advance()
+            right = self._until()
+            return Until(left, right)
+        return left
+
+    def _or(self) -> LtlFormula:
+        left = self._and()
+        while self._peek().kind == "op" and self._peek().text in ("|", "||"):
+            self._advance()
+            left = LtlOr(left, self._and())
+        return left
+
+    def _and(self) -> LtlFormula:
+        left = self._unary()
+        while self._peek().kind == "op" and self._peek().text in ("&", "&&"):
+            self._advance()
+            left = LtlAnd(left, self._unary())
+        return left
+
+    def _unary(self) -> LtlFormula:
+        token = self._peek()
+        if token.kind == "op" and token.text == "!":
+            self._advance()
+            return LtlNot(self._unary())
+        if token.kind == "name" and token.text in ("X", "F", "G"):
+            self._advance()
+            cls = {"X": Next, "F": Eventually, "G": Always}[token.text]
+            return cls(self._unary())
+        return self._primary()
+
+    def _primary(self) -> LtlFormula:
+        token = self._advance()
+        if token.kind == "op" and token.text == "(":
+            inner = self._until()
+            closing = self._advance()
+            if closing.text != ")":
+                raise LtlError(f"expected ')' at {closing.pos}")
+            return inner
+        if token.kind == "name":
+            if token.text == "true":
+                return TRUE_LTL
+            if token.text == "false":
+                return FALSE_LTL
+            if token.text in ("X", "F", "G", "U"):
+                raise LtlError(f"operator {token.text} needs an operand")
+            return Atom(token.text)
+        raise LtlError(f"unexpected token {token.text!r} at {token.pos}")
+
+
+def parse_ltl(source: str) -> LtlFormula:
+    """Parse textual LTL, e.g. ``"G (req -> is not supported; use | !)"``.
+
+    >>> parse_ltl("F (req & X ack)")
+    F ((req & X (ack)))
+    """
+    return _LtlParser(_tokenize(source)).parse()

@@ -1,0 +1,185 @@
+"""LTL monitor construction by formula progression (the [17]/[18] route).
+
+The classic runtime-verification construction (Geilen's and FoCs-style
+monitors): the monitor's state *is* a formula; on each input valuation
+the formula is *progressed* — rewritten into what must hold of the
+remaining trace.  Detection fires when the progressed formula is
+satisfied by the empty continuation.  The reachable progressed-formula
+set is this route's automaton; its size (compared against the ``Tr``
+monitor's ``n+1`` states) is the paper's implicit scalability argument
+for synthesizing directly from charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.baselines.ltl import (
+    Always,
+    Atom,
+    Eventually,
+    FALSE_LTL,
+    LtlAnd,
+    LtlFalse,
+    LtlFormula,
+    LtlNot,
+    LtlOr,
+    LtlTrue,
+    Next,
+    TRUE_LTL,
+    Until,
+)
+from repro.errors import LtlError
+from repro.logic.valuation import Valuation, enumerate_valuations
+from repro.semantics.run import Trace
+
+__all__ = ["progress", "empty_accepts", "LtlProgressionMonitor"]
+
+
+def _mk_and(left: LtlFormula, right: LtlFormula) -> LtlFormula:
+    if isinstance(left, LtlFalse) or isinstance(right, LtlFalse):
+        return FALSE_LTL
+    if isinstance(left, LtlTrue):
+        return right
+    if isinstance(right, LtlTrue):
+        return left
+    if left == right:
+        return left
+    return LtlAnd(left, right)
+
+
+def _mk_or(left: LtlFormula, right: LtlFormula) -> LtlFormula:
+    if isinstance(left, LtlTrue) or isinstance(right, LtlTrue):
+        return TRUE_LTL
+    if isinstance(left, LtlFalse):
+        return right
+    if isinstance(right, LtlFalse):
+        return left
+    if left == right:
+        return left
+    return LtlOr(left, right)
+
+
+def progress(formula: LtlFormula, valuation: Valuation) -> LtlFormula:
+    """One step of Bacchus-Kabanza progression."""
+    if isinstance(formula, (LtlTrue, LtlFalse)):
+        return formula
+    if isinstance(formula, Atom):
+        return TRUE_LTL if valuation.is_true(formula.name) else FALSE_LTL
+    if isinstance(formula, LtlNot):
+        inner = progress(formula.operand, valuation)
+        if isinstance(inner, LtlTrue):
+            return FALSE_LTL
+        if isinstance(inner, LtlFalse):
+            return TRUE_LTL
+        return LtlNot(inner)
+    if isinstance(formula, LtlAnd):
+        return _mk_and(progress(formula.left, valuation),
+                       progress(formula.right, valuation))
+    if isinstance(formula, LtlOr):
+        return _mk_or(progress(formula.left, valuation),
+                      progress(formula.right, valuation))
+    if isinstance(formula, Next):
+        return formula.operand
+    if isinstance(formula, Eventually):
+        return _mk_or(progress(formula.operand, valuation), formula)
+    if isinstance(formula, Always):
+        return _mk_and(progress(formula.operand, valuation), formula)
+    if isinstance(formula, Until):
+        return _mk_or(
+            progress(formula.right, valuation),
+            _mk_and(progress(formula.left, valuation), formula),
+        )
+    raise LtlError(f"cannot progress {formula!r}")
+
+
+def empty_accepts(formula: LtlFormula) -> bool:
+    """Would the empty continuation satisfy the progressed formula?
+
+    LTLf semantics on the empty suffix: atoms and strong ``X`` fail,
+    ``G`` holds, ``F``/``U`` fail.
+    """
+    if isinstance(formula, LtlTrue):
+        return True
+    if isinstance(formula, (LtlFalse, Atom, Next, Eventually, Until)):
+        return False
+    if isinstance(formula, LtlNot):
+        return not empty_accepts(formula.operand)
+    if isinstance(formula, LtlAnd):
+        return empty_accepts(formula.left) and empty_accepts(formula.right)
+    if isinstance(formula, LtlOr):
+        return empty_accepts(formula.left) or empty_accepts(formula.right)
+    if isinstance(formula, Always):
+        return True
+    raise LtlError(f"cannot evaluate empty continuation of {formula!r}")
+
+
+class LtlProgressionMonitor:
+    """Runtime monitor whose state is the progressed formula.
+
+    Detection at tick ``i`` means the original formula's *scenario
+    payload* completed at ``i`` — for co-safety formulas (the
+    ``F(conjunction of nested X)`` shape CESC translation produces) the
+    progressed formula passes the empty-continuation test at exactly
+    the window-end ticks.
+    """
+
+    def __init__(self, formula: LtlFormula):
+        self._initial = formula
+        self._state = formula
+        self._tick = 0
+        self._detections: List[int] = []
+
+    @property
+    def state(self) -> LtlFormula:
+        return self._state
+
+    @property
+    def detections(self) -> List[int]:
+        return list(self._detections)
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self._detections)
+
+    def step(self, valuation: Valuation) -> LtlFormula:
+        self._state = progress(self._state, valuation)
+        if empty_accepts(self._state):
+            self._detections.append(self._tick)
+        self._tick += 1
+        return self._state
+
+    def feed(self, trace: Iterable[Valuation]) -> "LtlProgressionMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+    def reset(self) -> None:
+        self._state = self._initial
+        self._tick = 0
+        self._detections = []
+
+    # -- automaton view ------------------------------------------------------
+    def reachable_states(self, alphabet: Iterable[str],
+                         limit: int = 10_000) -> Set[LtlFormula]:
+        """All progressed formulas reachable over the given alphabet.
+
+        The size of this set is the formula-progression automaton's
+        state count — the baseline figure the scaling bench compares
+        against ``Tr``'s ``n + 1``.
+        """
+        symbols = sorted(set(alphabet))
+        seen: Set[LtlFormula] = {self._initial}
+        frontier: List[LtlFormula] = [self._initial]
+        while frontier:
+            state = frontier.pop()
+            for valuation in enumerate_valuations(symbols):
+                successor = progress(state, valuation)
+                if successor not in seen:
+                    if len(seen) >= limit:
+                        raise LtlError(
+                            f"progression automaton exceeded {limit} states"
+                        )
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen

@@ -1,0 +1,82 @@
+"""Hand-written AMBA AHB CLI transaction monitors (Figure 8 baseline)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.logic.valuation import Valuation
+
+__all__ = ["ManualAhbMonitor", "ManualAhbMonitorBuggy"]
+
+_SETUP = ("init_transaction", "master_complete", "get_slave", "write",
+          "control_info")
+_DATA = ("master_set_data", "master_complete2", "bus_set_data",
+         "bus_response")
+_CLOSE = ("master_response",)
+
+
+class ManualAhbMonitor:
+    """Three-phase AHB CLI transaction checker, written by hand."""
+
+    def __init__(self):
+        self._phase = 0
+        self._tick = 0
+        self.detections: List[int] = []
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.detections)
+
+    def _all(self, valuation: Valuation, names) -> bool:
+        return all(valuation.is_true(n) for n in names)
+
+    def step(self, valuation: Valuation) -> None:
+        if self._phase == 0:
+            if self._all(valuation, _SETUP):
+                self._phase = 1
+        elif self._phase == 1:
+            if self._all(valuation, _DATA):
+                self._phase = 2
+            elif self._all(valuation, _SETUP):
+                self._phase = 1  # restart on a fresh setup cycle
+            else:
+                self._phase = 0
+        else:
+            if self._all(valuation, _CLOSE):
+                self.detections.append(self._tick)
+            if self._all(valuation, _SETUP):
+                self._phase = 1
+            else:
+                self._phase = 0
+        self._tick += 1
+
+    def feed(self, trace: Iterable[Valuation]) -> "ManualAhbMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+
+class ManualAhbMonitorBuggy(ManualAhbMonitor):
+    """Manual slip: the data phase check misses ``bus_response``.
+
+    A typical transcription error from the waveform in the standard —
+    the engineer checked three of the four data-phase signals.  The
+    checker *over-accepts*: a bus that never responds still "passes".
+    """
+
+    def step(self, valuation: Valuation) -> None:
+        if self._phase == 0:
+            if self._all(valuation, _SETUP):
+                self._phase = 1
+        elif self._phase == 1:
+            # BUG: bus_response omitted from the phase check.
+            if self._all(valuation, ("master_set_data", "master_complete2",
+                                     "bus_set_data")):
+                self._phase = 2
+            else:
+                self._phase = 0
+        else:
+            if self._all(valuation, _CLOSE):
+                self.detections.append(self._tick)
+            self._phase = 0
+        self._tick += 1

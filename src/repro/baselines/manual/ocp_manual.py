@@ -1,0 +1,133 @@
+"""Hand-written OCP monitors (the manual baseline for Figs. 6-7)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.logic.valuation import Valuation
+
+__all__ = [
+    "ManualOcpReadMonitor",
+    "ManualOcpReadMonitorBuggy",
+    "ManualOcpBurstMonitor",
+]
+
+
+class ManualOcpReadMonitor:
+    """Simple-read checker as an engineer would write it by hand.
+
+    Phase 0: wait for a fully-formed read command (command, address and
+    same-cycle accept).  Phase 1: the next cycle must carry response
+    and data.  Overlap handling mirrors the synthesized monitor: a new
+    command in the response cycle starts the next attempt.
+    """
+
+    def __init__(self):
+        self._awaiting_response = False
+        self._tick = 0
+        self.detections: List[int] = []
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.detections)
+
+    def step(self, valuation: Valuation) -> None:
+        command = (
+            valuation.is_true("MCmd_rd")
+            and valuation.is_true("Addr")
+            and valuation.is_true("SCmd_accept")
+        )
+        if self._awaiting_response:
+            if valuation.is_true("SResp") and valuation.is_true("SData"):
+                self.detections.append(self._tick)
+            self._awaiting_response = False
+        if command:
+            self._awaiting_response = True
+        self._tick += 1
+
+    def feed(self, trace: Iterable[Valuation]) -> "ManualOcpReadMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+
+class ManualOcpReadMonitorBuggy(ManualOcpReadMonitor):
+    """The same checker with a realistic manual slip.
+
+    The engineer forgot that a response can coincide with the *next*
+    command (pipelining) and clears the armed flag *before* checking
+    the response — the classic order-of-updates bug.  On back-to-back
+    transactions it silently drops detections.
+    """
+
+    def step(self, valuation: Valuation) -> None:
+        command = (
+            valuation.is_true("MCmd_rd")
+            and valuation.is_true("Addr")
+            and valuation.is_true("SCmd_accept")
+        )
+        if command:
+            # BUG: re-arming first erases the pending obligation, so a
+            # response arriving in this same cycle is never checked.
+            self._awaiting_response = True
+        elif self._awaiting_response:
+            if valuation.is_true("SResp") and valuation.is_true("SData"):
+                self.detections.append(self._tick)
+            self._awaiting_response = False
+        self._tick += 1
+
+
+class ManualOcpBurstMonitor:
+    """Hand-written burst-of-4 tracker with explicit counters.
+
+    Keeps the outstanding burst annotations in a list (a hand-rolled
+    scoreboard) and walks a six-phase sequence matching Figure 7's
+    grid lines.
+    """
+
+    _EXPECTED = (
+        ("MCmd_rd", "Burst4", "Addr", "SCmd_accept"),
+        ("MCmd_rd", "Burst3", "Addr"),
+        ("MCmd_rd", "Burst2", "Addr", "SResp", "SData"),
+        ("MCmd_rd", "Burst1", "Addr", "SResp", "SData"),
+        ("SResp", "SData"),
+        ("SResp", "SData"),
+    )
+
+    def __init__(self):
+        self._phase = 0
+        self._outstanding: List[str] = []
+        self._tick = 0
+        self.detections: List[int] = []
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.detections)
+
+    def step(self, valuation: Valuation) -> None:
+        expected = self._EXPECTED[self._phase]
+        if all(valuation.is_true(name) for name in expected):
+            if self._phase < 4:
+                burst = expected[1] if self._phase < 4 else None
+                if burst and burst.startswith("Burst"):
+                    self._outstanding.append(burst)
+            self._phase += 1
+            if self._phase == len(self._EXPECTED):
+                self.detections.append(self._tick)
+                self._phase = 0
+                self._outstanding.clear()
+        else:
+            # Restart; a command cycle can begin a fresh burst.
+            self._outstanding.clear()
+            first = self._EXPECTED[0]
+            if all(valuation.is_true(name) for name in first):
+                self._phase = 1
+                self._outstanding.append("Burst4")
+            else:
+                self._phase = 0
+        self._tick += 1
+
+    def feed(self, trace: Iterable[Valuation]) -> "ManualOcpBurstMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self

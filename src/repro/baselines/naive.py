@@ -1,0 +1,70 @@
+"""Naive window matcher: the no-KMP ablation baseline.
+
+Keeps the last ``n`` trace elements in a ring buffer and re-checks the
+whole pattern against the window at every tick — ``O(n)`` work per tick
+and ``O(n)`` state, versus the synthesized automaton's ``O(1)`` step
+and ``log(n)``-bit state.  Because it inspects the *actual* text it is
+exact (it agrees with the subset detector), which also makes it a handy
+oracle; ``bench_ablation_kmp`` charts the step-cost gap against ``Tr``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.logic.valuation import Valuation
+from repro.semantics.run import Trace
+from repro.synthesis.pattern import FlatPattern
+
+__all__ = ["NaiveWindowMonitor"]
+
+
+class NaiveWindowMonitor:
+    """Re-matches the full pattern against a sliding window each tick."""
+
+    def __init__(self, pattern: FlatPattern):
+        self._pattern = pattern
+        self._window: Deque[Valuation] = deque(maxlen=pattern.length)
+        self._tick = 0
+        self._detections: List[int] = []
+        self._comparisons = 0
+
+    @property
+    def detections(self) -> List[int]:
+        return list(self._detections)
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self._detections)
+
+    @property
+    def comparisons(self) -> int:
+        """Pattern-element evaluations performed (the cost metric)."""
+        return self._comparisons
+
+    def step(self, valuation: Valuation) -> bool:
+        self._window.append(valuation)
+        matched = False
+        if len(self._window) == self._pattern.length:
+            matched = True
+            for expr, element in zip(self._pattern.exprs, self._window):
+                self._comparisons += 1
+                if not expr.evaluate(element):
+                    matched = False
+                    break
+            if matched:
+                self._detections.append(self._tick)
+        self._tick += 1
+        return matched
+
+    def feed(self, trace: Iterable[Valuation]) -> "NaiveWindowMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._tick = 0
+        self._detections = []
+        self._comparisons = 0

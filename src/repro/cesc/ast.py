@@ -1,0 +1,427 @@
+"""Abstract syntax for SCESC — Single Clocked Event Sequence Charts.
+
+An SCESC is the paper's atomic chart: a finite sequence of *grid lines*
+(clock ticks), each carrying a set of event occurrences exchanged
+between *instances* (the vertical lines) or with the environment (the
+chart frame), plus *causality arrows* relating event occurrences across
+ticks.  Events may be guarded by a proposition expression (the paper's
+``p : e`` notation), and occurrences may be negated to assert the
+*absence* of an event at a tick.
+
+The structures here are immutable value objects; mutation-style
+construction lives in :mod:`repro.cesc.builder`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ChartError
+from repro.logic.expr import (
+    And,
+    EventRef,
+    Expr,
+    Not,
+    TRUE,
+    all_of,
+    prop_symbols_of,
+    symbols_of,
+)
+
+__all__ = [
+    "ENV",
+    "Instance",
+    "Clock",
+    "EventOccurrence",
+    "Tick",
+    "CausalityArrow",
+    "EventRefInChart",
+    "SCESC",
+]
+
+#: Distinguished "instance" name for the chart frame (environment events).
+ENV = "env"
+
+
+class Instance:
+    """A vertical line in the chart — an agent participating in the scenario."""
+
+    __slots__ = ("name", "external")
+
+    def __init__(self, name: str, external: bool = False):
+        if not name:
+            raise ChartError("instance name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "external", bool(external))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Instance is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Instance)
+            and self.name == other.name
+            and self.external == other.external
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.external))
+
+    def __repr__(self):
+        suffix = " (external)" if self.external else ""
+        return f"Instance({self.name}{suffix})"
+
+
+class Clock:
+    """A synchronizing clock (the horizontal grid lines' time base).
+
+    ``period`` and ``phase`` are in abstract time units (exact
+    rationals), used by the multi-clock semantics and the simulation
+    kernel to build the global tick timeline.
+    """
+
+    __slots__ = ("name", "period", "phase")
+
+    def __init__(
+        self,
+        name: str,
+        period: Union[int, float, Fraction] = 1,
+        phase: Union[int, float, Fraction] = 0,
+    ):
+        if not name:
+            raise ChartError("clock name must be non-empty")
+        period_fraction = Fraction(period).limit_denominator(10**9)
+        phase_fraction = Fraction(phase).limit_denominator(10**9)
+        if period_fraction <= 0:
+            raise ChartError(f"clock period must be positive, got {period}")
+        if phase_fraction < 0:
+            raise ChartError(f"clock phase must be non-negative, got {phase}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "period", period_fraction)
+        object.__setattr__(self, "phase", phase_fraction)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Clock is immutable")
+
+    def tick_time(self, index: int) -> Fraction:
+        """Absolute time of the ``index``-th tick (0-based)."""
+        if index < 0:
+            raise ChartError(f"tick index must be >= 0, got {index}")
+        return self.phase + index * self.period
+
+    def ticks_until(self, horizon: Union[int, Fraction]) -> List[Fraction]:
+        """All tick times strictly below ``horizon``."""
+        times: List[Fraction] = []
+        index = 0
+        bound = Fraction(horizon)
+        while self.tick_time(index) < bound:
+            times.append(self.tick_time(index))
+            index += 1
+        return times
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Clock)
+            and (self.name, self.period, self.phase)
+            == (other.name, other.period, other.phase)
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.period, self.phase))
+
+    def __repr__(self):
+        return f"Clock({self.name}, period={self.period}, phase={self.phase})"
+
+
+class EventOccurrence:
+    """One (possibly guarded, possibly negated) event on a grid line.
+
+    ``source``/``target`` name the instances the message arrow connects;
+    either may be :data:`ENV` for environment events drawn on the chart
+    frame.  ``guard`` is the paper's ``p : e`` proposition (``None``
+    means unguarded).  ``negated`` asserts the *absence* of the event.
+    """
+
+    __slots__ = ("event", "guard", "source", "target", "negated")
+
+    def __init__(
+        self,
+        event: str,
+        guard: Optional[Expr] = None,
+        source: Optional[str] = None,
+        target: Optional[str] = None,
+        negated: bool = False,
+    ):
+        if not event:
+            raise ChartError("event name must be non-empty")
+        if guard is not None and not isinstance(guard, Expr):
+            raise ChartError(f"guard must be an Expr, got {guard!r}")
+        object.__setattr__(self, "event", event)
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "negated", bool(negated))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("EventOccurrence is immutable")
+
+    def expr(self) -> Expr:
+        """The paper's ``extract_pattern`` translation of this occurrence.
+
+        ``e`` becomes ``(e)``; ``p:e`` becomes ``(p & e)``; a negated
+        occurrence becomes ``!e`` (guard, if any, still applies).
+        """
+        atom: Expr = EventRef(self.event)
+        if self.negated:
+            atom = Not(atom)
+        if self.guard is None:
+            return atom
+        return And((self.guard, atom))
+
+    def __eq__(self, other):
+        return isinstance(other, EventOccurrence) and (
+            self.event,
+            self.guard,
+            self.source,
+            self.target,
+            self.negated,
+        ) == (other.event, other.guard, other.source, other.target, other.negated)
+
+    def __hash__(self):
+        return hash(
+            (self.event, self.guard, self.source, self.target, self.negated)
+        )
+
+    def __repr__(self):
+        parts = []
+        if self.guard is not None:
+            parts.append(f"{self.guard!r}:")
+        parts.append(("!" if self.negated else "") + self.event)
+        route = ""
+        if self.source or self.target:
+            route = f" [{self.source or '?'}->{self.target or '?'}]"
+        return "".join(parts) + route
+
+
+class Tick:
+    """One grid line: the set of event occurrences at a clock tick."""
+
+    __slots__ = ("occurrences",)
+
+    def __init__(self, occurrences: Iterable[EventOccurrence] = ()):
+        occs = tuple(occurrences)
+        names = [o.event for o in occs]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ChartError(
+                f"event(s) {sorted(duplicates)} occur twice on one grid line"
+            )
+        object.__setattr__(self, "occurrences", occs)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Tick is immutable")
+
+    def expr(self) -> Expr:
+        """Conjunction of all occurrence expressions (``TRUE`` if empty).
+
+        This is exactly one element of the paper's pattern array ``P``.
+        """
+        return all_of(o.expr() for o in self.occurrences)
+
+    def event_names(self) -> FrozenSet[str]:
+        """Names of (non-negated) events present on this grid line."""
+        return frozenset(o.event for o in self.occurrences if not o.negated)
+
+    def find(self, event: str) -> Optional[EventOccurrence]:
+        """The occurrence of ``event`` on this line, if any."""
+        for occurrence in self.occurrences:
+            if occurrence.event == event:
+                return occurrence
+        return None
+
+    def __eq__(self, other):
+        return isinstance(other, Tick) and self.occurrences == other.occurrences
+
+    def __hash__(self):
+        return hash(self.occurrences)
+
+    def __len__(self):
+        return len(self.occurrences)
+
+    def __iter__(self):
+        return iter(self.occurrences)
+
+    def __repr__(self):
+        return "Tick(" + ", ".join(repr(o) for o in self.occurrences) + ")"
+
+
+class EventRefInChart(Tuple[int, str]):
+    """Location of an event occurrence: ``(tick_index, event_name)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, tick_index: int, event: str):
+        return super().__new__(cls, (tick_index, event))
+
+    @property
+    def tick_index(self) -> int:
+        return self[0]
+
+    @property
+    def event(self) -> str:
+        return self[1]
+
+    def __repr__(self):
+        return f"{self.event}@{self.tick_index}"
+
+
+class CausalityArrow:
+    """A connecting arrow between two event occurrences.
+
+    ``cause`` must occur (and be recorded on the scoreboard) before the
+    transition depending on ``effect`` may fire — the paper's
+    ``Add_evt``/``Chk_evt`` discipline implements this at monitor level.
+    """
+
+    __slots__ = ("name", "cause", "effect")
+
+    def __init__(self, name: str, cause: EventRefInChart, effect: EventRefInChart):
+        if not name:
+            raise ChartError("arrow name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "cause", cause)
+        object.__setattr__(self, "effect", effect)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CausalityArrow is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, CausalityArrow) and (
+            self.name,
+            self.cause,
+            self.effect,
+        ) == (other.name, other.cause, other.effect)
+
+    def __hash__(self):
+        return hash((self.name, self.cause, self.effect))
+
+    def __repr__(self):
+        return f"Arrow({self.name}: {self.cause!r} -> {self.effect!r})"
+
+
+class SCESC:
+    """A Single Clocked Event Sequence Chart.
+
+    The finite-duration scenario the paper's ``Tr`` algorithm consumes:
+    ``n`` grid lines over one clock, instances, guarded event
+    occurrences and causality arrows.
+    """
+
+    __slots__ = ("name", "clock", "instances", "ticks", "arrows", "props")
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        instances: Sequence[Instance],
+        ticks: Sequence[Tick],
+        arrows: Sequence[CausalityArrow] = (),
+        props: Iterable[str] = (),
+    ):
+        if not name:
+            raise ChartError("chart name must be non-empty")
+        if not isinstance(clock, Clock):
+            raise ChartError(f"chart clock must be a Clock, got {clock!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "clock", clock)
+        object.__setattr__(self, "instances", tuple(instances))
+        object.__setattr__(self, "ticks", tuple(ticks))
+        object.__setattr__(self, "arrows", tuple(arrows))
+        object.__setattr__(self, "props", frozenset(props))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SCESC is immutable")
+
+    # -- structural queries -------------------------------------------------
+    @property
+    def n_ticks(self) -> int:
+        """Number of grid lines (the paper's ``n``)."""
+        return len(self.ticks)
+
+    def pattern_exprs(self) -> List[Expr]:
+        """The pattern array ``P`` — one expression per grid line."""
+        return [tick.expr() for tick in self.ticks]
+
+    def event_names(self) -> FrozenSet[str]:
+        """All event names occurring anywhere in the chart."""
+        names = set()
+        for tick in self.ticks:
+            for occurrence in tick.occurrences:
+                names.add(occurrence.event)
+        return frozenset(names)
+
+    def alphabet(self) -> FrozenSet[str]:
+        """Every input symbol (events + guard symbols) the chart mentions.
+
+        This is the restricted ``Sigma`` the synthesis algorithm
+        enumerates valuations over.
+        """
+        symbols = set(self.event_names())
+        for tick in self.ticks:
+            symbols |= symbols_of(tick.expr())
+        return frozenset(symbols)
+
+    def prop_names(self) -> FrozenSet[str]:
+        """Declared propositions plus any referenced in guards."""
+        symbols = set(self.props)
+        for tick in self.ticks:
+            for occurrence in tick.occurrences:
+                if occurrence.guard is not None:
+                    symbols |= prop_symbols_of(occurrence.guard)
+        return frozenset(symbols)
+
+    def tick_of_event(self, event: str) -> Optional[int]:
+        """First grid line on which ``event`` occurs, or ``None``."""
+        for index, tick in enumerate(self.ticks):
+            if tick.find(event) is not None:
+                return index
+        return None
+
+    def instance_names(self) -> FrozenSet[str]:
+        return frozenset(i.name for i in self.instances)
+
+    def rename(self, name: str) -> "SCESC":
+        """Copy of this chart under a different name."""
+        return SCESC(
+            name, self.clock, self.instances, self.ticks, self.arrows, self.props
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, SCESC) and (
+            self.name,
+            self.clock,
+            self.instances,
+            self.ticks,
+            self.arrows,
+            self.props,
+        ) == (
+            other.name,
+            other.clock,
+            other.instances,
+            other.ticks,
+            other.arrows,
+            other.props,
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.name, self.clock, self.instances, self.ticks, self.arrows,
+             self.props)
+        )
+
+    def __repr__(self):
+        return (
+            f"SCESC({self.name!r}, clock={self.clock.name}, "
+            f"ticks={self.n_ticks}, arrows={len(self.arrows)})"
+        )

@@ -1,0 +1,209 @@
+"""Fluent builder API for SCESC charts.
+
+The visual language's programmatic front end.  A typical chart —
+Figure 1's single-clocked read protocol — looks like::
+
+    from repro.cesc.builder import scesc, ev
+
+    chart = (
+        scesc("read_protocol", clock="clk1")
+        .instances("Master", "S_CNT")
+        .tick(ev("req1", src="Master", dst="S_CNT"),
+              ev("rd1", src="Master", dst="S_CNT"),
+              ev("addr1", src="Master", dst="S_CNT"))
+        .tick(ev("req2", src="S_CNT", dst="env"),
+              ev("rd2"), ev("addr2"))
+        .tick(ev("rdy1", src="S_CNT", dst="Master"))
+        .tick(ev("data1", src="S_CNT", dst="Master"))
+        .arrow("rdy_done", cause="req1", effect="rdy1")
+        .arrow("data_done", cause="rdy1", effect="data1")
+        .build()
+    )
+
+Guards accept either :class:`~repro.logic.expr.Expr` objects or textual
+expressions parsed with the chart's declared propositions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cesc.ast import (
+    ENV,
+    CausalityArrow,
+    Clock,
+    EventOccurrence,
+    EventRefInChart,
+    Instance,
+    SCESC,
+    Tick,
+)
+from repro.errors import ChartError
+from repro.logic.expr import Expr
+from repro.logic.parser import parse_expr
+
+__all__ = ["ev", "scesc", "ScescBuilder", "EventSpec"]
+
+
+class EventSpec:
+    """Deferred event occurrence; guards are resolved at :meth:`build` time."""
+
+    __slots__ = ("event", "guard", "source", "target", "negated")
+
+    def __init__(
+        self,
+        event: str,
+        guard: Union[Expr, str, None] = None,
+        source: Optional[str] = None,
+        target: Optional[str] = None,
+        negated: bool = False,
+    ):
+        self.event = event
+        self.guard = guard
+        self.source = source
+        self.target = target
+        self.negated = negated
+
+    def resolve(self, props: Sequence[str]) -> EventOccurrence:
+        guard = self.guard
+        if isinstance(guard, str):
+            guard = parse_expr(guard, props=props)
+        return EventOccurrence(
+            self.event,
+            guard=guard,
+            source=self.source,
+            target=self.target,
+            negated=self.negated,
+        )
+
+
+def ev(
+    event: str,
+    guard: Union[Expr, str, None] = None,
+    src: Optional[str] = None,
+    dst: Optional[str] = None,
+    absent: bool = False,
+) -> EventSpec:
+    """Shorthand constructor for one event occurrence.
+
+    ``guard`` is the ``p`` of the paper's ``p : e`` notation; ``absent``
+    asserts the event does *not* occur at this tick.
+    """
+    return EventSpec(event, guard=guard, source=src, target=dst, negated=absent)
+
+
+class ScescBuilder:
+    """Accumulates instances, ticks and arrows, then builds an SCESC."""
+
+    def __init__(self, name: str, clock: Union[Clock, str] = "clk",
+                 period: Union[int, Fraction] = 1,
+                 phase: Union[int, Fraction] = 0):
+        if isinstance(clock, str):
+            clock = Clock(clock, period=period, phase=phase)
+        self._name = name
+        self._clock = clock
+        self._instances: List[Instance] = []
+        self._props: List[str] = []
+        self._ticks: List[List[EventSpec]] = []
+        self._arrows: List[Tuple[str, object, object]] = []
+
+    # -- declarations ---------------------------------------------------
+    def instances(self, *names: str) -> "ScescBuilder":
+        """Declare participating instances (vertical lines)."""
+        for name in names:
+            self._instances.append(Instance(name))
+        return self
+
+    def external(self, *names: str) -> "ScescBuilder":
+        """Declare external agents (events on them are frame events)."""
+        for name in names:
+            self._instances.append(Instance(name, external=True))
+        return self
+
+    def props(self, *names: str) -> "ScescBuilder":
+        """Declare proposition symbols usable inside guards."""
+        self._props.extend(names)
+        return self
+
+    # -- content ----------------------------------------------------------
+    def tick(self, *events: Union[EventSpec, str]) -> "ScescBuilder":
+        """Add one grid line carrying ``events``.
+
+        Bare strings are unguarded occurrences; an empty call adds an
+        unconstrained grid line (any valuation matches).
+        """
+        specs = [e if isinstance(e, EventSpec) else EventSpec(e) for e in events]
+        self._ticks.append(specs)
+        return self
+
+    def empty_tick(self) -> "ScescBuilder":
+        """Add a grid line with no event constraints."""
+        self._ticks.append([])
+        return self
+
+    def arrow(
+        self,
+        name: str,
+        cause: Union[str, Tuple[int, str]],
+        effect: Union[str, Tuple[int, str]],
+    ) -> "ScescBuilder":
+        """Add a causality arrow.
+
+        ``cause``/``effect`` may be bare event names (resolved to their
+        first grid line) or ``(tick_index, event)`` pairs.
+        """
+        self._arrows.append((name, cause, effect))
+        return self
+
+    # -- build -------------------------------------------------------------
+    def _resolve_endpoint(
+        self, value: Union[str, Tuple[int, str]], ticks: Sequence[Tick]
+    ) -> EventRefInChart:
+        if isinstance(value, tuple):
+            index, event = value
+            if not (0 <= index < len(ticks)):
+                raise ChartError(
+                    f"arrow endpoint tick {index} out of range 0..{len(ticks)-1}"
+                )
+            if ticks[index].find(event) is None:
+                raise ChartError(
+                    f"event {event!r} does not occur at tick {index}"
+                )
+            return EventRefInChart(index, event)
+        for index, tick in enumerate(ticks):
+            if tick.find(value) is not None:
+                return EventRefInChart(index, value)
+        raise ChartError(f"arrow endpoint event {value!r} not found in chart")
+
+    def build(self) -> SCESC:
+        """Materialise the SCESC (guards parsed, arrows resolved)."""
+        if not self._ticks:
+            raise ChartError(f"chart {self._name!r} has no grid lines")
+        ticks = tuple(
+            Tick(spec.resolve(self._props) for spec in specs)
+            for specs in self._ticks
+        )
+        arrows = tuple(
+            CausalityArrow(
+                name,
+                self._resolve_endpoint(cause, ticks),
+                self._resolve_endpoint(effect, ticks),
+            )
+            for name, cause, effect in self._arrows
+        )
+        return SCESC(
+            self._name,
+            self._clock,
+            tuple(self._instances),
+            ticks,
+            arrows,
+            frozenset(self._props),
+        )
+
+
+def scesc(name: str, clock: Union[Clock, str] = "clk",
+          period: Union[int, Fraction] = 1,
+          phase: Union[int, Fraction] = 0) -> ScescBuilder:
+    """Start building an SCESC named ``name`` on ``clock``."""
+    return ScescBuilder(name, clock=clock, period=period, phase=phase)

@@ -1,0 +1,361 @@
+"""Composite CESC charts: the paper's structural constructs.
+
+"Various structural constructs are provided to enable hierarchical
+specification of complex interaction scenarios.  Such constructs
+include sequential and parallel composition, loop, alternative, and
+implication.  CESC constructs also include a special construct for
+asynchronous parallel composition to allow specification of
+interactions involving multiple clocks."  (Section 3)
+
+A :class:`Chart` is a tree whose leaves are SCESCs.  Synchronous
+constructs (``Seq``/``Par``/``Alt``/``Loop``/``Implication``) require
+all leaves to share one clock; :class:`AsyncPar` composes charts on
+*different* clocks and carries the cross-domain causality arrows.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cesc.ast import SCESC, Clock, EventRefInChart
+from repro.errors import ChartError
+
+__all__ = [
+    "Chart",
+    "ScescChart",
+    "Seq",
+    "Par",
+    "Alt",
+    "Loop",
+    "Implication",
+    "CrossArrow",
+    "AsyncPar",
+]
+
+
+class Chart:
+    """Base class for the composite chart tree."""
+
+    def leaves(self) -> List[SCESC]:
+        """All SCESC leaves, left to right."""
+        raise NotImplementedError
+
+    def clocks(self) -> FrozenSet[Clock]:
+        """The set of clocks driving any leaf."""
+        return frozenset(leaf.clock for leaf in self.leaves())
+
+    def alphabet(self) -> FrozenSet[str]:
+        """Union of the leaves' restricted alphabets."""
+        result: FrozenSet[str] = frozenset()
+        for leaf in self.leaves():
+            result |= leaf.alphabet()
+        return result
+
+    def event_names(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for leaf in self.leaves():
+            result |= leaf.event_names()
+        return result
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def is_single_clocked(self) -> bool:
+        return len(self.clocks()) == 1
+
+
+class ScescChart(Chart):
+    """Leaf wrapper lifting an :class:`~repro.cesc.ast.SCESC` into the tree."""
+
+    def __init__(self, scesc: SCESC):
+        if not isinstance(scesc, SCESC):
+            raise ChartError(f"expected SCESC, got {scesc!r}")
+        self._scesc = scesc
+
+    @property
+    def scesc(self) -> SCESC:
+        return self._scesc
+
+    @property
+    def name(self) -> str:
+        return self._scesc.name
+
+    def leaves(self) -> List[SCESC]:
+        return [self._scesc]
+
+    def __repr__(self):
+        return f"ScescChart({self._scesc.name!r})"
+
+
+class _Composite(Chart):
+    """Shared machinery for synchronous n-ary constructs."""
+
+    _label = "composite"
+    _min_children = 2
+
+    def __init__(self, children: Sequence[Chart], name: Optional[str] = None):
+        kids = [as_chart(c) for c in children]
+        if len(kids) < self._min_children:
+            raise ChartError(
+                f"{self._label} needs at least {self._min_children} charts"
+            )
+        clocks = frozenset().union(*(k.clocks() for k in kids))
+        if len(clocks) > 1:
+            raise ChartError(
+                f"{self._label} requires a single clock domain; "
+                f"got {sorted(c.name for c in clocks)} — use AsyncPar instead"
+            )
+        self._children = tuple(kids)
+        self._name = name or f"{self._label}({', '.join(k.name for k in kids)})"
+
+    @property
+    def children(self) -> Tuple[Chart, ...]:
+        return self._children
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def leaves(self) -> List[SCESC]:
+        out: List[SCESC] = []
+        for child in self._children:
+            out.extend(child.leaves())
+        return out
+
+    def __repr__(self):
+        return f"{type(self).__name__}({', '.join(k.name for k in self._children)})"
+
+
+class Seq(_Composite):
+    """Sequential composition: the scenarios occur one after another."""
+
+    _label = "seq"
+
+
+class Par(_Composite):
+    """Synchronous parallel composition: scenarios overlap tick-by-tick.
+
+    Shorter operands are padded with unconstrained (TRUE) grid lines at
+    the end, so all operands share the composite's duration.
+    """
+
+    _label = "par"
+
+
+class Alt(_Composite):
+    """Alternative: any one of the scenarios occurs."""
+
+    _label = "alt"
+
+
+class Loop(Chart):
+    """Repetition of a scenario.
+
+    ``count`` repeats the body exactly that many times (bounded loop,
+    unrolled at synthesis); ``count=None`` is the unbounded loop whose
+    monitor gets a back edge from final to initial state.
+    """
+
+    def __init__(self, body: Chart, count: Optional[int] = None,
+                 name: Optional[str] = None):
+        body = as_chart(body)
+        if count is not None and count < 1:
+            raise ChartError(f"loop count must be >= 1, got {count}")
+        self._body = body
+        self._count = count
+        suffix = "*" if count is None else f"^{count}"
+        self._name = name or f"loop({body.name}){suffix}"
+
+    @property
+    def body(self) -> Chart:
+        return self._body
+
+    @property
+    def count(self) -> Optional[int]:
+        return self._count
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def leaves(self) -> List[SCESC]:
+        return self._body.leaves()
+
+    def __repr__(self):
+        return f"Loop({self._body.name}, count={self._count})"
+
+
+class Implication(Chart):
+    """``antecedent`` implies ``consequent``.
+
+    The assertion-checker reading: every occurrence of the antecedent
+    scenario must be followed immediately by the consequent scenario.
+    This is the construct that turns scenario *detectors* into
+    pass/fail *checkers* (see :mod:`repro.monitor.checker`).
+    """
+
+    def __init__(self, antecedent: Chart, consequent: Chart,
+                 name: Optional[str] = None):
+        self._antecedent = as_chart(antecedent)
+        self._consequent = as_chart(consequent)
+        clocks = self._antecedent.clocks() | self._consequent.clocks()
+        if len(clocks) > 1:
+            raise ChartError("implication requires a single clock domain")
+        self._name = name or (
+            f"implies({self._antecedent.name}, {self._consequent.name})"
+        )
+
+    @property
+    def antecedent(self) -> Chart:
+        return self._antecedent
+
+    @property
+    def consequent(self) -> Chart:
+        return self._consequent
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def leaves(self) -> List[SCESC]:
+        return self._antecedent.leaves() + self._consequent.leaves()
+
+    def __repr__(self):
+        return f"Implication({self._antecedent.name} => {self._consequent.name})"
+
+
+class CrossArrow:
+    """A causality arrow crossing clock domains inside an :class:`AsyncPar`.
+
+    ``source_chart``/``target_chart`` name the component charts;
+    ``cause``/``effect`` locate the event occurrences inside them.  At
+    monitor level these become ``Add_evt`` in the source domain's local
+    monitor and ``Chk_evt`` guards in the target domain's — the
+    scoreboard is the synchronisation medium.
+    """
+
+    __slots__ = ("name", "source_chart", "cause", "target_chart", "effect")
+
+    def __init__(
+        self,
+        name: str,
+        source_chart: str,
+        cause: EventRefInChart,
+        target_chart: str,
+        effect: EventRefInChart,
+    ):
+        if not name:
+            raise ChartError("cross arrow name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "source_chart", source_chart)
+        object.__setattr__(self, "cause", cause)
+        object.__setattr__(self, "target_chart", target_chart)
+        object.__setattr__(self, "effect", effect)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CrossArrow is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, CrossArrow) and (
+            self.name,
+            self.source_chart,
+            self.cause,
+            self.target_chart,
+            self.effect,
+        ) == (
+            other.name,
+            other.source_chart,
+            other.cause,
+            other.target_chart,
+            other.effect,
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.name, self.source_chart, self.cause, self.target_chart,
+             self.effect)
+        )
+
+    def __repr__(self):
+        return (
+            f"CrossArrow({self.name}: {self.cause!r}@{self.source_chart}"
+            f" -> {self.effect!r}@{self.target_chart})"
+        )
+
+
+class AsyncPar(Chart):
+    """Asynchronous parallel composition across clock domains.
+
+    The paper's multi-clock construct: each component chart runs on its
+    own clock; the global run interleaves ticks by absolute time, and
+    cross-domain causality arrows synchronise the local monitors via
+    the shared scoreboard.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Chart],
+        cross_arrows: Iterable[CrossArrow] = (),
+        name: Optional[str] = None,
+    ):
+        kids = [as_chart(c) for c in children]
+        if len(kids) < 2:
+            raise ChartError("async composition needs at least 2 charts")
+        names = [k.name for k in kids]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ChartError(
+                f"async components must have distinct names: {sorted(duplicates)}"
+            )
+        arrows = tuple(cross_arrows)
+        known = set(names)
+        for arrow in arrows:
+            for chart_name in (arrow.source_chart, arrow.target_chart):
+                if chart_name not in known:
+                    raise ChartError(
+                        f"cross arrow {arrow.name!r} references unknown chart "
+                        f"{chart_name!r}"
+                    )
+        self._children = tuple(kids)
+        self._cross_arrows = arrows
+        self._name = name or f"async({', '.join(names)})"
+
+    @property
+    def children(self) -> Tuple[Chart, ...]:
+        return self._children
+
+    @property
+    def cross_arrows(self) -> Tuple[CrossArrow, ...]:
+        return self._cross_arrows
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def child_named(self, name: str) -> Chart:
+        for child in self._children:
+            if child.name == name:
+                return child
+        raise ChartError(f"no component chart named {name!r}")
+
+    def leaves(self) -> List[SCESC]:
+        out: List[SCESC] = []
+        for child in self._children:
+            out.extend(child.leaves())
+        return out
+
+    def __repr__(self):
+        return (
+            f"AsyncPar({', '.join(k.name for k in self._children)}, "
+            f"arrows={len(self._cross_arrows)})"
+        )
+
+
+def as_chart(value) -> Chart:
+    """Coerce an SCESC (or chart) into a :class:`Chart` node."""
+    if isinstance(value, Chart):
+        return value
+    if isinstance(value, SCESC):
+        return ScescChart(value)
+    raise ChartError(f"cannot treat {value!r} as a chart")

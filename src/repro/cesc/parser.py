@@ -1,0 +1,409 @@
+"""Textual DSL for CESC specifications.
+
+The paper gives CESC "a precisely defined abstract textual syntax";
+this module provides a concrete one.  Example covering most of the
+grammar (Figure 1's read protocol plus a multi-clock composition)::
+
+    clock clk1 period 10;
+    clock clk2 period 7;
+
+    chart M1 on clk1 {
+      instances Master, S_CNT;
+      props mode;
+      tick: Master -> S_CNT : req1, rd1, addr1;
+      tick: S_CNT -> env : req2, rd2, addr2 when mode;
+      tick: S_CNT -> Master : rdy1;
+      tick: S_CNT -> Master : data1;
+      arrow rdy_done: req1 -> rdy1;
+      arrow data_done: rdy1@2 -> data1@3;
+    }
+
+    chart M2 on clk2 { ... }
+
+    compose read = async(M1, M2) {
+      arrow e4: req2@1 in M1 -> req3@0 in M2;
+    }
+
+Grammar sketch (semicolon-terminated statements)::
+
+    spec      := (clock | chart | compose)*
+    clock     := 'clock' NAME ('period' NUMBER)? ('phase' NUMBER)? ';'
+    chart     := 'chart' NAME ('on' NAME)? '{' item* '}'
+    item      := 'instances' names ';' | 'external' names ';'
+              | 'props' names ';'
+              | 'tick' (':' group ('also' group)*)? ';'
+              | 'arrow' NAME ':' endpoint '->' endpoint ';'
+    group     := (NAME '->' NAME ':')? ('!'? NAME) (',' '!'? NAME)*
+                 ('when' expr)?
+    endpoint  := NAME ('@' INT)?
+    compose   := 'compose' NAME '=' cexpr ';'
+              | 'compose' NAME '=' 'async' '(' names ')'
+                 '{' ('arrow' NAME ':' NAME '@' INT 'in' NAME
+                      '->' NAME '@' INT 'in' NAME ';')* '}'
+    cexpr     := NAME | ('seq'|'par'|'alt') '(' cexpr (',' cexpr)+ ')'
+              | 'loop' '(' cexpr (',' INT)? ')'
+              | 'implies' '(' cexpr ',' cexpr ')'
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.cesc.ast import Clock, EventRefInChart, SCESC
+from repro.cesc.builder import EventSpec, ScescBuilder
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    CrossArrow,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+    as_chart,
+)
+from repro.errors import ChartParseError
+from repro.logic.parser import parse_expr
+
+__all__ = ["CescSpec", "parse_cesc"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|\#[^\n]*)
+  | (?P<number>\d+/\d+|\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op>->|\|\||&&|[{}();:,@=!|&])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ChartParseError(
+                f"line {line}:{column}: unexpected character {source[pos]!r}"
+            )
+        text = match.group()
+        if match.lastgroup == "ws":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = match.start() + text.rfind("\n") + 1
+        else:
+            kind = match.lastgroup
+            tokens.append(_Token(kind, text, line, pos - line_start + 1))
+        pos = match.end()
+    tokens.append(_Token("end", "", line, pos - line_start + 1))
+    return tokens
+
+
+class CescSpec:
+    """Result of parsing a DSL source: clocks, charts and composites."""
+
+    def __init__(self):
+        self.clocks: Dict[str, Clock] = {}
+        self.charts: Dict[str, SCESC] = {}
+        self.composites: Dict[str, Chart] = {}
+
+    def chart(self, name: str) -> Chart:
+        """Look up a chart or composite by name, as a :class:`Chart`."""
+        if name in self.composites:
+            return self.composites[name]
+        if name in self.charts:
+            return ScescChart(self.charts[name])
+        raise ChartParseError(f"no chart named {name!r} in specification")
+
+    def names(self) -> List[str]:
+        return sorted(set(self.charts) | set(self.composites))
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+        self.spec = CescSpec()
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> ChartParseError:
+        token = self._peek()
+        where = f"line {token.line}:{token.column}"
+        got = token.text or "<end of input>"
+        return ChartParseError(f"{where}: {message} (got {got!r})")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text if text is not None else kind
+            raise self._error(f"expected {expected!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _name_list(self) -> List[str]:
+        names = [self._expect("name").text]
+        while self._accept("op", ","):
+            names.append(self._expect("name").text)
+        return names
+
+    def _number(self) -> Fraction:
+        token = self._expect("number")
+        if "/" in token.text:
+            num, den = token.text.split("/")
+            return Fraction(int(num), int(den))
+        return Fraction(token.text)
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> CescSpec:
+        while self._peek().kind != "end":
+            token = self._peek()
+            if token.kind != "name":
+                raise self._error("expected 'clock', 'chart' or 'compose'")
+            if token.text == "clock":
+                self._clock_decl()
+            elif token.text == "chart":
+                self._chart_decl()
+            elif token.text == "compose":
+                self._compose_decl()
+            else:
+                raise self._error("expected 'clock', 'chart' or 'compose'")
+        return self.spec
+
+    def _clock_decl(self) -> None:
+        self._expect("name", "clock")
+        name = self._expect("name").text
+        period: Fraction = Fraction(1)
+        phase: Fraction = Fraction(0)
+        if self._accept("name", "period"):
+            period = self._number()
+        if self._accept("name", "phase"):
+            phase = self._number()
+        self._expect("op", ";")
+        if name in self.spec.clocks:
+            raise self._error(f"clock {name!r} declared twice")
+        self.spec.clocks[name] = Clock(name, period=period, phase=phase)
+
+    def _chart_decl(self) -> None:
+        self._expect("name", "chart")
+        name = self._expect("name").text
+        clock_name = "clk"
+        if self._accept("name", "on"):
+            clock_name = self._expect("name").text
+        clock = self.spec.clocks.get(clock_name, Clock(clock_name))
+        builder = ScescBuilder(name, clock=clock)
+        self._expect("op", "{")
+        while not self._accept("op", "}"):
+            self._chart_item(builder)
+        if name in self.spec.charts or name in self.spec.composites:
+            raise self._error(f"chart {name!r} declared twice")
+        self.spec.charts[name] = builder.build()
+
+    def _chart_item(self, builder: ScescBuilder) -> None:
+        keyword = self._expect("name")
+        if keyword.text == "instances":
+            builder.instances(*self._name_list())
+            self._expect("op", ";")
+        elif keyword.text == "external":
+            builder.external(*self._name_list())
+            self._expect("op", ";")
+        elif keyword.text == "props":
+            builder.props(*self._name_list())
+            self._expect("op", ";")
+        elif keyword.text == "tick":
+            self._tick_item(builder)
+        elif keyword.text == "arrow":
+            self._arrow_item(builder)
+        else:
+            raise self._error(
+                "expected 'instances', 'external', 'props', 'tick' or 'arrow'"
+            )
+
+    def _tick_item(self, builder: ScescBuilder) -> None:
+        if self._accept("op", ";"):
+            builder.empty_tick()
+            return
+        self._expect("op", ":")
+        specs: List[EventSpec] = []
+        specs.extend(self._event_group())
+        while self._accept("name", "also"):
+            specs.extend(self._event_group())
+        self._expect("op", ";")
+        builder.tick(*specs)
+
+    def _event_group(self) -> List[EventSpec]:
+        source: Optional[str] = None
+        target: Optional[str] = None
+        # Lookahead for 'NAME -> NAME :' route prefix.
+        if (
+            self._peek().kind == "name"
+            and self._peek(1).kind == "op"
+            and self._peek(1).text == "->"
+        ):
+            source = self._advance().text
+            self._expect("op", "->")
+            target = self._expect("name").text
+            self._expect("op", ":")
+        items: List[Tuple[bool, str]] = []
+        items.append(self._event_item())
+        while self._accept("op", ","):
+            items.append(self._event_item())
+        guard_text: Optional[str] = None
+        if self._accept("name", "when"):
+            guard_text = self._guard_text()
+        return [
+            EventSpec(name, guard=guard_text, source=source, target=target,
+                      negated=negated)
+            for negated, name in items
+        ]
+
+    def _event_item(self) -> Tuple[bool, str]:
+        negated = bool(self._accept("op", "!"))
+        name = self._expect("name").text
+        return negated, name
+
+    def _guard_text(self) -> str:
+        """Collect raw guard tokens up to ';' or 'also' (paren-aware)."""
+        pieces: List[str] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind == "end":
+                raise self._error("unterminated guard expression")
+            if depth == 0 and token.kind == "op" and token.text == ";":
+                break
+            if depth == 0 and token.kind == "name" and token.text == "also":
+                break
+            if token.kind == "op" and token.text == "(":
+                depth += 1
+            if token.kind == "op" and token.text == ")":
+                depth -= 1
+            pieces.append(token.text)
+            self._advance()
+        if not pieces:
+            raise self._error("empty guard after 'when'")
+        return " ".join(pieces)
+
+    def _arrow_item(self, builder: ScescBuilder) -> None:
+        name = self._expect("name").text
+        self._expect("op", ":")
+        cause = self._endpoint()
+        self._expect("op", "->")
+        effect = self._endpoint()
+        self._expect("op", ";")
+        builder.arrow(name, cause, effect)
+
+    def _endpoint(self):
+        event = self._expect("name").text
+        if self._accept("op", "@"):
+            index = int(self._expect("number").text)
+            return (index, event)
+        return event
+
+    # -- composition ---------------------------------------------------------
+    def _compose_decl(self) -> None:
+        self._expect("name", "compose")
+        name = self._expect("name").text
+        self._expect("op", "=")
+        if self._peek().kind == "name" and self._peek().text == "async":
+            chart = self._async_expr(name)
+        else:
+            chart = self._comp_expr()
+            self._expect("op", ";")
+        if name in self.spec.composites or name in self.spec.charts:
+            raise self._error(f"chart {name!r} declared twice")
+        self.spec.composites[name] = chart
+
+    def _comp_expr(self) -> Chart:
+        token = self._expect("name")
+        if token.text in ("seq", "par", "alt"):
+            self._expect("op", "(")
+            children = [self._comp_expr()]
+            while self._accept("op", ","):
+                children.append(self._comp_expr())
+            self._expect("op", ")")
+            cls = {"seq": Seq, "par": Par, "alt": Alt}[token.text]
+            return cls(children)
+        if token.text == "loop":
+            self._expect("op", "(")
+            body = self._comp_expr()
+            count: Optional[int] = None
+            if self._accept("op", ","):
+                count = int(self._expect("number").text)
+            self._expect("op", ")")
+            return Loop(body, count=count)
+        if token.text == "implies":
+            self._expect("op", "(")
+            antecedent = self._comp_expr()
+            self._expect("op", ",")
+            consequent = self._comp_expr()
+            self._expect("op", ")")
+            return Implication(antecedent, consequent)
+        return self.spec.chart(token.text)
+
+    def _async_expr(self, name: str) -> Chart:
+        self._expect("name", "async")
+        self._expect("op", "(")
+        component_names = self._name_list()
+        self._expect("op", ")")
+        arrows: List[CrossArrow] = []
+        if self._accept("op", "{"):
+            while not self._accept("op", "}"):
+                self._expect("name", "arrow")
+                arrow_name = self._expect("name").text
+                self._expect("op", ":")
+                cause_event = self._expect("name").text
+                self._expect("op", "@")
+                cause_tick = int(self._expect("number").text)
+                self._expect("name", "in")
+                cause_chart = self._expect("name").text
+                self._expect("op", "->")
+                effect_event = self._expect("name").text
+                self._expect("op", "@")
+                effect_tick = int(self._expect("number").text)
+                self._expect("name", "in")
+                effect_chart = self._expect("name").text
+                self._expect("op", ";")
+                arrows.append(
+                    CrossArrow(
+                        arrow_name,
+                        cause_chart,
+                        EventRefInChart(cause_tick, cause_event),
+                        effect_chart,
+                        EventRefInChart(effect_tick, effect_event),
+                    )
+                )
+        self._accept("op", ";")
+        children = [self.spec.chart(n) for n in component_names]
+        return AsyncPar(children, cross_arrows=arrows, name=name)
+
+
+def parse_cesc(source: str) -> CescSpec:
+    """Parse DSL ``source`` into a :class:`CescSpec`."""
+    return _Parser(_tokenize(source)).parse()

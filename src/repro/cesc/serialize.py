@@ -1,0 +1,175 @@
+"""Serialising charts back to the textual CESC DSL.
+
+The inverse of :mod:`repro.cesc.parser`: any programmatically-built
+SCESC (or spec of charts and composites) renders to DSL text that
+parses back to an equal chart — the round-trip property the test suite
+checks.  Useful for exporting builder-made or WaveDrom-imported charts
+into version-controlled spec files.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cesc.ast import ENV, SCESC, Clock, EventOccurrence, Tick
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+    as_chart,
+)
+from repro.errors import ChartError
+
+__all__ = ["scesc_to_dsl", "chart_to_dsl", "clock_to_dsl"]
+
+
+def _fraction_text(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def clock_to_dsl(clock: Clock) -> str:
+    """``clock NAME period P [phase F];``"""
+    parts = [f"clock {clock.name}"]
+    parts.append(f"period {_fraction_text(clock.period)}")
+    if clock.phase != 0:
+        parts.append(f"phase {_fraction_text(clock.phase)}")
+    return " ".join(parts) + ";"
+
+
+def _group_key(occurrence: EventOccurrence):
+    guard_text = repr(occurrence.guard) if occurrence.guard is not None else None
+    return (occurrence.source, occurrence.target, guard_text)
+
+
+def _tick_to_dsl(tick: Tick) -> str:
+    if not tick.occurrences:
+        return "  tick;"
+    groups: Dict[tuple, List[EventOccurrence]] = {}
+    order: List[tuple] = []
+    for occurrence in tick.occurrences:
+        key = _group_key(occurrence)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(occurrence)
+    rendered: List[str] = []
+    for key in order:
+        source, target, guard_text = key
+        items = ", ".join(
+            ("!" if o.negated else "") + o.event for o in groups[key]
+        )
+        prefix = ""
+        if source is not None and target is not None:
+            prefix = f"{source} -> {target} : "
+        elif source is not None or target is not None:
+            raise ChartError(
+                "DSL serialisation needs either both route endpoints or "
+                "neither (got a half-routed occurrence)"
+            )
+        suffix = f" when {guard_text}" if guard_text is not None else ""
+        rendered.append(prefix + items + suffix)
+    return "  tick: " + " also ".join(rendered) + ";"
+
+
+def scesc_to_dsl(chart: SCESC, include_clock: bool = True) -> str:
+    """Render one SCESC as a DSL ``chart`` block (plus its clock)."""
+    lines: List[str] = []
+    if include_clock:
+        lines.append(clock_to_dsl(chart.clock))
+    lines.append(f"chart {chart.name} on {chart.clock.name} {{")
+    internal = [i.name for i in chart.instances if not i.external]
+    external = [i.name for i in chart.instances if i.external]
+    if internal:
+        lines.append(f"  instances {', '.join(internal)};")
+    if external:
+        lines.append(f"  external {', '.join(external)};")
+    if chart.props:
+        lines.append(f"  props {', '.join(sorted(chart.props))};")
+    for tick in chart.ticks:
+        lines.append(_tick_to_dsl(tick))
+    for arrow in chart.arrows:
+        lines.append(
+            f"  arrow {arrow.name}: {arrow.cause.event}@"
+            f"{arrow.cause.tick_index} -> {arrow.effect.event}@"
+            f"{arrow.effect.tick_index};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _comp_expr(chart: Chart, emitted: Dict[str, str]) -> str:
+    chart = as_chart(chart)
+    if isinstance(chart, ScescChart):
+        return chart.scesc.name
+    if isinstance(chart, (Seq, Par, Alt)):
+        keyword = {"Seq": "seq", "Par": "par", "Alt": "alt"}[
+            type(chart).__name__
+        ]
+        inner = ", ".join(_comp_expr(c, emitted) for c in chart.children)
+        return f"{keyword}({inner})"
+    if isinstance(chart, Loop):
+        body = _comp_expr(chart.body, emitted)
+        if chart.count is not None:
+            return f"loop({body}, {chart.count})"
+        return f"loop({body})"
+    if isinstance(chart, Implication):
+        return (
+            f"implies({_comp_expr(chart.antecedent, emitted)}, "
+            f"{_comp_expr(chart.consequent, emitted)})"
+        )
+    raise ChartError(
+        f"cannot serialise composite node {type(chart).__name__} inline "
+        "(async compositions serialise at top level)"
+    )
+
+
+def chart_to_dsl(chart: Chart, name: Optional[str] = None) -> str:
+    """Render a chart tree as a complete DSL document.
+
+    Emits every leaf SCESC (with its clock), then a ``compose``
+    statement for the composite structure; a bare SCESC emits just its
+    chart block.
+    """
+    chart = as_chart(chart)
+    lines: List[str] = []
+    clocks_done = set()
+    leaves_done: Dict[str, SCESC] = {}
+    for leaf in chart.leaves():
+        if leaf.clock.name not in clocks_done:
+            lines.append(clock_to_dsl(leaf.clock))
+            clocks_done.add(leaf.clock.name)
+    for leaf in chart.leaves():
+        previous = leaves_done.get(leaf.name)
+        if previous is not None:
+            if previous != leaf:
+                raise ChartError(
+                    f"two distinct leaf charts share the name {leaf.name!r}"
+                )
+            continue
+        leaves_done[leaf.name] = leaf
+        lines.append(scesc_to_dsl(leaf, include_clock=False))
+    if isinstance(chart, ScescChart):
+        return "\n".join(lines)
+    label = name or "main"
+    if isinstance(chart, AsyncPar):
+        components = ", ".join(c.name for c in chart.children)
+        lines.append(f"compose {label} = async({components}) {{")
+        for arrow in chart.cross_arrows:
+            lines.append(
+                f"  arrow {arrow.name}: {arrow.cause.event}@"
+                f"{arrow.cause.tick_index} in {arrow.source_chart} -> "
+                f"{arrow.effect.event}@{arrow.effect.tick_index} in "
+                f"{arrow.target_chart};"
+            )
+        lines.append("}")
+    else:
+        lines.append(f"compose {label} = {_comp_expr(chart, {})};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,169 @@
+"""Well-formedness checking for CESC charts.
+
+The paper motivates CESC partly by the ability to "formally analyze
+specifications for inconsistencies".  This module hosts the *static*
+checks run before synthesis; deeper semantic analyses (emptiness,
+guard conflicts) live in :mod:`repro.analysis.consistency`.
+
+Checks performed on an SCESC:
+
+* at least one grid line;
+* instance names unique; occurrence endpoints reference declared
+  instances or the environment;
+* guards reference only declared propositions (events are open-world);
+* each grid-line expression is satisfiable (a tick nothing can match
+  makes the whole scenario unmatchable);
+* causality arrows reference existing occurrences, are uniquely named,
+  point strictly forward in time, and their cause event is not negated.
+
+Composite charts are validated recursively; ``AsyncPar`` additionally
+checks cross-arrow endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cesc.ast import ENV, SCESC
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+)
+from repro.errors import ValidationError
+from repro.logic.expr import prop_symbols_of
+from repro.logic.sat import is_satisfiable
+
+__all__ = ["validate_scesc", "validate_chart"]
+
+
+def validate_scesc(chart: SCESC) -> None:
+    """Raise :class:`~repro.errors.ValidationError` on any defect."""
+    problems: List[str] = []
+    if chart.n_ticks == 0:
+        problems.append("chart has no grid lines")
+
+    names = [i.name for i in chart.instances]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        problems.append(f"duplicate instance names: {sorted(duplicates)}")
+    known_instances = set(names) | {ENV}
+
+    declared_props = chart.props
+    event_names = chart.event_names()
+    clash = declared_props & event_names
+    if clash:
+        problems.append(
+            f"symbols used both as events and propositions: {sorted(clash)}"
+        )
+
+    for index, tick in enumerate(chart.ticks):
+        for occurrence in tick.occurrences:
+            for endpoint in (occurrence.source, occurrence.target):
+                if endpoint is not None and endpoint not in known_instances:
+                    problems.append(
+                        f"tick {index}: event {occurrence.event!r} references "
+                        f"undeclared instance {endpoint!r}"
+                    )
+            if occurrence.guard is not None:
+                unknown = prop_symbols_of(occurrence.guard) - declared_props
+                if unknown:
+                    problems.append(
+                        f"tick {index}: guard of {occurrence.event!r} uses "
+                        f"undeclared propositions {sorted(unknown)}"
+                    )
+        if not is_satisfiable(tick.expr()):
+            problems.append(
+                f"tick {index}: grid-line constraint {tick.expr()!r} "
+                "is unsatisfiable"
+            )
+
+    arrow_names = [a.name for a in chart.arrows]
+    duplicate_arrows = {n for n in arrow_names if arrow_names.count(n) > 1}
+    if duplicate_arrows:
+        problems.append(f"duplicate arrow names: {sorted(duplicate_arrows)}")
+
+    for arrow in chart.arrows:
+        for label, endpoint in (("cause", arrow.cause), ("effect", arrow.effect)):
+            index, event = endpoint
+            if not (0 <= index < chart.n_ticks):
+                problems.append(
+                    f"arrow {arrow.name!r}: {label} tick {index} out of range"
+                )
+                continue
+            occurrence = chart.ticks[index].find(event)
+            if occurrence is None:
+                problems.append(
+                    f"arrow {arrow.name!r}: {label} event {event!r} absent "
+                    f"from tick {index}"
+                )
+            elif label == "cause" and occurrence.negated:
+                problems.append(
+                    f"arrow {arrow.name!r}: cause event {event!r} is negated "
+                    "(an absent event cannot cause anything)"
+                )
+        if (
+            0 <= arrow.cause.tick_index < chart.n_ticks
+            and 0 <= arrow.effect.tick_index < chart.n_ticks
+            and arrow.cause.tick_index >= arrow.effect.tick_index
+        ):
+            problems.append(
+                f"arrow {arrow.name!r}: cause (tick {arrow.cause.tick_index}) "
+                f"must precede effect (tick {arrow.effect.tick_index})"
+            )
+
+    if problems:
+        raise ValidationError(
+            f"chart {chart.name!r} is ill-formed:\n  - "
+            + "\n  - ".join(problems)
+        )
+
+
+def validate_chart(chart: Chart) -> None:
+    """Validate a composite chart tree recursively."""
+    if isinstance(chart, ScescChart):
+        validate_scesc(chart.scesc)
+        return
+    if isinstance(chart, (Seq, Par, Alt)):
+        for child in chart.children:
+            validate_chart(child)
+        return
+    if isinstance(chart, Loop):
+        validate_chart(chart.body)
+        return
+    if isinstance(chart, Implication):
+        validate_chart(chart.antecedent)
+        validate_chart(chart.consequent)
+        return
+    if isinstance(chart, AsyncPar):
+        for child in chart.children:
+            validate_chart(child)
+        leaf_by_name = {}
+        for child in chart.children:
+            leaves = child.leaves()
+            leaf_by_name[child.name] = leaves
+        for arrow in chart.cross_arrows:
+            _check_cross_endpoint(chart, arrow.source_chart, arrow.cause,
+                                  arrow.name, "cause")
+            _check_cross_endpoint(chart, arrow.target_chart, arrow.effect,
+                                  arrow.name, "effect")
+        return
+    raise ValidationError(f"unknown chart node {chart!r}")
+
+
+def _check_cross_endpoint(chart: AsyncPar, component: str, endpoint,
+                          arrow_name: str, label: str) -> None:
+    child = chart.child_named(component)
+    index, event = endpoint
+    for leaf in child.leaves():
+        if 0 <= index < leaf.n_ticks and leaf.ticks[index].find(event):
+            return
+    raise ValidationError(
+        f"cross arrow {arrow_name!r}: {label} {event!r}@{index} not found "
+        f"in component {component!r}"
+    )

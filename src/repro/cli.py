@@ -1,0 +1,192 @@
+"""Command-line front end: the CESC flow as a tool.
+
+Usage (also via ``python -m repro``)::
+
+    repro validate  SPEC.cesc                      # parse + lint
+    repro render    SPEC.cesc CHART                # ASCII chart
+    repro synthesize SPEC.cesc CHART --format dot|verilog|sva|psl|python|table
+    repro check     SPEC.cesc CHART TRACE.json     # run monitor on a
+                                                   # WaveDrom trace
+
+The trace file for ``check`` is a WaveDrom document (bi-level subset);
+exit status is 0 when the scenario was detected, 3 when not — so the
+tool slots into Makefile-style regression flows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.consistency import check_consistency
+from repro.cesc.charts import ScescChart
+from repro.cesc.parser import parse_cesc
+from repro.cesc.validate import validate_scesc
+from repro.codegen.psl import chart_to_psl
+from repro.codegen.python_gen import monitor_to_python
+from repro.codegen.sva import chart_to_sva
+from repro.codegen.verilog import monitor_to_verilog
+from repro.errors import ReproError
+from repro.monitor.dot import monitor_to_dot
+from repro.monitor.engine import run_monitor
+from repro.monitor.stats import monitor_stats
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import tr
+from repro.visual.ascii_chart import render_scesc
+from repro.visual.wavedrom import wavedrom_to_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CESC assertion-monitor synthesis (DATE 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="parse a spec and run the consistency lint")
+    validate.add_argument("spec", help="CESC DSL file")
+
+    render = commands.add_parser("render", help="render a chart as ASCII")
+    render.add_argument("spec", help="CESC DSL file")
+    render.add_argument("chart", help="chart name inside the spec")
+
+    synthesize = commands.add_parser(
+        "synthesize", help="synthesize a monitor and print it")
+    synthesize.add_argument("spec", help="CESC DSL file")
+    synthesize.add_argument("chart", help="chart name inside the spec")
+    synthesize.add_argument(
+        "--format", default="table",
+        choices=("table", "dot", "verilog", "sva", "psl", "python"),
+        help="output representation (default: table)")
+    synthesize.add_argument(
+        "--dense", action="store_true",
+        help="keep the per-valuation minterm table (skip symbolic "
+             "guard compression)")
+
+    check = commands.add_parser(
+        "check", help="run the synthesized monitor over a WaveDrom trace")
+    check.add_argument("spec", help="CESC DSL file")
+    check.add_argument("chart", help="chart name inside the spec")
+    check.add_argument("trace", help="WaveDrom JSON trace file")
+    return parser
+
+
+def _load_scesc(spec_path: str, chart_name: str):
+    with open(spec_path) as stream:
+        spec = parse_cesc(stream.read())
+    if chart_name not in spec.charts:
+        known = ", ".join(sorted(spec.charts)) or "(none)"
+        raise ReproError(
+            f"no SCESC named {chart_name!r} in {spec_path} "
+            f"(known charts: {known})"
+        )
+    return spec.charts[chart_name]
+
+
+def _cmd_validate(args, out) -> int:
+    with open(args.spec) as stream:
+        spec = parse_cesc(stream.read())
+    status = 0
+    for name, chart in sorted(spec.charts.items()):
+        structural: List[str] = []
+        try:
+            validate_scesc(chart)
+        except ReproError as error:
+            structural.append(str(error))
+        findings = check_consistency(ScescChart(chart))
+        errors = [f for f in findings if f.severity == "error"]
+        out.write(f"{name}: {chart.n_ticks} grid lines, "
+                  f"{len(chart.arrows)} arrows — "
+                  f"{len(errors) + len(structural)} error(s), "
+                  f"{len(findings) - len(errors)} warning(s)\n")
+        for message in structural:
+            out.write(f"  [error] {message}\n")
+        for finding in findings:
+            out.write(f"  {finding}\n")
+        if errors or structural:
+            status = 2
+    for name in sorted(spec.composites):
+        out.write(f"{name}: composite ({type(spec.composites[name]).__name__})\n")
+    return status
+
+
+def _cmd_render(args, out) -> int:
+    chart = _load_scesc(args.spec, args.chart)
+    out.write(render_scesc(chart))
+    return 0
+
+
+def _cmd_synthesize(args, out) -> int:
+    chart = _load_scesc(args.spec, args.chart)
+    monitor = tr(chart)
+    if not args.dense:
+        monitor = symbolic_monitor(monitor, name=monitor.name)
+    if args.format == "table":
+        stats = monitor_stats(monitor)
+        out.write(f"monitor {monitor.name}: "
+                  f"{stats['states']} states, "
+                  f"{stats['transitions']} transitions "
+                  f"(forward {stats['forward_edges']}, "
+                  f"backward {stats['backward_edges']})\n")
+        for transition in sorted(
+            monitor.transitions, key=lambda t: (t.source, t.target)
+        ):
+            out.write(f"  {transition.source} -> {transition.target}: "
+                      f"{transition.label()}\n")
+    elif args.format == "dot":
+        out.write(monitor_to_dot(monitor))
+        out.write("\n")
+    elif args.format == "verilog":
+        out.write(monitor_to_verilog(monitor).source)
+    elif args.format == "sva":
+        out.write(chart_to_sva(ScescChart(chart)))
+    elif args.format == "psl":
+        out.write(chart_to_psl(ScescChart(chart)))
+    elif args.format == "python":
+        out.write(monitor_to_python(monitor))
+    return 0
+
+
+def _cmd_check(args, out) -> int:
+    chart = _load_scesc(args.spec, args.chart)
+    monitor = tr(chart)
+    with open(args.trace) as stream:
+        trace = wavedrom_to_trace(json.load(stream))
+    missing = chart.alphabet() - trace.alphabet
+    if missing:
+        out.write(f"note: trace lacks lanes for {sorted(missing)} "
+                  "(treated as constant low)\n")
+    result = run_monitor(monitor, trace)
+    out.write(f"trace: {trace.length} ticks; "
+              f"detections at {result.detections}\n")
+    return 0 if result.accepted else 3
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "validate": _cmd_validate,
+        "render": _cmd_render,
+        "synthesize": _cmd_synthesize,
+        "check": _cmd_check,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    except FileNotFoundError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Code generation: rendering synthesized monitors to target languages.
+
+* :mod:`repro.codegen.verilog` — synthesizable Verilog FSM with
+  scoreboard counters (co-simulated against the Python engine by the
+  :mod:`repro.hdl` substrate);
+* :mod:`repro.codegen.sva` — SystemVerilog Assertions (sequence +
+  cover/assert property) from charts;
+* :mod:`repro.codegen.psl` — PSL (the paper's PSL/Sugar reference
+  point);
+* :mod:`repro.codegen.python_gen` — a dependency-free standalone
+  Python checker module.
+"""
+
+from repro.codegen.psl import chart_to_psl
+from repro.codegen.python_gen import monitor_to_python
+from repro.codegen.sva import chart_to_sva
+from repro.codegen.verilog import VerilogMonitor, monitor_to_verilog
+
+__all__ = [
+    "VerilogMonitor",
+    "chart_to_psl",
+    "chart_to_sva",
+    "monitor_to_python",
+    "monitor_to_verilog",
+]

@@ -1,0 +1,62 @@
+"""Chart -> PSL (Property Specification Language, the Sugar lineage).
+
+The paper's Section 1 names PSL/Sugar as the textual alternative CESC
+competes with; emitting PSL from charts makes the spec-size comparison
+concrete and gives downstream users the interchange format.  SERE
+(Sequential Extended Regular Expression) syntax: grid lines become
+``{ e1 && e2 ; next ; ... }``; implications use ``|=>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cesc.ast import SCESC
+from repro.cesc.charts import Chart, Implication, ScescChart, Seq, as_chart
+from repro.codegen.sva import expr_to_sva
+from repro.codegen.verilog import sanitize_identifier
+from repro.errors import CodegenError
+
+__all__ = ["sere_of", "chart_to_psl"]
+
+
+def sere_of(chart: SCESC) -> str:
+    """The chart's grid lines as a PSL SERE."""
+    elements = [expr_to_sva(tick.expr()) for tick in chart.ticks]
+    return "{" + " ; ".join(elements) + "}"
+
+
+def chart_to_psl(chart: Chart, clock: str = "clk",
+                 name: Optional[str] = None) -> str:
+    """Emit PSL (verification-unit style) for a chart."""
+    chart = as_chart(chart)
+    label = sanitize_identifier(name or chart.name)
+    lines: List[str] = [f"vunit {label} {{"]
+    lines.append(f"  default clock = (posedge {clock});")
+    if isinstance(chart, Implication):
+        ante_leaves = chart.antecedent.leaves()
+        cons_leaves = chart.consequent.leaves()
+        if len(ante_leaves) != 1 or len(cons_leaves) != 1:
+            raise CodegenError(
+                "PSL emission supports single-SCESC antecedent/consequent"
+            )
+        lines.append(
+            f"  assert always ({sere_of(ante_leaves[0])} |=> "
+            f"{sere_of(cons_leaves[0])});"
+        )
+    elif isinstance(chart, (ScescChart, Seq)):
+        leaves = chart.leaves()
+        seres = [sere_of(leaf) for leaf in leaves]
+        if len(seres) == 1:
+            combined = seres[0]
+        else:
+            inner = " ; ".join(s[1:-1] for s in seres)
+            combined = "{" + inner + "}"
+        lines.append(f"  cover {combined};")
+    else:
+        raise CodegenError(
+            f"PSL emission supports SCESC, Seq and Implication charts; "
+            f"got {type(chart).__name__}"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Monitor -> standalone, dependency-free Python checker source.
+
+The generated module contains a single ``Monitor`` class with a
+``step(true_symbols: set) -> bool`` method (returns True on detection)
+and mirrors the engine semantics exactly: guard ladder per state,
+multiset scoreboard, detection on entering the final state.  Useful
+for shipping a monitor into a test environment that must not depend on
+this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CodegenError
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+from repro.monitor.automaton import AddEvt, DelEvt, Monitor
+
+__all__ = ["monitor_to_python"]
+
+
+def _render_guard(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return "True" if expr.value else "False"
+    if isinstance(expr, (EventRef, PropRef)):
+        return f"({expr.name!r} in true_symbols)"
+    if isinstance(expr, ScoreboardCheck):
+        return f"(self._scoreboard.get({expr.event!r}, 0) > 0)"
+    if isinstance(expr, Not):
+        return f"(not {_render_guard(expr.operand)})"
+    if isinstance(expr, And):
+        if not expr.args:
+            return "True"
+        return "(" + " and ".join(_render_guard(a) for a in expr.args) + ")"
+    if isinstance(expr, Or):
+        if not expr.args:
+            return "False"
+        return "(" + " or ".join(_render_guard(a) for a in expr.args) + ")"
+    raise CodegenError(f"cannot render guard {expr!r} to Python")
+
+
+def _render_actions(transition, indent: str) -> List[str]:
+    lines: List[str] = []
+    for action in transition.actions:
+        if isinstance(action, AddEvt):
+            for event in action.events:
+                lines.append(
+                    f"{indent}self._scoreboard[{event!r}] = "
+                    f"self._scoreboard.get({event!r}, 0) + 1"
+                )
+        elif isinstance(action, DelEvt):
+            for event in action.events:
+                lines.append(
+                    f"{indent}self._scoreboard[{event!r}] = "
+                    f"max(0, self._scoreboard.get({event!r}, 0) - 1)"
+                )
+    return lines
+
+
+def monitor_to_python(monitor: Monitor, class_name: str = "Monitor") -> str:
+    """Emit the monitor as standalone Python source text."""
+    lines: List[str] = []
+    lines.append('"""Auto-generated assertion monitor.')
+    lines.append("")
+    lines.append(f"Synthesized from chart {monitor.name!r}: "
+                 f"{monitor.n_states} states, "
+                 f"{monitor.transition_count()} transitions.")
+    lines.append('"""')
+    lines.append("")
+    lines.append("")
+    lines.append(f"class {class_name}:")
+    lines.append(f"    INITIAL = {monitor.initial}")
+    lines.append(f"    FINAL = {monitor.final}")
+    lines.append(f"    ALPHABET = {sorted(monitor.alphabet)!r}")
+    lines.append("")
+    lines.append("    def __init__(self):")
+    lines.append("        self.state = self.INITIAL")
+    lines.append("        self.tick = 0")
+    lines.append("        self.detections = []")
+    lines.append("        self._scoreboard = {}")
+    lines.append("")
+    lines.append("    def step(self, true_symbols):")
+    lines.append('        """Consume one tick; True when the scenario completes."""')
+    lines.append("        true_symbols = set(true_symbols)")
+    first_state = True
+    for state in monitor.states:
+        outgoing = monitor.transitions_from(state)
+        if not outgoing:
+            continue
+        keyword = "if" if first_state else "elif"
+        first_state = False
+        lines.append(f"        {keyword} self.state == {state}:")
+        first_guard = True
+        for transition in outgoing:
+            guard_kw = "if" if first_guard else "elif"
+            first_guard = False
+            lines.append(
+                f"            {guard_kw} {_render_guard(transition.guard)}:"
+            )
+            body = _render_actions(transition, "                ")
+            body.append(f"                self.state = {transition.target}")
+            lines.extend(body)
+        lines.append("            else:")
+        lines.append("                raise RuntimeError(")
+        lines.append("                    'no transition enabled in state '")
+        lines.append("                    + repr(self.state))")
+    lines.append("        detected = self.state == self.FINAL")
+    lines.append("        if detected:")
+    lines.append("            self.detections.append(self.tick)")
+    lines.append("        self.tick += 1")
+    lines.append("        return detected")
+    lines.append("")
+    lines.append("    def feed(self, trace):")
+    lines.append("        for true_symbols in trace:")
+    lines.append("            self.step(true_symbols)")
+    lines.append("        return self")
+    lines.append("")
+    lines.append("    @property")
+    lines.append("    def accepted(self):")
+    lines.append("        return bool(self.detections)")
+    return "\n".join(lines) + "\n"

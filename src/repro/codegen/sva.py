@@ -1,0 +1,112 @@
+"""Chart -> SystemVerilog Assertions (sequences + properties).
+
+Grid lines become sequence elements joined with ``##1``; guarded
+events become conjunctions; an :class:`~repro.cesc.charts.Implication`
+chart becomes an ``assert property`` with the overlapping-implication
+operator, a plain chart a ``cover property``.  The emitted text is the
+industry-interchange artifact — we have no SVA simulator offline, so
+tests validate structure, and semantic validation happens through the
+Verilog-FSM co-simulation path instead (DESIGN.md notes the
+substitution).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cesc.ast import SCESC
+from repro.cesc.charts import Chart, Implication, ScescChart, Seq, as_chart
+from repro.codegen.verilog import sanitize_identifier
+from repro.errors import CodegenError
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+
+__all__ = ["expr_to_sva", "sequence_of", "chart_to_sva"]
+
+
+def expr_to_sva(expr: Expr) -> str:
+    """Render a guard expression in SVA boolean syntax."""
+    if isinstance(expr, Const):
+        return "1'b1" if expr.value else "1'b0"
+    if isinstance(expr, (EventRef, PropRef)):
+        return sanitize_identifier(expr.name)
+    if isinstance(expr, Not):
+        return f"!({expr_to_sva(expr.operand)})"
+    if isinstance(expr, And):
+        if not expr.args:
+            return "1'b1"
+        return "(" + " && ".join(expr_to_sva(a) for a in expr.args) + ")"
+    if isinstance(expr, Or):
+        if not expr.args:
+            return "1'b0"
+        return "(" + " || ".join(expr_to_sva(a) for a in expr.args) + ")"
+    if isinstance(expr, ScoreboardCheck):
+        raise CodegenError(
+            "Chk_evt has no direct SVA boolean form; causality is encoded "
+            "structurally by the sequence (the cause element precedes the "
+            "effect element)"
+        )
+    raise CodegenError(f"cannot render {expr!r} as SVA")
+
+
+def sequence_of(chart: SCESC) -> str:
+    """The chart's grid lines as an SVA sequence body."""
+    elements = [expr_to_sva(tick.expr()) for tick in chart.ticks]
+    return " ##1 ".join(elements)
+
+
+def chart_to_sva(chart: Chart, clock: str = "clk",
+                 name: Optional[str] = None) -> str:
+    """Emit SVA text for a chart.
+
+    * SCESC / Seq of SCESCs -> named sequence + ``cover property``;
+    * Implication -> named sequences + ``assert property`` with
+      ``|=>`` (the consequent starts the cycle after the antecedent
+      completes, matching the checker semantics).
+    """
+    chart = as_chart(chart)
+    label = sanitize_identifier(name or chart.name)
+    lines: List[str] = []
+    if isinstance(chart, Implication):
+        ante_leaves = chart.antecedent.leaves()
+        cons_leaves = chart.consequent.leaves()
+        if len(ante_leaves) != 1 or len(cons_leaves) != 1:
+            raise CodegenError(
+                "SVA emission supports single-SCESC antecedent/consequent"
+            )
+        lines.append(f"sequence seq_{label}_ante;")
+        lines.append(f"  {sequence_of(ante_leaves[0])};")
+        lines.append("endsequence")
+        lines.append(f"sequence seq_{label}_cons;")
+        lines.append(f"  {sequence_of(cons_leaves[0])};")
+        lines.append("endsequence")
+        lines.append(f"assert_{label}: assert property (")
+        lines.append(f"  @(posedge {clock}) seq_{label}_ante |=> "
+                     f"seq_{label}_cons")
+        lines.append(");")
+        return "\n".join(lines) + "\n"
+
+    if isinstance(chart, ScescChart):
+        leaves = [chart.scesc]
+    elif isinstance(chart, Seq):
+        leaves = chart.leaves()
+    else:
+        raise CodegenError(
+            f"SVA emission supports SCESC, Seq and Implication charts; "
+            f"got {type(chart).__name__}"
+        )
+    body = " ##1 ".join(sequence_of(leaf) for leaf in leaves)
+    lines.append(f"sequence seq_{label};")
+    lines.append(f"  {body};")
+    lines.append("endsequence")
+    lines.append(f"cover_{label}: cover property (@(posedge {clock}) "
+                 f"seq_{label});")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,205 @@
+"""Monitor -> synthesizable Verilog FSM with scoreboard counters.
+
+The emitted module is plain synthesizable Verilog-2001:
+
+* one input wire per alphabet symbol (names sanitized);
+* a state register, one-hot-free binary encoding;
+* an 8-bit up/down counter per scoreboarded event (``Chk_evt(e)``
+  becomes ``(sb_e != 0)``);
+* a registered ``detect`` pulse asserted the cycle *after* the final
+  state is entered (registered-output FSM style — the co-simulation
+  tests account for the one-cycle skew against the Python engine).
+
+The guard structure is emitted as an if/else ladder per state; since
+``Tr`` guards are disjoint and total, the ladder is complete.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.errors import CodegenError
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+from repro.monitor.automaton import AddEvt, DelEvt, Monitor, Transition
+
+__all__ = ["VerilogMonitor", "monitor_to_verilog", "sanitize_identifier"]
+
+_VERILOG_KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "reg", "wire", "assign",
+    "always", "begin", "end", "if", "else", "case", "endcase", "default",
+    "posedge", "negedge", "or", "and", "not", "parameter", "localparam",
+})
+
+
+def sanitize_identifier(name: str) -> str:
+    """Make a legal Verilog identifier out of an arbitrary symbol name."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "s_" + cleaned
+    if cleaned in _VERILOG_KEYWORDS:
+        cleaned += "_sym"
+    return cleaned
+
+
+class VerilogMonitor(NamedTuple):
+    """Generated source plus the maps a testbench needs to drive it."""
+
+    source: str
+    module_name: str
+    port_of_symbol: Dict[str, str]
+    scoreboard_regs: Dict[str, str]
+    state_bits: int
+
+
+def _state_bits(n_states: int) -> int:
+    bits = 1
+    while (1 << bits) < n_states:
+        bits += 1
+    return bits
+
+
+def _render_guard(expr: Expr, ports: Dict[str, str],
+                  scoreboard: Dict[str, str]) -> str:
+    if isinstance(expr, Const):
+        return "1'b1" if expr.value else "1'b0"
+    if isinstance(expr, (EventRef, PropRef)):
+        return ports[expr.name]
+    if isinstance(expr, ScoreboardCheck):
+        return f"({scoreboard[expr.event]} != 8'd0)"
+    if isinstance(expr, Not):
+        return f"(!{_render_guard(expr.operand, ports, scoreboard)})"
+    if isinstance(expr, And):
+        if not expr.args:
+            return "1'b1"
+        inner = " && ".join(
+            _render_guard(a, ports, scoreboard) for a in expr.args
+        )
+        return f"({inner})"
+    if isinstance(expr, Or):
+        if not expr.args:
+            return "1'b0"
+        inner = " || ".join(
+            _render_guard(a, ports, scoreboard) for a in expr.args
+        )
+        return f"({inner})"
+    raise CodegenError(f"cannot render guard {expr!r} to Verilog")
+
+
+def _scoreboard_events(monitor: Monitor) -> List[str]:
+    events = set()
+    for transition in monitor.transitions:
+        for action in transition.actions:
+            if isinstance(action, (AddEvt, DelEvt)):
+                events.update(action.events)
+        for atom in transition.guard.atoms():
+            if isinstance(atom, ScoreboardCheck):
+                events.add(atom.event)
+    return sorted(events)
+
+
+def _action_updates(transition: Transition,
+                    scoreboard: Dict[str, str]) -> List[str]:
+    deltas: Dict[str, int] = {}
+    for action in transition.actions:
+        if isinstance(action, AddEvt):
+            for event in action.events:
+                deltas[event] = deltas.get(event, 0) + 1
+        elif isinstance(action, DelEvt):
+            for event in action.events:
+                deltas[event] = deltas.get(event, 0) - 1
+    lines = []
+    for event in sorted(deltas):
+        delta = deltas[event]
+        if delta == 0:
+            continue
+        reg = scoreboard[event]
+        op = "+" if delta > 0 else "-"
+        lines.append(f"{reg} <= {reg} {op} 8'd{abs(delta)};")
+    return lines
+
+
+def monitor_to_verilog(monitor: Monitor,
+                       module_name: str = None) -> VerilogMonitor:
+    """Emit the monitor as a synthesizable Verilog module."""
+    name = sanitize_identifier(module_name or f"monitor_{monitor.name}")
+    symbols = sorted(monitor.alphabet)
+    ports = {}
+    used = set()
+    for symbol in symbols:
+        port = sanitize_identifier(symbol)
+        while port in used:
+            port += "_x"
+        used.add(port)
+        ports[symbol] = port
+    scoreboard_events = _scoreboard_events(monitor)
+    scoreboard = {}
+    for event in scoreboard_events:
+        reg = "sb_" + sanitize_identifier(event)
+        while reg in used:
+            reg += "_x"
+        used.add(reg)
+        scoreboard[event] = reg
+
+    bits = _state_bits(monitor.n_states)
+    lines: List[str] = []
+    lines.append(f"module {name} (")
+    lines.append("  input wire clk,")
+    lines.append("  input wire rst_n,")
+    for symbol in symbols:
+        lines.append(f"  input wire {ports[symbol]},")
+    lines.append("  output reg detect")
+    lines.append(");")
+    lines.append(f"  reg [{bits - 1}:0] state;")
+    for event in scoreboard_events:
+        lines.append(f"  reg [7:0] {scoreboard[event]};")
+    lines.append("")
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    if (!rst_n) begin")
+    lines.append(f"      state <= {bits}'d{monitor.initial};")
+    lines.append("      detect <= 1'b0;")
+    for event in scoreboard_events:
+        lines.append(f"      {scoreboard[event]} <= 8'd0;")
+    lines.append("    end else begin")
+    lines.append("      detect <= 1'b0;")
+    lines.append("      case (state)")
+    for state in monitor.states:
+        outgoing = monitor.transitions_from(state)
+        if not outgoing:
+            continue
+        lines.append(f"        {bits}'d{state}: begin")
+        keyword = "if"
+        for transition in outgoing:
+            guard = _render_guard(transition.guard, ports, scoreboard)
+            lines.append(f"          {keyword} ({guard}) begin")
+            lines.append(
+                f"            state <= {bits}'d{transition.target};"
+            )
+            if transition.target == monitor.final:
+                lines.append("            detect <= 1'b1;")
+            for update in _action_updates(transition, scoreboard):
+                lines.append(f"            {update}")
+            lines.append("          end")
+            keyword = "else if"
+        lines.append("        end")
+    lines.append(f"        default: state <= {bits}'d{monitor.initial};")
+    lines.append("      endcase")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return VerilogMonitor(
+        source="\n".join(lines) + "\n",
+        module_name=name,
+        port_of_symbol=dict(ports),
+        scoreboard_regs=dict(scoreboard),
+        state_bits=bits,
+    )

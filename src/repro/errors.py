@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ExprError(ReproError):
+    """Malformed Boolean expression or evaluation over a bad valuation."""
+
+
+class ExprParseError(ExprError):
+    """Syntax error while parsing a textual Boolean expression."""
+
+
+class ChartError(ReproError):
+    """Structurally invalid CESC chart."""
+
+
+class ChartParseError(ChartError):
+    """Syntax error while parsing the textual CESC DSL."""
+
+
+class ValidationError(ChartError):
+    """A chart failed a well-formedness check."""
+
+
+class SynthesisError(ReproError):
+    """Monitor synthesis could not proceed."""
+
+
+class MonitorError(ReproError):
+    """Malformed monitor automaton or bad monitor operation."""
+
+
+class ScoreboardError(MonitorError):
+    """Invalid scoreboard operation (e.g. deleting an absent event)."""
+
+
+class SimulationError(ReproError):
+    """Error inside the clocked simulation kernel."""
+
+
+class HdlError(ReproError):
+    """Error in the Verilog-subset front end or simulator."""
+
+
+class HdlParseError(HdlError):
+    """Syntax error in Verilog-subset source."""
+
+
+class HdlSimError(HdlError):
+    """Runtime error while simulating a Verilog-subset design."""
+
+
+class CodegenError(ReproError):
+    """Monitor could not be rendered to the requested target language."""
+
+
+class LtlError(ReproError):
+    """Malformed LTL formula or unsupported fragment."""

@@ -1,0 +1,140 @@
+"""Every figure of the paper as a ready-made artifact.
+
+One-stop access to the charts (and synthesized monitors) of Gadkari &
+Ramesh's figures, so downstream code and notebooks can write::
+
+    from repro.figures import fig6_chart, fig6_monitor
+    print(fig6_monitor().transitions)
+
+Figure index:
+
+* ``fig1`` — single-clocked read protocol (Master / S_CNT);
+* ``fig2`` — the multi-clocked read protocol (AsyncPar of M1/M2);
+* ``fig5`` — the guarded three-tick chart with causality arrow e1→e3;
+* ``fig6`` — OCP simple read (OCP spec p.44);
+* ``fig7`` — OCP pipelined burst-of-4 read (OCP spec p.49);
+* ``fig8`` — AMBA AHB CLI master/bus transaction (AHB CLI p.23).
+
+Figures 3 and 4 are not charts: Figure 3's semantic-mapping evidence is
+produced by :mod:`repro.analysis.equivalence`, Figure 4's flow by
+:mod:`repro.cli` / the testbench layer (see
+``benchmarks/bench_fig3_semantics_theorem.py`` and
+``bench_fig4_verification_flow.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.cesc.ast import SCESC
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import AsyncPar, Chart, ScescChart
+from repro.monitor.automaton import Monitor
+from repro.monitor.network import MonitorNetwork
+from repro.protocols.amba import ahb_transaction_chart
+from repro.protocols.ocp import ocp_burst_read_chart, ocp_simple_read_chart
+from repro.protocols.readproto import multiclock_read_chart, \
+    read_protocol_chart
+from repro.synthesis.multiclock import synthesize_network
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import tr
+
+__all__ = [
+    "fig1_chart", "fig1_monitor",
+    "fig2_chart", "fig2_network",
+    "fig5_chart", "fig5_monitor",
+    "fig6_chart", "fig6_monitor",
+    "fig7_chart", "fig7_monitor",
+    "fig8_chart", "fig8_monitor",
+    "all_figure_charts",
+]
+
+
+def fig1_chart() -> SCESC:
+    """Figure 1: typical read protocol, single clocked."""
+    return read_protocol_chart()
+
+
+def fig2_chart() -> AsyncPar:
+    """Figure 2: typical read protocol, multi-clocked (clk1/clk2)."""
+    return multiclock_read_chart()
+
+
+def fig5_chart() -> SCESC:
+    """Figure 5: ``p1:e1 ; e2 ; p3:e3`` with causality arrow e1 -> e3."""
+    return (
+        scesc("fig5").props("p1", "p3").instances("A", "B")
+        .tick(ev("e1", guard="p1", src="A", dst="B"))
+        .tick(ev("e2", src="B", dst="A"))
+        .tick(ev("e3", guard="p3", src="A", dst="B"))
+        .arrow("c1", cause="e1", effect="e3")
+        .build()
+    )
+
+
+def fig6_chart() -> SCESC:
+    """Figure 6: OCP simple read operation."""
+    return ocp_simple_read_chart()
+
+
+def fig7_chart() -> SCESC:
+    """Figure 7: OCP pipelined burst-of-4 read operation."""
+    return ocp_burst_read_chart()
+
+
+def fig8_chart() -> SCESC:
+    """Figure 8: AMBA AHB CLI master/bus transaction."""
+    return ahb_transaction_chart()
+
+
+def _monitor(chart: SCESC, symbolic: bool) -> Monitor:
+    monitor = tr(chart)
+    return symbolic_monitor(monitor) if symbolic else monitor
+
+
+def fig1_monitor(symbolic: bool = True) -> Monitor:
+    """The synthesized Figure 1 monitor (5 states)."""
+    return _monitor(fig1_chart(), symbolic)
+
+
+def fig2_network(symbolic: bool = False) -> MonitorNetwork:
+    """The Figure 2 local-monitor network (one monitor per domain)."""
+    return synthesize_network(
+        fig2_chart(), variant="symbolic" if symbolic else "tr"
+    )
+
+
+def fig5_monitor(symbolic: bool = True) -> Monitor:
+    """The Figure 5 monitor (4 states, Add/Chk/Del on e1)."""
+    return _monitor(fig5_chart(), symbolic)
+
+
+def fig6_monitor(symbolic: bool = True) -> Monitor:
+    """The Figure 6 monitor (3 states, scoreboard on MCmd_rd)."""
+    return _monitor(fig6_chart(), symbolic)
+
+
+def fig7_monitor(symbolic: bool = False) -> Monitor:
+    """The Figure 7 monitor (7 states, multiset scoreboard).
+
+    Defaults to the dense table: with nine alphabet symbols the
+    Quine–McCluskey pass over every edge group takes a few seconds.
+    """
+    return _monitor(fig7_chart(), symbolic)
+
+
+def fig8_monitor(symbolic: bool = True) -> Monitor:
+    """The Figure 8 monitor (4 states, Add_evt on events 1 and 6)."""
+    return _monitor(fig8_chart(), symbolic)
+
+
+def all_figure_charts() -> Dict[str, Chart]:
+    """Every figure chart, keyed ``"fig1" .. "fig8"`` (3/4 excluded)."""
+    return {
+        "fig1": ScescChart(fig1_chart()),
+        "fig2": fig2_chart(),
+        "fig5": ScescChart(fig5_chart()),
+        "fig6": ScescChart(fig6_chart()),
+        "fig7": ScescChart(fig7_chart()),
+        "fig8": ScescChart(fig8_chart()),
+    }

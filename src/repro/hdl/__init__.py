@@ -1,0 +1,49 @@
+"""Verilog-subset front end and cycle simulator.
+
+The co-simulation substrate: parses the synthesizable Verilog the
+codegen emits (module / port declarations / reg / wire / assign /
+``always @(posedge ...)`` with if-else, case, non-blocking assignments,
+sized literals and the usual operators) and simulates it cycle by
+cycle, so generated RTL monitors can be checked for bit-exact
+equivalence against the Python engine without an external simulator.
+"""
+
+from repro.hdl.ast import (
+    AlwaysBlock,
+    Assign,
+    BinaryOp,
+    CaseItem,
+    CaseStmt,
+    Concat,
+    Conditional,
+    Identifier,
+    IfStmt,
+    Module,
+    NetDecl,
+    NonBlockingAssign,
+    Number,
+    Port,
+    UnaryOp,
+)
+from repro.hdl.parser import parse_verilog
+from repro.hdl.sim import VerilogSim
+
+__all__ = [
+    "AlwaysBlock",
+    "Assign",
+    "BinaryOp",
+    "CaseItem",
+    "CaseStmt",
+    "Concat",
+    "Conditional",
+    "Identifier",
+    "IfStmt",
+    "Module",
+    "NetDecl",
+    "NonBlockingAssign",
+    "Number",
+    "Port",
+    "UnaryOp",
+    "VerilogSim",
+    "parse_verilog",
+]

@@ -1,0 +1,224 @@
+"""AST for the synthesizable Verilog subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Number",
+    "Identifier",
+    "UnaryOp",
+    "BinaryOp",
+    "Conditional",
+    "Concat",
+    "Port",
+    "NetDecl",
+    "Assign",
+    "NonBlockingAssign",
+    "BlockingAssign",
+    "IfStmt",
+    "CaseItem",
+    "CaseStmt",
+    "Block",
+    "AlwaysBlock",
+    "Module",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+class Number(Expr):
+    """A literal, optionally sized (``8'd255``, ``4'b1010``, ``42``)."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: Optional[int] = None):
+        self.value = value
+        self.width = width
+
+    def __repr__(self):
+        if self.width is not None:
+            return f"{self.width}'d{self.value}"
+        return str(self.value)
+
+
+class Identifier(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class UnaryOp(Expr):
+    """``!``, ``~``, ``-``, reduction ``|`` and ``&``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self):
+        return f"{self.op}({self.operand!r})"
+
+
+class BinaryOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    __slots__ = ("condition", "if_true", "if_false")
+
+    def __init__(self, condition: Expr, if_true: Expr, if_false: Expr):
+        self.condition = condition
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def __repr__(self):
+        return f"({self.condition!r} ? {self.if_true!r} : {self.if_false!r})"
+
+
+class Concat(Expr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[Expr]):
+        self.parts = parts
+
+    def __repr__(self):
+        return "{" + ", ".join(repr(p) for p in self.parts) + "}"
+
+
+class Statement:
+    """Base class for statements."""
+
+
+class BlockingAssign(Statement):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr):
+        self.target = target
+        self.value = value
+
+
+class NonBlockingAssign(Statement):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr):
+        self.target = target
+        self.value = value
+
+
+class IfStmt(Statement):
+    __slots__ = ("condition", "then_branch", "else_branch")
+
+    def __init__(self, condition: Expr, then_branch: Statement,
+                 else_branch: Optional[Statement] = None):
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+
+class CaseItem:
+    __slots__ = ("labels", "body")
+
+    def __init__(self, labels: Optional[List[Expr]], body: Statement):
+        #: ``None`` labels mark the ``default`` item.
+        self.labels = labels
+        self.body = body
+
+
+class CaseStmt(Statement):
+    __slots__ = ("subject", "items")
+
+    def __init__(self, subject: Expr, items: List[CaseItem]):
+        self.subject = subject
+        self.items = items
+
+
+class Block(Statement):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List[Statement]):
+        self.statements = statements
+
+
+class Port:
+    __slots__ = ("direction", "kind", "name", "width")
+
+    def __init__(self, direction: str, kind: str, name: str, width: int = 1):
+        self.direction = direction  # "input" | "output"
+        self.kind = kind            # "wire" | "reg"
+        self.name = name
+        self.width = width
+
+
+class NetDecl:
+    __slots__ = ("kind", "name", "width")
+
+    def __init__(self, kind: str, name: str, width: int = 1):
+        self.kind = kind  # "wire" | "reg"
+        self.name = name
+        self.width = width
+
+
+class Assign:
+    """Continuous assignment ``assign lhs = rhs;``."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr):
+        self.target = target
+        self.value = value
+
+
+class AlwaysBlock:
+    """``always @(posedge clk [or negedge rst]) stmt``."""
+
+    __slots__ = ("clock", "resets", "body")
+
+    def __init__(self, clock: str, resets: List[str], body: Statement):
+        self.clock = clock
+        self.resets = resets
+        self.body = body
+
+
+class Module:
+    __slots__ = ("name", "ports", "nets", "assigns", "always_blocks",
+                 "localparams")
+
+    def __init__(self, name: str, ports: List[Port], nets: List[NetDecl],
+                 assigns: List[Assign], always_blocks: List[AlwaysBlock],
+                 localparams: dict):
+        self.name = name
+        self.ports = ports
+        self.nets = nets
+        self.assigns = assigns
+        self.always_blocks = always_blocks
+        self.localparams = localparams
+
+    def port(self, name: str) -> Optional[Port]:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def inputs(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "input"]
+
+    def outputs(self) -> List[Port]:
+        return [p for p in self.ports if p.direction == "output"]

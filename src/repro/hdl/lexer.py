@@ -1,0 +1,86 @@
+"""Tokenizer for the Verilog subset."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.errors import HdlParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "begin", "end", "if", "else", "case", "endcase",
+    "default", "posedge", "negedge", "or", "localparam", "parameter",
+    "integer",
+})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<sized>\d+\s*'\s*[bodhBODH]\s*[0-9a-fA-FxzXZ_]+)
+  | (?P<number>\d[\d_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><=|==|!=|<<|>>|&&|\|\||<|>|\?|:|~|!|&|\||\^|\+|-|\*|/|%|=|
+        \(|\)|\[|\]|\{|\}|,|;|@|\#)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Token(NamedTuple):
+    kind: str  # "keyword" | "ident" | "number" | "sized" | "op" | "end"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise HdlParseError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = match.group()
+        group = match.lastgroup
+        if group in ("ws", "line_comment", "block_comment"):
+            line += text.count("\n")
+        elif group == "ident":
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        elif group == "sized":
+            tokens.append(Token("sized", re.sub(r"\s+", "", text), line))
+        elif group == "number":
+            tokens.append(Token("number", text, line))
+        else:
+            tokens.append(Token("op", text, line))
+        pos = match.end()
+    tokens.append(Token("end", "", line))
+    return tokens
+
+
+def parse_sized_literal(text: str) -> tuple:
+    """Decode ``8'hFF`` -> (value, width)."""
+    match = re.match(r"(\d+)'([bodhBODH])([0-9a-fA-F_xzXZ]+)$", text)
+    if match is None:
+        raise HdlParseError(f"malformed sized literal {text!r}")
+    width = int(match.group(1))
+    base_char = match.group(2).lower()
+    digits = match.group(3).replace("_", "")
+    if any(c in "xzXZ" for c in digits):
+        raise HdlParseError(
+            f"4-state values not supported in literal {text!r}"
+        )
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    value = int(digits, base)
+    if value >= (1 << width):
+        raise HdlParseError(
+            f"literal {text!r} does not fit in {width} bits"
+        )
+    return value, width

@@ -1,0 +1,340 @@
+"""Recursive-descent parser for the Verilog subset.
+
+Supported grammar (enough for the codegen output plus hand-written
+test designs)::
+
+    module NAME ( port_decl {, port_decl} ) ;
+      { net_decl | localparam | assign | always } endmodule
+    port_decl := (input|output) [wire|reg] [range] NAME
+    net_decl  := (wire|reg) [range] NAME {, NAME} ;
+    localparam:= localparam NAME = expr ;
+    assign    := assign NAME = expr ;
+    always    := always @ ( posedge NAME { or (posedge|negedge) NAME } ) stmt
+    stmt      := begin {stmt} end
+               | if ( expr ) stmt [else stmt]
+               | case ( expr ) {case_item} endcase
+               | NAME <= expr ;   (non-blocking)
+               | NAME = expr ;    (blocking)
+    case_item := expr {, expr} : stmt | default [:] stmt
+
+Expression precedence (low to high): ``?:``, ``||``, ``&&``, ``|``,
+``^``, ``&``, equality, relational, shift, additive, multiplicative,
+unary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import HdlParseError
+from repro.hdl.ast import (
+    AlwaysBlock,
+    Assign,
+    BinaryOp,
+    Block,
+    BlockingAssign,
+    CaseItem,
+    CaseStmt,
+    Concat,
+    Conditional,
+    Expr,
+    Identifier,
+    IfStmt,
+    Module,
+    NetDecl,
+    NonBlockingAssign,
+    Number,
+    Port,
+    Statement,
+    UnaryOp,
+)
+from repro.hdl.lexer import Token, parse_sized_literal, tokenize
+
+__all__ = ["parse_verilog"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- plumbing ----------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> HdlParseError:
+        token = self._peek()
+        got = token.text or "<eof>"
+        return HdlParseError(f"line {token.line}: {message} (got {got!r})")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise self._error(f"expected {text or kind!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- module --------------------------------------------------------------
+    def parse_module(self) -> Module:
+        self._expect("keyword", "module")
+        name = self._expect("ident").text
+        ports: List[Port] = []
+        self._expect("op", "(")
+        if not self._accept("op", ")"):
+            ports.append(self._port_decl())
+            while self._accept("op", ","):
+                ports.append(self._port_decl())
+            self._expect("op", ")")
+        self._expect("op", ";")
+
+        nets: List[NetDecl] = []
+        assigns: List[Assign] = []
+        always_blocks: List[AlwaysBlock] = []
+        localparams: Dict[str, int] = {}
+        while not self._accept("keyword", "endmodule"):
+            token = self._peek()
+            if token.kind != "keyword":
+                raise self._error("expected a module item")
+            if token.text in ("wire", "reg"):
+                nets.extend(self._net_decl())
+            elif token.text in ("input", "output"):
+                # Non-ANSI style port redeclaration in the body.
+                extra = self._port_decl()
+                self._expect("op", ";")
+                ports.append(extra)
+            elif token.text == "assign":
+                assigns.append(self._assign())
+            elif token.text == "always":
+                always_blocks.append(self._always())
+            elif token.text in ("localparam", "parameter"):
+                self._advance()
+                pname = self._expect("ident").text
+                self._expect("op", "=")
+                value = self._expr()
+                self._expect("op", ";")
+                if not isinstance(value, Number):
+                    raise self._error("parameter value must be a literal")
+                localparams[pname] = value.value
+            else:
+                raise self._error(f"unsupported module item {token.text!r}")
+        return Module(name, ports, nets, assigns, always_blocks, localparams)
+
+    def _range_width(self) -> int:
+        """``[msb:lsb]`` -> bit width (requires literal bounds)."""
+        self._expect("op", "[")
+        msb = self._literal_int()
+        self._expect("op", ":")
+        lsb = self._literal_int()
+        self._expect("op", "]")
+        if msb < lsb:
+            raise self._error("descending ranges only ([msb:lsb])")
+        return msb - lsb + 1
+
+    def _literal_int(self) -> int:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return int(token.text.replace("_", ""))
+        if token.kind == "sized":
+            self._advance()
+            value, _ = parse_sized_literal(token.text)
+            return value
+        raise self._error("expected a literal")
+
+    def _port_decl(self) -> Port:
+        direction = self._expect("keyword").text
+        if direction not in ("input", "output"):
+            raise self._error("expected 'input' or 'output'")
+        kind = "wire"
+        if self._peek().kind == "keyword" and self._peek().text in ("wire", "reg"):
+            kind = self._advance().text
+        width = 1
+        if self._peek().kind == "op" and self._peek().text == "[":
+            width = self._range_width()
+        name = self._expect("ident").text
+        return Port(direction, kind, name, width)
+
+    def _net_decl(self) -> List[NetDecl]:
+        kind = self._advance().text
+        width = 1
+        if self._peek().kind == "op" and self._peek().text == "[":
+            width = self._range_width()
+        decls = [NetDecl(kind, self._expect("ident").text, width)]
+        while self._accept("op", ","):
+            decls.append(NetDecl(kind, self._expect("ident").text, width))
+        self._expect("op", ";")
+        return decls
+
+    def _assign(self) -> Assign:
+        self._expect("keyword", "assign")
+        target = self._expect("ident").text
+        self._expect("op", "=")
+        value = self._expr()
+        self._expect("op", ";")
+        return Assign(target, value)
+
+    def _always(self) -> AlwaysBlock:
+        self._expect("keyword", "always")
+        self._expect("op", "@")
+        self._expect("op", "(")
+        self._expect("keyword", "posedge")
+        clock = self._expect("ident").text
+        resets: List[str] = []
+        while self._accept("keyword", "or"):
+            edge = self._expect("keyword").text
+            if edge not in ("posedge", "negedge"):
+                raise self._error("expected posedge/negedge after 'or'")
+            resets.append(self._expect("ident").text)
+        self._expect("op", ")")
+        body = self._statement()
+        return AlwaysBlock(clock, resets, body)
+
+    # -- statements -------------------------------------------------------------
+    def _statement(self) -> Statement:
+        token = self._peek()
+        if token.kind == "keyword" and token.text == "begin":
+            self._advance()
+            statements: List[Statement] = []
+            while not self._accept("keyword", "end"):
+                statements.append(self._statement())
+            return Block(statements)
+        if token.kind == "keyword" and token.text == "if":
+            self._advance()
+            self._expect("op", "(")
+            condition = self._expr()
+            self._expect("op", ")")
+            then_branch = self._statement()
+            else_branch = None
+            if self._accept("keyword", "else"):
+                else_branch = self._statement()
+            return IfStmt(condition, then_branch, else_branch)
+        if token.kind == "keyword" and token.text == "case":
+            return self._case()
+        if token.kind == "ident":
+            target = self._advance().text
+            op = self._expect("op")
+            if op.text == "<=":
+                value = self._expr()
+                self._expect("op", ";")
+                return NonBlockingAssign(target, value)
+            if op.text == "=":
+                value = self._expr()
+                self._expect("op", ";")
+                return BlockingAssign(target, value)
+            raise self._error("expected '<=' or '=' in assignment")
+        raise self._error("expected a statement")
+
+    def _case(self) -> CaseStmt:
+        self._expect("keyword", "case")
+        self._expect("op", "(")
+        subject = self._expr()
+        self._expect("op", ")")
+        items: List[CaseItem] = []
+        while not self._accept("keyword", "endcase"):
+            if self._accept("keyword", "default"):
+                self._accept("op", ":")
+                items.append(CaseItem(None, self._statement()))
+                continue
+            labels = [self._expr()]
+            while self._accept("op", ","):
+                labels.append(self._expr())
+            self._expect("op", ":")
+            items.append(CaseItem(labels, self._statement()))
+        return CaseStmt(subject, items)
+
+    # -- expressions ----------------------------------------------------------
+    def _expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        condition = self._logical_or()
+        if self._accept("op", "?"):
+            if_true = self._ternary()
+            self._expect("op", ":")
+            if_false = self._ternary()
+            return Conditional(condition, if_true, if_false)
+        return condition
+
+    def _binary_level(self, operators, next_level):
+        left = next_level()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in operators:
+                self._advance()
+                left = BinaryOp(token.text, left, next_level())
+            else:
+                return left
+
+    def _logical_or(self) -> Expr:
+        return self._binary_level(("||",), self._logical_and)
+
+    def _logical_and(self) -> Expr:
+        return self._binary_level(("&&",), self._bit_or)
+
+    def _bit_or(self) -> Expr:
+        return self._binary_level(("|",), self._bit_xor)
+
+    def _bit_xor(self) -> Expr:
+        return self._binary_level(("^",), self._bit_and)
+
+    def _bit_and(self) -> Expr:
+        return self._binary_level(("&",), self._equality)
+
+    def _equality(self) -> Expr:
+        return self._binary_level(("==", "!="), self._relational)
+
+    def _relational(self) -> Expr:
+        return self._binary_level(("<", ">", "<=", ">="), self._shift)
+
+    def _shift(self) -> Expr:
+        return self._binary_level(("<<", ">>"), self._additive)
+
+    def _additive(self) -> Expr:
+        return self._binary_level(("+", "-"), self._multiplicative)
+
+    def _multiplicative(self) -> Expr:
+        return self._binary_level(("*", "/", "%"), self._unary)
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("!", "~", "-", "&", "|", "^"):
+            self._advance()
+            return UnaryOp(token.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._advance()
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "op" and token.text == "{":
+            parts = [self._expr()]
+            while self._accept("op", ","):
+                parts.append(self._expr())
+            self._expect("op", "}")
+            return Concat(parts)
+        if token.kind == "number":
+            return Number(int(token.text.replace("_", "")))
+        if token.kind == "sized":
+            value, width = parse_sized_literal(token.text)
+            return Number(value, width)
+        if token.kind == "ident":
+            return Identifier(token.text)
+        raise self._error("expected an expression")
+
+
+def parse_verilog(source: str) -> Module:
+    """Parse one module of Verilog-subset source."""
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,279 @@
+"""Cycle simulator for the Verilog subset.
+
+Two-state (0/1), cycle-based semantics:
+
+* :meth:`VerilogSim.step` applies input values, settles continuous
+  assignments, executes every ``always @(posedge clk)`` block with
+  proper non-blocking semantics (all right-hand sides read pre-edge
+  values; updates commit together), then settles assignments again and
+  returns the post-edge visible values.
+* Asynchronous resets in sensitivity lists (``or negedge rst_n``) are
+  honoured *synchronously*: the reset branch executes at the next step
+  while the reset input is active — sufficient for the generated
+  monitors, and noted in DESIGN.md as a substitution.
+* Values are Python ints masked to each net's declared width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import HdlSimError
+from repro.hdl.ast import (
+    AlwaysBlock,
+    Assign,
+    BinaryOp,
+    Block,
+    BlockingAssign,
+    CaseItem,
+    CaseStmt,
+    Concat,
+    Conditional,
+    Expr,
+    Identifier,
+    IfStmt,
+    Module,
+    NonBlockingAssign,
+    Number,
+    Statement,
+    UnaryOp,
+)
+from repro.hdl.parser import parse_verilog
+
+__all__ = ["VerilogSim"]
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+class VerilogSim:
+    """Simulates one module instance of the Verilog subset."""
+
+    def __init__(self, source_or_module, clock: str = "clk"):
+        if isinstance(source_or_module, Module):
+            self._module = source_or_module
+        else:
+            self._module = parse_verilog(source_or_module)
+        self._clock = clock
+        self._widths: Dict[str, int] = {}
+        self._values: Dict[str, int] = {}
+        for port in self._module.ports:
+            self._declare(port.name, port.width)
+        for net in self._module.nets:
+            self._declare(net.name, net.width)
+        for name, value in self._module.localparams.items():
+            self._declare(name, max(1, value.bit_length()))
+            self._values[name] = value
+        self._inputs = {p.name for p in self._module.inputs()}
+        self._settle_assigns()
+
+    def _declare(self, name: str, width: int) -> None:
+        existing = self._widths.get(name)
+        if existing is not None and existing != width:
+            raise HdlSimError(
+                f"net {name!r} declared with conflicting widths "
+                f"{existing} and {width}"
+            )
+        self._widths[name] = width
+        self._values.setdefault(name, 0)
+
+    # -- public API ------------------------------------------------------
+    @property
+    def module(self) -> Module:
+        return self._module
+
+    def value(self, name: str) -> int:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise HdlSimError(f"no net named {name!r}")
+
+    def poke(self, name: str, value: int) -> None:
+        """Set an input (takes effect at the next step/settle)."""
+        if name not in self._inputs:
+            raise HdlSimError(f"{name!r} is not an input port")
+        self._values[name] = _mask(int(value), self._widths[name])
+
+    def settle(self) -> None:
+        """Re-evaluate continuous assignments to fixpoint."""
+        self._settle_assigns()
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """One clock edge: drive inputs, execute always blocks, commit.
+
+        Returns the post-edge values of all output ports.
+        """
+        for name, value in (inputs or {}).items():
+            self.poke(name, value)
+        self._settle_assigns()
+        staged: Dict[str, int] = {}
+        for block in self._module.always_blocks:
+            if block.clock != self._clock:
+                continue
+            self._exec_statement(block.body, staged)
+        for name, value in staged.items():
+            width = self._widths.get(name)
+            if width is None:
+                raise HdlSimError(f"assignment to undeclared net {name!r}")
+            self._values[name] = _mask(value, width)
+        self._settle_assigns()
+        return self.outputs()
+
+    def run(self, vectors: Iterable[Dict[str, int]]) -> List[Dict[str, int]]:
+        """Apply a sequence of input vectors; collect output snapshots."""
+        return [self.step(vector) for vector in vectors]
+
+    def outputs(self) -> Dict[str, int]:
+        return {p.name: self._values[p.name] for p in self._module.outputs()}
+
+    # -- statements -------------------------------------------------------
+    def _exec_statement(self, statement: Statement,
+                        staged: Dict[str, int]) -> None:
+        if isinstance(statement, Block):
+            for inner in statement.statements:
+                self._exec_statement(inner, staged)
+            return
+        if isinstance(statement, NonBlockingAssign):
+            staged[statement.target] = self._eval(statement.value, staged=None)
+            return
+        if isinstance(statement, BlockingAssign):
+            width = self._widths.get(statement.target)
+            if width is None:
+                raise HdlSimError(
+                    f"assignment to undeclared net {statement.target!r}"
+                )
+            self._values[statement.target] = _mask(
+                self._eval(statement.value, staged=None), width
+            )
+            return
+        if isinstance(statement, IfStmt):
+            if self._eval(statement.condition, staged=None):
+                self._exec_statement(statement.then_branch, staged)
+            elif statement.else_branch is not None:
+                self._exec_statement(statement.else_branch, staged)
+            return
+        if isinstance(statement, CaseStmt):
+            subject = self._eval(statement.subject, staged=None)
+            default: Optional[CaseItem] = None
+            for item in statement.items:
+                if item.labels is None:
+                    default = item
+                    continue
+                if any(self._eval(label, staged=None) == subject
+                       for label in item.labels):
+                    self._exec_statement(item.body, staged)
+                    return
+            if default is not None:
+                self._exec_statement(default.body, staged)
+            return
+        raise HdlSimError(f"unsupported statement {statement!r}")
+
+    # -- expressions -------------------------------------------------------
+    def _eval(self, expr: Expr, staged) -> int:
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, Identifier):
+            if expr.name not in self._values:
+                raise HdlSimError(f"undeclared identifier {expr.name!r}")
+            return self._values[expr.name]
+        if isinstance(expr, UnaryOp):
+            value = self._eval(expr.operand, staged)
+            if expr.op == "!":
+                return 0 if value else 1
+            if expr.op == "~":
+                width = self._expr_width(expr.operand)
+                return _mask(~value, width)
+            if expr.op == "-":
+                width = self._expr_width(expr.operand)
+                return _mask(-value, width)
+            if expr.op == "&":
+                width = self._expr_width(expr.operand)
+                return 1 if value == (1 << width) - 1 else 0
+            if expr.op == "|":
+                return 1 if value else 0
+            if expr.op == "^":
+                return bin(value).count("1") & 1
+            raise HdlSimError(f"unsupported unary operator {expr.op!r}")
+        if isinstance(expr, BinaryOp):
+            left = self._eval(expr.left, staged)
+            right = self._eval(expr.right, staged)
+            op = expr.op
+            if op == "&&":
+                return 1 if (left and right) else 0
+            if op == "||":
+                return 1 if (left or right) else 0
+            if op == "==":
+                return 1 if left == right else 0
+            if op == "!=":
+                return 1 if left != right else 0
+            if op == "<":
+                return 1 if left < right else 0
+            if op == ">":
+                return 1 if left > right else 0
+            if op == "<=":
+                return 1 if left <= right else 0
+            if op == ">=":
+                return 1 if left >= right else 0
+            if op == "&":
+                return left & right
+            if op == "|":
+                return left | right
+            if op == "^":
+                return left ^ right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise HdlSimError("division by zero")
+                return left // right
+            if op == "%":
+                if right == 0:
+                    raise HdlSimError("modulo by zero")
+                return left % right
+            if op == "<<":
+                return left << right
+            if op == ">>":
+                return left >> right
+            raise HdlSimError(f"unsupported operator {op!r}")
+        if isinstance(expr, Conditional):
+            if self._eval(expr.condition, staged):
+                return self._eval(expr.if_true, staged)
+            return self._eval(expr.if_false, staged)
+        if isinstance(expr, Concat):
+            value = 0
+            for part in expr.parts:
+                width = self._expr_width(part)
+                value = (value << width) | _mask(
+                    self._eval(part, staged), width
+                )
+            return value
+        raise HdlSimError(f"cannot evaluate {expr!r}")
+
+    def _expr_width(self, expr: Expr) -> int:
+        if isinstance(expr, Identifier):
+            return self._widths.get(expr.name, 32)
+        if isinstance(expr, Number):
+            return expr.width if expr.width is not None else 32
+        return 32
+
+    def _settle_assigns(self) -> None:
+        for _ in range(len(self._module.assigns) + 2):
+            changed = False
+            for assign in self._module.assigns:
+                width = self._widths.get(assign.target)
+                if width is None:
+                    raise HdlSimError(
+                        f"assign to undeclared net {assign.target!r}"
+                    )
+                value = _mask(self._eval(assign.value, staged=None), width)
+                if self._values[assign.target] != value:
+                    self._values[assign.target] = value
+                    changed = True
+            if not changed:
+                return
+        raise HdlSimError("continuous assignments did not converge")

@@ -1,0 +1,210 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A compact canonical representation for guard expressions, used by the
+equivalence checker (`repro.analysis.equivalence`) and available as an
+alternative to SAT for tautology/equivalence queries.  The manager
+interns nodes (unique table) and memoises the if-then-else operator
+(computed table), so equal functions share one node and equivalence is
+a pointer comparison.
+
+Variables are identified by the same ``(kind, name)`` keys the SAT
+layer uses; ordering is fixed at manager construction (or grown on
+first use, appended at the bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+
+__all__ = ["BddManager", "BddNode"]
+
+VarKey = Hashable
+
+
+class BddNode:
+    """A node in the shared BDD forest (terminal or decision node)."""
+
+    __slots__ = ("var", "low", "high", "_id")
+
+    def __init__(self, var: Optional[int], low, high, node_id: int):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        object.__setattr__(self, "_id", node_id)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BddNode is immutable")
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.var is None
+
+    def __repr__(self):
+        if self.is_terminal:
+            return "BDD(1)" if self.high else "BDD(0)"
+        return f"BDD(var={self.var}, id={self._id})"
+
+
+class BddManager:
+    """Owns the unique/computed tables and the variable order."""
+
+    def __init__(self, order: Optional[List[VarKey]] = None):
+        self._order: List[VarKey] = []
+        self._level: Dict[VarKey, int] = {}
+        self._unique: Dict[Tuple[int, int, int], BddNode] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], BddNode] = {}
+        self._next_id = 2
+        self.zero = BddNode(None, None, False, 0)
+        self.one = BddNode(None, None, True, 1)
+        for key in order or []:
+            self.declare(key)
+
+    # -- variables --------------------------------------------------------
+    def declare(self, key: VarKey) -> int:
+        """Register ``key`` at the next level; return its level index."""
+        if key not in self._level:
+            self._level[key] = len(self._order)
+            self._order.append(key)
+        return self._level[key]
+
+    def var(self, key: VarKey) -> BddNode:
+        """BDD for the single variable ``key``."""
+        level = self.declare(key)
+        return self._node(level, self.zero, self.one)
+
+    # -- construction -------------------------------------------------------
+    def _node(self, level: int, low: BddNode, high: BddNode) -> BddNode:
+        if low is high:
+            return low
+        signature = (level, low._id, high._id)
+        node = self._unique.get(signature)
+        if node is None:
+            node = BddNode(level, low, high, self._next_id)
+            self._next_id += 1
+            self._unique[signature] = node
+        return node
+
+    def ite(self, cond: BddNode, then: BddNode, other: BddNode) -> BddNode:
+        """If-then-else — the universal BDD combinator."""
+        if cond is self.one:
+            return then
+        if cond is self.zero:
+            return other
+        if then is other:
+            return then
+        if then is self.one and other is self.zero:
+            return cond
+        signature = (cond._id, then._id, other._id)
+        cached = self._ite_cache.get(signature)
+        if cached is not None:
+            return cached
+        top = min(
+            node.var
+            for node in (cond, then, other)
+            if not node.is_terminal
+        )
+
+        def cofactor(node: BddNode, value: bool) -> BddNode:
+            if node.is_terminal or node.var != top:
+                return node
+            return node.high if value else node.low
+
+        high = self.ite(cofactor(cond, True), cofactor(then, True), cofactor(other, True))
+        low = self.ite(cofactor(cond, False), cofactor(then, False), cofactor(other, False))
+        result = self._node(top, low, high)
+        self._ite_cache[signature] = result
+        return result
+
+    def apply_and(self, left: BddNode, right: BddNode) -> BddNode:
+        return self.ite(left, right, self.zero)
+
+    def apply_or(self, left: BddNode, right: BddNode) -> BddNode:
+        return self.ite(left, self.one, right)
+
+    def apply_not(self, node: BddNode) -> BddNode:
+        return self.ite(node, self.zero, self.one)
+
+    # -- expression bridge ---------------------------------------------------
+    def from_expr(self, expr: Expr) -> BddNode:
+        """Build the BDD of an :class:`~repro.logic.expr.Expr`.
+
+        ``Chk_evt(e)`` atoms become ordinary variables keyed
+        ``("chk", e)`` — the same abstraction as the SAT layer.
+        """
+        if isinstance(expr, Const):
+            return self.one if expr.value else self.zero
+        if isinstance(expr, EventRef):
+            return self.var(("e", expr.name))
+        if isinstance(expr, PropRef):
+            return self.var(("p", expr.name))
+        if isinstance(expr, ScoreboardCheck):
+            return self.var(("chk", expr.event))
+        if isinstance(expr, Not):
+            return self.apply_not(self.from_expr(expr.operand))
+        if isinstance(expr, And):
+            node = self.one
+            for arg in expr.args:
+                node = self.apply_and(node, self.from_expr(arg))
+            return node
+        if isinstance(expr, Or):
+            node = self.zero
+            for arg in expr.args:
+                node = self.apply_or(node, self.from_expr(arg))
+            return node
+        raise TypeError(f"cannot build BDD for {expr!r}")
+
+    # -- queries -------------------------------------------------------------
+    def equivalent(self, left: Expr, right: Expr) -> bool:
+        """True iff the two expressions denote the same function."""
+        return self.from_expr(left) is self.from_expr(right)
+
+    def tautology(self, expr: Expr) -> bool:
+        return self.from_expr(expr) is self.one
+
+    def satisfiable(self, expr: Expr) -> bool:
+        return self.from_expr(expr) is not self.zero
+
+    def count_nodes(self, node: BddNode) -> int:
+        """Number of distinct decision nodes reachable from ``node``."""
+        seen = set()
+
+        def walk(current: BddNode) -> None:
+            if current.is_terminal or current._id in seen:
+                return
+            seen.add(current._id)
+            walk(current.low)
+            walk(current.high)
+
+        walk(node)
+        return len(seen)
+
+    def sat_count(self, node: BddNode, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        total_vars = num_vars if num_vars is not None else len(self._order)
+        cache: Dict[int, int] = {}
+
+        def walk(current: BddNode, level: int) -> int:
+            if current.is_terminal:
+                return (1 << (total_vars - level)) if current.high else 0
+            key = (current._id, level)
+            if key in cache:
+                return cache[key]
+            skip = current.var - level
+            low = walk(current.low, current.var + 1)
+            high = walk(current.high, current.var + 1)
+            result = (low + high) << skip
+            cache[key] = result
+            return result
+
+        return walk(node, 0)

@@ -1,0 +1,172 @@
+"""Recursive-descent parser for textual Boolean guard expressions.
+
+Grammar (precedence low to high)::
+
+    expr    := term ('|' term)*            # also '||', 'or'
+    term    := factor ('&' factor)*        # also '&&', 'and'
+    factor  := '!' factor | 'not' factor | primary
+    primary := 'true' | 'false'
+             | 'Chk_evt' '(' NAME ')'
+             | NAME                         # event or proposition
+             | '(' expr ')'
+
+Whether a bare ``NAME`` becomes an :class:`~repro.logic.expr.EventRef`
+or a :class:`~repro.logic.expr.PropRef` is decided by the ``props``
+argument: names listed there parse as propositions, everything else as
+events.  This matches the CESC convention where guards are written
+``p : e`` — the chart knows its proposition symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, NamedTuple, Optional
+
+from repro.errors import ExprParseError
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    And,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+
+__all__ = ["parse_expr"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op>\|\||&&|[|&!()])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORD_TRUE = frozenset({"true", "TRUE", "True"})
+_KEYWORD_FALSE = frozenset({"false", "FALSE", "False"})
+
+
+class _Token(NamedTuple):
+    kind: str  # 'name' | 'op' | 'end'
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ExprParseError(
+                f"unexpected character {source[pos]!r} at position {pos}"
+            )
+        if match.lastgroup != "ws":
+            kind = "name" if match.lastgroup == "name" else "op"
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("end", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], props: FrozenSet[str]):
+        self._tokens = tokens
+        self._index = 0
+        self._props = props
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_op(self, text: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.text != text:
+            raise ExprParseError(
+                f"expected {text!r} at position {token.pos}, got {token.text!r}"
+            )
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        token = self._peek()
+        if token.kind != "end":
+            raise ExprParseError(
+                f"trailing input at position {token.pos}: {token.text!r}"
+            )
+        return expr
+
+    def _expr(self) -> Expr:
+        parts = [self._term()]
+        while self._matches_op("|", "||") or self._matches_name("or"):
+            self._advance()
+            parts.append(self._term())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _term(self) -> Expr:
+        parts = [self._factor()]
+        while self._matches_op("&", "&&") or self._matches_name("and"):
+            self._advance()
+            parts.append(self._factor())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _factor(self) -> Expr:
+        if self._matches_op("!") or self._matches_name("not"):
+            self._advance()
+            return Not(self._factor())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._advance()
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        if token.kind == "name":
+            if token.text in _KEYWORD_TRUE:
+                return TRUE
+            if token.text in _KEYWORD_FALSE:
+                return FALSE
+            if token.text == "Chk_evt":
+                self._expect_op("(")
+                name_token = self._advance()
+                if name_token.kind != "name":
+                    raise ExprParseError(
+                        f"Chk_evt needs an event name at position {name_token.pos}"
+                    )
+                self._expect_op(")")
+                return ScoreboardCheck(name_token.text)
+            if token.text in self._props:
+                return PropRef(token.text)
+            return EventRef(token.text)
+        raise ExprParseError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+    def _matches_op(self, *texts: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text in texts
+
+    def _matches_name(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "name" and token.text == text
+
+
+def parse_expr(source: str, props: Optional[Iterable[str]] = None) -> Expr:
+    """Parse ``source`` into an :class:`~repro.logic.expr.Expr`.
+
+    ``props`` lists the symbol names to treat as propositions; all
+    other bare names parse as events.
+
+    >>> parse_expr("req & !ack | Chk_evt(req)")
+    req & !ack | Chk_evt(req)
+    """
+    prop_set = frozenset(props or ())
+    return _Parser(_tokenize(source), prop_set).parse()

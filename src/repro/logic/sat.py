@@ -1,0 +1,238 @@
+"""Satisfiability utilities: Tseitin CNF encoding and a DPLL solver.
+
+The synthesis algorithm's ``suffix_of`` compatibility check asks, for
+two pattern elements ``P[i]`` and ``P[j]``, whether a single trace
+element could match both — i.e. whether ``P[i] & P[j]`` is satisfiable.
+The equivalence checker and guard-determinism validator additionally
+need entailment and tautology queries.  All of these reduce to SAT over
+a small variable set, solved here by a straightforward DPLL with unit
+propagation and pure-literal elimination.
+
+Atoms are mapped to solver variables as follows: event and proposition
+references by their (kind, name) pair, and ``Chk_evt(e)`` atoms by a
+distinct ``("chk", e)`` variable — i.e. the scoreboard state is treated
+as a free Boolean input, which is the correct abstraction for guard
+compatibility (any scoreboard content is reachable in some run).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+
+__all__ = [
+    "is_satisfiable",
+    "jointly_satisfiable",
+    "is_tautology",
+    "entails",
+    "are_equivalent",
+    "satisfying_assignment",
+    "to_cnf",
+    "dpll",
+]
+
+_VarKey = Tuple[str, str]
+_Literal = int  # +v / -v, DIMACS style
+_Clause = FrozenSet[_Literal]
+
+
+def _atom_key(atom: Expr) -> _VarKey:
+    if isinstance(atom, EventRef):
+        return ("e", atom.name)
+    if isinstance(atom, PropRef):
+        return ("p", atom.name)
+    if isinstance(atom, ScoreboardCheck):
+        return ("chk", atom.event)
+    raise TypeError(f"not a variable atom: {atom!r}")
+
+
+class _CnfBuilder:
+    """Tseitin transformation: each sub-expression gets a defining var."""
+
+    def __init__(self):
+        self._next_var = 1
+        self._atom_vars: Dict[_VarKey, int] = {}
+        self._cache: Dict[Expr, int] = {}
+        self.clauses: List[_Clause] = []
+
+    def fresh(self) -> int:
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    def atom_var(self, key: _VarKey) -> int:
+        if key not in self._atom_vars:
+            self._atom_vars[key] = self.fresh()
+        return self._atom_vars[key]
+
+    def add(self, *literals: int) -> None:
+        self.clauses.append(frozenset(literals))
+
+    def encode(self, expr: Expr) -> int:
+        """Return a literal equisatisfiable with ``expr``."""
+        if expr in self._cache:
+            return self._cache[expr]
+        literal = self._encode(expr)
+        self._cache[expr] = literal
+        return literal
+
+    def _encode(self, expr: Expr) -> int:
+        if isinstance(expr, Const):
+            var = self.fresh()
+            self.add(var if expr.value else -var)
+            return var
+        if isinstance(expr, (EventRef, PropRef, ScoreboardCheck)):
+            return self.atom_var(_atom_key(expr))
+        if isinstance(expr, Not):
+            return -self.encode(expr.operand)
+        if isinstance(expr, And):
+            if not expr.args:
+                return self._encode(Const(True))
+            var = self.fresh()
+            child_lits = [self.encode(a) for a in expr.args]
+            for lit in child_lits:
+                self.add(-var, lit)  # var -> each child
+            self.add(var, *(-lit for lit in child_lits))  # children -> var
+            return var
+        if isinstance(expr, Or):
+            if not expr.args:
+                return self._encode(Const(False))
+            var = self.fresh()
+            child_lits = [self.encode(a) for a in expr.args]
+            for lit in child_lits:
+                self.add(var, -lit)  # child -> var
+            self.add(-var, *child_lits)  # var -> some child
+            return var
+        raise TypeError(f"cannot encode expression: {expr!r}")
+
+
+def to_cnf(exprs: Iterable[Expr]) -> Tuple[List[_Clause], Dict[_VarKey, int]]:
+    """Tseitin-encode the conjunction of ``exprs``.
+
+    Returns the clause list plus the atom→variable map so that callers
+    can decode satisfying assignments.
+    """
+    builder = _CnfBuilder()
+    for expr in exprs:
+        builder.add(builder.encode(expr))
+    return builder.clauses, dict(builder._atom_vars)
+
+
+def dpll(clauses: List[_Clause]) -> Optional[Dict[int, bool]]:
+    """Solve CNF ``clauses``; return a model or ``None`` if UNSAT.
+
+    Classic recursive DPLL with unit propagation and a most-frequent
+    branching heuristic.  Clause sets in this library are tiny (guards
+    over a handful of symbols), so no watched literals are needed.
+    """
+    assignment: Dict[int, bool] = {}
+
+    def propagate(clause_set: List[_Clause]) -> Optional[List[_Clause]]:
+        work = list(clause_set)
+        changed = True
+        while changed:
+            changed = False
+            units = [next(iter(c)) for c in work if len(c) == 1]
+            if not units:
+                break
+            for lit in units:
+                var, value = abs(lit), lit > 0
+                if var in assignment:
+                    if assignment[var] != value:
+                        return None
+                    continue
+                assignment[var] = value
+                changed = True
+                next_work = []
+                for clause in work:
+                    if lit in clause:
+                        continue
+                    if -lit in clause:
+                        reduced = clause - {-lit}
+                        if not reduced:
+                            return None
+                        next_work.append(reduced)
+                    else:
+                        next_work.append(clause)
+                work = next_work
+        return work
+
+    def solve(clause_set: List[_Clause]) -> bool:
+        reduced = propagate(clause_set)
+        if reduced is None:
+            return False
+        if not reduced:
+            return True
+        counts: Dict[int, int] = {}
+        for clause in reduced:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        branch_var = max(counts, key=counts.get)
+        saved = dict(assignment)
+        for value in (True, False):
+            lit = branch_var if value else -branch_var
+            if solve(reduced + [frozenset({lit})]):
+                return True
+            assignment.clear()
+            assignment.update(saved)
+        return False
+
+    if solve(list(clauses)):
+        return assignment
+    return None
+
+
+def satisfying_assignment(
+    exprs: Iterable[Expr],
+) -> Optional[Dict[_VarKey, bool]]:
+    """Return a model of the conjunction of ``exprs`` (or ``None``).
+
+    The model maps atom keys (``("e", name)`` / ``("p", name)`` /
+    ``("chk", event)``) to Booleans; unconstrained atoms default to
+    ``False``.
+    """
+    clauses, atom_vars = to_cnf(exprs)
+    model = dpll(clauses)
+    if model is None:
+        return None
+    return {key: model.get(var, False) for key, var in atom_vars.items()}
+
+
+def is_satisfiable(expr: Expr) -> bool:
+    """True iff some valuation (and scoreboard state) satisfies ``expr``."""
+    return satisfying_assignment([expr]) is not None
+
+
+def jointly_satisfiable(*exprs: Expr) -> bool:
+    """True iff one valuation satisfies every expression simultaneously.
+
+    This is the paper's element-compatibility test: a single trace
+    element can 'match' each of the given pattern elements.
+    """
+    return satisfying_assignment(exprs) is not None
+
+
+def is_tautology(expr: Expr) -> bool:
+    """True iff ``expr`` holds under every valuation."""
+    return not is_satisfiable(Not(expr))
+
+
+def entails(antecedent: Expr, consequent: Expr) -> bool:
+    """True iff every model of ``antecedent`` satisfies ``consequent``."""
+    return not jointly_satisfiable(antecedent, Not(consequent))
+
+
+def are_equivalent(left: Expr, right: Expr) -> bool:
+    """True iff the two expressions have identical truth tables."""
+    return entails(left, right) and entails(right, left)

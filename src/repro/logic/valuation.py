@@ -1,0 +1,118 @@
+"""Valuations: truth assignments over a finite event/proposition alphabet.
+
+The paper's monitor reads "one element of the input trace in a clock
+step", where each element is a pair of truth assignments over ``PROP``
+and ``EVENTS``.  A :class:`Valuation` is exactly such an element: the
+set of symbols that are *true* at one clock tick, together with the
+alphabet it is defined over.
+
+Symbols are plain strings; whether a symbol is an event or a
+proposition is decided by the expression atoms that reference it
+(:class:`~repro.logic.expr.EventRef` vs
+:class:`~repro.logic.expr.PropRef`) and, at the chart level, by the
+chart's declarations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ExprError
+
+__all__ = ["Valuation", "enumerate_valuations"]
+
+
+class Valuation:
+    """An assignment of truth values to a finite set of symbols.
+
+    ``true`` is the set of symbols assigned ``True``; every other
+    symbol of ``alphabet`` is ``False``.  When ``alphabet`` is omitted
+    it defaults to ``true`` itself (a *partial* valuation where only
+    listed symbols are known-true and everything else reads false).
+    """
+
+    __slots__ = ("true", "alphabet")
+
+    def __init__(
+        self,
+        true: Iterable[str] = (),
+        alphabet: Optional[Iterable[str]] = None,
+    ):
+        true_set = frozenset(true)
+        if alphabet is None:
+            alpha = true_set
+        else:
+            alpha = frozenset(alphabet)
+            extra = true_set - alpha
+            if extra:
+                raise ExprError(
+                    f"true symbols {sorted(extra)} not in alphabet"
+                )
+        object.__setattr__(self, "true", true_set)
+        object.__setattr__(self, "alphabet", alpha)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Valuation is immutable")
+
+    # -- queries ---------------------------------------------------------
+    def is_true(self, symbol: str) -> bool:
+        """Truth value of ``symbol`` (absent symbols read ``False``)."""
+        return symbol in self.true
+
+    def restricted(self, alphabet: Iterable[str]) -> "Valuation":
+        """Project onto ``alphabet`` (symbols outside it are dropped)."""
+        alpha = frozenset(alphabet)
+        return Valuation(self.true & alpha, alpha)
+
+    def extended(self, other: "Valuation") -> "Valuation":
+        """Union of two valuations over the union of their alphabets."""
+        return Valuation(self.true | other.true, self.alphabet | other.alphabet)
+
+    def with_true(self, *symbols: str) -> "Valuation":
+        """Copy with ``symbols`` additionally set true."""
+        return Valuation(self.true | set(symbols), self.alphabet | set(symbols))
+
+    # -- dunder ----------------------------------------------------------
+    def __eq__(self, other):
+        return (
+            isinstance(other, Valuation)
+            and self.true == other.true
+            and self.alphabet == other.alphabet
+        )
+
+    def __hash__(self):
+        return hash((self.true, self.alphabet))
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.true
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.true))
+
+    def __len__(self) -> int:
+        return len(self.true)
+
+    def __repr__(self):
+        inside = ", ".join(sorted(self.true)) or "-"
+        return f"{{{inside}}}"
+
+
+def enumerate_valuations(
+    alphabet: Sequence[str], max_true: Optional[int] = None
+) -> Iterator[Valuation]:
+    """Yield every valuation over ``alphabet`` (the paper's ``2^Sigma``).
+
+    The synthesis algorithm enumerates "each valuation e in 2^Sigma";
+    restricting Sigma to the chart's own symbols keeps this tractable.
+    ``max_true`` optionally caps the number of simultaneously-true
+    symbols (useful for sparse-event workloads in benchmarks).
+
+    Valuations are yielded in a deterministic order: by popcount, then
+    lexicographically.
+    """
+    symbols = sorted(set(alphabet))
+    limit = len(symbols) if max_true is None else min(max_true, len(symbols))
+    for size in range(limit + 1):
+        for combo in combinations(symbols, size):
+            yield Valuation(combo, symbols)

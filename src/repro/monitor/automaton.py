@@ -1,0 +1,255 @@
+"""Monitor automata: the paper's 5-tuple ``<Q, Sigma, delta, s0, sf>``.
+
+States are integers (the synthesis algorithm numbers them ``0..n``).
+Each :class:`Transition` carries a guard expression over events,
+propositions and ``Chk_evt`` scoreboard tests, plus a sequence of
+scoreboard :class:`Action`\\ s (``Add_evt`` / ``Del_evt`` / ``Null``)
+performed when the transition is taken.
+
+Monitors are *deterministic and complete* by construction: for every
+state, every input valuation and every scoreboard condition, exactly
+one outgoing guard holds.  :meth:`Monitor.check_deterministic` and
+:meth:`Monitor.check_complete` verify this with SAT queries (treating
+``Chk_evt`` atoms as free variables, i.e. over all scoreboard states).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MonitorError
+from repro.logic.expr import Expr, Or, Not, TRUE
+from repro.logic.sat import is_satisfiable, jointly_satisfiable
+from repro.monitor.scoreboard import Scoreboard
+
+__all__ = [
+    "Action",
+    "AddEvt",
+    "DelEvt",
+    "NullAction",
+    "NULL_ACTION",
+    "Transition",
+    "Monitor",
+]
+
+
+class Action:
+    """Base class for scoreboard actions attached to transitions."""
+
+    def apply(self, scoreboard: Scoreboard) -> None:
+        raise NotImplementedError
+
+    def is_null(self) -> bool:
+        return False
+
+
+class AddEvt(Action):
+    """``Add_evt(e1, ..., ek)`` — record event occurrences."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: str):
+        if not events:
+            raise MonitorError("Add_evt needs at least one event")
+        object.__setattr__(self, "events", tuple(events))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AddEvt is immutable")
+
+    def apply(self, scoreboard: Scoreboard) -> None:
+        scoreboard.add(*self.events)
+
+    def __eq__(self, other):
+        return isinstance(other, AddEvt) and self.events == other.events
+
+    def __hash__(self):
+        return hash(("AddEvt", self.events))
+
+    def __repr__(self):
+        return f"Add_evt({', '.join(self.events)})"
+
+
+class DelEvt(Action):
+    """``Del_evt(e1, ..., ek)`` — erase recorded occurrences."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: str):
+        if not events:
+            raise MonitorError("Del_evt needs at least one event")
+        object.__setattr__(self, "events", tuple(events))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DelEvt is immutable")
+
+    def apply(self, scoreboard: Scoreboard) -> None:
+        scoreboard.delete(*self.events)
+
+    def __eq__(self, other):
+        return isinstance(other, DelEvt) and self.events == other.events
+
+    def __hash__(self):
+        return hash(("DelEvt", self.events))
+
+    def __repr__(self):
+        return f"Del_evt({', '.join(self.events)})"
+
+
+class NullAction(Action):
+    """The paper's ``Null`` action — no scoreboard effect."""
+
+    def apply(self, scoreboard: Scoreboard) -> None:
+        return None
+
+    def is_null(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, NullAction)
+
+    def __hash__(self):
+        return hash("NullAction")
+
+    def __repr__(self):
+        return "Null"
+
+
+NULL_ACTION = NullAction()
+
+
+class Transition:
+    """One labelled edge ``source --guard/actions--> target``."""
+
+    __slots__ = ("source", "guard", "actions", "target")
+
+    def __init__(self, source: int, guard: Expr,
+                 actions: Sequence[Action], target: int):
+        real_actions = tuple(a for a in actions if not a.is_null())
+        object.__setattr__(self, "source", int(source))
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "actions", real_actions)
+        object.__setattr__(self, "target", int(target))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Transition is immutable")
+
+    def label(self) -> str:
+        """Figure-style edge label ``guard / actions``."""
+        if not self.actions:
+            return repr(self.guard)
+        actions = ", ".join(repr(a) for a in self.actions)
+        return f"{self.guard!r} / {actions}"
+
+    def __eq__(self, other):
+        return isinstance(other, Transition) and (
+            self.source, self.guard, self.actions, self.target
+        ) == (other.source, other.guard, other.actions, other.target)
+
+    def __hash__(self):
+        return hash((self.source, self.guard, self.actions, self.target))
+
+    def __repr__(self):
+        return f"{self.source} --[{self.label()}]--> {self.target}"
+
+
+class Monitor:
+    """The paper's monitor 5-tuple plus bookkeeping metadata.
+
+    ``alphabet`` is the restricted input alphabet (events and
+    propositions the guards may reference); ``props`` identifies which
+    of those symbols are propositions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_states: int,
+        initial: int,
+        final: int,
+        transitions: Iterable[Transition],
+        alphabet: Iterable[str],
+        props: Iterable[str] = (),
+    ):
+        if n_states <= 0:
+            raise MonitorError("monitor needs at least one state")
+        if not (0 <= initial < n_states) or not (0 <= final < n_states):
+            raise MonitorError("initial/final state out of range")
+        self.name = name
+        self.n_states = int(n_states)
+        self.initial = int(initial)
+        self.final = int(final)
+        self.transitions: Tuple[Transition, ...] = tuple(transitions)
+        self.alphabet: FrozenSet[str] = frozenset(alphabet)
+        self.props: FrozenSet[str] = frozenset(props)
+        self._by_source: Dict[int, List[Transition]] = {}
+        for transition in self.transitions:
+            for state in (transition.source, transition.target):
+                if not (0 <= state < n_states):
+                    raise MonitorError(
+                        f"transition {transition!r} references state {state} "
+                        f"outside 0..{n_states - 1}"
+                    )
+            self._by_source.setdefault(transition.source, []).append(transition)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def states(self) -> range:
+        return range(self.n_states)
+
+    def transitions_from(self, state: int) -> List[Transition]:
+        return list(self._by_source.get(state, []))
+
+    def transition_count(self) -> int:
+        return len(self.transitions)
+
+    def events(self) -> FrozenSet[str]:
+        """Alphabet symbols that are events (not propositions)."""
+        return self.alphabet - self.props
+
+    # -- sanity checks -------------------------------------------------------
+    def check_complete(self) -> List[str]:
+        """States whose outgoing guards do not cover all inputs."""
+        gaps: List[str] = []
+        for state in self.states:
+            outgoing = self.transitions_from(state)
+            union = Or(tuple(t.guard for t in outgoing)) if outgoing else None
+            if union is None or is_satisfiable(Not(union)):
+                gaps.append(
+                    f"state {state}: some input enables no transition"
+                )
+        return gaps
+
+    def check_deterministic(self) -> List[str]:
+        """Pairs of simultaneously-enabled guards (should be empty)."""
+        conflicts: List[str] = []
+        for state in self.states:
+            outgoing = self.transitions_from(state)
+            for i, left in enumerate(outgoing):
+                for right in outgoing[i + 1:]:
+                    if left.target == right.target and left.actions == right.actions:
+                        continue
+                    if jointly_satisfiable(left.guard, right.guard):
+                        conflicts.append(
+                            f"state {state}: guards {left.guard!r} and "
+                            f"{right.guard!r} overlap"
+                        )
+        return conflicts
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.MonitorError` on any defect."""
+        problems = self.check_complete() + self.check_deterministic()
+        if problems:
+            raise MonitorError(
+                f"monitor {self.name!r} is ill-formed:\n  - "
+                + "\n  - ".join(problems)
+            )
+
+    def has_actions(self) -> bool:
+        return any(t.actions for t in self.transitions)
+
+    def __repr__(self):
+        return (
+            f"Monitor({self.name!r}, states={self.n_states}, "
+            f"transitions={len(self.transitions)}, "
+            f"initial={self.initial}, final={self.final})"
+        )

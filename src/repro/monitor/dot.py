@@ -1,0 +1,76 @@
+"""Graphviz DOT export for monitors (and whole networks).
+
+Figure-style rendering: circles for states, double circle for the
+final state, edges labelled ``guard / actions``.  Feed the output to
+``dot -Tsvg`` to regenerate the paper's monitor diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.monitor.automaton import Monitor
+
+__all__ = ["monitor_to_dot", "network_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def monitor_to_dot(monitor: Monitor, title: Optional[str] = None,
+                   max_label: int = 60) -> str:
+    """Render one monitor as a DOT digraph."""
+    lines: List[str] = []
+    lines.append(f'digraph "{_escape(title or monitor.name)}" {{')
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontsize=11];')
+    lines.append(f'  __start [shape=point, label=""];')
+    lines.append(f"  __start -> {monitor.initial};")
+    for state in monitor.states:
+        shape = "doublecircle" if state == monitor.final else "circle"
+        lines.append(f'  {state} [shape={shape}];')
+    for transition in monitor.transitions:
+        label = transition.label()
+        if len(label) > max_label:
+            label = label[: max_label - 3] + "..."
+        lines.append(
+            f'  {transition.source} -> {transition.target} '
+            f'[label="{_escape(label)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network, title: Optional[str] = None) -> str:
+    """Render a multi-clock monitor network: one cluster per domain."""
+    lines: List[str] = []
+    lines.append(f'digraph "{_escape(title or network.name)}" {{')
+    lines.append("  rankdir=LR;")
+    lines.append("  compound=true;")
+    for index, local in enumerate(network.locals):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(
+            f'    label="{_escape(local.component)} @ {_escape(local.clock.name)}";'
+        )
+        monitor = local.monitor
+        prefix = f"m{index}_"
+        lines.append(f'    {prefix}start [shape=point, label=""];')
+        lines.append(f"    {prefix}start -> {prefix}{monitor.initial};")
+        for state in monitor.states:
+            shape = "doublecircle" if state == monitor.final else "circle"
+            lines.append(f"    {prefix}{state} [shape={shape}, label={state}];")
+        for transition in monitor.transitions:
+            label = transition.label()
+            if len(label) > 40:
+                label = label[:37] + "..."
+            lines.append(
+                f"    {prefix}{transition.source} -> {prefix}{transition.target} "
+                f'[label="{_escape(label)}"];'
+            )
+        lines.append("  }")
+    lines.append(
+        '  scoreboard [shape=box, style=dashed, label="shared scoreboard"];'
+    )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Stepping monitors over clocked traces.
+
+"Following the synchronous model of systems, the transitions in a
+monitor are instantaneous and a single clock tick separates two
+successive transitions."  The engine reads one valuation per tick,
+fires the unique enabled transition, applies its scoreboard actions,
+and records a *detection* each time the final state is entered — a
+completed occurrence of the specified scenario.  The automaton keeps
+running after a detection (the paper's transition function is defined
+on the final state too), so overlapping/pipelined occurrences are
+caught, exactly as in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MonitorError
+from repro.logic.valuation import Valuation
+from repro.monitor.automaton import Monitor, Transition
+from repro.monitor.scoreboard import Scoreboard
+from repro.semantics.run import Trace
+
+__all__ = ["MonitorEngine", "MonitorResult", "run_monitor"]
+
+
+class MonitorResult:
+    """Outcome of running a monitor over a finite trace."""
+
+    __slots__ = ("monitor_name", "states", "detections", "ticks")
+
+    def __init__(self, monitor_name: str, states: List[int],
+                 detections: List[int], ticks: int):
+        self.monitor_name = monitor_name
+        #: state sequence, ``states[0]`` initial, one entry per tick after.
+        self.states = states
+        #: tick indices (0-based) at which the final state was entered.
+        self.detections = detections
+        self.ticks = ticks
+
+    @property
+    def accepted(self) -> bool:
+        """Did the scenario occur at least once?"""
+        return bool(self.detections)
+
+    @property
+    def first_detection(self) -> Optional[int]:
+        return self.detections[0] if self.detections else None
+
+    def __repr__(self):
+        return (
+            f"MonitorResult({self.monitor_name!r}, ticks={self.ticks}, "
+            f"detections={self.detections})"
+        )
+
+
+class MonitorEngine:
+    """Incremental monitor execution with an (optionally shared) scoreboard."""
+
+    def __init__(self, monitor: Monitor,
+                 scoreboard: Optional[Scoreboard] = None):
+        self._monitor = monitor
+        self._scoreboard = scoreboard if scoreboard is not None else Scoreboard()
+        self._state = monitor.initial
+        self._tick = 0
+        self._states: List[int] = [monitor.initial]
+        self._detections: List[int] = []
+        self._transition_log: List[Transition] = []
+
+    # -- observers -------------------------------------------------------
+    @property
+    def monitor(self) -> Monitor:
+        return self._monitor
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def scoreboard(self) -> Scoreboard:
+        return self._scoreboard
+
+    @property
+    def detections(self) -> List[int]:
+        return list(self._detections)
+
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    # -- execution ---------------------------------------------------------
+    def enabled_transition(self, valuation: Valuation) -> Transition:
+        """The unique transition enabled by ``valuation`` right now."""
+        enabled = [
+            t
+            for t in self._monitor.transitions_from(self._state)
+            if t.guard.evaluate(valuation, self._scoreboard)
+        ]
+        if not enabled:
+            raise MonitorError(
+                f"monitor {self._monitor.name!r}: no transition enabled in "
+                f"state {self._state} on input {valuation!r} "
+                f"(scoreboard {self._scoreboard!r})"
+            )
+        if len(enabled) > 1:
+            targets = {(t.target, t.actions) for t in enabled}
+            if len(targets) > 1:
+                raise MonitorError(
+                    f"monitor {self._monitor.name!r}: nondeterministic in "
+                    f"state {self._state} on input {valuation!r}: "
+                    f"{[t.label() for t in enabled]}"
+                )
+        return enabled[0]
+
+    def commit(self, transition: Transition,
+               apply_actions: bool = True) -> int:
+        """Take a previously selected transition (two-phase stepping).
+
+        Multi-clock networks select transitions for all coincident
+        ticks against the pre-instant scoreboard, then commit them —
+        pass ``apply_actions=False`` when the caller sequences the
+        scoreboard updates itself.
+        """
+        if apply_actions:
+            for action in transition.actions:
+                action.apply(self._scoreboard)
+        self._transition_log.append(transition)
+        self._state = transition.target
+        self._states.append(self._state)
+        if self._state == self._monitor.final:
+            self._detections.append(self._tick)
+        self._tick += 1
+        return self._state
+
+    def step(self, valuation: Valuation) -> int:
+        """Consume one trace element; return the new state."""
+        return self.commit(self.enabled_transition(valuation))
+
+    def feed(self, trace: Iterable[Valuation]) -> "MonitorEngine":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(
+            self._monitor.name, list(self._states), list(self._detections),
+            self._tick,
+        )
+
+    @property
+    def transition_log(self) -> List[Transition]:
+        """Transitions taken so far, in order (for coverage analysis)."""
+        return list(self._transition_log)
+
+    def reset(self) -> None:
+        self._state = self._monitor.initial
+        self._tick = 0
+        self._states = [self._monitor.initial]
+        self._detections = []
+        self._transition_log = []
+        self._scoreboard.clear()
+
+
+def run_monitor(monitor: Monitor, trace: Trace,
+                scoreboard: Optional[Scoreboard] = None) -> MonitorResult:
+    """Run ``monitor`` over the whole ``trace`` and return the result.
+
+    A detection at tick ``i`` means the window ``[i - n + 1, i]`` of the
+    trace realised the scenario (``n`` being the chart's tick count).
+    """
+    engine = MonitorEngine(monitor, scoreboard=scoreboard)
+    engine.feed(trace)
+    return engine.result()

@@ -1,0 +1,147 @@
+"""DFA minimisation for action-free monitors (Moore partition refinement).
+
+Used by the analysis layer (canonical forms for language-equivalence
+checking) and by the baselines benchmark comparing monitor sizes.
+Monitors carrying scoreboard actions are Mealy-style transducers whose
+output (the action sequence) is part of their behaviour; collapsing
+states could merge distinct action histories, so minimisation is
+restricted to action-free detectors and raises otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import MonitorError
+from repro.logic.valuation import Valuation, enumerate_valuations
+from repro.monitor.automaton import Monitor, Transition
+from repro.synthesis.tr import minterm_expr
+
+__all__ = ["minimize_monitor", "transition_function"]
+
+
+def transition_function(
+    monitor: Monitor,
+) -> Dict[Tuple[int, FrozenSet[str]], int]:
+    """Explicit ``(state, valuation) -> state`` table over the alphabet.
+
+    Requires an action-free monitor whose guards reference only input
+    symbols (no ``Chk_evt``); raises on anything else.
+    """
+    if monitor.has_actions():
+        raise MonitorError(
+            f"monitor {monitor.name!r} carries scoreboard actions; its "
+            "transition function is scoreboard-dependent"
+        )
+    alphabet = sorted(monitor.alphabet)
+    table: Dict[Tuple[int, FrozenSet[str]], int] = {}
+    for state in monitor.states:
+        outgoing = monitor.transitions_from(state)
+        for valuation in enumerate_valuations(alphabet):
+            enabled = [
+                t for t in outgoing
+                if _guard_holds(t, valuation)
+            ]
+            if len({t.target for t in enabled}) != 1:
+                raise MonitorError(
+                    f"monitor {monitor.name!r}: state {state} has "
+                    f"{len(enabled)} enabled transitions on {valuation!r}"
+                )
+            table[(state, valuation.true)] = enabled[0].target
+    return table
+
+
+def _guard_holds(transition: Transition, valuation: Valuation) -> bool:
+    try:
+        return transition.guard.evaluate(valuation)
+    except Exception as error:  # Chk_evt without scoreboard
+        raise MonitorError(
+            f"guard {transition.guard!r} is scoreboard-dependent: {error}"
+        )
+
+
+def minimize_monitor(monitor: Monitor) -> Monitor:
+    """Language-preserving state minimisation (final state = accepting).
+
+    Returns a monitor over the same alphabet with the minimum number of
+    states distinguishing acceptance behaviour.  Unreachable states are
+    dropped first.  Transitions in the result are labelled with
+    minterm guards (one per valuation class), ready for
+    :func:`~repro.synthesis.symbolic.symbolic_monitor` compression.
+    """
+    table = transition_function(monitor)
+    alphabet = sorted(monitor.alphabet)
+    valuations = [v.true for v in enumerate_valuations(alphabet)]
+
+    # Reachability.
+    reachable = {monitor.initial}
+    frontier = [monitor.initial]
+    while frontier:
+        state = frontier.pop()
+        for value in valuations:
+            target = table[(state, value)]
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+
+    # Moore refinement.
+    accepting = frozenset({monitor.final}) & frozenset(reachable)
+    partition: List[FrozenSet[int]] = [
+        block
+        for block in (
+            frozenset(reachable) - accepting,
+            accepting,
+        )
+        if block
+    ]
+    while True:
+        index_of = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                index_of[state] = index
+        refined: List[FrozenSet[int]] = []
+        for block in partition:
+            signature_groups: Dict[Tuple[int, ...], List[int]] = {}
+            for state in block:
+                signature = tuple(
+                    index_of[table[(state, value)]] for value in valuations
+                )
+                signature_groups.setdefault(signature, []).append(state)
+            refined.extend(frozenset(g) for g in signature_groups.values())
+        if len(refined) == len(partition):
+            break
+        partition = refined
+
+    index_of = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            index_of[state] = index
+    # Renumber with the initial block first for readability.
+    order = sorted(range(len(partition)),
+                   key=lambda i: (i != index_of[monitor.initial], i))
+    renumber = {old: new for new, old in enumerate(order)}
+
+    transitions: List[Transition] = []
+    for index, block in enumerate(partition):
+        representative = min(block)
+        for value in valuations:
+            target_block = index_of[table[(representative, value)]]
+            guard = minterm_expr(value, alphabet, monitor.props)
+            transitions.append(
+                Transition(renumber[index], guard, (), renumber[target_block])
+            )
+    if monitor.final not in index_of:
+        raise MonitorError(
+            f"monitor {monitor.name!r}: final state unreachable — the "
+            "detected language is empty and has no DFA in monitor form"
+        )
+    final_block = renumber[index_of[monitor.final]]
+    return Monitor(
+        f"{monitor.name}:min",
+        n_states=len(partition),
+        initial=renumber[index_of[monitor.initial]],
+        final=final_block,
+        transitions=transitions,
+        alphabet=monitor.alphabet,
+        props=monitor.props,
+    )

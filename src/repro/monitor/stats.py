@@ -1,0 +1,51 @@
+"""Size and structure metrics for monitors (used by the benchmarks)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.logic.expr import Expr
+from repro.monitor.automaton import Monitor
+
+__all__ = ["guard_literals", "monitor_stats"]
+
+
+def guard_literals(expr: Expr) -> int:
+    """Number of atomic literals in a guard expression."""
+    atoms = 0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        children = node.children()
+        if children:
+            stack.extend(children)
+        else:
+            atoms += 1
+    return atoms
+
+
+def monitor_stats(monitor: Monitor) -> Dict[str, float]:
+    """Structural metrics: states, edges, guard complexity, actions.
+
+    ``forward_edges`` counts edges ``s -> s+1`` (the scenario spine),
+    ``backward_edges`` the failure transitions; the paper's figures
+    show exactly this skeleton.
+    """
+    forward = sum(
+        1 for t in monitor.transitions if t.target == t.source + 1
+    )
+    backward = sum(
+        1 for t in monitor.transitions if t.target <= t.source
+    )
+    literals = [guard_literals(t.guard) for t in monitor.transitions]
+    action_edges = sum(1 for t in monitor.transitions if t.actions)
+    return {
+        "states": monitor.n_states,
+        "transitions": monitor.transition_count(),
+        "forward_edges": forward,
+        "backward_edges": backward,
+        "alphabet": len(monitor.alphabet),
+        "guard_literals_total": sum(literals),
+        "guard_literals_max": max(literals) if literals else 0,
+        "action_edges": action_edges,
+    }

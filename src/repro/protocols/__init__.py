@@ -1,0 +1,15 @@
+"""Executable protocol models: the paper's case-study substrates.
+
+* :mod:`repro.protocols.ocp` — Open Core Protocol master/slave with
+  simple reads (Fig. 6) and pipelined burst reads (Fig. 7);
+* :mod:`repro.protocols.amba` — AMBA AHB CLI master/bus transactions
+  (Fig. 8);
+* :mod:`repro.protocols.readproto` — the generic single- and
+  multi-clock read protocol of Figs. 1-2;
+* :mod:`repro.protocols.faults` — trace- and model-level fault
+  injection for negative testing of the synthesized monitors.
+
+Each protocol module pairs behavioural simulator processes with the
+CESC charts specifying their scenarios — the chart is the spec, the
+model is the DUT, and the synthesized monitor sits between them.
+"""

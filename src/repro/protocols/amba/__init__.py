@@ -1,0 +1,18 @@
+"""AMBA AHB Cycle-Level-Interface (CLI) models and chart (Figure 8).
+
+The paper's third case study: the master/bus transaction sequence of
+AHB CLI specification p.23, ten interface events grouped on three grid
+lines with causality arrows on the transaction-start and data-phase
+events.
+"""
+
+from repro.protocols.amba.charts import AHB_EVENTS, ahb_transaction_chart
+from repro.protocols.amba.models import AhbBus, AhbMaster, AhbSignals
+
+__all__ = [
+    "AHB_EVENTS",
+    "AhbBus",
+    "AhbMaster",
+    "AhbSignals",
+    "ahb_transaction_chart",
+]

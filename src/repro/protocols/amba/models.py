@@ -1,0 +1,92 @@
+"""Behavioural AMBA AHB CLI master and bus models.
+
+A transaction spans three bus cycles matching the Figure 8 grid lines:
+setup (master initiates, bus resolves the slave), data phase (master
+drives data, bus responds), closing response.  The bus is a level-1
+responder within each cycle — ``get_slave`` and ``bus_response`` are
+same-cycle reactions to the master's calls, mirroring the CLI's
+function-call semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.protocols.amba.charts import AHB_EVENTS
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Signal
+
+__all__ = ["AhbSignals", "AhbMaster", "AhbBus"]
+
+
+class AhbSignals:
+    """One pulse wire per Figure 8 event."""
+
+    def __init__(self, sim: Simulator, clock: Clock, prefix: str = ""):
+        self.clock = clock
+        self._signals: Dict[str, Signal] = {
+            name: sim.signal(prefix + name, clock) for name in AHB_EVENTS
+        }
+
+    def __getattr__(self, name: str) -> Signal:
+        signals = object.__getattribute__(self, "_signals")
+        if name in signals:
+            return signals[name]
+        raise AttributeError(f"no AHB signal named {name!r}")
+
+    def mapping(self) -> Dict[str, Signal]:
+        return dict(self._signals)
+
+    def all_signals(self) -> List[Signal]:
+        return list(self._signals.values())
+
+
+class AhbMaster:
+    """Drives the master-side calls of scheduled write transactions."""
+
+    def __init__(self, signals: AhbSignals,
+                 schedule: Optional[List[int]] = None,
+                 drop_master_response: bool = False):
+        self._signals = signals
+        self._schedule = sorted(schedule or [])
+        self._drop_master_response = drop_master_response
+        self._issued: List[int] = []
+
+    @property
+    def issued(self) -> List[int]:
+        return list(self._issued)
+
+    def process(self, sim: Simulator, cycle: int) -> None:
+        for start in self._schedule:
+            phase = cycle - start
+            if phase == 0:
+                self._signals.init_transaction.pulse()
+                self._signals.master_complete.pulse()
+                self._signals.write.pulse()
+                self._signals.control_info.pulse()
+                self._issued.append(cycle)
+            elif phase == 1:
+                self._signals.master_set_data.pulse()
+                self._signals.master_complete2.pulse()
+            elif phase == 2 and not self._drop_master_response:
+                self._signals.master_response.pulse()
+
+
+class AhbBus:
+    """Level-1 bus side: resolves the slave and responds to data."""
+
+    def __init__(self, signals: AhbSignals, stall_get_slave: bool = False):
+        self._signals = signals
+        self._stall_get_slave = stall_get_slave
+
+    def process(self, sim: Simulator, cycle: int) -> None:
+        if self._signals.init_transaction.value and not self._stall_get_slave:
+            self._signals.get_slave.pulse()
+        if self._signals.master_set_data.value:
+            self._signals.bus_set_data.pulse()
+            self._signals.bus_response.pulse()
+
+    def attach(self, sim: Simulator) -> None:
+        sim.add_process(self._signals.clock, self.process, level=1)

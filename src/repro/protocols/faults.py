@@ -1,0 +1,103 @@
+"""Fault injection: mutating traces to create protocol violations.
+
+Negative testing of synthesized monitors needs traces that *almost*
+realise a scenario.  These mutators operate on recorded traces
+(deterministic, replayable); model-level fault modes live on the
+protocol models themselves (e.g. ``OcpSlave(fault="drop_response")``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.logic.valuation import Valuation
+from repro.semantics.run import Trace
+
+__all__ = [
+    "drop_event",
+    "insert_event",
+    "delay_event",
+    "swap_ticks",
+    "FaultCampaign",
+]
+
+
+def drop_event(trace: Trace, tick: int, event: str) -> Trace:
+    """Remove ``event`` from the valuation at ``tick``."""
+    _check_tick(trace, tick)
+    valuations = list(trace.valuations)
+    old = valuations[tick]
+    valuations[tick] = Valuation(old.true - {event}, old.alphabet)
+    return Trace(valuations, trace.alphabet)
+
+
+def insert_event(trace: Trace, tick: int, event: str) -> Trace:
+    """Assert ``event`` at ``tick`` (a spurious occurrence)."""
+    _check_tick(trace, tick)
+    valuations = list(trace.valuations)
+    old = valuations[tick]
+    valuations[tick] = Valuation(
+        old.true | {event}, old.alphabet | {event}
+    )
+    return Trace(valuations, trace.alphabet | {event})
+
+
+def delay_event(trace: Trace, tick: int, event: str, by: int = 1) -> Trace:
+    """Move one event occurrence ``by`` ticks later."""
+    _check_tick(trace, tick)
+    _check_tick(trace, tick + by)
+    return insert_event(drop_event(trace, tick, event), tick + by, event)
+
+
+def swap_ticks(trace: Trace, left: int, right: int) -> Trace:
+    """Exchange two whole grid-line valuations (ordering violation)."""
+    _check_tick(trace, left)
+    _check_tick(trace, right)
+    valuations = list(trace.valuations)
+    valuations[left], valuations[right] = valuations[right], valuations[left]
+    return Trace(valuations, trace.alphabet)
+
+
+def _check_tick(trace: Trace, tick: int) -> None:
+    if not (0 <= tick < trace.length):
+        raise SimulationError(
+            f"tick {tick} outside trace of length {trace.length}"
+        )
+
+
+class FaultCampaign:
+    """Seeded stream of random single-fault mutations of a base trace.
+
+    Each mutation is one of drop / insert / delay / swap applied at a
+    random position — the classic "one bit of protocol goes wrong"
+    model.  Used by the Figure 4 flow benchmark to measure detection
+    rates.
+    """
+
+    def __init__(self, base: Trace, events: Iterable[str], seed: int = 0):
+        if base.length < 2:
+            raise SimulationError("fault campaign needs a trace of length >= 2")
+        self._base = base
+        self._events = sorted(events)
+        self._rng = random.Random(seed)
+
+    def mutations(self, count: int) -> List[Trace]:
+        out: List[Trace] = []
+        for _ in range(count):
+            kind = self._rng.choice(("drop", "insert", "delay", "swap"))
+            tick = self._rng.randrange(self._base.length)
+            event = self._rng.choice(self._events)
+            if kind == "drop":
+                out.append(drop_event(self._base, tick, event))
+            elif kind == "insert":
+                out.append(insert_event(self._base, tick, event))
+            elif kind == "delay":
+                if tick == self._base.length - 1:
+                    tick -= 1
+                out.append(delay_event(self._base, tick, event))
+            else:
+                other = self._rng.randrange(self._base.length)
+                out.append(swap_ticks(self._base, tick, other))
+        return out

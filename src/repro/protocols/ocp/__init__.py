@@ -1,0 +1,29 @@
+"""Open Core Protocol (OCP) models and charts.
+
+Covers the two OCP scenarios the paper synthesizes monitors for:
+
+* the simple read (OCP specification v1.0 p.44 — Figure 6): a request
+  grid line ``MCmd_rd & Addr & SCmd_accept`` followed by a response
+  grid line ``SResp & SData``;
+* the pipelined burst-of-4 read (p.49 — Figure 7): four back-to-back
+  read commands with decreasing burst counts, responses streaming in
+  while later commands issue, tracked on the scoreboard as a multiset.
+"""
+
+from repro.protocols.ocp.charts import (
+    OCP_EVENTS,
+    ocp_burst_read_chart,
+    ocp_simple_read_chart,
+)
+from repro.protocols.ocp.master import OcpMaster
+from repro.protocols.ocp.signals import OcpSignals
+from repro.protocols.ocp.slave import OcpSlave
+
+__all__ = [
+    "OCP_EVENTS",
+    "OcpMaster",
+    "OcpSignals",
+    "OcpSlave",
+    "ocp_burst_read_chart",
+    "ocp_simple_read_chart",
+]

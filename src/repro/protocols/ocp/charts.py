@@ -1,0 +1,98 @@
+"""CESC charts for the OCP read scenarios (Figures 6 and 7)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.cesc.ast import SCESC, Clock
+from repro.cesc.builder import ev, scesc
+
+__all__ = ["OCP_EVENTS", "ocp_simple_read_chart", "ocp_burst_read_chart"]
+
+#: The alphabet the Figure 6 monitor observes.
+OCP_EVENTS = ("MCmd_rd", "Addr", "SCmd_accept", "SResp", "SData")
+
+
+def ocp_simple_read_chart(clock: Union[Clock, str] = "ocp_clk",
+                          period: Union[int, Fraction] = 1) -> SCESC:
+    """Figure 6: OCP simple read (OCP spec v1.0, p.44).
+
+    Two grid lines — request (``MCmd_rd & Addr & SCmd_accept``) then
+    response (``SResp & SData``) — with a causality arrow from the read
+    command to the response, which the synthesized monitor implements
+    as ``Add_evt(MCmd_rd)`` / ``Chk_evt(MCmd_rd)`` / ``Del_evt``
+    exactly as the figure shows.
+    """
+    return (
+        scesc("ocp_simple_read", clock=clock, period=period)
+        .instances("Master", "Slave")
+        .tick(
+            ev("MCmd_rd", src="Master", dst="Slave"),
+            ev("Addr", src="Master", dst="Slave"),
+            ev("SCmd_accept", src="Slave", dst="Master"),
+        )
+        .tick(
+            ev("SResp", src="Slave", dst="Master"),
+            ev("SData", src="Slave", dst="Master"),
+        )
+        .arrow("rd_resp", cause="MCmd_rd", effect="SResp")
+        .build()
+    )
+
+
+def ocp_burst_read_chart(clock: Union[Clock, str] = "ocp_clk",
+                         period: Union[int, Fraction] = 1) -> SCESC:
+    """Figure 7: OCP pipelined burst-of-4 read (OCP spec v1.0, p.49).
+
+    Six grid lines.  Commands with decreasing burst counts issue on
+    ticks 0-3 while responses stream on ticks 2-5 (the pipeline
+    overlap); each command tick is a cause arrow whose effect is the
+    response beat it pairs with, so the scoreboard carries a *multiset*
+    of outstanding ``MCmd_rd``/``BurstN`` entries — the figure's
+    ``act1..act8``.
+    """
+    return (
+        scesc("ocp_burst_read", clock=clock, period=period)
+        .instances("Master", "Slave")
+        .tick(
+            ev("MCmd_rd", src="Master", dst="Slave"),
+            ev("Burst4", src="Master", dst="Slave"),
+            ev("Addr", src="Master", dst="Slave"),
+            ev("SCmd_accept", src="Slave", dst="Master"),
+        )
+        .tick(
+            ev("MCmd_rd", src="Master", dst="Slave"),
+            ev("Burst3", src="Master", dst="Slave"),
+            ev("Addr", src="Master", dst="Slave"),
+        )
+        .tick(
+            ev("MCmd_rd", src="Master", dst="Slave"),
+            ev("Burst2", src="Master", dst="Slave"),
+            ev("Addr", src="Master", dst="Slave"),
+            ev("SResp", src="Slave", dst="Master"),
+            ev("SData", src="Slave", dst="Master"),
+        )
+        .tick(
+            ev("MCmd_rd", src="Master", dst="Slave"),
+            ev("Burst1", src="Master", dst="Slave"),
+            ev("Addr", src="Master", dst="Slave"),
+            ev("SResp", src="Slave", dst="Master"),
+            ev("SData", src="Slave", dst="Master"),
+        )
+        .tick(
+            ev("SResp", src="Slave", dst="Master"),
+            ev("SData", src="Slave", dst="Master"),
+        )
+        .tick(
+            ev("SResp", src="Slave", dst="Master"),
+            ev("SData", src="Slave", dst="Master"),
+        )
+        .arrow("beat1", cause=(0, "MCmd_rd"), effect=(2, "SResp"))
+        .arrow("b4_done", cause=(0, "Burst4"), effect=(2, "SData"))
+        .arrow("beat2", cause=(1, "MCmd_rd"), effect=(3, "SResp"))
+        .arrow("b3_done", cause=(1, "Burst3"), effect=(3, "SData"))
+        .arrow("beat3", cause=(2, "Burst2"), effect=(4, "SResp"))
+        .arrow("beat4", cause=(3, "Burst1"), effect=(5, "SResp"))
+        .build()
+    )

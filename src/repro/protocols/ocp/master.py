@@ -1,0 +1,68 @@
+"""Behavioural OCP master: issues simple and burst read commands."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.protocols.ocp.signals import OcpSignals
+from repro.sim.kernel import Simulator
+
+__all__ = ["OcpMaster"]
+
+_BURST_ANNOTATION = {4: "Burst4", 3: "Burst3", 2: "Burst2", 1: "Burst1"}
+
+
+class OcpMaster:
+    """Issues read transactions per a schedule or randomly.
+
+    Schedule entries are ``("read", start_cycle)`` for a simple read or
+    ``("burst", start_cycle)`` for a pipelined burst-of-4 (commands on
+    four consecutive cycles with decreasing burst counts, as in the
+    Figure 7 trace).  With ``random_rate`` the master additionally
+    starts a simple read with that per-cycle probability when idle.
+    """
+
+    def __init__(self, signals: OcpSignals,
+                 schedule: Optional[List[Tuple[str, int]]] = None,
+                 random_rate: float = 0.0, seed: int = 0):
+        self._signals = signals
+        self._schedule = sorted(schedule or [], key=lambda item: item[1])
+        for kind, _ in self._schedule:
+            if kind not in ("read", "burst"):
+                raise SimulationError(f"unknown OCP transaction kind {kind!r}")
+        self._random_rate = random_rate
+        self._rng = random.Random(seed)
+        self._issued: List[Tuple[str, int]] = []
+
+    @property
+    def issued(self) -> List[Tuple[str, int]]:
+        """Transactions actually started: ``(kind, start_cycle)``."""
+        return list(self._issued)
+
+    def _command_due(self, cycle: int) -> Optional[str]:
+        for kind, start in self._schedule:
+            if kind == "read" and start == cycle:
+                return "read"
+            if kind == "burst" and start <= cycle < start + 4:
+                return f"burst{4 - (cycle - start)}"
+        return None
+
+    def process(self, sim: Simulator, cycle: int) -> None:
+        """Level-0 driver: pulse command wires for this cycle."""
+        command = self._command_due(cycle)
+        if command is None and self._random_rate > 0:
+            if self._rng.random() < self._random_rate:
+                command = "read"
+        if command is None:
+            return
+        self._signals.MCmd_rd.pulse()
+        self._signals.Addr.pulse()
+        if command.startswith("burst"):
+            count = int(command[len("burst"):])
+            getattr(self._signals, _BURST_ANNOTATION[count]).pulse()
+            if count == 4:
+                self._issued.append(("burst", cycle))
+        else:
+            self._issued.append(("read", cycle))

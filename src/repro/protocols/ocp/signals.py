@@ -1,0 +1,47 @@
+"""OCP signal bundle for the read scenarios of Figures 6 and 7."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cesc.ast import Clock
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Signal
+
+__all__ = ["OcpSignals"]
+
+
+class OcpSignals:
+    """The event wires both figures' monitors observe.
+
+    All are one-tick pulses: ``MCmd_rd`` (read command), ``Addr``
+    (address phase valid), ``SCmd_accept`` (slave command accept),
+    ``SResp``/``SData`` (response + data valid), and the burst-count
+    annotations ``Burst4..Burst1`` the Figure 7 monitor tracks on the
+    scoreboard.
+    """
+
+    EVENT_NAMES = (
+        "MCmd_rd", "Addr", "SCmd_accept", "SResp", "SData",
+        "Burst4", "Burst3", "Burst2", "Burst1",
+    )
+
+    def __init__(self, sim: Simulator, clock: Clock, prefix: str = ""):
+        self.clock = clock
+        self._signals: Dict[str, Signal] = {}
+        for name in self.EVENT_NAMES:
+            self._signals[name] = sim.signal(prefix + name, clock)
+
+    def __getattr__(self, name: str) -> Signal:
+        signals = object.__getattribute__(self, "_signals")
+        if name in signals:
+            return signals[name]
+        raise AttributeError(f"no OCP signal named {name!r}")
+
+    def mapping(self, names: List[str] = None) -> Dict[str, Signal]:
+        """Symbol -> signal map for trace recorders and monitors."""
+        chosen = names if names is not None else list(self.EVENT_NAMES)
+        return {name: self._signals[name] for name in chosen}
+
+    def all_signals(self) -> List[Signal]:
+        return list(self._signals.values())

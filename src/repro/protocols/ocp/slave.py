@@ -1,0 +1,77 @@
+"""Behavioural OCP slave: accepts commands, streams responses.
+
+The slave is a *level-1* (combinational) responder for the accept wire
+— OCP's ``SCmd_accept`` is asserted in the same cycle as the command —
+plus a level-0 sequential pipeline for responses after a configurable
+latency.  Fault modes deliberately break the protocol so the
+synthesized monitors have violations to catch (the Figure 4 flow).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.protocols.ocp.signals import OcpSignals
+from repro.sim.kernel import Simulator
+
+__all__ = ["OcpSlave"]
+
+_FAULT_MODES = (None, "drop_response", "late_response", "no_accept",
+                "spurious_response")
+
+
+class OcpSlave:
+    """One-command-per-cycle pipelined read slave.
+
+    ``latency`` cycles separate a command from its response beat
+    (Figure 6 uses 1, Figure 7's pipelined burst uses 2).
+    """
+
+    def __init__(self, signals: OcpSignals, latency: int = 1,
+                 fault: Optional[str] = None, fault_cycle: int = 0):
+        if latency < 1:
+            raise SimulationError("slave latency must be >= 1")
+        if fault not in _FAULT_MODES:
+            raise SimulationError(f"unknown fault mode {fault!r}")
+        self._signals = signals
+        self._latency = latency
+        self._fault = fault
+        self._fault_cycle = fault_cycle
+        self._pending: List[int] = []  # cycles at which to respond
+        self._accepted = 0
+
+    @property
+    def accepted_commands(self) -> int:
+        return self._accepted
+
+    def accept_process(self, sim: Simulator, cycle: int) -> None:
+        """Level-1: same-cycle command accept + response scheduling."""
+        if not self._signals.MCmd_rd.value:
+            return
+        faulty_now = self._fault is not None and cycle >= self._fault_cycle
+        if not (self._fault == "no_accept" and faulty_now):
+            self._signals.SCmd_accept.pulse()
+        self._accepted += 1
+        if self._fault == "drop_response" and faulty_now:
+            return
+        delay = self._latency
+        if self._fault == "late_response" and faulty_now:
+            delay += 2
+        self._pending.append(cycle + delay)
+
+    def respond_process(self, sim: Simulator, cycle: int) -> None:
+        """Level-0: drive the response beats that are due this cycle."""
+        if self._fault == "spurious_response" and cycle == self._fault_cycle:
+            self._signals.SResp.pulse()
+            self._signals.SData.pulse()
+        due = [c for c in self._pending if c == cycle]
+        if due:
+            self._pending = [c for c in self._pending if c != cycle]
+            self._signals.SResp.pulse()
+            self._signals.SData.pulse()
+
+    def attach(self, sim: Simulator) -> None:
+        """Register both processes on the signal bundle's clock."""
+        sim.add_process(self._signals.clock, self.respond_process, level=0)
+        sim.add_process(self._signals.clock, self.accept_process, level=1)

@@ -1,0 +1,152 @@
+"""The paper's running example: the generic read protocol (Figs. 1-2).
+
+Figure 1 is a single-clock scenario between a Master and a slave
+controller ``S_CNT``: request (``req1, rd1, addr1``), forwarded request
+to the environment (``req2, rd2, addr2``), ready (``rdy1``) and data
+(``data1``), with causality arrows ``rdy_done`` and ``data_done``.
+
+Figure 2 splits the same interaction across two clock domains: chart
+``M1`` (Master/S_CNT on ``clk1``) and chart ``M2`` (M_CNT/Slave on
+``clk2``), joined by an asynchronous parallel composition whose
+cross-domain arrows relate the forwarded request and the returned
+data.
+
+Both charts come with behavioural models so the synthesized monitors
+can run against live simulation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Union
+
+from repro.cesc.ast import SCESC, Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import AsyncPar, CrossArrow
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Signal
+
+__all__ = [
+    "read_protocol_chart",
+    "multiclock_read_chart",
+    "ReadMaster",
+    "ReadSlaveController",
+]
+
+
+def read_protocol_chart(clock: Union[Clock, str] = "clk1",
+                        period: Union[int, Fraction] = 1) -> SCESC:
+    """Figure 1: typical read protocol, single clocked."""
+    return (
+        scesc("read_protocol", clock=clock, period=period)
+        .instances("Master", "S_CNT")
+        .tick(
+            ev("req1", src="Master", dst="S_CNT"),
+            ev("rd1", src="Master", dst="S_CNT"),
+            ev("addr1", src="Master", dst="S_CNT"),
+        )
+        .tick(
+            ev("req2", src="S_CNT", dst="env"),
+            ev("rd2", src="S_CNT", dst="env"),
+            ev("addr2", src="S_CNT", dst="env"),
+        )
+        .tick(ev("rdy1", src="S_CNT", dst="Master"))
+        .tick(ev("data1", src="S_CNT", dst="Master"))
+        .arrow("rdy_done", cause="req1", effect="rdy1")
+        .arrow("data_done", cause="rdy1", effect="data1")
+        .build()
+    )
+
+
+def multiclock_read_chart(
+    clk1: Optional[Clock] = None, clk2: Optional[Clock] = None
+) -> AsyncPar:
+    """Figure 2: the read protocol split across two clock domains.
+
+    ``M1`` (clk1): the Master-side request and the eventual ready/data
+    delivery.  ``M2`` (clk2): the slave-side forwarded request and
+    response.  Cross arrows: ``e4`` — the forwarded request must reach
+    the slave domain after the master's request; ``e5`` — the master
+    domain may only deliver data after the slave produced it.
+    """
+    clk1 = clk1 or Clock("clk1", period=10)
+    clk2 = clk2 or Clock("clk2", period=7)
+    m1 = (
+        scesc("M1", clock=clk1)
+        .instances("Master", "S_CNT")
+        .tick(
+            ev("req1", src="Master", dst="S_CNT"),
+            ev("rd1", src="Master", dst="S_CNT"),
+            ev("addr1", src="Master", dst="S_CNT"),
+        )
+        .tick(
+            ev("req2", src="S_CNT", dst="env"),
+            ev("rd2", src="S_CNT", dst="env"),
+            ev("addr2", src="S_CNT", dst="env"),
+        )
+        .tick(ev("rdy1", src="S_CNT", dst="Master"))
+        .tick(ev("data1", src="S_CNT", dst="Master"))
+        .arrow("rdy_done", cause="req1", effect="rdy1")
+        .build()
+    )
+    m2 = (
+        scesc("M2", clock=clk2)
+        .instances("M_CNT", "Slave")
+        .tick(
+            ev("req3", src="M_CNT", dst="Slave"),
+            ev("rd3", src="M_CNT", dst="Slave"),
+            ev("addr3", src="M_CNT", dst="Slave"),
+        )
+        .tick(ev("rdy3", src="Slave", dst="M_CNT"))
+        .tick(ev("data3", src="Slave", dst="M_CNT"))
+        .build()
+    )
+    arrows = [
+        CrossArrow("e4", "M1", EventRefInChart(1, "req2"),
+                   "M2", EventRefInChart(0, "req3")),
+        CrossArrow("e5", "M2", EventRefInChart(2, "data3"),
+                   "M1", EventRefInChart(3, "data1")),
+    ]
+    return AsyncPar([m1, m2], cross_arrows=arrows, name="read_multiclock")
+
+
+class ReadMaster:
+    """Master-side model for Figure 1: request then await data."""
+
+    def __init__(self, signals: Dict[str, Signal],
+                 request_cycles: List[int]):
+        self._signals = signals
+        self._requests = sorted(request_cycles)
+
+    def process(self, sim: Simulator, cycle: int) -> None:
+        if cycle in self._requests:
+            for name in ("req1", "rd1", "addr1"):
+                self._signals[name].pulse()
+
+
+class ReadSlaveController:
+    """S_CNT model: forwards the request, then signals ready and data."""
+
+    def __init__(self, signals: Dict[str, Signal],
+                 drop_data: bool = False):
+        self._signals = signals
+        self._drop_data = drop_data
+        self._forward_at: List[int] = []
+        self._ready_at: List[int] = []
+        self._data_at: List[int] = []
+
+    def process(self, sim: Simulator, cycle: int) -> None:
+        if cycle in self._forward_at:
+            for name in ("req2", "rd2", "addr2"):
+                self._signals[name].pulse()
+        if cycle in self._ready_at:
+            self._signals["rdy1"].pulse()
+        if cycle in self._data_at and not self._drop_data:
+            self._signals["data1"].pulse()
+
+    def react(self, sim: Simulator, cycle: int) -> None:
+        """Level-1: schedule the pipeline when a request lands."""
+        if self._signals["req1"].value:
+            self._forward_at.append(cycle + 1)
+            self._ready_at.append(cycle + 2)
+            self._data_at.append(cycle + 3)

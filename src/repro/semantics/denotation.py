@@ -1,0 +1,312 @@
+"""Chart denotations: the run-satisfaction relation ``r |= C``.
+
+"Intuitively, it can be seen that for every run associated with an
+SCESC there is a finite interval in which the events occur according to
+the ordering specified by the SCESC" (Figure 3).  This module decides
+that relation directly from the chart syntax — *independently* of the
+monitor construction — so it serves as the ground-truth oracle when
+testing the paper's correctness claim ``[[C]] = Sigma* . L(M) . Sigma^w``.
+
+Window matching is defined recursively over the chart tree:
+
+* ``SCESC`` — the window has exactly ``n`` ticks and each tick's
+  valuation satisfies the corresponding pattern expression (causality
+  arrows inside an SCESC are subsumed by the pattern: the cause event
+  is required at its own grid line);
+* ``Seq`` — the window splits into consecutive child windows;
+* ``Par`` — every child matches a prefix of the window, the window
+  being as long as the longest child (shorter children are padded with
+  unconstrained ticks);
+* ``Alt`` — some child matches the window;
+* ``Loop`` — the window splits into ``count`` (or, unbounded, any
+  positive number of) consecutive body windows;
+* ``Implication`` — treated at the run level: every antecedent window
+  is immediately followed by a consequent window.
+
+Multi-clock satisfaction (``AsyncPar``) projects the global run onto
+each component clock, requires a matching window per component, and
+checks cross-domain causality arrows by *absolute time*.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.cesc.ast import SCESC
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+    as_chart,
+)
+from repro.errors import ChartError
+from repro.semantics.run import GlobalRun, Trace
+
+__all__ = [
+    "matches_window",
+    "chart_window_lengths",
+    "satisfying_windows",
+    "run_satisfies",
+    "global_run_satisfies",
+]
+
+
+def _scesc_matches(scesc: SCESC, trace: Trace, start: int) -> bool:
+    pattern = scesc.pattern_exprs()
+    if start + len(pattern) > trace.length:
+        return False
+    return all(
+        expr.evaluate(trace[start + offset])
+        for offset, expr in enumerate(pattern)
+    )
+
+
+def chart_window_lengths(chart: Chart, limit: int) -> FrozenSet[int]:
+    """All window lengths ``<= limit`` the chart can denote."""
+    chart = as_chart(chart)
+    if isinstance(chart, ScescChart):
+        n = chart.scesc.n_ticks
+        return frozenset({n} if n <= limit else ())
+    if isinstance(chart, Seq):
+        lengths: Set[int] = {0}
+        for child in chart.children:
+            child_lengths = chart_window_lengths(child, limit)
+            lengths = {
+                a + b for a in lengths for b in child_lengths if a + b <= limit
+            }
+        return frozenset(lengths)
+    if isinstance(chart, Par):
+        best: Set[int] = set()
+        per_child = [chart_window_lengths(c, limit) for c in chart.children]
+        if any(not lengths for lengths in per_child):
+            return frozenset()
+        import itertools
+
+        for combo in itertools.product(*per_child):
+            value = max(combo)
+            if value <= limit:
+                best.add(value)
+        return frozenset(best)
+    if isinstance(chart, Alt):
+        lengths = set()
+        for child in chart.children:
+            lengths |= chart_window_lengths(child, limit)
+        return frozenset(lengths)
+    if isinstance(chart, Loop):
+        body = chart_window_lengths(chart.body, limit)
+        if chart.count is not None:
+            lengths = {0}
+            for _ in range(chart.count):
+                lengths = {
+                    a + b for a in lengths for b in body if a + b <= limit
+                }
+            return frozenset(lengths)
+        reachable: Set[int] = set()
+        frontier: Set[int] = set(body)
+        while frontier:
+            reachable |= frontier
+            frontier = {
+                a + b for a in frontier for b in body if a + b <= limit
+            } - reachable
+        return frozenset(reachable)
+    if isinstance(chart, Implication):
+        raise ChartError(
+            "implication denotes a run property, not a window language; "
+            "use run_satisfies"
+        )
+    raise ChartError(f"no window semantics for {chart!r}")
+
+
+def matches_window(chart: Chart, trace: Trace, start: int, length: int) -> bool:
+    """Does ``trace[start : start+length]`` realise the chart's scenario?"""
+    chart = as_chart(chart)
+    if start < 0 or start + length > trace.length:
+        return False
+    if isinstance(chart, ScescChart):
+        return (
+            length == chart.scesc.n_ticks
+            and _scesc_matches(chart.scesc, trace, start)
+        )
+    if isinstance(chart, Seq):
+        return _matches_seq(tuple(chart.children), trace, start, length)
+    if isinstance(chart, Par):
+        lengths = [chart_window_lengths(c, length) for c in chart.children]
+        if any(not ls for ls in lengths):
+            return False
+        import itertools
+
+        for combo in itertools.product(*lengths):
+            if max(combo) != length:
+                continue
+            if all(
+                matches_window(child, trace, start, child_len)
+                for child, child_len in zip(chart.children, combo)
+            ):
+                return True
+        return False
+    if isinstance(chart, Alt):
+        return any(
+            matches_window(child, trace, start, length)
+            for child in chart.children
+        )
+    if isinstance(chart, Loop):
+        return _matches_loop(chart, trace, start, length)
+    raise ChartError(f"no window semantics for {chart!r}")
+
+
+def _matches_seq(children: Tuple[Chart, ...], trace: Trace, start: int,
+                 length: int) -> bool:
+    if not children:
+        return length == 0
+    head, tail = children[0], children[1:]
+    for head_length in sorted(chart_window_lengths(head, length)):
+        if head_length > length:
+            break
+        if matches_window(head, trace, start, head_length) and _matches_seq(
+            tail, trace, start + head_length, length - head_length
+        ):
+            return True
+    return False
+
+
+def _matches_loop(chart: Loop, trace: Trace, start: int, length: int) -> bool:
+    body = chart.body
+    body_lengths = sorted(chart_window_lengths(body, length))
+
+    def consume(position: int, remaining: int, iterations: int) -> bool:
+        if remaining == 0:
+            if chart.count is not None:
+                return iterations == chart.count
+            return iterations >= 1
+        if chart.count is not None and iterations >= chart.count:
+            return False
+        for body_length in body_lengths:
+            if body_length == 0 or body_length > remaining:
+                continue
+            if matches_window(body, trace, position, body_length) and consume(
+                position + body_length, remaining - body_length, iterations + 1
+            ):
+                return True
+        return False
+
+    return consume(start, length, 0)
+
+
+def satisfying_windows(chart: Chart, trace: Trace) -> List[Tuple[int, int]]:
+    """All ``(start, length)`` windows of ``trace`` matching the chart."""
+    chart = as_chart(chart)
+    windows: List[Tuple[int, int]] = []
+    lengths = sorted(chart_window_lengths(chart, trace.length))
+    for start in range(trace.length + 1):
+        for length in lengths:
+            if start + length <= trace.length and matches_window(
+                chart, trace, start, length
+            ):
+                windows.append((start, length))
+    return windows
+
+
+def run_satisfies(chart: Chart, trace: Trace) -> bool:
+    """The satisfaction relation ``r |= C`` on a finite run prefix.
+
+    For window charts this is Figure 3's "some finite interval
+    matches".  For :class:`~repro.cesc.charts.Implication` it is the
+    safety reading: every antecedent window is immediately followed by
+    a matching consequent window (antecedent windows too close to the
+    end of the finite prefix to decide are ignored — the prefix is
+    *not* a counterexample).
+    """
+    chart = as_chart(chart)
+    if isinstance(chart, Implication):
+        lengths = chart_window_lengths(chart.consequent, trace.length + 1)
+        open_ended = _has_unbounded_loop(chart.consequent)
+        for start, length in satisfying_windows(chart.antecedent, trace):
+            follow = start + length
+            decidable = [n for n in lengths if follow + n <= trace.length]
+            if any(
+                matches_window(chart.consequent, trace, follow, n)
+                for n in decidable
+            ):
+                continue
+            undecided = open_ended or any(
+                follow + n > trace.length for n in lengths
+            )
+            if not undecided:
+                return False
+        return True
+    return bool(satisfying_windows(chart, trace))
+
+
+def _has_unbounded_loop(chart: Chart) -> bool:
+    chart = as_chart(chart)
+    if isinstance(chart, Loop):
+        return chart.count is None or _has_unbounded_loop(chart.body)
+    if isinstance(chart, (Seq, Par, Alt)):
+        return any(_has_unbounded_loop(c) for c in chart.children)
+    if isinstance(chart, Implication):
+        return _has_unbounded_loop(chart.antecedent) or _has_unbounded_loop(
+            chart.consequent
+        )
+    return False
+
+
+def global_run_satisfies(chart: AsyncPar, run: GlobalRun) -> bool:
+    """Multi-clock satisfaction of an asynchronous composition.
+
+    Each component chart must match a window of its clock's projection,
+    and every cross-domain causality arrow must be realised with the
+    cause occurring at a strictly earlier absolute time than the
+    effect.
+    """
+    if not isinstance(chart, AsyncPar):
+        raise ChartError("global_run_satisfies requires an AsyncPar chart")
+
+    component_windows: List[List[Tuple[str, int, int]]] = []
+    projections = {}
+    clock_of = {}
+    for child in chart.children:
+        clocks = child.clocks()
+        if len(clocks) != 1:
+            raise ChartError(
+                f"async component {child.name!r} must be single-clocked"
+            )
+        clock = next(iter(clocks))
+        clock_of[child.name] = clock
+        projection = run.project(clock.name)
+        projections[child.name] = projection
+        windows = satisfying_windows(child, projection)
+        if not windows:
+            return False
+        component_windows.append(
+            [(child.name, start, length) for start, length in windows]
+        )
+
+    import itertools
+
+    for assignment in itertools.product(*component_windows):
+        starts = {name: start for name, start, _ in assignment}
+        if _cross_arrows_respected(chart, run, clock_of, starts):
+            return True
+    return False
+
+
+def _cross_arrows_respected(chart: AsyncPar, run: GlobalRun, clock_of,
+                            starts) -> bool:
+    for arrow in chart.cross_arrows:
+        cause_clock = clock_of[arrow.source_chart]
+        effect_clock = clock_of[arrow.target_chart]
+        cause_times = run.tick_times(cause_clock.name)
+        effect_times = run.tick_times(effect_clock.name)
+        cause_index = starts[arrow.source_chart] + arrow.cause.tick_index
+        effect_index = starts[arrow.target_chart] + arrow.effect.tick_index
+        if cause_index >= len(cause_times) or effect_index >= len(effect_times):
+            return False
+        if not cause_times[cause_index] < effect_times[effect_index]:
+            return False
+    return True

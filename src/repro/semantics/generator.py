@@ -1,0 +1,244 @@
+"""Trace generation: random noise, chart-satisfying and chart-violating runs.
+
+Used by tests (oracle-vs-monitor agreement), benchmarks (workload
+generation) and the fault-injection flow.  All generation is seeded and
+deterministic.
+
+The satisfying generator embeds a window that realises the chart inside
+random noise, mirroring Figure 3: "for every run associated with an
+SCESC there is a finite interval in which the events occur according to
+the ordering specified by the SCESC" — with an *arbitrary* starting
+point.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cesc.ast import SCESC, Clock
+from repro.cesc.charts import AsyncPar, Chart, ScescChart, as_chart
+from repro.errors import ChartError
+from repro.logic.expr import Expr
+from repro.logic.sat import satisfying_assignment
+from repro.logic.valuation import Valuation
+from repro.semantics.run import GlobalRun, Trace
+
+__all__ = ["TraceGenerator"]
+
+
+class TraceGenerator:
+    """Seeded generator of traces relative to a chart's alphabet."""
+
+    def __init__(self, chart: Chart, seed: int = 0,
+                 noise_density: float = 0.3):
+        self._chart = as_chart(chart)
+        self._alphabet = tuple(sorted(self._chart.alphabet()))
+        self._rng = random.Random(seed)
+        self._noise_density = noise_density
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        return self._alphabet
+
+    # -- primitive draws -------------------------------------------------
+    def random_valuation(self) -> Valuation:
+        """A random valuation with ``noise_density`` expected true symbols."""
+        true = {
+            s for s in self._alphabet if self._rng.random() < self._noise_density
+        }
+        return Valuation(true, self._alphabet)
+
+    def random_trace(self, length: int) -> Trace:
+        """Pure noise — no scenario intentionally embedded."""
+        return Trace(
+            [self.random_valuation() for _ in range(length)], self._alphabet
+        )
+
+    # -- satisfying windows -------------------------------------------------
+    def valuation_matching(self, expr: Expr,
+                           minimal: bool = False) -> Valuation:
+        """Some valuation over the alphabet satisfying ``expr``.
+
+        With ``minimal`` the unconstrained symbols are left false;
+        otherwise they are randomised (the scenario tolerates unrelated
+        activity, as real bus traffic would show).
+        """
+        model = satisfying_assignment([expr])
+        if model is None:
+            raise ChartError(f"pattern element {expr!r} is unsatisfiable")
+        forced_true = {
+            name for (kind, name), value in model.items()
+            if kind in ("e", "p") and value
+        }
+        forced_false = {
+            name for (kind, name), value in model.items()
+            if kind in ("e", "p") and not value
+        }
+        true = set(forced_true)
+        if not minimal:
+            for symbol in self._alphabet:
+                if symbol in forced_true or symbol in forced_false:
+                    continue
+                if self._rng.random() < self._noise_density:
+                    candidate = true | {symbol}
+                    if expr.evaluate(Valuation(candidate, self._alphabet)):
+                        true = candidate
+        alphabet = set(self._alphabet) | forced_true
+        return Valuation(true | forced_true, alphabet)
+
+    def scenario_window(self, scesc: Optional[SCESC] = None,
+                        minimal: bool = False) -> Trace:
+        """A window of valuations realising the (single) SCESC scenario."""
+        leaf = scesc
+        if leaf is None:
+            leaves = self._chart.leaves()
+            if len(leaves) != 1:
+                raise ChartError(
+                    "scenario_window without argument needs a single-leaf chart"
+                )
+            leaf = leaves[0]
+        return Trace(
+            [
+                self.valuation_matching(expr, minimal=minimal)
+                for expr in leaf.pattern_exprs()
+            ],
+            self._alphabet,
+        )
+
+    def satisfying_trace(self, scesc: Optional[SCESC] = None,
+                         prefix: int = 0, suffix: int = 0,
+                         minimal_window: bool = False) -> Trace:
+        """Noise, then a full scenario window, then noise."""
+        window = self.scenario_window(scesc, minimal=minimal_window)
+        return (
+            self.random_trace(prefix)
+            .concat(window)
+            .concat(self.random_trace(suffix))
+        )
+
+    # -- violating traces --------------------------------------------------
+    def violating_window(self, scesc: Optional[SCESC] = None,
+                         break_at: Optional[int] = None) -> Trace:
+        """A near-miss window: one tick's constraint is falsified.
+
+        The scenario proceeds correctly up to ``break_at`` (random by
+        default) where the grid-line expression is made false; the
+        remaining ticks are noise.
+        """
+        leaf = scesc
+        if leaf is None:
+            leaves = self._chart.leaves()
+            if len(leaves) != 1:
+                raise ChartError(
+                    "violating_window without argument needs a single-leaf chart"
+                )
+            leaf = leaves[0]
+        pattern = leaf.pattern_exprs()
+        index = (
+            break_at
+            if break_at is not None
+            else self._rng.randrange(len(pattern))
+        )
+        if not (0 <= index < len(pattern)):
+            raise ChartError(f"break_at {index} outside pattern of length "
+                             f"{len(pattern)}")
+        valuations: List[Valuation] = []
+        for position, expr in enumerate(pattern):
+            if position == index:
+                valuations.append(self._falsifying_valuation(expr))
+            else:
+                valuations.append(self.valuation_matching(expr))
+        return Trace(valuations, self._alphabet)
+
+    def _falsifying_valuation(self, expr: Expr) -> Valuation:
+        for _ in range(64):
+            candidate = self.random_valuation()
+            if not expr.evaluate(candidate):
+                return candidate
+        # Dense expressions: fall back to SAT on the negation.
+        from repro.logic.expr import Not
+
+        model = satisfying_assignment([Not(expr)])
+        if model is None:
+            raise ChartError(f"pattern element {expr!r} is a tautology; "
+                             "cannot construct a violating tick")
+        true = {
+            name for (kind, name), value in model.items()
+            if kind in ("e", "p") and value
+        }
+        return Valuation(true & set(self._alphabet), self._alphabet)
+
+    # -- multi-clock --------------------------------------------------------
+    def global_run(self, chart: AsyncPar, cycles: int = 12,
+                   satisfy: bool = True) -> GlobalRun:
+        """A global run for an async composition.
+
+        With ``satisfy`` each component's scenario is embedded at a
+        start offset consistent with the cross-domain arrows (causes
+        strictly earlier in absolute time than effects); otherwise the
+        domains carry pure noise.
+        """
+        if not isinstance(chart, AsyncPar):
+            raise ChartError("global_run requires an AsyncPar chart")
+        domains: Dict[Clock, Trace] = {}
+        offsets: Dict[str, int] = {}
+        order = self._schedule_offsets(chart) if satisfy else {
+            child.name: 0 for child in chart.children
+        }
+        for child in chart.children:
+            clocks = child.clocks()
+            if len(clocks) != 1:
+                raise ChartError("async components must be single-clocked")
+            clock = next(iter(clocks))
+            leaves = child.leaves()
+            if len(leaves) != 1:
+                raise ChartError(
+                    "global_run supports single-SCESC components"
+                )
+            leaf = leaves[0]
+            offset = order[child.name]
+            offsets[child.name] = offset
+            length = max(cycles, offset + leaf.n_ticks)
+            generator = TraceGenerator(
+                ScescChart(leaf), seed=self._rng.randrange(1 << 30),
+                noise_density=0.0,
+            )
+            if satisfy:
+                window = generator.scenario_window(leaf, minimal=True)
+                pieces = (
+                    generator.random_trace(offset)
+                    .concat(window)
+                    .concat(generator.random_trace(length - offset - leaf.n_ticks))
+                )
+            else:
+                pieces = generator.random_trace(length)
+            domains[clock] = pieces
+        return GlobalRun.merge(domains)
+
+    def _schedule_offsets(self, chart: AsyncPar) -> Dict[str, int]:
+        """Start offsets per component making cross arrows time-respecting."""
+        offsets = {child.name: 0 for child in chart.children}
+        clock_of: Dict[str, Clock] = {}
+        for child in chart.children:
+            clock_of[child.name] = next(iter(child.clocks()))
+        for _ in range(32):
+            adjusted = False
+            for arrow in chart.cross_arrows:
+                cause_clock = clock_of[arrow.source_chart]
+                effect_clock = clock_of[arrow.target_chart]
+                cause_time = cause_clock.tick_time(
+                    offsets[arrow.source_chart] + arrow.cause.tick_index
+                )
+                effect_time = effect_clock.tick_time(
+                    offsets[arrow.target_chart] + arrow.effect.tick_index
+                )
+                if cause_time >= effect_time:
+                    offsets[arrow.target_chart] += 1
+                    adjusted = True
+            if not adjusted:
+                return offsets
+        raise ChartError(
+            "could not schedule component offsets satisfying cross arrows"
+        )

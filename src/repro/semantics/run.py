@@ -1,0 +1,195 @@
+"""Runs and traces: sequences of states along clock ticks.
+
+A :class:`Trace` is a finite, single-clock run prefix — what a monitor
+actually reads.  A :class:`GlobalRun` is the paper's multi-clock run:
+"a global run is defined over a global clock, which is obtained as a
+union of clock ticks contributed by all the component clocks in the
+system".  :func:`GlobalRun.merge` builds that union from per-domain
+traces, tagging each global tick with the set of clocks that tick at
+that instant.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cesc.ast import Clock
+from repro.errors import ChartError
+from repro.logic.valuation import Valuation
+
+__all__ = ["Trace", "GlobalTick", "GlobalRun"]
+
+
+class Trace:
+    """A finite single-clock run prefix: one valuation per clock tick."""
+
+    __slots__ = ("valuations", "alphabet")
+
+    def __init__(self, valuations: Iterable[Valuation],
+                 alphabet: Optional[Iterable[str]] = None):
+        vals = tuple(valuations)
+        if alphabet is None:
+            symbols = set()
+            for valuation in vals:
+                symbols |= valuation.alphabet
+            alpha = frozenset(symbols)
+        else:
+            alpha = frozenset(alphabet)
+        object.__setattr__(self, "valuations", vals)
+        object.__setattr__(self, "alphabet", alpha)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Trace is immutable")
+
+    @classmethod
+    def from_sets(cls, true_sets: Iterable[Iterable[str]],
+                  alphabet: Optional[Iterable[str]] = None) -> "Trace":
+        """Build a trace from per-tick sets of true symbols.
+
+        >>> Trace.from_sets([{"req"}, set(), {"ack"}]).length
+        3
+        """
+        sets = [frozenset(s) for s in true_sets]
+        if alphabet is None:
+            alphabet = frozenset().union(*sets) if sets else frozenset()
+        alpha = frozenset(alphabet)
+        return cls([Valuation(s, alpha) for s in sets], alpha)
+
+    @property
+    def length(self) -> int:
+        return len(self.valuations)
+
+    def window(self, start: int, length: int) -> "Trace":
+        """Sub-trace ``[start, start+length)``."""
+        if start < 0 or start + length > self.length:
+            raise ChartError(
+                f"window [{start}, {start + length}) outside trace of "
+                f"length {self.length}"
+            )
+        return Trace(self.valuations[start:start + length], self.alphabet)
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            self.valuations + other.valuations, self.alphabet | other.alphabet
+        )
+
+    def __getitem__(self, index: int) -> Valuation:
+        return self.valuations[index]
+
+    def __len__(self) -> int:
+        return len(self.valuations)
+
+    def __iter__(self) -> Iterator[Valuation]:
+        return iter(self.valuations)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Trace)
+            and self.valuations == other.valuations
+            and self.alphabet == other.alphabet
+        )
+
+    def __hash__(self):
+        return hash((self.valuations, self.alphabet))
+
+    def __repr__(self):
+        inner = "; ".join(repr(v) for v in self.valuations)
+        return f"Trace[{inner}]"
+
+
+class GlobalTick:
+    """One instant of the global clock.
+
+    ``time`` is the absolute instant; ``clocks`` the names of component
+    clocks ticking then; ``valuations`` maps each such clock to the
+    valuation its domain observes at that instant.
+    """
+
+    __slots__ = ("time", "clocks", "valuations")
+
+    def __init__(self, time: Fraction, valuations: Dict[str, Valuation]):
+        object.__setattr__(self, "time", Fraction(time))
+        object.__setattr__(self, "clocks", frozenset(valuations))
+        object.__setattr__(self, "valuations", dict(valuations))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("GlobalTick is immutable")
+
+    def valuation_for(self, clock_name: str) -> Optional[Valuation]:
+        return self.valuations.get(clock_name)
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{name}:{self.valuations[name]!r}" for name in sorted(self.clocks)
+        )
+        return f"GlobalTick(t={self.time}, {parts})"
+
+
+class GlobalRun:
+    """A finite multi-clock run: global ticks ordered by absolute time."""
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, ticks: Sequence[GlobalTick]):
+        ordered = tuple(ticks)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if earlier.time >= later.time:
+                raise ChartError("global ticks must be strictly increasing in time")
+        object.__setattr__(self, "ticks", ordered)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("GlobalRun is immutable")
+
+    @classmethod
+    def merge(cls, domains: Dict[Clock, Trace]) -> "GlobalRun":
+        """Union of component clock ticks — the paper's global clock.
+
+        Each domain contributes ticks at ``phase + i * period``; ticks
+        of different clocks landing at the same instant share one
+        global tick.
+        """
+        by_time: Dict[Fraction, Dict[str, Valuation]] = {}
+        for clock, trace in domains.items():
+            for index, valuation in enumerate(trace):
+                time = clock.tick_time(index)
+                by_time.setdefault(time, {})[clock.name] = valuation
+        ticks = [
+            GlobalTick(time, by_time[time]) for time in sorted(by_time)
+        ]
+        return cls(ticks)
+
+    def project(self, clock_name: str) -> Trace:
+        """The local trace a given clock domain observes."""
+        valuations = [
+            tick.valuations[clock_name]
+            for tick in self.ticks
+            if clock_name in tick.clocks
+        ]
+        return Trace(valuations)
+
+    def tick_times(self, clock_name: str) -> List[Fraction]:
+        """Absolute times at which ``clock_name`` ticks."""
+        return [t.time for t in self.ticks if clock_name in t.clocks]
+
+    def clock_names(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for tick in self.ticks:
+            names |= tick.clocks
+        return names
+
+    @property
+    def length(self) -> int:
+        return len(self.ticks)
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def __iter__(self) -> Iterator[GlobalTick]:
+        return iter(self.ticks)
+
+    def __getitem__(self, index: int) -> GlobalTick:
+        return self.ticks[index]
+
+    def __repr__(self):
+        return f"GlobalRun({len(self.ticks)} ticks, clocks={sorted(self.clock_names())})"

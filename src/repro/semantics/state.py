@@ -1,0 +1,97 @@
+"""States: the paper's ``s = (f1, f2)`` truth assignments.
+
+A :class:`State` records which propositions and which events are true
+at one clock tick, keeping the paper's two-component structure
+(``f1 : PROP -> Bool``, ``f2 : EVENTS -> Bool``) while exposing a flat
+:class:`~repro.logic.valuation.Valuation` view for expression
+evaluation (event and proposition namespaces are disjoint by
+construction — :mod:`repro.cesc.validate` enforces this at chart
+level).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.errors import ExprError
+from repro.logic.valuation import Valuation
+
+__all__ = ["State"]
+
+
+class State:
+    """Truth assignment over propositions and events at one tick."""
+
+    __slots__ = ("true_events", "true_props", "event_alphabet", "prop_alphabet")
+
+    def __init__(
+        self,
+        true_events: Iterable[str] = (),
+        true_props: Iterable[str] = (),
+        event_alphabet: Optional[Iterable[str]] = None,
+        prop_alphabet: Optional[Iterable[str]] = None,
+    ):
+        events = frozenset(true_events)
+        props = frozenset(true_props)
+        event_alpha = frozenset(event_alphabet) if event_alphabet is not None else events
+        prop_alpha = frozenset(prop_alphabet) if prop_alphabet is not None else props
+        if not events <= event_alpha:
+            raise ExprError("true events must lie within the event alphabet")
+        if not props <= prop_alpha:
+            raise ExprError("true props must lie within the prop alphabet")
+        overlap = event_alpha & prop_alpha
+        if overlap:
+            raise ExprError(
+                f"symbols {sorted(overlap)} appear in both EVENTS and PROP"
+            )
+        object.__setattr__(self, "true_events", events)
+        object.__setattr__(self, "true_props", props)
+        object.__setattr__(self, "event_alphabet", event_alpha)
+        object.__setattr__(self, "prop_alphabet", prop_alpha)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("State is immutable")
+
+    # -- the paper's projections -----------------------------------------
+    def f1(self, prop: str) -> bool:
+        """Truth of a proposition (the paper's ``pi_1(s)``)."""
+        return prop in self.true_props
+
+    def f2(self, event: str) -> bool:
+        """Truth of an event (the paper's ``pi_2(s)``)."""
+        return event in self.true_events
+
+    def valuation(self) -> Valuation:
+        """Flat valuation over the combined alphabet."""
+        return Valuation(
+            self.true_events | self.true_props,
+            self.event_alphabet | self.prop_alphabet,
+        )
+
+    def is_true(self, symbol: str) -> bool:
+        """Uniform lookup used by expression evaluation."""
+        return symbol in self.true_events or symbol in self.true_props
+
+    def __eq__(self, other):
+        return isinstance(other, State) and (
+            self.true_events,
+            self.true_props,
+            self.event_alphabet,
+            self.prop_alphabet,
+        ) == (
+            other.true_events,
+            other.true_props,
+            other.event_alphabet,
+            other.prop_alphabet,
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.true_events, self.true_props, self.event_alphabet,
+             self.prop_alphabet)
+        )
+
+    def __repr__(self):
+        events = ",".join(sorted(self.true_events)) or "-"
+        props = ",".join(sorted(self.true_props)) or "-"
+        return f"State(events={{{events}}}, props={{{props}}})"

@@ -1,0 +1,158 @@
+"""The cycle-based multi-clock simulation kernel.
+
+Execution model (per global instant, instants ordered by absolute
+time, simultaneous clock ticks share one instant):
+
+1. *pulse expiry* — event signals owned by a ticking domain drop
+   pulses not re-armed;
+2. *level 0* (sequential drivers) — processes read committed values
+   and stage writes; writes commit when the level completes;
+3. *level 1..k* (combinational responders) — may react to values
+   committed by lower levels within the same instant (e.g. OCP's
+   same-cycle ``SCmd_accept``); commit after each level;
+4. *samplers* — observers (trace recorders, monitors, VCD) read the
+   settled values of the instant.
+
+A process is any callable ``fn(sim, tick_index)`` registered for a
+clock at a level.  The kernel owns signals per clock domain so pulse
+expiry follows the right clock in GALS setups.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.sim.signal import Signal
+
+__all__ = ["Simulator"]
+
+ProcessFn = Callable[["Simulator", int], None]
+SamplerFn = Callable[["Simulator", int, Fraction], None]
+
+
+class Simulator:
+    """Multi-clock cycle simulator with leveled two-phase processes."""
+
+    def __init__(self):
+        self._clocks: Dict[str, Clock] = {}
+        self._signals: Dict[str, Signal] = {}
+        self._domain_of: Dict[str, str] = {}
+        self._processes: Dict[str, List[Tuple[int, ProcessFn]]] = {}
+        self._samplers: Dict[str, List[SamplerFn]] = {}
+        self._tick_counts: Dict[str, int] = {}
+        self._now: Fraction = Fraction(0)
+
+    # -- construction ------------------------------------------------------
+    def add_clock(self, clock: Clock) -> Clock:
+        if clock.name in self._clocks:
+            raise SimulationError(f"clock {clock.name!r} already registered")
+        self._clocks[clock.name] = clock
+        self._processes[clock.name] = []
+        self._samplers[clock.name] = []
+        self._tick_counts[clock.name] = 0
+        return clock
+
+    def signal(self, name: str, clock: Clock, init=False,
+               width: int = 1) -> Signal:
+        """Create a signal owned by ``clock``'s domain."""
+        if name in self._signals:
+            raise SimulationError(f"signal {name!r} already exists")
+        if clock.name not in self._clocks:
+            raise SimulationError(f"clock {clock.name!r} not registered")
+        sig = Signal(name, init=init, width=width)
+        self._signals[name] = sig
+        self._domain_of[name] = clock.name
+        return sig
+
+    def get_signal(self, name: str) -> Signal:
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise SimulationError(f"no signal named {name!r}")
+
+    def add_process(self, clock: Clock, fn: ProcessFn, level: int = 0) -> None:
+        """Register a driver at ``level`` (0 = sequential, >=1 reactive)."""
+        if clock.name not in self._clocks:
+            raise SimulationError(f"clock {clock.name!r} not registered")
+        self._processes[clock.name].append((level, fn))
+
+    def add_sampler(self, clock: Clock, fn: SamplerFn) -> None:
+        """Register an observer called with settled values each tick."""
+        if clock.name not in self._clocks:
+            raise SimulationError(f"clock {clock.name!r} not registered")
+        self._samplers[clock.name].append(fn)
+
+    # -- state --------------------------------------------------------------
+    @property
+    def now(self) -> Fraction:
+        return self._now
+
+    def tick_count(self, clock: Clock) -> int:
+        return self._tick_counts[clock.name]
+
+    def clocks(self) -> List[Clock]:
+        return list(self._clocks.values())
+
+    # -- execution ------------------------------------------------------------
+    def _domain_signals(self, clock_names: List[str]) -> List[Signal]:
+        return [
+            sig for name, sig in self._signals.items()
+            if self._domain_of[name] in clock_names
+        ]
+
+    def _commit_domains(self, clock_names: List[str]) -> None:
+        for sig in self._domain_signals(clock_names):
+            sig.commit()
+
+    def run_instant(self, time: Fraction, clock_names: List[str]) -> None:
+        """Execute one global instant for the given ticking clocks."""
+        self._now = time
+        ticking = sorted(clock_names)
+        for sig in self._domain_signals(ticking):
+            sig.expire_pulse()
+
+        levels = sorted(
+            {level for name in ticking for level, _ in self._processes[name]}
+        )
+        for level in levels:
+            for name in ticking:
+                index = self._tick_counts[name]
+                for process_level, fn in self._processes[name]:
+                    if process_level == level:
+                        fn(self, index)
+            self._commit_domains(ticking)
+
+        for name in ticking:
+            index = self._tick_counts[name]
+            for sampler in self._samplers[name]:
+                sampler(self, index, time)
+            self._tick_counts[name] = index + 1
+
+    def run_until(self, horizon: Fraction) -> None:
+        """Run every clock tick strictly before ``horizon`` in time order."""
+        if not self._clocks:
+            raise SimulationError("no clocks registered")
+        schedule: Dict[Fraction, List[str]] = {}
+        for name, clock in self._clocks.items():
+            start = self._tick_counts[name]
+            index = start
+            while clock.tick_time(index) < horizon:
+                schedule.setdefault(clock.tick_time(index), []).append(name)
+                index += 1
+        for time in sorted(schedule):
+            if time < self._now:
+                raise SimulationError(
+                    f"instant {time} precedes current time {self._now}"
+                )
+            self.run_instant(time, schedule[time])
+
+    def run_cycles(self, clock: Clock, cycles: int) -> None:
+        """Run until ``clock`` has completed ``cycles`` more ticks."""
+        target = self._tick_counts[clock.name] + cycles
+        # Ticks strictly before the (target+1)-th tick time, i.e. the
+        # next ``cycles`` ticks of this clock plus any other-domain
+        # ticks falling in the same span.
+        self.run_until(clock.tick_time(target))

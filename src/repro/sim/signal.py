@@ -1,0 +1,87 @@
+"""Signals: two-phase values with persistent levels and one-tick pulses.
+
+Writers stage a value with :meth:`Signal.set` (persists until
+overwritten) or :meth:`Signal.pulse` (auto-clears after one tick of the
+owning clock domain); the kernel commits staged writes between process
+levels.  Reading always returns the committed value, so process
+ordering within a level cannot cause races.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import SimulationError
+
+__all__ = ["Signal"]
+
+_UNSET = object()
+
+
+class Signal:
+    """A named value wire with staged (two-phase) writes.
+
+    ``width`` is informational (used by the VCD writer); values are
+    Python bools/ints.  Event-like signals are bools driven with
+    :meth:`pulse`.
+    """
+
+    def __init__(self, name: str, init: Union[bool, int] = False,
+                 width: int = 1):
+        if not name:
+            raise SimulationError("signal name must be non-empty")
+        self.name = name
+        self.width = int(width)
+        self._value = init
+        self._staged = _UNSET
+        self._pulse_armed = False
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def value(self):
+        """The committed value (what every reader sees this phase)."""
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    # -- writing -----------------------------------------------------------
+    def set(self, value: Union[bool, int]) -> None:
+        """Stage a persistent write (visible after the next commit)."""
+        self._staged = value
+        self._pulse_armed = False
+
+    def pulse(self) -> None:
+        """Stage a one-tick ``True``; auto-clears at the next tick."""
+        self._staged = True
+        self._pulse_armed = True
+
+    def clear(self) -> None:
+        self.set(False)
+
+    # -- kernel hooks --------------------------------------------------------
+    def commit(self) -> bool:
+        """Apply the staged write; returns True if the value changed."""
+        if self._staged is _UNSET:
+            return False
+        changed = self._staged != self._value
+        self._value = self._staged
+        self._staged = _UNSET
+        return changed
+
+    def expire_pulse(self) -> bool:
+        """Drop a pulse that was not re-armed this tick.
+
+        Called by the kernel at the *start* of each tick of the owning
+        domain, before drivers run: a pulse driven last tick reads true
+        during that tick only.
+        """
+        if self._pulse_armed and self._staged is _UNSET:
+            self._pulse_armed = False
+            if self._value:
+                self._value = False
+                return True
+        return False
+
+    def __repr__(self):
+        return f"Signal({self.name}={self._value!r})"

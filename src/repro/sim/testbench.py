@@ -1,0 +1,158 @@
+"""Testbench harness: signals -> valuation traces -> online monitors.
+
+The glue of Figure 4's simulation environment: a
+:class:`TraceRecorder` samples a chosen set of signals each tick of a
+clock into the valuations monitors consume; :class:`Testbench` wires a
+DUT (processes on the simulator), recorders, monitors/checkers/networks
+and an optional VCD dump together.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.logic.valuation import Valuation
+from repro.monitor.automaton import Monitor
+from repro.monitor.engine import MonitorEngine, MonitorResult
+from repro.monitor.scoreboard import Scoreboard
+from repro.semantics.run import GlobalRun, GlobalTick, Trace
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Signal
+from repro.sim.vcd import VcdWriter
+
+__all__ = ["TraceRecorder", "Testbench"]
+
+
+class TraceRecorder:
+    """Samples named signals into per-tick valuations for one domain."""
+
+    def __init__(self, symbol_signals: Mapping[str, Signal]):
+        if not symbol_signals:
+            raise SimulationError("trace recorder needs at least one signal")
+        self._signals = dict(symbol_signals)
+        self._alphabet = frozenset(self._signals)
+        self._valuations: List[Valuation] = []
+        self._times: List[Fraction] = []
+
+    def sample(self, sim: Simulator, tick_index: int, time: Fraction) -> None:
+        true = {
+            symbol for symbol, signal in self._signals.items()
+            if bool(signal.value)
+        }
+        self._valuations.append(Valuation(true, self._alphabet))
+        self._times.append(time)
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self._alphabet
+
+    def trace(self) -> Trace:
+        return Trace(self._valuations, self._alphabet)
+
+    def times(self) -> List[Fraction]:
+        return list(self._times)
+
+    def __len__(self) -> int:
+        return len(self._valuations)
+
+
+class Testbench:
+    """A simulator plus recorders, online monitors and VCD capture."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, simulator: Optional[Simulator] = None):
+        self.sim = simulator if simulator is not None else Simulator()
+        self._recorders: Dict[str, TraceRecorder] = {}
+        self._engines: List[Tuple[str, MonitorEngine, TraceRecorder]] = []
+        self._vcd: Optional[VcdWriter] = None
+
+    # -- wiring ------------------------------------------------------------
+    def record(self, clock: Clock,
+               symbol_signals: Mapping[str, Signal],
+               name: Optional[str] = None) -> TraceRecorder:
+        """Attach a trace recorder to ``clock``; returns it."""
+        recorder = TraceRecorder(symbol_signals)
+        key = name or clock.name
+        if key in self._recorders:
+            raise SimulationError(f"recorder {key!r} already attached")
+        self._recorders[key] = recorder
+        self.sim.add_sampler(clock, recorder.sample)
+        return recorder
+
+    def attach_monitor(self, monitor: Monitor, clock: Clock,
+                       symbol_signals: Mapping[str, Signal],
+                       scoreboard: Optional[Scoreboard] = None,
+                       ) -> MonitorEngine:
+        """Run ``monitor`` online against sampled signals of ``clock``."""
+        recorder = TraceRecorder(symbol_signals)
+        engine = MonitorEngine(monitor, scoreboard=scoreboard)
+
+        def sample_and_step(sim: Simulator, tick_index: int,
+                            time: Fraction) -> None:
+            recorder.sample(sim, tick_index, time)
+            engine.step(recorder.trace()[len(recorder) - 1])
+
+        self.sim.add_sampler(clock, sample_and_step)
+        self._engines.append((monitor.name, engine, recorder))
+        return engine
+
+    def attach_network(self, network,
+                       domain_signals: Mapping[str, Mapping[str, Signal]],
+                       scoreboard: Optional[Scoreboard] = None):
+        """Run a multi-clock monitor network online.
+
+        ``domain_signals`` maps each local monitor's *component name*
+        to its symbol->signal map.  Returns the shared scoreboard and
+        the per-component engines.
+        """
+        shared = scoreboard if scoreboard is not None else Scoreboard()
+        engines: Dict[str, MonitorEngine] = {}
+        for local in network.locals:
+            signals = domain_signals.get(local.component)
+            if signals is None:
+                raise SimulationError(
+                    f"no signal mapping for component {local.component!r}"
+                )
+            engines[local.component] = self.attach_monitor(
+                local.monitor, local.clock, signals, scoreboard=shared
+            )
+        return shared, engines
+
+    def enable_vcd(self, signals: Sequence[Signal],
+                   timescale_denominator: int = 1) -> VcdWriter:
+        """Capture the given signals at every instant of every clock."""
+        writer = VcdWriter(time_scale_factor=timescale_denominator)
+        for signal in signals:
+            writer.register(signal)
+        self._vcd = writer
+        for clock in self.sim.clocks():
+            self.sim.add_sampler(
+                clock,
+                lambda sim, index, time: writer.sample(time),
+            )
+        return writer
+
+    # -- running ---------------------------------------------------------
+    def run(self, clock: Clock, cycles: int) -> None:
+        self.sim.run_cycles(clock, cycles)
+
+    def run_until(self, horizon: Fraction) -> None:
+        self.sim.run_until(horizon)
+
+    # -- results -----------------------------------------------------------
+    def trace(self, name: str) -> Trace:
+        return self._recorders[name].trace()
+
+    def monitor_results(self) -> Dict[str, MonitorResult]:
+        return {
+            name: engine.result() for name, engine, _ in self._engines
+        }
+
+    def vcd_text(self) -> str:
+        if self._vcd is None:
+            raise SimulationError("VCD capture was not enabled")
+        return self._vcd.dump()

@@ -1,0 +1,94 @@
+"""VCD (Value Change Dump) waveform writer.
+
+Standard four-state-free VCD output for the signals of a simulation —
+loadable in GTKWave & co.  Fraction timestamps are scaled to integers
+by the writer's ``timescale_denominator`` (the LCM of the clock period
+denominators works well).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.sim.signal import Signal
+
+__all__ = ["VcdWriter"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th signal."""
+    if index < 0:
+        raise SimulationError("negative signal index")
+    digits = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        digits.append(_ID_CHARS[rem])
+    return "".join(digits)
+
+
+class VcdWriter:
+    """Accumulates value changes; render with :meth:`dump`."""
+
+    def __init__(self, timescale: str = "1ns",
+                 time_scale_factor: int = 1):
+        self._timescale = timescale
+        self._scale = int(time_scale_factor)
+        self._signals: List[Signal] = []
+        self._ids: Dict[str, str] = {}
+        self._scopes: Dict[str, List[Signal]] = {}
+        self._changes: List[Tuple[int, str, Union[bool, int], int]] = []
+        self._last: Dict[str, Union[bool, int]] = {}
+
+    def register(self, signal: Signal, scope: str = "top") -> None:
+        if signal.name in self._ids:
+            raise SimulationError(f"signal {signal.name!r} already registered")
+        self._ids[signal.name] = _identifier(len(self._signals))
+        self._signals.append(signal)
+        self._scopes.setdefault(scope, []).append(signal)
+
+    def sample(self, time: Fraction) -> None:
+        """Record the current values of all registered signals."""
+        scaled = int(time * self._scale)
+        for signal in self._signals:
+            value = signal.value
+            if self._last.get(signal.name, _SENTINEL) != value:
+                self._changes.append(
+                    (scaled, self._ids[signal.name], value, signal.width)
+                )
+                self._last[signal.name] = value
+
+    def dump(self) -> str:
+        """Render the accumulated VCD text."""
+        lines: List[str] = []
+        lines.append(f"$timescale {self._timescale} $end")
+        for scope, signals in self._scopes.items():
+            lines.append(f"$scope module {scope} $end")
+            for signal in signals:
+                kind = "wire"
+                lines.append(
+                    f"$var {kind} {signal.width} {self._ids[signal.name]} "
+                    f"{signal.name} $end"
+                )
+            lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        current_time: Optional[int] = None
+        for time, identifier, value, width in self._changes:
+            if time != current_time:
+                lines.append(f"#{time}")
+                current_time = time
+            if width == 1:
+                lines.append(f"{1 if value else 0}{identifier}")
+            else:
+                lines.append(f"b{int(value):b} {identifier}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, stream: TextIO) -> None:
+        stream.write(self.dump())
+
+
+_SENTINEL = object()

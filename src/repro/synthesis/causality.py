@@ -1,0 +1,84 @@
+"""``add_causality_check`` — the scoreboard discipline for arrows.
+
+From the paper (Section 5):
+
+* every transition that depends on the occurrence of a cause event
+  ``ex`` gets an ``Add_evt(ex)`` action — in the synthesized automaton
+  these are the forward transitions into state ``cause_tick + 1``;
+* every transition that depends on the effect event ``ey`` gets an
+  additional ``Chk_evt(ex)`` guard alongside the pattern match of its
+  element — positions carrying checks are reported by
+  :meth:`~repro.synthesis.pattern.FlatPattern.check_events_at` and woven
+  into the transition guards by :mod:`repro.synthesis.tr`;
+* every *backward* transition reverses the ``Add_evt`` actions of the
+  forward path it abandons, via ``Del_evt``.
+
+The helpers here compute the action sets for a transition
+``state -> target`` given the pattern's arrows; cross-domain arrows in
+multi-clock networks reuse the same helpers through the ``extra_adds``
+and ``extra_checks`` hooks (see :mod:`repro.synthesis.multiclock`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.monitor.automaton import Action, AddEvt, DelEvt
+from repro.synthesis.pattern import FlatPattern
+
+__all__ = ["adds_at", "checks_at", "actions_for_move"]
+
+
+def adds_at(
+    pattern: FlatPattern,
+    tick: int,
+    extra_adds: Optional[Mapping[int, FrozenSet[str]]] = None,
+) -> FrozenSet[str]:
+    """Cause events recorded when position ``tick`` is matched."""
+    events = set(pattern.cause_events_at(tick))
+    if extra_adds:
+        events |= set(extra_adds.get(tick, frozenset()))
+    return frozenset(events)
+
+
+def checks_at(
+    pattern: FlatPattern,
+    tick: int,
+    extra_checks: Optional[Mapping[int, FrozenSet[str]]] = None,
+) -> FrozenSet[str]:
+    """Events whose scoreboard presence gates matching position ``tick``."""
+    events = set(pattern.check_events_at(tick))
+    if extra_checks:
+        events |= set(extra_checks.get(tick, frozenset()))
+    return frozenset(events)
+
+
+def actions_for_move(
+    pattern: FlatPattern,
+    state: int,
+    target: int,
+    extra_adds: Optional[Mapping[int, FrozenSet[str]]] = None,
+) -> Tuple[Action, ...]:
+    """Scoreboard actions for the transition ``state -> target``.
+
+    Forward move (``target == state + 1``): ``Add_evt`` of the cause
+    events sitting on the grid line just matched (tick ``state``).
+
+    Backward move (``target <= state``): ``Del_evt`` of every cause
+    event added on the abandoned forward path — the transitions into
+    states ``target+1 .. state``, i.e. ticks ``target .. state-1``.
+    The paper: "for all the backward transitions all the Add_evt
+    actions appearing on the forward path between these two states are
+    reversed".
+    """
+    if target == state + 1:
+        added = adds_at(pattern, state, extra_adds)
+        if added:
+            return (AddEvt(*sorted(added)),)
+        return ()
+    deleted: List[str] = []
+    for tick in range(target, state):
+        deleted.extend(sorted(adds_at(pattern, tick, extra_adds)))
+    if deleted:
+        return (DelEvt(*deleted),)
+    return ()

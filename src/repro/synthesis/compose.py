@@ -1,0 +1,132 @@
+"""Synthesis for composite charts: pattern algebra + monitor banks.
+
+"The algorithm constructs localized monitors for every SCESC, which
+are then combined using various composition operations."  For the
+synchronous constructs the combination happens at the *pattern* level
+(:func:`~repro.synthesis.pattern.flatten_chart`): sequential
+composition concatenates patterns, synchronous parallel conjoins them
+tick-wise, bounded loops unroll.  Constructs denoting several scenario
+shapes (``Alt``, unbounded ``Loop``) yield a *bank* of monitors — one
+per alternative — run side by side; a detection by any member is a
+detection of the composite scenario.
+
+Asynchronous composition is handled separately by
+:mod:`repro.synthesis.multiclock`; implication by
+:mod:`repro.monitor.checker`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cesc.charts import Chart, as_chart
+from repro.errors import SynthesisError
+from repro.logic.valuation import Valuation
+from repro.monitor.automaton import Monitor
+from repro.monitor.engine import MonitorEngine, MonitorResult
+from repro.monitor.scoreboard import Scoreboard
+from repro.semantics.run import Trace
+from repro.synthesis.pattern import FlatPattern, flatten_chart
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import synthesize_monitor
+
+__all__ = ["MonitorBank", "BankResult", "synthesize_chart"]
+
+
+class BankResult:
+    """Aggregated outcome of running a monitor bank over a trace."""
+
+    def __init__(self, results: Sequence[MonitorResult]):
+        self.results = list(results)
+
+    @property
+    def detections(self) -> List[int]:
+        """Sorted, deduplicated detection ticks across all members."""
+        ticks = sorted({t for r in self.results for t in r.detections})
+        return ticks
+
+    @property
+    def accepted(self) -> bool:
+        return any(r.accepted for r in self.results)
+
+    def __repr__(self):
+        return f"BankResult(members={len(self.results)}, detections={self.detections})"
+
+
+class MonitorBank:
+    """A set of monitors jointly detecting a composite scenario.
+
+    Each member owns its own scoreboard (alternatives are independent
+    matching attempts); a shared scoreboard can be injected for
+    multi-clock use.
+    """
+
+    def __init__(self, name: str, members: Sequence[Tuple[FlatPattern, Monitor]]):
+        if not members:
+            raise SynthesisError(f"monitor bank {name!r} has no members")
+        self.name = name
+        self.members = list(members)
+
+    @property
+    def monitors(self) -> List[Monitor]:
+        return [monitor for _, monitor in self.members]
+
+    @property
+    def patterns(self) -> List[FlatPattern]:
+        return [pattern for pattern, _ in self.members]
+
+    def total_states(self) -> int:
+        return sum(m.n_states for m in self.monitors)
+
+    def total_transitions(self) -> int:
+        return sum(m.transition_count() for m in self.monitors)
+
+    def run(self, trace: Trace,
+            scoreboards: Optional[Sequence[Scoreboard]] = None) -> BankResult:
+        """Run every member over ``trace`` and merge detections."""
+        if scoreboards is not None and len(scoreboards) != len(self.members):
+            raise SynthesisError(
+                "one scoreboard per bank member is required when provided"
+            )
+        engines = [
+            MonitorEngine(
+                monitor,
+                scoreboard=scoreboards[i] if scoreboards is not None else None,
+            )
+            for i, (_, monitor) in enumerate(self.members)
+        ]
+        for valuation in trace:
+            for engine in engines:
+                engine.step(valuation)
+        return BankResult([engine.result() for engine in engines])
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self):
+        return f"MonitorBank({self.name!r}, members={len(self.members)})"
+
+
+def synthesize_chart(
+    chart: Chart,
+    variant: str = "tr",
+    loop_limit: int = 3,
+    name: Optional[str] = None,
+) -> MonitorBank:
+    """Synthesize a monitor bank for a synchronous chart.
+
+    ``variant`` selects the guard representation: ``"tr"`` keeps the
+    paper's per-valuation minterm table; ``"symbolic"`` compresses it
+    into figure-style labelled edges (behaviourally identical).
+    """
+    chart = as_chart(chart)
+    if variant not in ("tr", "symbolic"):
+        raise SynthesisError(f"unknown synthesis variant {variant!r}")
+    patterns = flatten_chart(chart, loop_limit=loop_limit)
+    members: List[Tuple[FlatPattern, Monitor]] = []
+    for index, pattern in enumerate(patterns):
+        monitor = synthesize_monitor(pattern)
+        if variant == "symbolic":
+            monitor = symbolic_monitor(monitor)
+        members.append((pattern, monitor))
+    return MonitorBank(name or chart.name, members)

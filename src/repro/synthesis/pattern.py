@@ -1,0 +1,257 @@
+"""``extract_pattern`` and pattern algebra for composite charts.
+
+The paper's subroutine turns an SCESC into an array ``P`` of logical
+expressions, one per grid line: event ``e`` contributes ``(e)``,
+guarded ``p:e`` contributes ``(p & e)``, multiple events conjoin.
+A :class:`FlatPattern` bundles that array with the chart's causality
+arrows (flattened to ``(cause_tick, cause_event, effect_tick,
+effect_event)`` tuples), its restricted alphabet and proposition set —
+everything the transition-function computation needs.
+
+Composite charts flatten by *pattern algebra*:
+
+* ``Seq``  — concatenate patterns, offsetting arrow tick indices;
+* ``Par``  — conjoin tick-wise, padding shorter operands with ``TRUE``;
+* ``Alt``  — the set union of the operands' alternatives;
+* ``Loop`` — bounded: the body pattern repeated ``count`` times;
+  unbounded: alternatives for 1..``loop_limit`` repetitions;
+* ``Implication`` — no flat pattern (handled by the checker).
+
+``flatten_chart`` therefore returns a *list* of flat patterns — one per
+alternative scenario shape — which :mod:`repro.synthesis.compose`
+synthesizes into a monitor bank.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.cesc.ast import SCESC
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    Chart,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+    as_chart,
+)
+from repro.errors import SynthesisError
+from repro.logic.expr import And, Expr, TRUE, symbols_of
+
+__all__ = ["FlatArrow", "FlatPattern", "extract_pattern", "flatten_chart"]
+
+
+class FlatArrow(NamedTuple):
+    """A causality arrow with absolute tick positions in a flat pattern."""
+
+    name: str
+    cause_tick: int
+    cause_event: str
+    effect_tick: int
+    effect_event: str
+
+
+class FlatPattern:
+    """A pattern array plus its causality arrows and alphabet."""
+
+    __slots__ = ("name", "exprs", "arrows", "alphabet", "props")
+
+    def __init__(
+        self,
+        name: str,
+        exprs: Iterable[Expr],
+        arrows: Iterable[FlatArrow] = (),
+        alphabet: Optional[Iterable[str]] = None,
+        props: Iterable[str] = (),
+    ):
+        expr_tuple = tuple(exprs)
+        if not expr_tuple:
+            raise SynthesisError(f"pattern {name!r} is empty")
+        arrow_tuple = tuple(arrows)
+        if alphabet is None:
+            symbols = set()
+            for expr in expr_tuple:
+                symbols |= symbols_of(expr)
+            for arrow in arrow_tuple:
+                symbols.add(arrow.cause_event)
+                symbols.add(arrow.effect_event)
+            alpha = frozenset(symbols)
+        else:
+            alpha = frozenset(alphabet)
+        for arrow in arrow_tuple:
+            for label, tick in (("cause", arrow.cause_tick),
+                                ("effect", arrow.effect_tick)):
+                if not (0 <= tick < len(expr_tuple)):
+                    raise SynthesisError(
+                        f"arrow {arrow.name!r}: {label} tick {tick} outside "
+                        f"pattern of length {len(expr_tuple)}"
+                    )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "exprs", expr_tuple)
+        object.__setattr__(self, "arrows", arrow_tuple)
+        object.__setattr__(self, "alphabet", alpha)
+        object.__setattr__(self, "props", frozenset(props))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FlatPattern is immutable")
+
+    @property
+    def length(self) -> int:
+        return len(self.exprs)
+
+    def cause_events_at(self, tick: int) -> FrozenSet[str]:
+        """Events at ``tick`` that are causes of some arrow (to Add_evt)."""
+        return frozenset(
+            a.cause_event for a in self.arrows if a.cause_tick == tick
+        )
+
+    def check_events_at(self, tick: int) -> FrozenSet[str]:
+        """Cause events to Chk_evt when matching position ``tick``."""
+        return frozenset(
+            a.cause_event for a in self.arrows if a.effect_tick == tick
+        )
+
+    def __len__(self) -> int:
+        return len(self.exprs)
+
+    def __eq__(self, other):
+        return isinstance(other, FlatPattern) and (
+            self.exprs, self.arrows, self.alphabet, self.props
+        ) == (other.exprs, other.arrows, other.alphabet, other.props)
+
+    def __hash__(self):
+        return hash((self.exprs, self.arrows, self.alphabet, self.props))
+
+    def __repr__(self):
+        return (
+            f"FlatPattern({self.name!r}, length={self.length}, "
+            f"arrows={len(self.arrows)})"
+        )
+
+
+def extract_pattern(chart: SCESC) -> FlatPattern:
+    """The paper's ``extract_pattern`` subroutine, plus arrow flattening."""
+    exprs = chart.pattern_exprs()
+    arrows = [
+        FlatArrow(
+            arrow.name,
+            arrow.cause.tick_index,
+            arrow.cause.event,
+            arrow.effect.tick_index,
+            arrow.effect.event,
+        )
+        for arrow in chart.arrows
+    ]
+    return FlatPattern(
+        chart.name,
+        exprs,
+        arrows,
+        alphabet=chart.alphabet(),
+        props=chart.prop_names(),
+    )
+
+
+def _seq_two(left: FlatPattern, right: FlatPattern) -> FlatPattern:
+    offset = left.length
+    arrows = list(left.arrows) + [
+        FlatArrow(
+            a.name, a.cause_tick + offset, a.cause_event,
+            a.effect_tick + offset, a.effect_event,
+        )
+        for a in right.arrows
+    ]
+    return FlatPattern(
+        f"{left.name};{right.name}",
+        left.exprs + right.exprs,
+        arrows,
+        alphabet=left.alphabet | right.alphabet,
+        props=left.props | right.props,
+    )
+
+
+def _par_two(left: FlatPattern, right: FlatPattern) -> FlatPattern:
+    length = max(left.length, right.length)
+
+    def element(pattern: FlatPattern, index: int) -> Expr:
+        return pattern.exprs[index] if index < pattern.length else TRUE
+
+    exprs = [
+        And((element(left, i), element(right, i))).simplify()
+        for i in range(length)
+    ]
+    names = {a.name for a in left.arrows} & {a.name for a in right.arrows}
+    if names:
+        raise SynthesisError(
+            f"parallel operands share arrow names {sorted(names)}"
+        )
+    return FlatPattern(
+        f"{left.name}||{right.name}",
+        exprs,
+        left.arrows + right.arrows,
+        alphabet=left.alphabet | right.alphabet,
+        props=left.props | right.props,
+    )
+
+
+def flatten_chart(chart: Chart, loop_limit: int = 3) -> List[FlatPattern]:
+    """All pattern alternatives denoted by a (synchronous) chart.
+
+    ``loop_limit`` bounds the unrolling of unbounded loops: alternatives
+    for 1..limit repetitions are produced (callers that need the exact
+    unbounded language use the looped monitor composition instead).
+    """
+    chart = as_chart(chart)
+    if isinstance(chart, ScescChart):
+        return [extract_pattern(chart.scesc)]
+    if isinstance(chart, Seq):
+        alternatives = [flatten_chart(c, loop_limit) for c in chart.children]
+        out: List[FlatPattern] = []
+        for combo in itertools.product(*alternatives):
+            flat = combo[0]
+            for part in combo[1:]:
+                flat = _seq_two(flat, part)
+            out.append(flat)
+        return out
+    if isinstance(chart, Par):
+        alternatives = [flatten_chart(c, loop_limit) for c in chart.children]
+        out = []
+        for combo in itertools.product(*alternatives):
+            flat = combo[0]
+            for part in combo[1:]:
+                flat = _par_two(flat, part)
+            out.append(flat)
+        return out
+    if isinstance(chart, Alt):
+        out = []
+        for child in chart.children:
+            out.extend(flatten_chart(child, loop_limit))
+        return out
+    if isinstance(chart, Loop):
+        body = flatten_chart(chart.body, loop_limit)
+        counts = (
+            [chart.count] if chart.count is not None
+            else list(range(1, loop_limit + 1))
+        )
+        out = []
+        for count in counts:
+            for combo in itertools.product(body, repeat=count):
+                flat = combo[0]
+                for part in combo[1:]:
+                    flat = _seq_two(flat, part)
+                out.append(flat)
+        return out
+    if isinstance(chart, Implication):
+        raise SynthesisError(
+            "implication charts have checker semantics; use "
+            "repro.monitor.checker.AssertionChecker"
+        )
+    if isinstance(chart, AsyncPar):
+        raise SynthesisError(
+            "asynchronous compositions synthesize to monitor networks; use "
+            "repro.synthesis.multiclock.synthesize_network"
+        )
+    raise SynthesisError(f"cannot flatten chart {chart!r}")

@@ -1,0 +1,135 @@
+"""Exact ``Sigma* . L(pattern)`` detector via subset construction.
+
+The paper's construction approximates the already-read text by the
+pattern prefix that matched it (the CLRS invariant lifted to Boolean
+expressions).  For the conjunctive, protocol-style patterns in the
+paper's figures this is exact, but adversarial patterns with partially
+overlapping expressions can in principle disagree with the true
+detector.  This module provides that ground truth: an NFA that tracks
+*every* active match position simultaneously, determinized on demand.
+
+Used as the oracle in correctness tests and in the
+``bench_ablation_kmp`` experiment quantifying how often (and on what)
+the paper's automaton and the exact detector differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.logic.valuation import Valuation, enumerate_valuations
+from repro.semantics.run import Trace
+from repro.synthesis.pattern import FlatPattern
+
+__all__ = ["SubsetMonitor"]
+
+
+class SubsetMonitor:
+    """Tracks the set of active pattern positions (0 = fresh attempt).
+
+    A *detection* at tick ``i`` means some window of the input ending
+    at ``i`` matched the full pattern — the exact ``Sigma* . L``
+    semantics, with overlapping occurrences all reported.
+    """
+
+    def __init__(self, pattern: FlatPattern):
+        self._pattern = pattern
+        self._positions: FrozenSet[int] = frozenset({0})
+        self._tick = 0
+        self._detections: List[int] = []
+
+    @property
+    def pattern(self) -> FlatPattern:
+        return self._pattern
+
+    @property
+    def positions(self) -> FrozenSet[int]:
+        return self._positions
+
+    @property
+    def detections(self) -> List[int]:
+        return list(self._detections)
+
+    def step_set(self, positions: FrozenSet[int],
+                 valuation: Valuation) -> FrozenSet[int]:
+        """Pure NFA step: advance every live position, restart at 0."""
+        exprs = self._pattern.exprs
+        n = len(exprs)
+        advanced = {
+            p + 1
+            for p in positions
+            if p < n and exprs[p].evaluate(valuation)
+        }
+        return frozenset(advanced | {0})
+
+    def step(self, valuation: Valuation) -> FrozenSet[int]:
+        self._positions = self.step_set(self._positions, valuation)
+        if self._pattern.length in self._positions:
+            self._detections.append(self._tick)
+        self._tick += 1
+        return self._positions
+
+    def feed(self, trace: Iterable[Valuation]) -> "SubsetMonitor":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+    def reset(self) -> None:
+        self._positions = frozenset({0})
+        self._tick = 0
+        self._detections = []
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self._detections)
+
+    # -- determinization ------------------------------------------------
+    def to_dfa(self) -> "SubsetDfa":
+        """Explicit DFA over the restricted alphabet (for analyses)."""
+        alphabet = sorted(self._pattern.alphabet)
+        start = frozenset({0})
+        index: Dict[FrozenSet[int], int] = {start: 0}
+        order: List[FrozenSet[int]] = [start]
+        table: Dict[Tuple[int, FrozenSet[str]], int] = {}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for valuation in enumerate_valuations(alphabet):
+                target = self.step_set(current, valuation)
+                if target not in index:
+                    index[target] = len(order)
+                    order.append(target)
+                    frontier.append(target)
+                table[(index[current], valuation.true)] = index[target]
+        accepting = frozenset(
+            index[s] for s in order if self._pattern.length in s
+        )
+        return SubsetDfa(len(order), 0, accepting, table, tuple(alphabet))
+
+
+class SubsetDfa:
+    """Materialized DFA form of the exact detector."""
+
+    def __init__(self, n_states: int, initial: int,
+                 accepting: FrozenSet[int],
+                 table: Dict[Tuple[int, FrozenSet[str]], int],
+                 alphabet: Tuple[str, ...]):
+        self.n_states = n_states
+        self.initial = initial
+        self.accepting = accepting
+        self.table = table
+        self.alphabet = alphabet
+
+    def step(self, state: int, valuation: Valuation) -> int:
+        key = (state, valuation.true & frozenset(self.alphabet))
+        return self.table[key]
+
+    def run(self, trace: Trace) -> List[int]:
+        """Tick indices at which an accepting state is entered."""
+        state = self.initial
+        detections: List[int] = []
+        for tick, valuation in enumerate(trace):
+            state = self.step(state, valuation)
+            if state in self.accepting:
+                detections.append(tick)
+        return detections

@@ -1,0 +1,136 @@
+"""Figure-style symbolic monitors: minterm grouping + guard minimisation.
+
+The paper's figures label monitor edges with compact expressions
+(``a = MCmd_rd & Addr & SCmd_accept & Chk_evt(MCmd_rd)``,
+``c = !(a | b)``, ...), whereas the ``Tr`` table is computed per
+concrete valuation.  This pass groups a monitor's minterm transitions
+by ``(source, target, actions, scoreboard condition)`` and minimises
+each group's valuation set with Quine–McCluskey, recovering exactly the
+edge structure the figures show, with provably equivalent behaviour
+(the grouped guard is the disjunction of the group's minterms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.logic.expr import (
+    And,
+    Const,
+    EventRef,
+    Expr,
+    Not,
+    PropRef,
+    ScoreboardCheck,
+    TRUE,
+    all_of,
+)
+from repro.logic.qm import minimize_expr
+from repro.monitor.automaton import Monitor, Transition
+
+__all__ = ["symbolic_monitor"]
+
+
+def _split_guard(guard: Expr) -> Tuple[Expr, Expr]:
+    """Split a guard into (input part, scoreboard part).
+
+    ``Tr`` guards are conjunctions of a minterm over the input alphabet
+    with ``Chk_evt`` literals and negated ``Chk_evt`` conjunctions; the
+    two parts reference disjoint atom kinds, so the split is syntactic.
+    """
+    if not isinstance(guard, And):
+        parts: Tuple[Expr, ...] = (guard,)
+    else:
+        parts = guard.args
+    input_parts: List[Expr] = []
+    check_parts: List[Expr] = []
+    for part in parts:
+        if _mentions_check(part):
+            check_parts.append(part)
+        else:
+            input_parts.append(part)
+    return all_of(input_parts), all_of(check_parts)
+
+
+def _mentions_check(expr: Expr) -> bool:
+    if isinstance(expr, ScoreboardCheck):
+        return True
+    return any(_mentions_check(child) for child in expr.children())
+
+
+def _minterm_index(guard: Expr, alphabet: Sequence[str]) -> Optional[int]:
+    """Decode a complete minterm into its row index, MSB = alphabet[0]."""
+    required: Dict[str, bool] = {}
+
+    def walk(expr: Expr) -> bool:
+        if isinstance(expr, (EventRef, PropRef)):
+            required[expr.name] = True
+            return True
+        if isinstance(expr, Not) and isinstance(expr.operand, (EventRef, PropRef)):
+            required[expr.operand.name] = False
+            return True
+        if isinstance(expr, And):
+            return all(walk(a) for a in expr.args)
+        if isinstance(expr, Const):
+            return expr.value
+        return False
+
+    if not walk(guard):
+        return None
+    if set(required) != set(alphabet):
+        return None
+    index = 0
+    for symbol in alphabet:
+        index = (index << 1) | (1 if required[symbol] else 0)
+    return index
+
+
+def symbolic_monitor(monitor: Monitor, name: Optional[str] = None) -> Monitor:
+    """Compress a minterm-table monitor into figure-style symbolic edges.
+
+    Transitions sharing ``(source, target, actions, check condition)``
+    merge into one edge whose input guard is the Quine–McCluskey
+    minimisation of the group's valuation set.  The result is
+    behaviourally identical (same deterministic transition function).
+    """
+    alphabet = sorted(monitor.alphabet)
+    atoms: List[Expr] = [
+        PropRef(s) if s in monitor.props else EventRef(s) for s in alphabet
+    ]
+    groups: Dict[Tuple[int, int, tuple, Expr], List[int]] = {}
+    passthrough: List[Transition] = []
+    for transition in monitor.transitions:
+        input_part, check_part = _split_guard(transition.guard)
+        index = _minterm_index(input_part, alphabet)
+        if index is None:
+            if input_part == TRUE:
+                # Degenerate alphabet-free pattern: keep edge as is.
+                passthrough.append(transition)
+                continue
+            raise SynthesisError(
+                f"transition guard {transition.guard!r} is not in minterm "
+                "form; symbolic_monitor expects Tr output"
+            )
+        key = (transition.source, transition.target, transition.actions,
+               check_part)
+        groups.setdefault(key, []).append(index)
+
+    merged: List[Transition] = list(passthrough)
+    for (source, target, actions, check_part), minterms in sorted(
+        groups.items(), key=lambda item: (item[0][0], item[0][1],
+                                          repr(item[0][3]))
+    ):
+        input_guard = minimize_expr(minterms, atoms)
+        guard = And((input_guard, check_part)).simplify()
+        merged.append(Transition(source, guard, actions, target))
+
+    return Monitor(
+        name or f"{monitor.name}:symbolic",
+        n_states=monitor.n_states,
+        initial=monitor.initial,
+        final=monitor.final,
+        transitions=merged,
+        alphabet=monitor.alphabet,
+        props=monitor.props,
+    )

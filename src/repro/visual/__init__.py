@@ -1,0 +1,22 @@
+"""Visual front ends: rendering charts and traces, WaveDrom bridge.
+
+CESC is a *visual* language; these modules provide the drawing layer:
+
+* :mod:`repro.visual.ascii_chart` — terminal rendering of SCESCs
+  (instances as vertical lines, grid lines, message arrows, guards);
+* :mod:`repro.visual.timing` — traces as ASCII waveforms;
+* :mod:`repro.visual.wavedrom` — import/export of WaveDrom timing
+  diagram JSON, the de-facto interchange format for timing diagrams
+  (and the closest modern analogue of the paper's figures).
+"""
+
+from repro.visual.ascii_chart import render_scesc
+from repro.visual.timing import render_trace
+from repro.visual.wavedrom import trace_to_wavedrom, wavedrom_to_scesc
+
+__all__ = [
+    "render_scesc",
+    "render_trace",
+    "trace_to_wavedrom",
+    "wavedrom_to_scesc",
+]

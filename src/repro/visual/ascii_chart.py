@@ -1,0 +1,79 @@
+"""ASCII rendering of SCESC charts.
+
+Instances are vertical lines, clock grid lines are horizontal rules,
+events appear on their grid line with source/target arrows where
+declared, guards in ``guard : event`` notation and causality arrows in
+a trailing legend — a terminal approximation of Figure 1's graphics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cesc.ast import ENV, SCESC, EventOccurrence
+
+__all__ = ["render_scesc"]
+
+_COLUMN_WIDTH = 18
+
+
+def _occurrence_text(occurrence: EventOccurrence) -> str:
+    text = occurrence.event
+    if occurrence.negated:
+        text = "!" + text
+    if occurrence.guard is not None:
+        text = f"{occurrence.guard!r}:{text}"
+    return text
+
+
+def _arrow_cell(occurrence: EventOccurrence, columns: List[str]) -> str:
+    source = occurrence.source
+    target = occurrence.target
+    if source in columns and target in columns:
+        if columns.index(source) < columns.index(target):
+            return f"{_occurrence_text(occurrence)} ->"
+        return f"<- {_occurrence_text(occurrence)}"
+    if target == ENV:
+        return f"{_occurrence_text(occurrence)} ->|"
+    if source == ENV:
+        return f"|-> {_occurrence_text(occurrence)}"
+    return _occurrence_text(occurrence)
+
+
+def render_scesc(chart: SCESC) -> str:
+    """Render the chart as fixed-width ASCII art."""
+    columns = [i.name for i in chart.instances] or ["(chart)"]
+    width = max(_COLUMN_WIDTH, max(len(c) for c in columns) + 4)
+
+    def row(cells: List[str]) -> str:
+        return "".join(cell.center(width) for cell in cells)
+
+    lines: List[str] = []
+    lines.append(f"SCESC {chart.name}  (clock {chart.clock.name}, "
+                 f"period {chart.clock.period})")
+    lines.append(row(columns))
+    lines.append(row(["|"] * len(columns)))
+    for index, tick in enumerate(chart.ticks):
+        label = f"t{index}"
+        rule = ("-" * (width * len(columns) - len(label) - 1)) + " " + label
+        lines.append(rule)
+        if not tick.occurrences:
+            lines.append(row(["|"] * len(columns)))
+            continue
+        for occurrence in tick.occurrences:
+            cells = ["|"] * len(columns)
+            anchor = occurrence.source or occurrence.target
+            if anchor in columns:
+                cells[columns.index(anchor)] = _arrow_cell(occurrence, columns)
+            else:
+                cells[0] = _occurrence_text(occurrence)
+            lines.append(row(cells))
+    if chart.arrows:
+        lines.append("")
+        lines.append("causality:")
+        for arrow in chart.arrows:
+            lines.append(
+                f"  {arrow.name}: {arrow.cause.event}@t{arrow.cause.tick_index}"
+                f" ~~> {arrow.effect.event}@t{arrow.effect.tick_index}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,34 @@
+"""ASCII waveform rendering of traces (one lane per symbol)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.semantics.run import Trace
+
+__all__ = ["render_trace"]
+
+
+def render_trace(trace: Trace, symbols: Optional[Iterable[str]] = None,
+                 high: str = "#", low: str = ".") -> str:
+    """Render a trace as per-symbol lanes.
+
+    >>> from repro.semantics.run import Trace
+    >>> print(render_trace(Trace.from_sets([{"a"}, set(), {"a"}],
+    ...                                    alphabet={"a"})), end="")
+    tick 012
+    a    #.#
+    """
+    chosen = sorted(symbols) if symbols is not None else sorted(trace.alphabet)
+    label_width = max([len(s) for s in chosen] + [4])
+    lines: List[str] = []
+    header = "tick".ljust(label_width) + " " + "".join(
+        str(i % 10) for i in range(trace.length)
+    )
+    lines.append(header)
+    for symbol in chosen:
+        lane = "".join(
+            high if valuation.is_true(symbol) else low for valuation in trace
+        )
+        lines.append(symbol.ljust(label_width) + " " + lane)
+    return "\n".join(lines) + "\n"

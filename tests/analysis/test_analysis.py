@@ -1,0 +1,201 @@
+"""Tests for the analysis layer: theorem checks, consistency, coverage.
+
+The theorem tests are the empirical core of the reproduction: they
+verify the paper's Result (Section 5), ``[[C]] = Sigma*.L(M).Sigma^w``,
+exactly on small alphabets and by sampling on protocol-sized charts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.consistency import check_consistency
+from repro.analysis.coverage import CoverageCollector
+from repro.analysis.equivalence import (
+    detectors_equivalent,
+    exhaustive_theorem_check,
+    sampled_theorem_check,
+)
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import ScescChart
+from repro.logic.expr import FALSE, TRUE
+from repro.monitor.engine import MonitorEngine
+from repro.semantics.generator import TraceGenerator
+from repro.synthesis.tr import tr
+
+
+def _chain(name, *events):
+    builder = scesc(name).instances("M")
+    for event in events:
+        builder.tick(ev(event))
+    return builder.build()
+
+
+def _exclusive_chain(name, *events):
+    """Each tick requires one event and forbids the others.
+
+    In this regime (pattern elements pairwise identical or
+    incompatible) the paper's construction is provably exact — see
+    ``paper_construction_exact``.
+    """
+    symbols = sorted(set(events))
+    builder = scesc(name).instances("M")
+    for event in events:
+        builder.tick(ev(event), *[ev(s, absent=True)
+                                  for s in symbols if s != event])
+    return builder.build()
+
+
+# --------------------------------------------------------- theorem checks ----
+def test_detectors_equivalent_simple_chain():
+    chart = _exclusive_chain("ab", "a", "b")
+    assert detectors_equivalent(tr(chart), chart) is None
+
+
+def test_detectors_equivalent_self_overlapping():
+    # a,a,b with exclusive phases: KMP failure structure non-trivial
+    # (the repetition is a genuine self-overlap) yet exact.
+    chart = _exclusive_chain("aab", "a", "a", "b")
+    assert detectors_equivalent(tr(chart), chart) is None
+
+
+def test_detectors_equivalent_finds_overmatch_counterexample():
+    # a;b with a&b satisfiable is the documented approximation:
+    # the product check must expose a concrete disagreeing input.
+    chart = _chain("ab", "a", "b")
+    counterexample = detectors_equivalent(tr(chart), chart)
+    assert counterexample is not None
+    # Replaying the counterexample confirms the disagreement.
+    from repro.monitor.engine import run_monitor
+    from repro.semantics.run import Trace
+    from repro.synthesis.pattern import extract_pattern
+    from repro.synthesis.subset import SubsetMonitor
+
+    trace = Trace.from_sets(counterexample, alphabet={"a", "b"})
+    paper = run_monitor(tr(chart), trace).detections
+    exact = SubsetMonitor(extract_pattern(chart)).feed(trace).detections
+    assert paper != exact
+
+
+def test_exhaustive_theorem_small():
+    chart = _exclusive_chain("ab", "a", "b")
+    assert exhaustive_theorem_check(tr(chart), chart, max_length=4) is None
+
+
+def test_exhaustive_theorem_single_tick():
+    chart = _chain("one", "a")
+    assert exhaustive_theorem_check(tr(chart), chart, max_length=5) is None
+
+
+def test_sampled_theorem_protocol_chart():
+    # Phase-exclusive read protocol: request, grant, data.
+    chart = (
+        scesc("proto").instances("M", "S")
+        .tick(ev("req"), ev("addr"), ev("data", absent=True))
+        .tick(ev("gnt"), ev("req", absent=True))
+        .tick(ev("data"), ev("gnt", absent=True))
+        .build()
+    )
+    from repro.analysis.equivalence import paper_construction_exact
+    from repro.synthesis.pattern import extract_pattern
+
+    assert paper_construction_exact(extract_pattern(chart))
+    agreements, failure = sampled_theorem_check(
+        tr(chart), chart, samples=60, trace_length=10, seed=3
+    )
+    assert failure is None
+    assert agreements == 60
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=3))
+def test_theorem_exhaustive_over_random_two_symbol_chains(events):
+    chart = _exclusive_chain("chain", *events)
+    assert exhaustive_theorem_check(tr(chart), chart, max_length=4) is None
+
+
+# ------------------------------------------------------------- consistency ----
+def test_consistency_clean_chart():
+    chart = _chain("ok", "a", "b")
+    findings = check_consistency(ScescChart(chart))
+    assert not [f for f in findings if f.severity == "error"]
+
+
+def test_consistency_unsatisfiable_tick():
+    chart = scesc("bad").instances("M").tick(ev("x", guard=FALSE)).build()
+    findings = check_consistency(ScescChart(chart))
+    assert any(f.severity == "error" and "unsatisfiable" in f.message
+               for f in findings)
+
+
+def test_consistency_empty_tick_warning():
+    chart = scesc("warn").instances("M").tick(ev("a")).empty_tick().build()
+    findings = check_consistency(ScescChart(chart))
+    assert any("no constraints" in f.message for f in findings)
+
+
+def test_consistency_tautological_guard_warning():
+    chart = scesc("warn").instances("M").tick(ev("a", guard=TRUE)).build()
+    findings = check_consistency(ScescChart(chart))
+    assert any("always" in f.message for f in findings)
+
+
+def test_consistency_same_event_arrow_warning():
+    chart = (
+        scesc("warn").instances("M")
+        .tick(ev("x")).tick(ev("x"))
+        .arrow("a", cause=(0, "x"), effect=(1, "x"))
+        .build()
+    )
+    findings = check_consistency(ScescChart(chart))
+    assert any("same event" in f.message for f in findings)
+
+
+def test_consistency_dense_overlap_warning():
+    chart = _chain("aa", "a", "a")
+    findings = check_consistency(ScescChart(chart))
+    assert any("jointly satisfiable" in f.message for f in findings)
+
+
+def test_finding_str():
+    findings = check_consistency(ScescChart(_chain("aa", "a", "a")))
+    assert str(findings[0]).startswith("[")
+
+
+# ---------------------------------------------------------------- coverage ----
+def test_coverage_accumulates():
+    chart = _chain("ab", "a", "b")
+    monitor = tr(chart)
+    collector = CoverageCollector(monitor)
+    generator = TraceGenerator(ScescChart(chart), seed=9)
+
+    engine = MonitorEngine(monitor)
+    engine.feed(generator.satisfying_trace(prefix=1, suffix=1))
+    collector.record(engine)
+    assert collector.state_coverage() == 1.0
+    assert 0 < collector.transition_coverage() <= 1.0
+    assert collector.uncovered_states() == []
+    report = collector.report()
+    assert report["runs"] == 1
+
+
+def test_coverage_partial_without_scenario():
+    chart = _chain("ab", "a", "b")
+    monitor = tr(chart)
+    collector = CoverageCollector(monitor)
+    engine = MonitorEngine(monitor)
+    from repro.semantics.run import Trace
+
+    engine.feed(Trace.from_sets([set(), set()], alphabet={"a", "b"}))
+    collector.record(engine)
+    assert collector.state_coverage() < 1.0
+    assert 2 in collector.uncovered_states()
+    assert collector.uncovered_transitions()
+
+
+def test_coverage_rejects_foreign_engine():
+    monitor_a = tr(_chain("a", "a"))
+    monitor_b = tr(_chain("b", "b"))
+    collector = CoverageCollector(monitor_a)
+    with pytest.raises(ValueError):
+        collector.record(MonitorEngine(monitor_b))

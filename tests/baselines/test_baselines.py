@@ -1,0 +1,248 @@
+"""Tests for the LTL route, the naive matcher and the manual monitors."""
+
+import pytest
+
+from repro.baselines.cesc_to_ltl import expr_to_ltl, formula_size, scesc_to_ltl
+from repro.baselines.ltl import (
+    Always,
+    Atom,
+    Eventually,
+    FALSE_LTL,
+    LtlAnd,
+    LtlNot,
+    LtlOr,
+    Next,
+    TRUE_LTL,
+    Until,
+    parse_ltl,
+)
+from repro.baselines.ltl_monitor import (
+    LtlProgressionMonitor,
+    empty_accepts,
+    progress,
+)
+from repro.baselines.manual import (
+    ManualAhbMonitor,
+    ManualAhbMonitorBuggy,
+    ManualOcpBurstMonitor,
+    ManualOcpReadMonitor,
+    ManualOcpReadMonitorBuggy,
+)
+from repro.baselines.naive import NaiveWindowMonitor
+from repro.cesc.builder import ev, scesc
+from repro.errors import LtlError
+from repro.logic.valuation import Valuation
+from repro.semantics.run import Trace
+from repro.synthesis.pattern import extract_pattern
+from repro.synthesis.subset import SubsetMonitor
+
+
+def _trace(*sets, alphabet=("a", "b", "c")):
+    return Trace.from_sets(list(sets), alphabet=alphabet)
+
+
+# ------------------------------------------------------------------- LTL ----
+def test_ltl_semantics_basics():
+    trace = _trace({"a"}, {"b"}, {"a", "b"})
+    assert Atom("a").holds(trace, 0)
+    assert not Atom("a").holds(trace, 1)
+    assert Next(Atom("b")).holds(trace, 0)
+    assert Eventually(LtlAnd(Atom("a"), Atom("b"))).holds(trace)
+    assert not Always(Atom("a")).holds(trace)
+    assert Until(TRUE_LTL, Atom("b")).holds(trace)
+    assert LtlNot(Atom("c")).holds(trace, 0)
+
+
+def test_ltl_next_is_strong():
+    trace = _trace({"a"})
+    assert not Next(TRUE_LTL).holds(trace, 0)  # no successor position
+
+
+def test_ltl_parser_round_trip():
+    formula = parse_ltl("F (a & X (b | !c))")
+    assert formula == Eventually(
+        LtlAnd(Atom("a"), Next(LtlOr(Atom("b"), LtlNot(Atom("c")))))
+    )
+    assert parse_ltl("a U b") == Until(Atom("a"), Atom("b"))
+    assert parse_ltl("true") == TRUE_LTL
+
+
+def test_ltl_parser_errors():
+    for bad in ("", "a &", "(a", "F", "a b"):
+        with pytest.raises(LtlError):
+            parse_ltl(bad)
+
+
+# ----------------------------------------------------------- progression ----
+def test_progress_atom_and_next():
+    v = Valuation({"a"}, {"a", "b"})
+    assert progress(Atom("a"), v) == TRUE_LTL
+    assert progress(Atom("b"), v) == FALSE_LTL
+    assert progress(Next(Atom("b")), v) == Atom("b")
+
+
+def test_empty_accepts():
+    assert empty_accepts(TRUE_LTL)
+    assert empty_accepts(Always(Atom("a")))
+    assert not empty_accepts(Atom("a"))
+    assert not empty_accepts(Eventually(Atom("a")))
+
+
+def test_progression_monitor_detects_sequence():
+    chart = scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+    formula = scesc_to_ltl(chart)
+    monitor = LtlProgressionMonitor(formula)
+    trace = _trace(set(), {"a"}, {"b"}, set())
+    monitor.feed(trace)
+    assert 2 in monitor.detections
+
+
+def test_progression_monitor_agrees_with_subset_on_first_detection():
+    chart = (
+        scesc("abc").instances("M")
+        .tick(ev("a")).tick(ev("b")).tick(ev("c"))
+        .build()
+    )
+    pattern = extract_pattern(chart)
+    formula = scesc_to_ltl(chart)
+    for sets in (
+        [{"a"}, {"b"}, {"c"}],
+        [set(), {"a"}, {"b"}, {"c"}, set()],
+        [{"a"}, {"b"}, set(), {"a"}, {"b"}, {"c"}],
+        [{"c"}, {"b"}, {"a"}],
+    ):
+        trace = _trace(*sets)
+        subset = SubsetMonitor(pattern).feed(trace)
+        ltl = LtlProgressionMonitor(formula).feed(trace)
+        first_subset = subset.detections[0] if subset.detections else None
+        first_ltl = ltl.detections[0] if ltl.detections else None
+        assert first_subset == first_ltl
+
+
+def test_progression_reachable_states_counted():
+    chart = scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+    monitor = LtlProgressionMonitor(scesc_to_ltl(chart))
+    states = monitor.reachable_states(["a", "b"])
+    assert len(states) >= 2
+
+
+def test_scesc_to_ltl_structure_and_size():
+    chart = (
+        scesc("g").props("p").instances("M")
+        .tick(ev("e", guard="p"))
+        .tick(ev("f"))
+        .build()
+    )
+    formula = scesc_to_ltl(chart)
+    assert isinstance(formula, Eventually)
+    assert formula_size(formula) >= 5
+    with pytest.raises(LtlError):
+        from repro.logic.expr import ScoreboardCheck
+
+        expr_to_ltl(ScoreboardCheck("x"))
+
+
+# ------------------------------------------------------------------ naive ----
+def test_naive_monitor_is_exact():
+    chart = scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+    pattern = extract_pattern(chart)
+    for sets in (
+        [set(), {"a"}, {"b"}, {"b"}],
+        [{"a", "b"}, {"b"}],
+        [{"a"}] * 4,
+    ):
+        trace = _trace(*sets, alphabet=("a", "b"))
+        naive = NaiveWindowMonitor(pattern).feed(trace)
+        subset = SubsetMonitor(pattern).feed(trace)
+        assert naive.detections == subset.detections
+
+
+def test_naive_monitor_counts_comparisons():
+    chart = (
+        scesc("abc").instances("M")
+        .tick(ev("a")).tick(ev("b")).tick(ev("c"))
+        .build()
+    )
+    pattern = extract_pattern(chart)
+    naive = NaiveWindowMonitor(pattern)
+    naive.feed(_trace({"a"}, {"b"}, {"c"}, {"a"}, set()))
+    assert naive.comparisons > 0
+    naive.reset()
+    assert naive.comparisons == 0 and naive.detections == []
+
+
+# ----------------------------------------------------------------- manual ----
+def _ocp_trace(*sets):
+    alphabet = ("MCmd_rd", "Addr", "SCmd_accept", "SResp", "SData")
+    return Trace.from_sets(list(sets), alphabet=alphabet)
+
+
+_CMD = {"MCmd_rd", "Addr", "SCmd_accept"}
+_RSP = {"SResp", "SData"}
+
+
+def test_manual_ocp_read_detects():
+    trace = _ocp_trace(set(), _CMD, _RSP, set())
+    monitor = ManualOcpReadMonitor().feed(trace)
+    assert monitor.detections == [2]
+
+
+def test_manual_ocp_agrees_with_synthesized_on_clean_traffic():
+    from repro.monitor.engine import run_monitor
+    from repro.protocols.ocp import ocp_simple_read_chart
+    from repro.synthesis.tr import tr
+
+    monitor = tr(ocp_simple_read_chart())
+    trace = _ocp_trace(set(), _CMD, _RSP, _CMD, _RSP)
+    manual = ManualOcpReadMonitor().feed(trace)
+    synthesized = run_monitor(monitor, trace)
+    assert manual.detections == synthesized.detections
+
+
+def test_manual_buggy_drops_pipelined_detection():
+    # Response arriving in the same cycle as the next command.
+    trace = _ocp_trace(_CMD, _CMD | _RSP, _RSP, set())
+    good = ManualOcpReadMonitor().feed(trace)
+    buggy = ManualOcpReadMonitorBuggy().feed(trace)
+    assert len(buggy.detections) < len(good.detections)
+
+
+def test_manual_burst_monitor_detects_figure7_trace():
+    alphabet = ("MCmd_rd", "Addr", "SCmd_accept", "SResp", "SData",
+                "Burst4", "Burst3", "Burst2", "Burst1")
+    trace = Trace.from_sets(
+        [
+            {"MCmd_rd", "Burst4", "Addr", "SCmd_accept"},
+            {"MCmd_rd", "Burst3", "Addr"},
+            {"MCmd_rd", "Burst2", "Addr", "SResp", "SData"},
+            {"MCmd_rd", "Burst1", "Addr", "SResp", "SData"},
+            {"SResp", "SData"},
+            {"SResp", "SData"},
+        ],
+        alphabet=alphabet,
+    )
+    monitor = ManualOcpBurstMonitor().feed(trace)
+    assert monitor.detections == [5]
+
+
+def test_manual_ahb_and_buggy_variant():
+    alphabet = (
+        "init_transaction", "master_complete", "get_slave", "write",
+        "control_info", "master_set_data", "master_complete2",
+        "bus_set_data", "bus_response", "master_response",
+    )
+    setup = {"init_transaction", "master_complete", "get_slave", "write",
+             "control_info"}
+    data = {"master_set_data", "master_complete2", "bus_set_data",
+            "bus_response"}
+    good_trace = Trace.from_sets(
+        [setup, data, {"master_response"}], alphabet=alphabet
+    )
+    no_response = Trace.from_sets(
+        [setup, data - {"bus_response"}, {"master_response"}],
+        alphabet=alphabet,
+    )
+    assert ManualAhbMonitor().feed(good_trace).detections == [2]
+    assert not ManualAhbMonitor().feed(no_response).accepted
+    # The buggy variant over-accepts the missing bus_response.
+    assert ManualAhbMonitorBuggy().feed(no_response).accepted

@@ -1,0 +1,194 @@
+"""Tests for the SCESC abstract syntax and the fluent builder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cesc.ast import (
+    ENV,
+    CausalityArrow,
+    Clock,
+    EventOccurrence,
+    EventRefInChart,
+    Instance,
+    SCESC,
+    Tick,
+)
+from repro.cesc.builder import ev, scesc
+from repro.errors import ChartError
+from repro.logic.expr import And, EventRef, Not, PropRef, TRUE
+from repro.logic.valuation import Valuation
+
+
+# ----------------------------------------------------------------- Clock ----
+def test_clock_tick_times():
+    clock = Clock("clk", period=10, phase=5)
+    assert clock.tick_time(0) == 5
+    assert clock.tick_time(3) == 35
+    assert clock.ticks_until(26) == [5, 15, 25]
+
+
+def test_clock_rational_period():
+    clock = Clock("clk", period=Fraction(7, 2))
+    assert clock.tick_time(2) == 7
+
+
+def test_clock_rejects_bad_parameters():
+    with pytest.raises(ChartError):
+        Clock("clk", period=0)
+    with pytest.raises(ChartError):
+        Clock("clk", phase=-1)
+    with pytest.raises(ChartError):
+        Clock("")
+    with pytest.raises(ChartError):
+        Clock("clk").tick_time(-1)
+
+
+# ----------------------------------------------------- EventOccurrence ----
+def test_occurrence_expr_translations():
+    # Paper's extract_pattern rules: e -> (e);  p:e -> (p & e).
+    assert EventOccurrence("e").expr() == EventRef("e")
+    guarded = EventOccurrence("e", guard=PropRef("p"))
+    assert guarded.expr() == And((PropRef("p"), EventRef("e")))
+    absent = EventOccurrence("e", negated=True)
+    assert absent.expr() == Not(EventRef("e"))
+
+
+def test_tick_expr_conjunction():
+    # Multiple events e1...ek on one grid line -> (e1 & ... & ek).
+    tick = Tick([EventOccurrence("e1"), EventOccurrence("e2")])
+    assert tick.expr() == And((EventRef("e1"), EventRef("e2")))
+    assert Tick([]).expr() == TRUE
+
+
+def test_tick_rejects_duplicate_events():
+    with pytest.raises(ChartError):
+        Tick([EventOccurrence("e"), EventOccurrence("e", negated=True)])
+
+
+def test_tick_lookup():
+    tick = Tick([EventOccurrence("a"), EventOccurrence("b", negated=True)])
+    assert tick.find("a").event == "a"
+    assert tick.find("zzz") is None
+    assert tick.event_names() == {"a"}  # negated events excluded
+    assert len(tick) == 2
+
+
+# ------------------------------------------------------------- builder ----
+def _fig1_chart():
+    """Figure 1: typical read protocol, single clocked."""
+    return (
+        scesc("read_protocol", clock="clk1")
+        .instances("Master", "S_CNT")
+        .tick(ev("req1", src="Master", dst="S_CNT"), ev("rd1"), ev("addr1"))
+        .tick(ev("req2", src="S_CNT", dst=ENV), ev("rd2"), ev("addr2"))
+        .tick(ev("rdy1", src="S_CNT", dst="Master"))
+        .tick(ev("data1", src="S_CNT", dst="Master"))
+        .arrow("rdy_done", cause="req1", effect="rdy1")
+        .arrow("data_done", cause="rdy1", effect="data1")
+        .build()
+    )
+
+
+def test_builder_fig1_shape():
+    chart = _fig1_chart()
+    assert chart.n_ticks == 4
+    assert chart.instance_names() == {"Master", "S_CNT"}
+    assert len(chart.arrows) == 2
+    assert chart.event_names() >= {"req1", "rdy1", "data1"}
+
+
+def test_builder_resolves_arrow_endpoints_by_name():
+    chart = _fig1_chart()
+    rdy_done = chart.arrows[0]
+    assert rdy_done.cause == EventRefInChart(0, "req1")
+    assert rdy_done.effect == EventRefInChart(2, "rdy1")
+
+
+def test_builder_arrow_with_explicit_tick():
+    chart = (
+        scesc("loopy")
+        .instances("A")
+        .tick(ev("x"))
+        .tick(ev("x"))
+        .arrow("a1", cause=(0, "x"), effect=(1, "x"))
+        .build()
+    )
+    assert chart.arrows[0].cause.tick_index == 0
+    assert chart.arrows[0].effect.tick_index == 1
+
+
+def test_builder_arrow_unknown_event_rejected():
+    builder = scesc("bad").instances("A").tick(ev("x"))
+    builder.arrow("a", cause="nope", effect="x")
+    with pytest.raises(ChartError):
+        builder.build()
+
+
+def test_builder_arrow_bad_tick_rejected():
+    builder = scesc("bad").instances("A").tick(ev("x"))
+    builder.arrow("a", cause=(5, "x"), effect=(0, "x"))
+    with pytest.raises(ChartError):
+        builder.build()
+
+
+def test_builder_guard_string_parsed_with_props():
+    chart = (
+        scesc("guarded")
+        .props("mode")
+        .instances("A")
+        .tick(ev("e", guard="mode"))
+        .build()
+    )
+    occurrence = chart.ticks[0].occurrences[0]
+    assert occurrence.guard == PropRef("mode")
+
+
+def test_builder_empty_chart_rejected():
+    with pytest.raises(ChartError):
+        scesc("empty").build()
+
+
+def test_builder_empty_tick():
+    chart = scesc("gap").instances("A").tick(ev("a")).empty_tick().build()
+    assert chart.ticks[1].expr() == TRUE
+
+
+# --------------------------------------------------------------- SCESC ----
+def test_pattern_exprs_match_paper_translation():
+    chart = _fig1_chart()
+    pattern = chart.pattern_exprs()
+    assert len(pattern) == 4
+    assert pattern[0] == And((EventRef("req1"), EventRef("rd1"),
+                              EventRef("addr1")))
+    assert pattern[2] == EventRef("rdy1")
+
+
+def test_alphabet_restricted_to_chart_symbols():
+    chart = (
+        scesc("g").props("p").instances("A")
+        .tick(ev("e", guard="p"))
+        .build()
+    )
+    assert chart.alphabet() == {"e", "p"}
+    assert chart.prop_names() == {"p"}
+
+
+def test_tick_of_event():
+    chart = _fig1_chart()
+    assert chart.tick_of_event("req1") == 0
+    assert chart.tick_of_event("data1") == 3
+    assert chart.tick_of_event("missing") is None
+
+
+def test_scesc_rename():
+    chart = _fig1_chart()
+    renamed = chart.rename("other")
+    assert renamed.name == "other"
+    assert renamed.ticks == chart.ticks
+
+
+def test_scesc_immutable():
+    chart = _fig1_chart()
+    with pytest.raises(AttributeError):
+        chart.name = "x"

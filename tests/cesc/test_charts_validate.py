@@ -1,0 +1,217 @@
+"""Tests for composite chart constructs and well-formedness validation."""
+
+import pytest
+
+from repro.cesc.ast import Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    CrossArrow,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+    as_chart,
+)
+from repro.errors import ChartError, ValidationError
+from repro.cesc.validate import validate_chart, validate_scesc
+
+
+def _mini(name="mini", clock="clk"):
+    return (
+        scesc(name, clock=clock)
+        .instances("A", "B")
+        .tick(ev("x", src="A", dst="B"))
+        .tick(ev("y", src="B", dst="A"))
+        .build()
+    )
+
+
+# ------------------------------------------------------------ composites ----
+def test_as_chart_coercion():
+    chart = _mini()
+    wrapped = as_chart(chart)
+    assert isinstance(wrapped, ScescChart)
+    assert as_chart(wrapped) is wrapped
+    with pytest.raises(ChartError):
+        as_chart(42)
+
+
+def test_seq_structure():
+    a, b = _mini("a"), _mini("b")
+    seq = Seq([a, b])
+    assert [leaf.name for leaf in seq.leaves()] == ["a", "b"]
+    assert seq.is_single_clocked()
+    assert seq.alphabet() == {"x", "y"}
+
+
+def test_composites_need_two_children():
+    with pytest.raises(ChartError):
+        Seq([_mini()])
+    with pytest.raises(ChartError):
+        Alt([])
+
+
+def test_synchronous_composites_reject_mixed_clocks():
+    a = _mini("a", clock="clk1")
+    b = _mini("b", clock="clk2")
+    for cls in (Seq, Par, Alt):
+        with pytest.raises(ChartError):
+            cls([a, b])
+    with pytest.raises(ChartError):
+        Implication(a, b)
+
+
+def test_loop_counts():
+    body = _mini()
+    assert Loop(body, count=3).count == 3
+    assert Loop(body).count is None
+    with pytest.raises(ChartError):
+        Loop(body, count=0)
+
+
+def test_implication_children():
+    impl = Implication(_mini("ante"), _mini("conseq"))
+    assert impl.antecedent.name == "ante"
+    assert impl.consequent.name == "conseq"
+
+
+def test_asyncpar_requires_distinct_names():
+    a = _mini("same", clock="clk1")
+    b = _mini("same", clock="clk2")
+    with pytest.raises(ChartError):
+        AsyncPar([a, b])
+
+
+def test_asyncpar_cross_arrow_chart_names_checked():
+    a = _mini("a", clock="clk1")
+    b = _mini("b", clock="clk2")
+    bad = CrossArrow("e", "nope", EventRefInChart(0, "x"), "b",
+                     EventRefInChart(0, "x"))
+    with pytest.raises(ChartError):
+        AsyncPar([a, b], cross_arrows=[bad])
+
+
+def test_asyncpar_child_lookup():
+    a, b = _mini("a", clock="clk1"), _mini("b", clock="clk2")
+    composite = AsyncPar([a, b])
+    assert composite.child_named("a").name == "a"
+    with pytest.raises(ChartError):
+        composite.child_named("zzz")
+    assert len(composite.clocks()) == 2
+    assert not composite.is_single_clocked()
+
+
+# ------------------------------------------------------------ validation ----
+def test_validate_accepts_well_formed():
+    validate_scesc(_mini())
+
+
+def test_validate_rejects_undeclared_instance():
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x", src="A", dst="Ghost"))
+        .build()
+    )
+    with pytest.raises(ValidationError, match="Ghost"):
+        validate_scesc(chart)
+
+
+def test_validate_env_endpoint_is_fine():
+    chart = scesc("ok").instances("A").tick(ev("x", src="A", dst="env")).build()
+    validate_scesc(chart)
+
+
+def test_validate_rejects_undeclared_prop_in_guard():
+    from repro.logic.expr import PropRef
+
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x", guard=PropRef("A_mode")))
+        .build()
+    )
+    with pytest.raises(ValidationError, match="A_mode"):
+        validate_scesc(chart)
+
+
+def test_validate_rejects_event_prop_clash():
+    chart = (
+        scesc("bad").props("x").instances("A")
+        .tick(ev("x"))
+        .build()
+    )
+    with pytest.raises(ValidationError, match="both"):
+        validate_scesc(chart)
+
+
+def test_validate_rejects_unsatisfiable_tick():
+    from repro.logic.expr import FALSE
+
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x", guard=FALSE))
+        .build()
+    )
+    with pytest.raises(ValidationError, match="unsatisfiable"):
+        validate_scesc(chart)
+
+
+def test_validate_rejects_backward_arrow():
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x"))
+        .tick(ev("y"))
+        .arrow("a", cause="y", effect="x")
+        .build()
+    )
+    with pytest.raises(ValidationError, match="precede"):
+        validate_scesc(chart)
+
+
+def test_validate_rejects_negated_cause():
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x", absent=True))
+        .tick(ev("y"))
+        .arrow("a", cause=(0, "x"), effect=(1, "y"))
+        .build()
+    )
+    with pytest.raises(ValidationError, match="negated"):
+        validate_scesc(chart)
+
+
+def test_validate_rejects_duplicate_arrow_names():
+    chart = (
+        scesc("bad").instances("A")
+        .tick(ev("x"))
+        .tick(ev("y"))
+        .tick(ev("z"))
+        .arrow("a", cause="x", effect="y")
+        .arrow("a", cause="x", effect="z")
+        .build()
+    )
+    with pytest.raises(ValidationError, match="duplicate arrow"):
+        validate_scesc(chart)
+
+
+def test_validate_chart_recurses_into_composites():
+    good = _mini("good")
+    bad = scesc("bad").instances("A").tick(ev("x", src="A", dst="Ghost")).build()
+    with pytest.raises(ValidationError):
+        validate_chart(Seq([good, bad]))
+    validate_chart(Loop(good, count=2))
+    validate_chart(Implication(good, _mini("g2")))
+
+
+def test_validate_cross_arrow_endpoints():
+    a = _mini("a", clock="clk1")
+    b = _mini("b", clock="clk2")
+    good = CrossArrow("e", "a", EventRefInChart(0, "x"), "b",
+                      EventRefInChart(1, "y"))
+    validate_chart(AsyncPar([a, b], cross_arrows=[good]))
+    dangling = CrossArrow("e", "a", EventRefInChart(0, "zzz"), "b",
+                          EventRefInChart(1, "y"))
+    with pytest.raises(ValidationError, match="zzz"):
+        validate_chart(AsyncPar([a, b], cross_arrows=[dangling]))

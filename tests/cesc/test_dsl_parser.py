@@ -1,0 +1,197 @@
+"""Tests for the textual CESC DSL."""
+
+import pytest
+
+from repro.cesc.charts import Alt, AsyncPar, Implication, Loop, Par, Seq
+from repro.cesc.parser import parse_cesc
+from repro.cesc.validate import validate_chart, validate_scesc
+from repro.errors import ChartParseError
+from repro.logic.expr import And, EventRef, PropRef
+
+FIG1 = """
+clock clk1 period 10;
+
+chart M1 on clk1 {
+  instances Master, S_CNT;
+  tick: Master -> S_CNT : req1, rd1, addr1;
+  tick: S_CNT -> env : req2, rd2, addr2;
+  tick: S_CNT -> Master : rdy1;
+  tick: S_CNT -> Master : data1;
+  arrow rdy_done: req1 -> rdy1;
+  arrow data_done: rdy1 -> data1;
+}
+"""
+
+
+def test_parse_fig1_shape():
+    spec = parse_cesc(FIG1)
+    chart = spec.charts["M1"]
+    assert chart.n_ticks == 4
+    assert chart.clock.name == "clk1"
+    assert chart.clock.period == 10
+    assert chart.instance_names() == {"Master", "S_CNT"}
+    assert [a.name for a in chart.arrows] == ["rdy_done", "data_done"]
+    validate_scesc(chart)
+
+
+def test_parse_routes_recorded():
+    spec = parse_cesc(FIG1)
+    chart = spec.charts["M1"]
+    first = chart.ticks[0].occurrences[0]
+    assert first.source == "Master"
+    assert first.target == "S_CNT"
+    env_event = chart.ticks[1].occurrences[0]
+    assert env_event.target == "env"
+
+
+def test_parse_guards_and_props():
+    spec = parse_cesc(
+        """
+        chart G {
+          instances A;
+          props mode, ready;
+          tick: A -> env : e1 when mode & ready;
+          tick: e2;
+        }
+        """
+    )
+    chart = spec.charts["G"]
+    occurrence = chart.ticks[0].occurrences[0]
+    assert occurrence.guard == And((PropRef("mode"), PropRef("ready")))
+    bare = chart.ticks[1].occurrences[0]
+    assert bare.source is None and bare.guard is None
+
+
+def test_parse_negated_events_and_also_groups():
+    spec = parse_cesc(
+        """
+        chart N {
+          instances A, B;
+          tick: A -> B : x also B -> A : !y;
+        }
+        """
+    )
+    tick = spec.charts["N"].ticks[0]
+    assert len(tick) == 2
+    assert tick.occurrences[1].negated
+    assert tick.occurrences[1].source == "B"
+
+
+def test_parse_empty_tick_and_comments():
+    spec = parse_cesc(
+        """
+        // a comment
+        chart E {
+          instances A;
+          tick: a;  # trailing comment
+          tick;
+          tick: b;
+        }
+        """
+    )
+    chart = spec.charts["E"]
+    assert chart.n_ticks == 3
+    assert len(chart.ticks[1]) == 0
+
+
+def test_parse_arrow_with_tick_qualifier():
+    spec = parse_cesc(
+        """
+        chart Q {
+          instances A;
+          tick: x;
+          tick: x;
+          arrow a1: x@0 -> x@1;
+        }
+        """
+    )
+    arrow = spec.charts["Q"].arrows[0]
+    assert arrow.cause.tick_index == 0
+    assert arrow.effect.tick_index == 1
+
+
+def test_parse_compose_expressions():
+    spec = parse_cesc(
+        """
+        chart A { instances I; tick: a; }
+        chart B { instances I; tick: b; }
+        compose s = seq(A, B);
+        compose p = par(A, B);
+        compose alts = alt(A, B);
+        compose l3 = loop(A, 3);
+        compose lw = loop(A);
+        compose imp = implies(A, B);
+        compose nested = seq(s, alt(A, l3));
+        """
+    )
+    assert isinstance(spec.composites["s"], Seq)
+    assert isinstance(spec.composites["p"], Par)
+    assert isinstance(spec.composites["alts"], Alt)
+    assert spec.composites["l3"].count == 3
+    assert spec.composites["lw"].count is None
+    assert isinstance(spec.composites["imp"], Implication)
+    nested = spec.composites["nested"]
+    assert isinstance(nested, Seq)
+    validate_chart(nested)
+
+
+def test_parse_async_with_cross_arrows():
+    spec = parse_cesc(
+        """
+        clock clk1 period 10;
+        clock clk2 period 7;
+        chart M1 on clk1 { instances A; tick: req; tick: data; }
+        chart M2 on clk2 { instances B; tick: req3; tick: data3; }
+        compose rd = async(M1, M2) {
+          arrow e4: req@0 in M1 -> req3@0 in M2;
+          arrow e5: data3@1 in M2 -> data@1 in M1;
+        }
+        """
+    )
+    composite = spec.composites["rd"]
+    assert isinstance(composite, AsyncPar)
+    assert len(composite.cross_arrows) == 2
+    assert composite.cross_arrows[0].source_chart == "M1"
+    validate_chart(composite)
+
+
+def test_spec_chart_lookup():
+    spec = parse_cesc("chart A { instances I; tick: a; }")
+    assert spec.chart("A").name == "A"
+    with pytest.raises(ChartParseError):
+        spec.chart("missing")
+    assert spec.names() == ["A"]
+
+
+def test_parse_fractional_clock_period():
+    spec = parse_cesc("clock c period 7/2; chart A on c { instances I; tick: a; }")
+    from fractions import Fraction
+
+    assert spec.charts["A"].clock.period == Fraction(7, 2)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "chart {",  # missing name
+        "chart A { tick: ; }",  # empty tick group
+        "chart A { instances I; tick: x when ; }",  # empty guard
+        "chart A { instances I; tick: x; } chart A { instances I; tick: y; }",
+        "clock c; clock c;",
+        "bogus;",
+        "chart A { instances I; tick: x; arrow a: x -> ; }",
+        "compose z = seq(A, B);",  # unknown charts
+    ],
+)
+def test_parse_errors(source):
+    with pytest.raises(ChartParseError):
+        parse_cesc(source)
+
+
+def test_parse_error_reports_line_numbers():
+    try:
+        parse_cesc("chart A {\n  instances I;\n  bogus;\n}")
+    except ChartParseError as error:
+        assert "line 3" in str(error)
+    else:
+        pytest.fail("expected a parse error")

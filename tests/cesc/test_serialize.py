@@ -1,0 +1,149 @@
+"""Round-trip tests: chart -> DSL text -> chart."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesc.ast import Clock
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import Alt, AsyncPar, Implication, Loop, Par, \
+    ScescChart, Seq
+from repro.cesc.parser import parse_cesc
+from repro.cesc.serialize import chart_to_dsl, clock_to_dsl, scesc_to_dsl
+from repro.errors import ChartError
+
+
+def _roundtrip(chart):
+    spec = parse_cesc(scesc_to_dsl(chart))
+    return spec.charts[chart.name]
+
+
+def test_clock_to_dsl():
+    assert clock_to_dsl(Clock("clk", period=10)) == "clock clk period 10;"
+    assert clock_to_dsl(Clock("c", period=Fraction(7, 2), phase=1)) == \
+        "clock c period 7/2 phase 1;"
+
+
+def test_roundtrip_simple_chart():
+    chart = (
+        scesc("simple", clock="clk1", period=10)
+        .instances("M", "S")
+        .tick(ev("req", src="M", dst="S"))
+        .tick(ev("ack", src="S", dst="M"))
+        .arrow("done", cause="req", effect="ack")
+        .build()
+    )
+    back = _roundtrip(chart)
+    assert back == chart
+
+
+def test_roundtrip_guards_props_negation():
+    chart = (
+        scesc("guarded")
+        .props("mode", "ready")
+        .instances("A")
+        .tick(ev("x", guard="mode & ready", src="A", dst="env"),
+              ev("y", absent=True, src="A", dst="env"))
+        .tick(ev("z"))
+        .build()
+    )
+    back = _roundtrip(chart)
+    assert back.ticks == chart.ticks
+    assert back.props == chart.props
+
+
+def test_roundtrip_empty_tick_and_env():
+    chart = (
+        scesc("gappy").instances("A")
+        .tick(ev("a", src="A", dst="env"))
+        .empty_tick()
+        .tick(ev("b"))
+        .build()
+    )
+    back = _roundtrip(chart)
+    assert back.ticks == chart.ticks
+
+
+def test_roundtrip_external_instances():
+    chart = (
+        scesc("ext").instances("A").external("Env1")
+        .tick(ev("x", src="A", dst="Env1"))
+        .build()
+    )
+    back = _roundtrip(chart)
+    assert back.instances == chart.instances
+
+
+def test_half_routed_occurrence_rejected():
+    chart = scesc("half").instances("A").tick(ev("x", src="A")).build()
+    with pytest.raises(ChartError, match="half-routed"):
+        scesc_to_dsl(chart)
+
+
+def test_chart_to_dsl_composites():
+    a = scesc("a").instances("I").tick(ev("x")).build()
+    b = scesc("b").instances("I").tick(ev("y")).build()
+    composite = Seq([Alt([a, b]), Loop(a, count=2)])
+    text = chart_to_dsl(composite, name="flow")
+    spec = parse_cesc(text)
+    parsed = spec.composites["flow"]
+    assert isinstance(parsed, Seq)
+    assert isinstance(parsed.children[0], Alt)
+    assert parsed.children[1].count == 2
+
+
+def test_chart_to_dsl_implication():
+    a = scesc("a").instances("I").tick(ev("x")).build()
+    b = scesc("b").instances("I").tick(ev("y")).build()
+    text = chart_to_dsl(Implication(a, b), name="prop")
+    parsed = parse_cesc(text).composites["prop"]
+    assert isinstance(parsed, Implication)
+
+
+def test_chart_to_dsl_async_roundtrip():
+    from repro.protocols.readproto import multiclock_read_chart
+
+    chart = multiclock_read_chart()
+    text = chart_to_dsl(chart, name="rd")
+    spec = parse_cesc(text)
+    parsed = spec.composites["rd"]
+    assert isinstance(parsed, AsyncPar)
+    assert {c.name for c in parsed.children} == {"M1", "M2"}
+    assert len(parsed.cross_arrows) == 2
+    assert parsed.children[0].leaves()[0].clock.period in (10, 7)
+
+
+@st.composite
+def random_charts(draw):
+    symbols = ["alpha", "beta", "gamma"]
+    props = ["p", "q"]
+    builder = scesc("rand", period=draw(st.integers(1, 5)))
+    builder.instances("M", "S")
+    used_props = draw(st.sets(st.sampled_from(props)))
+    if used_props:
+        builder.props(*sorted(used_props))
+    n_ticks = draw(st.integers(1, 4))
+    for _ in range(n_ticks):
+        chosen = draw(
+            st.lists(st.sampled_from(symbols), min_size=1, max_size=2,
+                     unique=True)
+        )
+        events = []
+        for name in chosen:
+            guard = None
+            if used_props and draw(st.booleans()):
+                guard = draw(st.sampled_from(sorted(used_props)))
+            events.append(
+                ev(name, guard=guard, src="M", dst="S",
+                   absent=draw(st.booleans()))
+            )
+        builder.tick(*events)
+    return builder.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_charts())
+def test_roundtrip_property(chart):
+    assert _roundtrip(chart) == chart

@@ -1,0 +1,199 @@
+"""Tests for code generation: Verilog co-simulation, Python, SVA, PSL."""
+
+import pytest
+
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import Implication, ScescChart, Seq
+from repro.codegen.psl import chart_to_psl
+from repro.codegen.python_gen import monitor_to_python
+from repro.codegen.sva import chart_to_sva, expr_to_sva
+from repro.codegen.verilog import monitor_to_verilog, sanitize_identifier
+from repro.errors import CodegenError
+from repro.hdl.sim import VerilogSim
+from repro.monitor.engine import run_monitor
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import Trace
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import tr
+
+
+def _ab_chart():
+    return scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+
+
+def _fig5_chart():
+    return (
+        scesc("fig5").props("p1", "p3").instances("A", "B")
+        .tick(ev("e1", guard="p1"))
+        .tick(ev("e2"))
+        .tick(ev("e3", guard="p3"))
+        .arrow("c1", cause="e1", effect="e3")
+        .build()
+    )
+
+
+# ------------------------------------------------------------ identifiers ----
+def test_sanitize_identifier():
+    assert sanitize_identifier("MCmd_rd") == "MCmd_rd"
+    assert sanitize_identifier("ocp.req") == "ocp_req"
+    assert sanitize_identifier("1bad") == "s_1bad"
+    assert sanitize_identifier("module") == "module_sym"
+
+
+# --------------------------------------------------------------- Verilog ----
+def test_verilog_emission_structure():
+    monitor = symbolic_monitor(tr(_fig5_chart()))
+    generated = monitor_to_verilog(monitor)
+    assert generated.source.startswith("module ")
+    assert "input wire e1" in generated.source
+    assert "output reg detect" in generated.source
+    assert "sb_e1" in generated.scoreboard_regs["e1"]
+    assert "(sb_e1 != 8'd0)" in generated.source
+    assert generated.source.rstrip().endswith("endmodule")
+
+
+def test_verilog_parses_in_own_hdl_frontend():
+    monitor = symbolic_monitor(tr(_ab_chart()))
+    generated = monitor_to_verilog(monitor)
+    sim = VerilogSim(generated.source)
+    assert sim.module.name == generated.module_name
+
+
+def _cosim(chart, trace):
+    """Run Python engine and generated Verilog on one trace."""
+    monitor = symbolic_monitor(tr(chart))
+    result = run_monitor(monitor, trace)
+    generated = monitor_to_verilog(monitor)
+    sim = VerilogSim(generated.source)
+    sim.step({"rst_n": 0})
+    detections = []
+    for tick, valuation in enumerate(trace):
+        vector = {"rst_n": 1}
+        for symbol, port in generated.port_of_symbol.items():
+            vector[port] = 1 if valuation.is_true(symbol) else 0
+        outputs = sim.step(vector)
+        if outputs["detect"]:
+            detections.append(tick)
+    return result.detections, detections
+
+
+def test_cosim_simple_chain():
+    trace = Trace.from_sets(
+        [set(), {"a"}, {"b"}, {"a"}, {"b"}], alphabet={"a", "b"}
+    )
+    python_detections, verilog_detections = _cosim(_ab_chart(), trace)
+    assert python_detections == verilog_detections == [2, 4]
+
+
+def test_cosim_with_scoreboard_causality():
+    alphabet = {"e1", "e2", "e3", "p1", "p3"}
+    trace = Trace.from_sets(
+        [
+            {"e1", "p1"}, {"e2"}, set(),           # attempt fails
+            {"e1", "p1"}, {"e2"}, {"e3", "p3"},    # attempt succeeds
+        ],
+        alphabet=alphabet,
+    )
+    python_detections, verilog_detections = _cosim(_fig5_chart(), trace)
+    assert python_detections == verilog_detections == [5]
+
+
+def test_cosim_random_traffic_equivalence():
+    chart = _fig5_chart()
+    generator = TraceGenerator(ScescChart(chart), seed=21)
+    for index in range(6):
+        if index % 2:
+            trace = generator.satisfying_trace(prefix=2, suffix=2)
+        else:
+            trace = generator.random_trace(10)
+        python_detections, verilog_detections = _cosim(chart, trace)
+        assert python_detections == verilog_detections
+
+
+def test_cosim_ocp_simple_read():
+    from repro.protocols.ocp import ocp_simple_read_chart
+
+    chart = ocp_simple_read_chart()
+    generator = TraceGenerator(ScescChart(chart), seed=3)
+    trace = generator.satisfying_trace(prefix=1, suffix=2)
+    python_detections, verilog_detections = _cosim(chart, trace)
+    assert python_detections == verilog_detections
+    assert python_detections  # the scenario was detected
+
+
+# ---------------------------------------------------------------- Python ----
+def test_python_codegen_behaves_identically():
+    monitor = symbolic_monitor(tr(_fig5_chart()))
+    source = monitor_to_python(monitor, class_name="Fig5Monitor")
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    generated_cls = namespace["Fig5Monitor"]
+
+    alphabet = {"e1", "e2", "e3", "p1", "p3"}
+    trace = Trace.from_sets(
+        [{"e1", "p1"}, {"e2"}, {"e3", "p3"}, set(), {"e1", "p1"}],
+        alphabet=alphabet,
+    )
+    expected = run_monitor(monitor, trace).detections
+    instance = generated_cls().feed([v.true for v in trace])
+    assert instance.detections == expected
+    assert instance.accepted == bool(expected)
+
+
+def test_python_codegen_metadata():
+    monitor = symbolic_monitor(tr(_ab_chart()))
+    source = monitor_to_python(monitor)
+    assert "Auto-generated assertion monitor" in source
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    cls = namespace["Monitor"]
+    assert cls.FINAL == monitor.final
+    assert cls.ALPHABET == sorted(monitor.alphabet)
+
+
+# ------------------------------------------------------------------- SVA ----
+def test_sva_cover_for_scesc():
+    text = chart_to_sva(ScescChart(_ab_chart()))
+    assert "sequence seq_ab;" in text
+    assert "a ##1 b" in text
+    assert "cover property" in text
+
+
+def test_sva_assert_for_implication():
+    req = scesc("req").instances("M").tick(ev("req")).build()
+    ack = scesc("ack").instances("M").tick(ev("ack")).build()
+    text = chart_to_sva(Implication(req, ack))
+    assert "assert property" in text
+    assert "|=>" in text
+
+
+def test_sva_guards_and_rejects_chk():
+    from repro.logic.expr import And, EventRef, PropRef, ScoreboardCheck
+
+    assert expr_to_sva(And((PropRef("p"), EventRef("e")))) == "(p && e)"
+    with pytest.raises(CodegenError):
+        expr_to_sva(ScoreboardCheck("x"))
+
+
+def test_sva_seq_chart():
+    chart = Seq([_ab_chart(), _ab_chart().rename("cd")])
+    text = chart_to_sva(chart)
+    assert text.count("##1") >= 3
+
+
+# ------------------------------------------------------------------- PSL ----
+def test_psl_cover_and_assert():
+    text = chart_to_psl(ScescChart(_ab_chart()))
+    assert text.startswith("vunit")
+    assert "cover {a ; b};" in text
+    req = scesc("req").instances("M").tick(ev("req")).build()
+    ack = scesc("ack").instances("M").tick(ev("ack")).build()
+    impl_text = chart_to_psl(Implication(req, ack))
+    assert "assert always" in impl_text and "|=>" in impl_text
+
+
+def test_psl_rejects_other_charts():
+    from repro.cesc.charts import Alt
+
+    with pytest.raises(CodegenError):
+        chart_to_psl(Alt([_ab_chart(), _ab_chart().rename("x")]))

@@ -1,0 +1,238 @@
+"""Tests for the Verilog-subset lexer, parser and cycle simulator."""
+
+import pytest
+
+from repro.errors import HdlParseError, HdlSimError
+from repro.hdl.lexer import parse_sized_literal, tokenize
+from repro.hdl.parser import parse_verilog
+from repro.hdl.sim import VerilogSim
+
+COUNTER = """
+// simple counter with enable
+module counter (
+  input wire clk,
+  input wire rst_n,
+  input wire en,
+  output reg [7:0] count
+);
+  always @(posedge clk) begin
+    if (!rst_n)
+      count <= 8'd0;
+    else if (en)
+      count <= count + 8'd1;
+  end
+endmodule
+"""
+
+
+# ----------------------------------------------------------------- lexer ----
+def test_tokenize_basics():
+    tokens = tokenize("module m (input wire a); endmodule")
+    kinds = [t.kind for t in tokens]
+    assert kinds[0] == "keyword"
+    assert tokens[1].text == "m"
+    assert kinds[-1] == "end"
+
+
+def test_tokenize_comments_and_lines():
+    tokens = tokenize("a // comment\n/* block\ncomment */ b")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+    assert tokens[1].line == 3
+
+
+def test_sized_literals():
+    assert parse_sized_literal("8'hFF") == (255, 8)
+    assert parse_sized_literal("4'b1010") == (10, 4)
+    assert parse_sized_literal("3'd7") == (7, 3)
+    with pytest.raises(HdlParseError):
+        parse_sized_literal("2'd7")  # does not fit
+    with pytest.raises(HdlParseError):
+        parse_sized_literal("4'bxxxx")  # 4-state unsupported
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(HdlParseError):
+        tokenize('module "str"')
+
+
+# ---------------------------------------------------------------- parser ----
+def test_parse_counter_structure():
+    module = parse_verilog(COUNTER)
+    assert module.name == "counter"
+    assert [p.name for p in module.inputs()] == ["clk", "rst_n", "en"]
+    assert module.outputs()[0].name == "count"
+    assert module.outputs()[0].width == 8
+    assert len(module.always_blocks) == 1
+    assert module.always_blocks[0].clock == "clk"
+
+
+def test_parse_case_and_assign():
+    source = """
+    module decoder (input wire [1:0] sel, output wire y);
+      reg r;
+      assign y = r;
+      always @(posedge clk) begin
+        case (sel)
+          2'd0, 2'd1: r <= 1'b0;
+          2'd2: r <= 1'b1;
+          default: r <= 1'b0;
+        endcase
+      end
+    endmodule
+    """
+    module = parse_verilog(source)
+    assert len(module.assigns) == 1
+    case = module.always_blocks[0].body.statements[0]
+    from repro.hdl.ast import CaseStmt
+
+    assert isinstance(case, CaseStmt)
+    assert len(case.items) == 3
+    assert case.items[0].labels is not None and len(case.items[0].labels) == 2
+    assert case.items[2].labels is None  # default
+
+
+def test_parse_async_reset_sensitivity():
+    source = """
+    module m (input wire clk, input wire rst_n, output reg q);
+      always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 1'b0; else q <= 1'b1;
+    endmodule
+    """
+    module = parse_verilog(source)
+    assert module.always_blocks[0].resets == ["rst_n"]
+
+
+def test_parse_localparam_and_ternary():
+    source = """
+    module m (input wire a, output wire y);
+      localparam LIMIT = 3;
+      assign y = a ? 1'b1 : 1'b0;
+    endmodule
+    """
+    module = parse_verilog(source)
+    assert module.localparams["LIMIT"] == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "module",                       # truncated
+        "module m (input wire a)",      # missing ; and endmodule
+        "module m (); bogus endmodule",
+        "module m (input wire a); always @(negedge a) x <= 1; endmodule",
+        "module m (input wire [0:3] a); endmodule",  # ascending range
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(HdlParseError):
+        parse_verilog(bad)
+
+
+# ------------------------------------------------------------------- sim ----
+def test_sim_counter_counts():
+    sim = VerilogSim(COUNTER)
+    sim.step({"rst_n": 0, "en": 0})
+    assert sim.value("count") == 0
+    for _ in range(3):
+        sim.step({"rst_n": 1, "en": 1})
+    assert sim.value("count") == 3
+    sim.step({"en": 0})
+    assert sim.value("count") == 3
+
+
+def test_sim_counter_wraps_at_width():
+    sim = VerilogSim(COUNTER)
+    sim.step({"rst_n": 0})
+    for _ in range(256):
+        sim.step({"rst_n": 1, "en": 1})
+    assert sim.value("count") == 0  # 8-bit wraparound
+
+
+def test_sim_nonblocking_semantics():
+    # Classic swap: with NBA both registers read pre-edge values.
+    source = """
+    module swap (input wire clk, input wire rst_n,
+                 output reg a, output reg b);
+      always @(posedge clk) begin
+        if (!rst_n) begin
+          a <= 1'b1;
+          b <= 1'b0;
+        end else begin
+          a <= b;
+          b <= a;
+        end
+      end
+    endmodule
+    """
+    sim = VerilogSim(source)
+    sim.step({"rst_n": 0})
+    assert (sim.value("a"), sim.value("b")) == (1, 0)
+    sim.step({"rst_n": 1})
+    assert (sim.value("a"), sim.value("b")) == (0, 1)
+    sim.step({"rst_n": 1})
+    assert (sim.value("a"), sim.value("b")) == (1, 0)
+
+
+def test_sim_continuous_assign_settles():
+    source = """
+    module comb (input wire clk, input wire a, input wire b,
+                 output wire y, output wire z);
+      wire inner;
+      assign inner = a & b;
+      assign y = inner | b;
+      assign z = !y;
+    endmodule
+    """
+    sim = VerilogSim(source)
+    sim.poke("a", 1)
+    sim.poke("b", 1)
+    sim.settle()
+    assert sim.value("y") == 1
+    assert sim.value("z") == 0
+
+
+def test_sim_case_statement():
+    source = """
+    module seldec (input wire clk, input wire rst_n, input wire [1:0] sel,
+                   output reg [3:0] onehot);
+      always @(posedge clk) begin
+        if (!rst_n) onehot <= 4'd0;
+        else begin
+          case (sel)
+            2'd0: onehot <= 4'b0001;
+            2'd1: onehot <= 4'b0010;
+            2'd2: onehot <= 4'b0100;
+            default: onehot <= 4'b1000;
+          endcase
+        end
+      end
+    endmodule
+    """
+    sim = VerilogSim(source)
+    sim.step({"rst_n": 0})
+    assert sim.step({"rst_n": 1, "sel": 2})["onehot"] == 0b0100
+    assert sim.step({"sel": 3})["onehot"] == 0b1000
+
+
+def test_sim_error_paths():
+    sim = VerilogSim(COUNTER)
+    with pytest.raises(HdlSimError):
+        sim.poke("count", 1)  # not an input
+    with pytest.raises(HdlSimError):
+        sim.value("ghost")
+    with pytest.raises(HdlSimError):
+        VerilogSim("""
+        module bad (input wire clk, output wire y);
+          assign y = ghost;
+        endmodule
+        """).settle()
+
+
+def test_sim_run_vectors():
+    sim = VerilogSim(COUNTER)
+    outputs = sim.run([
+        {"rst_n": 0, "en": 0},
+        {"rst_n": 1, "en": 1},
+        {"rst_n": 1, "en": 1},
+    ])
+    assert [o["count"] for o in outputs] == [0, 1, 2]

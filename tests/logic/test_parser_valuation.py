@@ -1,0 +1,124 @@
+"""Tests for the expression parser and valuations."""
+
+import pytest
+
+from repro.errors import ExprError, ExprParseError
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    And,
+    EventRef,
+    Not,
+    Or,
+    PropRef,
+    ScoreboardCheck,
+)
+from repro.logic.parser import parse_expr
+from repro.logic.valuation import Valuation, enumerate_valuations
+
+
+# -------------------------------------------------------------- parser ----
+def test_parse_single_event():
+    assert parse_expr("req") == EventRef("req")
+
+
+def test_parse_prop_via_props_set():
+    assert parse_expr("mode", props={"mode"}) == PropRef("mode")
+
+
+def test_parse_constants():
+    assert parse_expr("true") == TRUE
+    assert parse_expr("FALSE") == FALSE
+
+
+def test_parse_precedence_and_over_or():
+    expr = parse_expr("a | b & c")
+    assert expr == Or((EventRef("a"), And((EventRef("b"), EventRef("c")))))
+
+
+def test_parse_parentheses():
+    expr = parse_expr("(a | b) & c")
+    assert expr == And((Or((EventRef("a"), EventRef("b"))), EventRef("c")))
+
+
+def test_parse_negation_binds_tightest():
+    expr = parse_expr("!a & b")
+    assert expr == And((Not(EventRef("a")), EventRef("b")))
+
+
+def test_parse_word_operators():
+    assert parse_expr("a and b or not c") == Or(
+        (And((EventRef("a"), EventRef("b"))), Not(EventRef("c")))
+    )
+
+
+def test_parse_double_operators():
+    assert parse_expr("a && b || c") == parse_expr("a & b | c")
+
+
+def test_parse_chk_evt():
+    assert parse_expr("Chk_evt(req)") == ScoreboardCheck("req")
+
+
+def test_parse_dotted_names():
+    assert parse_expr("ocp.MCmd_rd") == EventRef("ocp.MCmd_rd")
+
+
+def test_parse_errors():
+    for bad in ("", "a &", "(a", "a b", "&", "Chk_evt()", "Chk_evt(a", "a @ b"):
+        with pytest.raises(ExprParseError):
+            parse_expr(bad)
+
+
+# ----------------------------------------------------------- valuation ----
+def test_valuation_basic_queries():
+    valuation = Valuation({"a"}, {"a", "b"})
+    assert valuation.is_true("a")
+    assert not valuation.is_true("b")
+    assert not valuation.is_true("zzz")
+    assert "a" in valuation
+    assert len(valuation) == 1
+    assert list(valuation) == ["a"]
+
+
+def test_valuation_requires_true_within_alphabet():
+    with pytest.raises(ExprError):
+        Valuation({"x"}, {"a"})
+
+
+def test_valuation_restriction_and_extension():
+    valuation = Valuation({"a", "b"}, {"a", "b", "c"})
+    restricted = valuation.restricted({"a", "c"})
+    assert restricted.true == {"a"}
+    assert restricted.alphabet == {"a", "c"}
+    extended = restricted.extended(Valuation({"d"}))
+    assert extended.true == {"a", "d"}
+
+
+def test_valuation_with_true():
+    valuation = Valuation(set(), {"a"})
+    assert valuation.with_true("a", "b").true == {"a", "b"}
+
+
+def test_valuation_equality_includes_alphabet():
+    assert Valuation({"a"}, {"a"}) != Valuation({"a"}, {"a", "b"})
+    assert Valuation({"a"}, {"a", "b"}) == Valuation({"a"}, {"b", "a"})
+
+
+def test_enumerate_valuations_counts():
+    values = list(enumerate_valuations(["a", "b", "c"]))
+    assert len(values) == 8
+    assert len(set(values)) == 8
+    # Deterministic order: popcount then lexicographic.
+    assert values[0].true == frozenset()
+    assert values[-1].true == {"a", "b", "c"}
+
+
+def test_enumerate_valuations_max_true():
+    values = list(enumerate_valuations(["a", "b", "c"], max_true=1))
+    assert len(values) == 4  # empty + 3 singletons
+
+
+def test_enumerate_valuations_dedups_alphabet():
+    values = list(enumerate_valuations(["a", "a", "b"]))
+    assert len(values) == 4

@@ -1,0 +1,162 @@
+"""Tests for the scoreboard and the monitor automaton structure."""
+
+import pytest
+
+from repro.errors import MonitorError, ScoreboardError
+from repro.logic.expr import EventRef, Not, TRUE
+from repro.monitor.automaton import (
+    AddEvt,
+    DelEvt,
+    Monitor,
+    NULL_ACTION,
+    Transition,
+)
+from repro.monitor.scoreboard import Scoreboard
+
+
+# ------------------------------------------------------------ scoreboard ----
+def test_scoreboard_add_chk_del_cycle():
+    scoreboard = Scoreboard()
+    assert not scoreboard.contains("req")
+    scoreboard.add("req")
+    assert scoreboard.contains("req")
+    assert "req" in scoreboard
+    scoreboard.delete("req")
+    assert not scoreboard.contains("req")
+
+
+def test_scoreboard_is_multiset():
+    # Figure 7 pipelines several outstanding MCmdRd occurrences.
+    scoreboard = Scoreboard()
+    scoreboard.add("MCmdRd", "MCmdRd", "Burst4")
+    assert scoreboard.count("MCmdRd") == 2
+    scoreboard.delete("MCmdRd")
+    assert scoreboard.contains("MCmdRd")
+    scoreboard.delete("MCmdRd")
+    assert not scoreboard.contains("MCmdRd")
+
+
+def test_scoreboard_strict_delete_raises():
+    scoreboard = Scoreboard()
+    with pytest.raises(ScoreboardError):
+        scoreboard.delete("ghost")
+
+
+def test_scoreboard_lenient_delete_clamps():
+    scoreboard = Scoreboard(strict=False)
+    scoreboard.delete("ghost")
+    assert scoreboard.count("ghost") == 0
+
+
+def test_scoreboard_snapshot_restore():
+    scoreboard = Scoreboard()
+    scoreboard.add("a", "b", "a")
+    snap = scoreboard.snapshot()
+    assert snap == {"a": 2, "b": 1}
+    scoreboard.clear()
+    assert scoreboard.is_empty()
+    scoreboard.restore(snap)
+    assert scoreboard.count("a") == 2
+
+
+def test_scoreboard_history_and_len():
+    scoreboard = Scoreboard()
+    scoreboard.add("x")
+    scoreboard.delete("x")
+    assert scoreboard.history() == [("add", "x"), ("del", "x")]
+    scoreboard.add("y", "y")
+    assert len(scoreboard) == 2
+
+
+# --------------------------------------------------------------- actions ----
+def test_actions_apply():
+    scoreboard = Scoreboard()
+    AddEvt("a", "b").apply(scoreboard)
+    assert scoreboard.contains("a") and scoreboard.contains("b")
+    DelEvt("a").apply(scoreboard)
+    assert not scoreboard.contains("a")
+    NULL_ACTION.apply(scoreboard)
+    assert scoreboard.contains("b")
+
+
+def test_actions_equality_and_repr():
+    assert AddEvt("a") == AddEvt("a")
+    assert AddEvt("a") != DelEvt("a")
+    assert repr(AddEvt("x", "y")) == "Add_evt(x, y)"
+    assert repr(DelEvt("x")) == "Del_evt(x)"
+    assert NULL_ACTION.is_null()
+
+
+def test_actions_require_events():
+    with pytest.raises(MonitorError):
+        AddEvt()
+    with pytest.raises(MonitorError):
+        DelEvt()
+
+
+# -------------------------------------------------------------- automaton ----
+def _toy_monitor():
+    a = EventRef("a")
+    transitions = [
+        Transition(0, a, (AddEvt("a"),), 1),
+        Transition(0, Not(a), (), 0),
+        Transition(1, a, (), 1),
+        Transition(1, Not(a), (DelEvt("a"),), 0),
+    ]
+    return Monitor("toy", 2, 0, 1, transitions, alphabet={"a"})
+
+
+def test_monitor_structure():
+    monitor = _toy_monitor()
+    assert monitor.n_states == 2
+    assert len(monitor.transitions_from(0)) == 2
+    assert monitor.transition_count() == 4
+    assert monitor.events() == {"a"}
+    assert monitor.has_actions()
+
+
+def test_monitor_validation_passes_for_complete_deterministic():
+    _toy_monitor().validate()
+
+
+def test_monitor_detects_incompleteness():
+    a = EventRef("a")
+    monitor = Monitor("gappy", 2, 0, 1, [Transition(0, a, (), 1)],
+                      alphabet={"a"})
+    gaps = monitor.check_complete()
+    assert gaps and "state 0" in gaps[0]
+    assert any("state 1" in g for g in monitor.check_complete())
+
+
+def test_monitor_detects_nondeterminism():
+    a = EventRef("a")
+    monitor = Monitor(
+        "ambiguous", 2, 0, 1,
+        [Transition(0, a, (), 1), Transition(0, TRUE, (), 0)],
+        alphabet={"a"},
+    )
+    conflicts = monitor.check_deterministic()
+    assert conflicts
+    with pytest.raises(MonitorError):
+        monitor.validate()
+
+
+def test_monitor_rejects_out_of_range_states():
+    with pytest.raises(MonitorError):
+        Monitor("bad", 1, 0, 0, [Transition(0, TRUE, (), 5)], alphabet=set())
+    with pytest.raises(MonitorError):
+        Monitor("bad", 2, 0, 5, [], alphabet=set())
+    with pytest.raises(MonitorError):
+        Monitor("bad", 0, 0, 0, [], alphabet=set())
+
+
+def test_transition_label_format():
+    t = Transition(0, EventRef("a"), (AddEvt("a"),), 1)
+    assert t.label() == "a / Add_evt(a)"
+    bare = Transition(0, EventRef("a"), (), 1)
+    assert bare.label() == "a"
+
+
+def test_null_actions_stripped():
+    t = Transition(0, TRUE, (NULL_ACTION,), 0)
+    assert t.actions == ()

@@ -1,0 +1,193 @@
+"""Tests for the AMBA AHB CLI model, the Figs. 1-2 read protocol, faults."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.monitor.scoreboard import Scoreboard
+from repro.protocols.amba import (
+    AhbBus,
+    AhbMaster,
+    AhbSignals,
+    ahb_transaction_chart,
+)
+from repro.protocols.faults import (
+    FaultCampaign,
+    delay_event,
+    drop_event,
+    insert_event,
+    swap_ticks,
+)
+from repro.protocols.readproto import (
+    ReadMaster,
+    ReadSlaveController,
+    multiclock_read_chart,
+    read_protocol_chart,
+)
+from repro.semantics.run import Trace
+from repro.sim.testbench import Testbench
+from repro.synthesis.multiclock import synthesize_network
+from repro.synthesis.tr import tr
+
+
+# ------------------------------------------------------------------ AMBA ----
+def _ahb_bench():
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("ahb_clk", period=1))
+    signals = AhbSignals(bench.sim, clk)
+    return bench, clk, signals
+
+
+def test_ahb_chart_shape():
+    chart = ahb_transaction_chart()
+    assert chart.n_ticks == 3
+    monitor = tr(chart)
+    assert monitor.n_states == 4  # Figure 8 shows states 0..3
+
+
+def test_ahb_transaction_detected():
+    bench, clk, signals = _ahb_bench()
+    master = AhbMaster(signals, schedule=[1])
+    bus = AhbBus(signals)
+    bench.sim.add_process(clk, master.process)
+    bus.attach(bench.sim)
+    monitor = tr(ahb_transaction_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 6)
+    assert engine.detections == [3]
+
+
+def test_ahb_scoreboard_carries_both_causes():
+    bench, clk, signals = _ahb_bench()
+    master = AhbMaster(signals, schedule=[0])
+    bus = AhbBus(signals)
+    bench.sim.add_process(clk, master.process)
+    bus.attach(bench.sim)
+    scoreboard = Scoreboard()
+    bench.attach_monitor(tr(ahb_transaction_chart()), clk, signals.mapping(),
+                         scoreboard=scoreboard)
+    observed = []
+    bench.sim.add_sampler(
+        clk, lambda s, c, t: observed.append(dict(scoreboard.snapshot()))
+    )
+    bench.run(clk, 4)
+    # After the data phase (cycle 1) both causes sit on the scoreboard.
+    assert observed[1].get("init_transaction", 0) == 1
+    assert observed[1].get("master_set_data", 0) == 1
+
+
+def test_ahb_dropped_response_not_detected():
+    bench, clk, signals = _ahb_bench()
+    master = AhbMaster(signals, schedule=[1], drop_master_response=True)
+    bus = AhbBus(signals)
+    bench.sim.add_process(clk, master.process)
+    bus.attach(bench.sim)
+    engine = bench.attach_monitor(tr(ahb_transaction_chart()), clk,
+                                  signals.mapping())
+    bench.run(clk, 6)
+    assert engine.detections == []
+
+
+def test_ahb_stalled_bus_not_detected():
+    bench, clk, signals = _ahb_bench()
+    master = AhbMaster(signals, schedule=[1])
+    bus = AhbBus(signals, stall_get_slave=True)
+    bench.sim.add_process(clk, master.process)
+    bus.attach(bench.sim)
+    engine = bench.attach_monitor(tr(ahb_transaction_chart()), clk,
+                                  signals.mapping())
+    bench.run(clk, 6)
+    assert engine.detections == []
+
+
+# ---------------------------------------------------------- read protocol ----
+def test_fig1_read_protocol_simulation():
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("clk1", period=1))
+    names = ["req1", "rd1", "addr1", "req2", "rd2", "addr2", "rdy1", "data1"]
+    signals = {n: bench.sim.signal(n, clk) for n in names}
+    master = ReadMaster(signals, request_cycles=[1])
+    controller = ReadSlaveController(signals)
+    bench.sim.add_process(clk, master.process, level=0)
+    bench.sim.add_process(clk, controller.process, level=0)
+    bench.sim.add_process(clk, controller.react, level=1)
+    monitor = tr(read_protocol_chart())
+    engine = bench.attach_monitor(monitor, clk, signals)
+    bench.run(clk, 7)
+    # req@1, forward@2, rdy@3, data@4.
+    assert engine.detections == [4]
+
+
+def test_fig1_drop_data_fault():
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("clk1", period=1))
+    names = ["req1", "rd1", "addr1", "req2", "rd2", "addr2", "rdy1", "data1"]
+    signals = {n: bench.sim.signal(n, clk) for n in names}
+    master = ReadMaster(signals, request_cycles=[1])
+    controller = ReadSlaveController(signals, drop_data=True)
+    bench.sim.add_process(clk, master.process, level=0)
+    bench.sim.add_process(clk, controller.process, level=0)
+    bench.sim.add_process(clk, controller.react, level=1)
+    engine = bench.attach_monitor(tr(read_protocol_chart()), clk, signals)
+    bench.run(clk, 7)
+    assert engine.detections == []
+
+
+def test_fig2_multiclock_chart_and_network():
+    chart = multiclock_read_chart()
+    assert len(chart.children) == 2
+    assert len(chart.cross_arrows) == 2
+    network = synthesize_network(chart)
+    assert network.total_states() == 5 + 4  # M1 has 4 ticks, M2 has 3
+
+
+def test_fig2_network_on_generated_run():
+    from repro.semantics.generator import TraceGenerator
+
+    chart = multiclock_read_chart()
+    network = synthesize_network(chart)
+    generator = TraceGenerator(chart, seed=13)
+    run = generator.global_run(chart, cycles=10, satisfy=True)
+    result = network.run(run)
+    assert result.accepted
+    assert result.detections["M1"] and result.detections["M2"]
+
+
+# ------------------------------------------------------------------ faults ----
+def _base_trace():
+    return Trace.from_sets(
+        [{"a"}, {"b"}, {"c"}], alphabet={"a", "b", "c"}
+    )
+
+
+def test_drop_insert_delay_swap():
+    trace = _base_trace()
+    assert not drop_event(trace, 0, "a")[0].is_true("a")
+    assert insert_event(trace, 0, "b")[0].is_true("b")
+    delayed = delay_event(trace, 0, "a")
+    assert not delayed[0].is_true("a") and delayed[1].is_true("a")
+    swapped = swap_ticks(trace, 0, 2)
+    assert swapped[0].is_true("c") and swapped[2].is_true("a")
+
+
+def test_fault_bounds_checked():
+    trace = _base_trace()
+    with pytest.raises(SimulationError):
+        drop_event(trace, 9, "a")
+    with pytest.raises(SimulationError):
+        delay_event(trace, 2, "c")  # would move past the end
+
+
+def test_fault_campaign_deterministic():
+    trace = _base_trace()
+    first = FaultCampaign(trace, ["a", "b", "c"], seed=5).mutations(10)
+    second = FaultCampaign(trace, ["a", "b", "c"], seed=5).mutations(10)
+    assert [t.valuations for t in first] == [t.valuations for t in second]
+    assert len(first) == 10
+
+
+def test_fault_campaign_needs_length():
+    with pytest.raises(SimulationError):
+        FaultCampaign(Trace.from_sets([{"a"}]), ["a"])

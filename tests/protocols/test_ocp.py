@@ -1,0 +1,194 @@
+"""Tests for the OCP models against the Figure 6/7 monitors."""
+
+import pytest
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.monitor.engine import run_monitor
+from repro.protocols.ocp import (
+    OcpMaster,
+    OcpSignals,
+    OcpSlave,
+    ocp_burst_read_chart,
+    ocp_simple_read_chart,
+)
+from repro.sim.testbench import Testbench
+from repro.synthesis.tr import tr
+
+
+def _bench():
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("ocp_clk", period=1))
+    signals = OcpSignals(bench.sim, clk)
+    return bench, clk, signals
+
+
+def test_simple_read_chart_shape():
+    chart = ocp_simple_read_chart()
+    assert chart.n_ticks == 2
+    monitor = tr(chart)
+    assert monitor.n_states == 3  # Figure 6 shows states 0..2
+    assert len(chart.arrows) == 1
+
+
+def test_burst_chart_shape():
+    chart = ocp_burst_read_chart()
+    assert chart.n_ticks == 6
+    monitor = tr(chart)
+    assert monitor.n_states == 7  # Figure 7 shows states 0..6
+
+
+def test_master_simple_read_waveform():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("read", 1)])
+    slave = OcpSlave(signals, latency=1)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    recorder = bench.record(clk, signals.mapping())
+    bench.run(clk, 5)
+    trace = recorder.trace()
+    assert trace[1].is_true("MCmd_rd")
+    assert trace[1].is_true("SCmd_accept")  # same-cycle accept
+    assert trace[2].is_true("SResp") and trace[2].is_true("SData")
+    assert master.issued == [("read", 1)]
+    assert slave.accepted_commands == 1
+
+
+def test_monitor_detects_simple_read_in_simulation():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("read", 1), ("read", 4)])
+    slave = OcpSlave(signals, latency=1)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_simple_read_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 8)
+    # Each read completes one tick after its command.
+    assert engine.detections == [2, 5]
+
+
+def test_monitor_misses_faulty_slave():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("read", 1)])
+    slave = OcpSlave(signals, latency=1, fault="drop_response")
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_simple_read_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 6)
+    assert engine.detections == []
+
+
+def test_checker_flags_dropped_response():
+    from repro.cesc.builder import ev, scesc
+    from repro.cesc.charts import Implication
+    from repro.monitor.checker import AssertionChecker
+
+    request = (
+        scesc("ocp_req").instances("M", "S")
+        .tick(ev("MCmd_rd"), ev("Addr"), ev("SCmd_accept"))
+        .build()
+    )
+    response = (
+        scesc("ocp_resp").instances("M", "S")
+        .tick(ev("SResp"), ev("SData"))
+        .build()
+    )
+    checker = AssertionChecker(Implication(request, response))
+
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("read", 1)])
+    slave = OcpSlave(signals, latency=1, fault="drop_response")
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    recorder = bench.record(clk, signals.mapping())
+    bench.run(clk, 6)
+    report = checker.check(recorder.trace())
+    assert not report.ok
+    assert len(report.violations) == 1
+
+
+def test_no_accept_fault_breaks_request_tick():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("read", 1)])
+    slave = OcpSlave(signals, latency=1, fault="no_accept")
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_simple_read_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 6)
+    assert engine.detections == []
+
+
+def test_burst_waveform_pipelines():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("burst", 0)])
+    slave = OcpSlave(signals, latency=2)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    recorder = bench.record(clk, signals.mapping())
+    bench.run(clk, 7)
+    trace = recorder.trace()
+    # Commands on cycles 0-3 with decreasing burst counts.
+    assert trace[0].is_true("Burst4") and trace[3].is_true("Burst1")
+    # Responses stream on cycles 2-5 while commands still issue.
+    assert trace[2].is_true("SResp") and trace[2].is_true("MCmd_rd")
+    assert trace[5].is_true("SResp")
+
+
+def test_monitor_detects_pipelined_burst():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("burst", 0)])
+    slave = OcpSlave(signals, latency=2)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_burst_read_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 8)
+    assert 5 in engine.detections  # full burst completes at cycle 5
+
+
+def test_burst_scoreboard_multiset_peaks():
+    from repro.monitor.scoreboard import Scoreboard
+
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, schedule=[("burst", 0)])
+    slave = OcpSlave(signals, latency=2)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_burst_read_chart())
+    scoreboard = Scoreboard()
+    bench.attach_monitor(monitor, clk, signals.mapping(),
+                         scoreboard=scoreboard)
+    peak = {"value": 0}
+    bench.sim.add_sampler(
+        clk,
+        lambda s, c, t: peak.__setitem__(
+            "value", max(peak["value"], scoreboard.count("MCmd_rd"))
+        ),
+    )
+    bench.run(clk, 8)
+    assert peak["value"] >= 2  # multiple commands outstanding at once
+
+
+def test_random_master_traffic_detected():
+    bench, clk, signals = _bench()
+    master = OcpMaster(signals, random_rate=0.3, seed=7)
+    slave = OcpSlave(signals, latency=1)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    monitor = tr(ocp_simple_read_chart())
+    engine = bench.attach_monitor(monitor, clk, signals.mapping())
+    bench.run(clk, 40)
+    assert master.issued  # traffic happened
+    assert engine.detections  # and was detected
+
+
+def test_slave_rejects_bad_config():
+    bench, clk, signals = _bench()
+    with pytest.raises(SimulationError):
+        OcpSlave(signals, latency=0)
+    with pytest.raises(SimulationError):
+        OcpSlave(signals, fault="explode")
+    with pytest.raises(SimulationError):
+        OcpMaster(signals, schedule=[("write", 0)])

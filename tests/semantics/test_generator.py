@@ -1,0 +1,112 @@
+"""Tests for the trace generator (oracle-checked)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesc.ast import Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import AsyncPar, CrossArrow, ScescChart
+from repro.semantics.denotation import (
+    global_run_satisfies,
+    matches_window,
+    run_satisfies,
+)
+from repro.semantics.generator import TraceGenerator
+
+
+def _protocol_chart():
+    return (
+        scesc("proto")
+        .props("mode")
+        .instances("M", "S")
+        .tick(ev("req", src="M", dst="S"), ev("addr"))
+        .tick(ev("gnt", guard="mode"))
+        .tick(ev("data", src="S", dst="M"))
+        .arrow("done", cause="req", effect="data")
+        .build()
+    )
+
+
+def test_random_trace_shape():
+    generator = TraceGenerator(ScescChart(_protocol_chart()), seed=1)
+    trace = generator.random_trace(10)
+    assert trace.length == 10
+    assert set(generator.alphabet) == {"req", "addr", "gnt", "data", "mode"}
+
+
+def test_scenario_window_matches_chart():
+    chart = ScescChart(_protocol_chart())
+    generator = TraceGenerator(chart, seed=2)
+    window = generator.scenario_window()
+    assert matches_window(chart, window, 0, 3)
+
+
+def test_minimal_window_has_no_extras():
+    chart = ScescChart(_protocol_chart())
+    generator = TraceGenerator(chart, seed=3)
+    window = generator.scenario_window(minimal=True)
+    # Tick 2 requires only 'data'; minimal windows add nothing else.
+    assert window[2].true == {"data"}
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**30), st.integers(0, 5), st.integers(0, 5))
+def test_satisfying_trace_always_satisfies(seed, prefix, suffix):
+    chart = ScescChart(_protocol_chart())
+    generator = TraceGenerator(chart, seed=seed)
+    trace = generator.satisfying_trace(prefix=prefix, suffix=suffix)
+    assert trace.length == prefix + 3 + suffix
+    assert run_satisfies(chart, trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**30), st.integers(0, 2))
+def test_violating_window_misses_at_break(seed, break_at):
+    chart = ScescChart(_protocol_chart())
+    generator = TraceGenerator(chart, seed=seed)
+    window = generator.violating_window(break_at=break_at)
+    assert not matches_window(chart, window, 0, 3)
+
+
+def test_violating_window_bad_index():
+    generator = TraceGenerator(ScescChart(_protocol_chart()), seed=0)
+    with pytest.raises(Exception):
+        generator.violating_window(break_at=99)
+
+
+def _async_chart():
+    m1 = (
+        scesc("M1", clock=Clock("clk1", period=10))
+        .instances("A")
+        .tick(ev("req"))
+        .tick(ev("data"))
+        .build()
+    )
+    m2 = (
+        scesc("M2", clock=Clock("clk2", period=7))
+        .instances("B")
+        .tick(ev("req3"))
+        .tick(ev("data3"))
+        .build()
+    )
+    arrow = CrossArrow("e4", "M1", EventRefInChart(0, "req"), "M2",
+                       EventRefInChart(0, "req3"))
+    return AsyncPar([m1, m2], cross_arrows=[arrow])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**30))
+def test_global_run_generator_satisfies(seed):
+    chart = _async_chart()
+    generator = TraceGenerator(chart, seed=seed)
+    run = generator.global_run(chart, cycles=8, satisfy=True)
+    assert global_run_satisfies(chart, run)
+
+
+def test_global_run_unsatisfying_mode():
+    chart = _async_chart()
+    generator = TraceGenerator(chart, seed=7, noise_density=0.0)
+    run = generator.global_run(chart, cycles=6, satisfy=False)
+    # Noise-free unsatisfying runs carry no events at all.
+    assert not global_run_satisfies(chart, run)

@@ -1,0 +1,238 @@
+"""Tests for states, runs, and the chart denotation oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cesc.ast import Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    CrossArrow,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+)
+from repro.errors import ChartError, ExprError
+from repro.semantics.denotation import (
+    chart_window_lengths,
+    global_run_satisfies,
+    matches_window,
+    run_satisfies,
+    satisfying_windows,
+)
+from repro.semantics.run import GlobalRun, Trace
+from repro.semantics.state import State
+
+
+def _ab_chart(name="ab", clock="clk"):
+    return (
+        scesc(name, clock=clock)
+        .instances("A", "B")
+        .tick(ev("a", src="A", dst="B"))
+        .tick(ev("b", src="B", dst="A"))
+        .build()
+    )
+
+
+# ----------------------------------------------------------------- State ----
+def test_state_projections():
+    state = State(true_events={"e"}, true_props={"p"},
+                  event_alphabet={"e", "f"}, prop_alphabet={"p"})
+    assert state.f2("e") and not state.f2("f")
+    assert state.f1("p")
+    assert state.is_true("e") and state.is_true("p")
+    assert state.valuation().true == {"e", "p"}
+
+
+def test_state_rejects_namespace_overlap():
+    with pytest.raises(ExprError):
+        State(event_alphabet={"x"}, prop_alphabet={"x"})
+
+
+def test_state_rejects_out_of_alphabet():
+    with pytest.raises(ExprError):
+        State(true_events={"e"}, event_alphabet=set())
+
+
+# ----------------------------------------------------------------- Trace ----
+def test_trace_from_sets_and_window():
+    trace = Trace.from_sets([{"a"}, set(), {"b"}], alphabet={"a", "b"})
+    assert trace.length == 3
+    window = trace.window(1, 2)
+    assert window[1].is_true("b")
+    with pytest.raises(ChartError):
+        trace.window(2, 5)
+
+
+def test_trace_concat():
+    left = Trace.from_sets([{"a"}], alphabet={"a", "b"})
+    right = Trace.from_sets([{"b"}], alphabet={"a", "b"})
+    assert left.concat(right).length == 2
+
+
+# ----------------------------------------------------------- SCESC match ----
+def test_scesc_window_match():
+    chart = ScescChart(_ab_chart())
+    trace = Trace.from_sets([set(), {"a"}, {"b"}, set()], alphabet={"a", "b"})
+    assert matches_window(chart, trace, 1, 2)
+    assert not matches_window(chart, trace, 0, 2)
+    assert satisfying_windows(chart, trace) == [(1, 2)]
+    assert run_satisfies(chart, trace)
+
+
+def test_scesc_no_match():
+    chart = ScescChart(_ab_chart())
+    trace = Trace.from_sets([{"b"}, {"a"}], alphabet={"a", "b"})
+    assert not run_satisfies(chart, trace)
+
+
+def test_extra_events_do_not_block_match():
+    # The pattern is a conjunction of requirements, not an exact set.
+    chart = ScescChart(_ab_chart())
+    trace = Trace.from_sets([{"a", "b"}, {"b", "a"}], alphabet={"a", "b"})
+    assert matches_window(chart, trace, 0, 2)
+
+
+def test_negated_occurrence_requires_absence():
+    chart = (
+        scesc("no_b").instances("A")
+        .tick(ev("a"), ev("b", absent=True))
+        .build()
+    )
+    wrapped = ScescChart(chart)
+    good = Trace.from_sets([{"a"}], alphabet={"a", "b"})
+    bad = Trace.from_sets([{"a", "b"}], alphabet={"a", "b"})
+    assert matches_window(wrapped, good, 0, 1)
+    assert not matches_window(wrapped, bad, 0, 1)
+
+
+# ------------------------------------------------------------ composites ----
+def test_seq_windows():
+    chart = Seq([_ab_chart("first"), _ab_chart("second")])
+    assert chart_window_lengths(chart, 10) == {4}
+    trace = Trace.from_sets(
+        [{"a"}, {"b"}, {"a"}, {"b"}], alphabet={"a", "b"}
+    )
+    assert matches_window(chart, trace, 0, 4)
+
+
+def test_alt_windows():
+    single = scesc("one").instances("A").tick(ev("a")).build()
+    chart = Alt([single, _ab_chart()])
+    assert chart_window_lengths(chart, 10) == {1, 2}
+    trace = Trace.from_sets([{"a"}], alphabet={"a", "b"})
+    assert matches_window(chart, trace, 0, 1)
+
+
+def test_par_pads_shorter_child():
+    short = scesc("s").instances("A").tick(ev("a")).build()
+    longer = (
+        scesc("l").instances("A").tick(ev("a")).tick(ev("b")).build()
+    )
+    chart = Par([short, longer])
+    assert chart_window_lengths(chart, 10) == {2}
+    trace = Trace.from_sets([{"a"}, {"b"}], alphabet={"a", "b"})
+    assert matches_window(chart, trace, 0, 2)
+
+
+def test_loop_bounded():
+    chart = Loop(_ab_chart(), count=2)
+    assert chart_window_lengths(chart, 10) == {4}
+    trace = Trace.from_sets([{"a"}, {"b"}, {"a"}, {"b"}], alphabet={"a", "b"})
+    assert matches_window(chart, trace, 0, 4)
+    assert not matches_window(chart, trace, 0, 2)
+
+
+def test_loop_unbounded():
+    chart = Loop(_ab_chart())
+    assert chart_window_lengths(chart, 7) == {2, 4, 6}
+    trace = Trace.from_sets([{"a"}, {"b"}] * 3, alphabet={"a", "b"})
+    assert matches_window(chart, trace, 0, 6)
+    assert matches_window(chart, trace, 0, 2)
+
+
+def test_implication_run_satisfaction():
+    ante = scesc("req").instances("A").tick(ev("req")).build()
+    conseq = scesc("ack").instances("A").tick(ev("ack")).build()
+    chart = Implication(ante, conseq)
+    good = Trace.from_sets([{"req"}, {"ack"}, set()], alphabet={"req", "ack"})
+    bad = Trace.from_sets([{"req"}, set(), set()], alphabet={"req", "ack"})
+    pending = Trace.from_sets([set(), {"req"}], alphabet={"req", "ack"})
+    assert run_satisfies(chart, good)
+    assert not run_satisfies(chart, bad)
+    # Obligation extends past prefix: not a counterexample.
+    assert run_satisfies(chart, pending)
+
+
+def test_implication_has_no_window_language():
+    chart = Implication(_ab_chart("x"), _ab_chart("y"))
+    with pytest.raises(ChartError):
+        chart_window_lengths(chart, 5)
+
+
+# ------------------------------------------------------------ multi-clock ----
+def _two_domain_chart():
+    m1 = (
+        scesc("M1", clock=Clock("clk1", period=10))
+        .instances("Master")
+        .tick(ev("req"))
+        .tick(ev("data"))
+        .build()
+    )
+    m2 = (
+        scesc("M2", clock=Clock("clk2", period=7))
+        .instances("Slave")
+        .tick(ev("req3"))
+        .tick(ev("data3"))
+        .build()
+    )
+    arrow = CrossArrow("e4", "M1", EventRefInChart(0, "req"), "M2",
+                       EventRefInChart(0, "req3"))
+    return AsyncPar([m1, m2], cross_arrows=[arrow]), m1, m2
+
+
+def test_global_run_merge_and_project():
+    clk1, clk2 = Clock("clk1", period=10), Clock("clk2", period=7)
+    t1 = Trace.from_sets([{"req"}, {"data"}], alphabet={"req", "data"})
+    t2 = Trace.from_sets([{"req3"}, set()], alphabet={"req3", "data3"})
+    run = GlobalRun.merge({clk1: t1, clk2: t2})
+    assert run.length == 3  # ticks at t=0 (both clocks), t=7, t=10
+    assert run.ticks[0].clocks == {"clk1", "clk2"}
+    assert run.project("clk1").length == 2
+    assert run.tick_times("clk2") == [Fraction(0), Fraction(7)]
+
+
+def test_global_run_satisfaction_with_cross_arrow():
+    chart, m1, m2 = _two_domain_chart()
+    clk1, clk2 = m1.clock, m2.clock
+    # req at clk1 tick 0 (t=0); req3 at clk2 tick 1 (t=7): cause before effect.
+    t1 = Trace.from_sets([{"req"}, {"data"}, set()],
+                         alphabet={"req", "data"})
+    t2 = Trace.from_sets([set(), {"req3"}, {"data3"}],
+                         alphabet={"req3", "data3"})
+    run = GlobalRun.merge({clk1: t1, clk2: t2})
+    assert global_run_satisfies(chart, run)
+
+
+def test_global_run_violates_cross_arrow_order():
+    chart, m1, m2 = _two_domain_chart()
+    clk1, clk2 = m1.clock, m2.clock
+    # req3 fires at t=0 while req fires at t=10: effect precedes cause.
+    t1 = Trace.from_sets([set(), {"req"}, {"data"}],
+                         alphabet={"req", "data"})
+    t2 = Trace.from_sets([{"req3"}, {"data3"}, set()],
+                         alphabet={"req3", "data3"})
+    run = GlobalRun.merge({clk1: t1, clk2: t2})
+    assert not global_run_satisfies(chart, run)
+
+
+def test_global_run_requires_each_component():
+    chart, m1, m2 = _two_domain_chart()
+    t1 = Trace.from_sets([{"req"}, {"data"}], alphabet={"req", "data"})
+    t2 = Trace.from_sets([set(), set()], alphabet={"req3", "data3"})
+    run = GlobalRun.merge({m1.clock: t1, m2.clock: t2})
+    assert not global_run_satisfies(chart, run)

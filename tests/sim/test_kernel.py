@@ -1,0 +1,217 @@
+"""Tests for the simulation kernel, signals, VCD and testbench glue."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cesc.ast import Clock
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Signal
+from repro.sim.testbench import Testbench, TraceRecorder
+from repro.sim.vcd import VcdWriter
+
+
+# ---------------------------------------------------------------- signal ----
+def test_signal_two_phase_set():
+    sig = Signal("s")
+    sig.set(True)
+    assert not sig.value  # staged, not yet visible
+    assert sig.commit()
+    assert sig.value
+    assert not sig.commit()  # nothing staged
+
+
+def test_signal_pulse_expires_next_tick():
+    sig = Signal("p")
+    sig.pulse()
+    sig.commit()
+    assert sig.value
+    assert sig.expire_pulse()
+    assert not sig.value
+
+
+def test_signal_pulse_rearm_survives():
+    sig = Signal("p")
+    sig.pulse()
+    sig.commit()
+    sig.pulse()  # re-armed before expiry
+    assert not sig.expire_pulse()
+    sig.commit()
+    assert sig.value
+
+
+def test_signal_set_disarms_pulse():
+    sig = Signal("p")
+    sig.pulse()
+    sig.commit()
+    sig.set(True)
+    sig.commit()
+    assert not sig.expire_pulse()
+    assert sig.value
+
+
+def test_signal_requires_name():
+    with pytest.raises(SimulationError):
+        Signal("")
+
+
+# ---------------------------------------------------------------- kernel ----
+def test_single_clock_process_ordering():
+    sim = Simulator()
+    clk = sim.add_clock(Clock("clk", period=2))
+    sig = sim.signal("x", clk)
+    seen = []
+
+    def driver(s, cycle):
+        sig.pulse()
+
+    def observer(s, cycle, time):
+        seen.append((cycle, time, bool(sig.value)))
+
+    sim.add_process(clk, driver)
+    sim.add_sampler(clk, observer)
+    sim.run_cycles(clk, 3)
+    assert seen == [
+        (0, Fraction(0), True),
+        (1, Fraction(2), True),
+        (2, Fraction(4), True),
+    ]
+
+
+def test_levels_allow_same_cycle_reaction():
+    sim = Simulator()
+    clk = sim.add_clock(Clock("clk", period=1))
+    req = sim.signal("req", clk)
+    ack = sim.signal("ack", clk)
+    samples = []
+
+    def master(s, cycle):
+        if cycle == 1:
+            req.pulse()
+
+    def responder(s, cycle):
+        if req.value:  # sees the level-0 commit of the same cycle
+            ack.pulse()
+
+    sim.add_process(clk, master, level=0)
+    sim.add_process(clk, responder, level=1)
+    sim.add_sampler(
+        clk, lambda s, c, t: samples.append((c, bool(req.value), bool(ack.value)))
+    )
+    sim.run_cycles(clk, 3)
+    assert samples == [(0, False, False), (1, True, True), (2, False, False)]
+
+
+def test_gals_two_clock_interleaving():
+    sim = Simulator()
+    fast = sim.add_clock(Clock("fast", period=2))
+    slow = sim.add_clock(Clock("slow", period=3))
+    order = []
+    sim.add_sampler(fast, lambda s, c, t: order.append(("fast", c, t)))
+    sim.add_sampler(slow, lambda s, c, t: order.append(("slow", c, t)))
+    sim.run_until(Fraction(7))
+    # fast ticks at 0,2,4,6; slow at 0,3,6 — merged in time order.
+    times = [t for _, _, t in order]
+    assert times == sorted(times)
+    assert ("fast", 3, Fraction(6)) in order
+    assert ("slow", 2, Fraction(6)) in order
+
+
+def test_kernel_error_paths():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run_until(Fraction(5))  # no clocks
+    clk = sim.add_clock(Clock("clk"))
+    with pytest.raises(SimulationError):
+        sim.add_clock(Clock("clk"))
+    sim.signal("x", clk)
+    with pytest.raises(SimulationError):
+        sim.signal("x", clk)
+    with pytest.raises(SimulationError):
+        sim.get_signal("nope")
+    with pytest.raises(SimulationError):
+        sim.add_process(Clock("other"), lambda s, c: None)
+
+
+# ------------------------------------------------------------------- VCD ----
+def test_vcd_output_structure():
+    writer = VcdWriter()
+    sig = Signal("req")
+    bus = Signal("addr", init=0, width=8)
+    writer.register(sig)
+    writer.register(bus)
+    writer.sample(Fraction(0))
+    sig.set(True)
+    sig.commit()
+    bus.set(0xA5)
+    bus.commit()
+    writer.sample(Fraction(1))
+    text = writer.dump()
+    assert "$timescale" in text
+    assert "$var wire 1" in text and "$var wire 8" in text
+    assert "#0" in text and "#1" in text
+    assert "b10100101" in text
+
+
+def test_vcd_no_duplicate_changes():
+    writer = VcdWriter()
+    sig = Signal("x")
+    writer.register(sig)
+    writer.sample(Fraction(0))
+    writer.sample(Fraction(1))  # unchanged: no new change record
+    text = writer.dump()
+    assert text.count("0!") == 1
+
+
+def test_vcd_rejects_duplicate_registration():
+    writer = VcdWriter()
+    sig = Signal("x")
+    writer.register(sig)
+    with pytest.raises(SimulationError):
+        writer.register(sig)
+
+
+# -------------------------------------------------------------- testbench ----
+def test_testbench_records_trace_and_runs_monitor():
+    from repro.cesc.builder import ev, scesc
+    from repro.synthesis.tr import tr
+
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("clk", period=1))
+    a = bench.sim.signal("a", clk)
+    b = bench.sim.signal("b", clk)
+
+    def driver(s, cycle):
+        if cycle == 1:
+            a.pulse()
+        if cycle == 2:
+            b.pulse()
+
+    bench.sim.add_process(clk, driver)
+    recorder = bench.record(clk, {"a": a, "b": b})
+    chart = scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+    engine = bench.attach_monitor(tr(chart), clk, {"a": a, "b": b})
+    bench.run(clk, 4)
+
+    trace = recorder.trace()
+    assert trace.length == 4
+    assert trace[1].is_true("a") and trace[2].is_true("b")
+    assert engine.detections == [2]
+    results = bench.monitor_results()
+    assert results["ab"].accepted
+
+
+def test_testbench_vcd_capture():
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("clk", period=1))
+    x = bench.sim.signal("x", clk)
+    bench.sim.add_process(clk, lambda s, c: x.pulse() if c == 0 else None)
+    bench.enable_vcd([x])
+    bench.run(clk, 2)
+    assert "$enddefinitions" in bench.vcd_text()
+
+
+def test_trace_recorder_requires_signals():
+    with pytest.raises(SimulationError):
+        TraceRecorder({})

@@ -1,0 +1,155 @@
+"""Tests for the causality discipline: Add_evt / Chk_evt / Del_evt.
+
+Reproduces the Figure 5 situation: a chart with guarded events and a
+causality arrow whose monitor adds the cause to the scoreboard on its
+forward transition, checks it before accepting the effect, and deletes
+it on backward (failure) transitions.
+"""
+
+import pytest
+
+from repro.cesc.builder import ev, scesc
+from repro.logic.expr import ScoreboardCheck
+from repro.monitor.automaton import AddEvt, DelEvt
+from repro.monitor.engine import MonitorEngine, run_monitor
+from repro.monitor.scoreboard import Scoreboard
+from repro.semantics.run import Trace
+from repro.synthesis.causality import actions_for_move, adds_at, checks_at
+from repro.synthesis.pattern import extract_pattern
+from repro.synthesis.tr import check_conjunction, synthesize_monitor, tr
+
+
+def _fig5_chart():
+    """Figure 5: p1:e1 ; e2 ; p3:e3 with causality arrow e1 -> e3."""
+    return (
+        scesc("fig5").props("p1", "p3").instances("A", "B")
+        .tick(ev("e1", guard="p1", src="A", dst="B"))
+        .tick(ev("e2", src="B", dst="A"))
+        .tick(ev("e3", guard="p3", src="A", dst="B"))
+        .arrow("c1", cause="e1", effect="e3")
+        .build()
+    )
+
+
+def test_fig5_monitor_shape():
+    monitor = tr(_fig5_chart())
+    # Figure 5 shows states 0..3.
+    assert monitor.n_states == 4
+    assert monitor.final == 3
+
+
+def test_fig5_add_on_forward_transition():
+    monitor = tr(_fig5_chart())
+    adds = [
+        t for t in monitor.transitions
+        if t.source == 0 and t.target == 1 and AddEvt("e1") in t.actions
+    ]
+    assert adds, "forward transition into state 1 must Add_evt(e1)"
+
+
+def test_fig5_check_guards_effect_transition():
+    monitor = tr(_fig5_chart())
+    forwards = [
+        t for t in monitor.transitions if t.source == 2 and t.target == 3
+    ]
+    assert forwards
+    for transition in forwards:
+        assert ScoreboardCheck("e1") in transition.guard.atoms()
+
+
+def test_fig5_del_on_backward_transition():
+    monitor = tr(_fig5_chart())
+    dels = [
+        t for t in monitor.transitions
+        if t.source > t.target and any(
+            isinstance(a, DelEvt) and "e1" in a.events for a in t.actions
+        )
+    ]
+    assert dels, "backward transitions must reverse the Add_evt"
+
+
+def test_fig5_accepts_complete_scenario():
+    monitor = tr(_fig5_chart())
+    trace = Trace.from_sets(
+        [{"e1", "p1"}, {"e2"}, {"e3", "p3"}],
+        alphabet={"e1", "e2", "e3", "p1", "p3"},
+    )
+    result = run_monitor(monitor, trace)
+    assert result.detections == [2]
+
+
+def test_fig5_scoreboard_lifecycle():
+    monitor = tr(_fig5_chart())
+    scoreboard = Scoreboard()
+    engine = MonitorEngine(monitor, scoreboard=scoreboard)
+    alphabet = {"e1", "e2", "e3", "p1", "p3"}
+    trace = Trace.from_sets([{"e1", "p1"}, {"e2"}], alphabet=alphabet)
+    engine.feed(trace)
+    assert scoreboard.contains("e1")  # added, not yet consumed
+    # Failure tick: e3 absent; backward transition deletes e1.
+    engine.step(Trace.from_sets([set()], alphabet=alphabet)[0])
+    assert not scoreboard.contains("e1")
+
+
+def test_fig5_failure_then_retry_detects():
+    monitor = tr(_fig5_chart())
+    alphabet = {"e1", "e2", "e3", "p1", "p3"}
+    trace = Trace.from_sets(
+        [
+            {"e1", "p1"}, {"e2"}, set(),          # first attempt dies
+            {"e1", "p1"}, {"e2"}, {"e3", "p3"},   # second succeeds
+        ],
+        alphabet=alphabet,
+    )
+    result = run_monitor(monitor, trace)
+    assert result.detections == [5]
+
+
+# ------------------------------------------------------------- helpers ----
+def test_actions_for_move_forward_and_backward():
+    pattern = extract_pattern(_fig5_chart())
+    forward = actions_for_move(pattern, 0, 1)
+    assert forward == (AddEvt("e1"),)
+    backward = actions_for_move(pattern, 2, 0)
+    assert backward == (DelEvt("e1"),)
+    no_action = actions_for_move(pattern, 1, 2)
+    assert no_action == ()
+    self_loop_zero = actions_for_move(pattern, 0, 0)
+    assert self_loop_zero == ()
+
+
+def test_adds_checks_with_extras():
+    pattern = extract_pattern(_fig5_chart())
+    assert adds_at(pattern, 0) == {"e1"}
+    assert adds_at(pattern, 0, {0: frozenset({"xd"})}) == {"e1", "xd"}
+    assert checks_at(pattern, 2) == {"e1"}
+    assert checks_at(pattern, 1, {1: frozenset({"remote"})}) == {"remote"}
+
+
+def test_check_conjunction():
+    from repro.logic.expr import TRUE, And
+
+    assert check_conjunction(frozenset()) == TRUE
+    conj = check_conjunction(frozenset({"b", "a"}))
+    assert conj == And((ScoreboardCheck("a"), ScoreboardCheck("b")))
+
+
+def test_extra_checks_injected():
+    pattern = extract_pattern(
+        scesc("plain").instances("A").tick(ev("x")).tick(ev("y")).build()
+    )
+    monitor = synthesize_monitor(
+        pattern, extra_checks={1: frozenset({"remote"})}
+    )
+    forwards = [
+        t for t in monitor.transitions if t.source == 1 and t.target == 2
+    ]
+    assert forwards
+    for transition in forwards:
+        assert ScoreboardCheck("remote") in transition.guard.atoms()
+    # Without 'remote' on the scoreboard the effect tick cannot match.
+    trace = Trace.from_sets([{"x"}, {"y"}], alphabet={"x", "y"})
+    assert not run_monitor(monitor, trace).accepted
+    primed = Scoreboard()
+    primed.add("remote")
+    assert run_monitor(monitor, trace, scoreboard=primed).detections == [1]

@@ -1,0 +1,197 @@
+"""Tests for composite-chart synthesis and multi-clock networks."""
+
+import pytest
+
+from repro.cesc.ast import Clock, EventRefInChart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import (
+    Alt,
+    AsyncPar,
+    CrossArrow,
+    Implication,
+    Loop,
+    Par,
+    ScescChart,
+    Seq,
+)
+from repro.errors import SynthesisError
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import GlobalRun, Trace
+from repro.synthesis.compose import synthesize_chart
+from repro.synthesis.multiclock import synthesize_network
+from repro.synthesis.pattern import flatten_chart
+
+def _one(name, *events, clock="clk"):
+    builder = scesc(name, clock=clock).instances("M")
+    for event in events:
+        builder.tick(ev(event))
+    return builder.build()
+
+
+# ------------------------------------------------------------- flattening ----
+def test_flatten_seq_concatenates():
+    chart = Seq([_one("a", "x"), _one("b", "y", "z")])
+    patterns = flatten_chart(chart)
+    assert len(patterns) == 1
+    assert patterns[0].length == 3
+
+
+def test_flatten_seq_offsets_arrows():
+    left = _one("l", "x", "y")
+    right = (
+        scesc("r").instances("M")
+        .tick(ev("p")).tick(ev("q"))
+        .arrow("a", cause="p", effect="q")
+        .build()
+    )
+    pattern = flatten_chart(Seq([left, right]))[0]
+    assert pattern.arrows[0].cause_tick == 2
+    assert pattern.arrows[0].effect_tick == 3
+
+
+def test_flatten_par_zips_with_padding():
+    chart = Par([_one("a", "x"), _one("b", "y", "z")])
+    pattern = flatten_chart(chart)[0]
+    assert pattern.length == 2
+    trace = Trace.from_sets([{"x", "y"}, {"z"}], alphabet={"x", "y", "z"})
+    assert pattern.exprs[0].evaluate(trace[0])
+    assert pattern.exprs[1].evaluate(trace[1])
+
+
+def test_flatten_alt_unions():
+    chart = Alt([_one("a", "x"), _one("b", "y")])
+    patterns = flatten_chart(chart)
+    assert len(patterns) == 2
+
+
+def test_flatten_loop_bounded_and_unbounded():
+    body = _one("body", "x")
+    assert len(flatten_chart(Loop(body, count=3))) == 1
+    assert flatten_chart(Loop(body, count=3))[0].length == 3
+    unbounded = flatten_chart(Loop(body), loop_limit=4)
+    assert sorted(p.length for p in unbounded) == [1, 2, 3, 4]
+
+
+def test_flatten_rejects_implication_and_async():
+    impl = Implication(_one("a", "x"), _one("b", "y"))
+    with pytest.raises(SynthesisError):
+        flatten_chart(impl)
+    m1 = _one("m1", "x", clock="c1")
+    m2 = _one("m2", "y", clock="c2")
+    with pytest.raises(SynthesisError):
+        flatten_chart(AsyncPar([m1, m2]))
+
+
+# -------------------------------------------------------------- monitor bank ----
+def test_bank_single_member_for_seq():
+    bank = synthesize_chart(Seq([_one("a", "x"), _one("b", "y")]))
+    assert len(bank) == 1
+    trace = Trace.from_sets([{"x"}, {"y"}], alphabet={"x", "y"})
+    assert bank.run(trace).accepted
+
+
+def test_bank_alt_detects_either():
+    bank = synthesize_chart(Alt([_one("a", "x"), _one("b", "y")]))
+    assert len(bank) == 2
+    assert bank.run(Trace.from_sets([{"x"}], alphabet={"x", "y"})).accepted
+    assert bank.run(Trace.from_sets([{"y"}], alphabet={"x", "y"})).accepted
+    assert not bank.run(Trace.from_sets([set()], alphabet={"x", "y"})).accepted
+
+
+def test_bank_symbolic_variant_equivalent():
+    chart = Seq([_one("a", "x"), _one("b", "y")])
+    dense = synthesize_chart(chart, variant="tr")
+    compact = synthesize_chart(chart, variant="symbolic")
+    generator = TraceGenerator(chart, seed=3)
+    for _ in range(5):
+        trace = generator.random_trace(8)
+        assert dense.run(trace).detections == compact.run(trace).detections
+    assert compact.total_transitions() < dense.total_transitions()
+
+
+def test_bank_stats_and_bad_variant():
+    bank = synthesize_chart(_one("a", "x"))
+    assert bank.total_states() == 2
+    assert bank.total_transitions() > 0
+    with pytest.raises(SynthesisError):
+        synthesize_chart(_one("a", "x"), variant="nope")
+
+
+# ------------------------------------------------------------- multi-clock ----
+def _async_chart():
+    m1 = (
+        scesc("M1", clock=Clock("clk1", period=10))
+        .instances("Master")
+        .tick(ev("req"))
+        .tick(ev("data"))
+        .build()
+    )
+    m2 = (
+        scesc("M2", clock=Clock("clk2", period=7))
+        .instances("Slave")
+        .tick(ev("req3"))
+        .tick(ev("data3"))
+        .build()
+    )
+    arrow = CrossArrow("e4", "M1", EventRefInChart(0, "req"), "M2",
+                       EventRefInChart(0, "req3"))
+    return AsyncPar([m1, m2], cross_arrows=[arrow]), m1, m2
+
+
+def test_network_structure():
+    chart, m1, m2 = _async_chart()
+    network = synthesize_network(chart)
+    assert len(network.locals) == 2
+    assert network.local_for("M1").clock.name == "clk1"
+    assert network.total_states() == 6
+    with pytest.raises(Exception):
+        network.local_for("nope")
+
+
+def test_network_accepts_causally_ordered_run():
+    chart, m1, m2 = _async_chart()
+    network = synthesize_network(chart)
+    # req at t=0 on clk1; req3 must wait for the scoreboard entry:
+    # clk2 ticks at t=0 (too early - strict precedence), t=7 works.
+    t1 = Trace.from_sets([{"req"}, {"data"}, set()], alphabet={"req", "data"})
+    t2 = Trace.from_sets([set(), {"req3"}, {"data3"}],
+                         alphabet={"req3", "data3"})
+    run = GlobalRun.merge({m1.clock: t1, m2.clock: t2})
+    result = network.run(run)
+    assert result.accepted
+    assert result.detections["M1"]
+    assert result.detections["M2"]
+
+
+def test_network_rejects_effect_before_cause():
+    chart, m1, m2 = _async_chart()
+    network = synthesize_network(chart)
+    # req3 at t=0 while req also at t=0: strict precedence violated;
+    # the scoreboard entry is not yet visible at the same instant.
+    t1 = Trace.from_sets([{"req"}, {"data"}], alphabet={"req", "data"})
+    t2 = Trace.from_sets([{"req3"}, {"data3"}], alphabet={"req3", "data3"})
+    run = GlobalRun.merge({m1.clock: t1, m2.clock: t2})
+    result = network.run(run)
+    assert not result.detections["M2"]
+    assert not result.accepted
+
+
+def test_network_generator_roundtrip():
+    chart, _, _ = _async_chart()
+    network = synthesize_network(chart)
+    generator = TraceGenerator(chart, seed=11)
+    run = generator.global_run(chart, cycles=8, satisfy=True)
+    assert network.run(run).accepted
+
+
+def test_network_requires_asyncpar():
+    with pytest.raises(SynthesisError):
+        synthesize_network(ScescChart(_one("a", "x")))
+
+
+def test_network_symbolic_variant():
+    chart, m1, m2 = _async_chart()
+    network = synthesize_network(chart, variant="symbolic")
+    generator = TraceGenerator(chart, seed=4)
+    run = generator.global_run(chart, cycles=8, satisfy=True)
+    assert network.run(run).accepted

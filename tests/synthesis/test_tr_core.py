@@ -1,0 +1,282 @@
+"""Tests for the core Tr synthesis: pattern, transition table, monitors.
+
+The key oracle-agreement property: the synthesized monitor's detections
+over any trace must coincide with the denotational windows (for the
+conjunctive, protocol-style patterns the paper targets) and with the
+exact subset-construction detector.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import ScescChart
+from repro.errors import SynthesisError
+from repro.logic.expr import And, EventRef, Not, PropRef, TRUE
+from repro.monitor.engine import run_monitor
+from repro.semantics.denotation import satisfying_windows
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import Trace
+from repro.synthesis.pattern import FlatArrow, FlatPattern, extract_pattern
+from repro.synthesis.subset import SubsetMonitor
+from repro.synthesis.symbolic import symbolic_monitor
+from repro.synthesis.tr import synthesize_monitor, tr
+from repro.synthesis.transition import (
+    candidate_ladder,
+    compute_transition_table,
+    pattern_compatibility,
+)
+from repro.logic.valuation import Valuation
+
+
+def _ab_chart():
+    return (
+        scesc("ab").instances("M", "S")
+        .tick(ev("a", src="M", dst="S"))
+        .tick(ev("b", src="S", dst="M"))
+        .build()
+    )
+
+
+def _fig1_chart():
+    return (
+        scesc("fig1", clock="clk1")
+        .instances("Master", "S_CNT")
+        .tick(ev("req1"), ev("rd1"), ev("addr1"))
+        .tick(ev("req2"), ev("rd2"), ev("addr2"))
+        .tick(ev("rdy1"))
+        .tick(ev("data1"))
+        .arrow("rdy_done", cause="req1", effect="rdy1")
+        .arrow("data_done", cause="rdy1", effect="data1")
+        .build()
+    )
+
+
+# ------------------------------------------------------- extract_pattern ----
+def test_extract_pattern_fig1():
+    pattern = extract_pattern(_fig1_chart())
+    assert pattern.length == 4
+    assert pattern.exprs[0] == And(
+        (EventRef("req1"), EventRef("rd1"), EventRef("addr1"))
+    )
+    assert len(pattern.arrows) == 2
+    assert pattern.cause_events_at(0) == {"req1"}
+    assert pattern.check_events_at(2) == {"req1"}
+    assert pattern.cause_events_at(2) == {"rdy1"}
+    assert pattern.check_events_at(3) == {"rdy1"}
+
+
+def test_flat_pattern_rejects_empty_and_bad_arrows():
+    with pytest.raises(SynthesisError):
+        FlatPattern("empty", [])
+    with pytest.raises(SynthesisError):
+        FlatPattern("bad", [TRUE],
+                    arrows=[FlatArrow("x", 0, "a", 5, "b")])
+
+
+# ------------------------------------------------- compute_transition_func ----
+def test_compatibility_table():
+    pattern = extract_pattern(_ab_chart())
+    table = pattern_compatibility(pattern)
+    # 'a' and 'b' can co-occur in one valuation.
+    assert table[(0, 1)] and table[(1, 0)]
+
+
+def test_ladder_forward_match():
+    pattern = extract_pattern(_ab_chart())
+    compatibility = pattern_compatibility(pattern)
+    alphabet = sorted(pattern.alphabet)
+    v_a = Valuation({"a"}, alphabet)
+    ladder = candidate_ladder(pattern, 0, v_a, compatibility)
+    assert ladder[0].target == 1
+
+
+def test_ladder_failure_to_zero():
+    pattern = extract_pattern(_ab_chart())
+    compatibility = pattern_compatibility(pattern)
+    alphabet = sorted(pattern.alphabet)
+    v_none = Valuation(set(), alphabet)
+    ladder = candidate_ladder(pattern, 1, v_none, compatibility)
+    assert ladder[-1].target == 0
+
+
+def test_ladder_overlap_kmp_shift():
+    # Pattern a, a: failing at state 2 on 'a' should shift to 1, not 0.
+    chart = scesc("aa").instances("M").tick(ev("a")).tick(ev("a")).build()
+    pattern = extract_pattern(chart)
+    compatibility = pattern_compatibility(pattern)
+    v_a = Valuation({"a"}, sorted(pattern.alphabet))
+    ladder = candidate_ladder(pattern, 2, v_a, compatibility)
+    # From final state, re-reading 'a' keeps two matched (P2 = a,a).
+    assert ladder[0].target == 2
+
+
+def test_transition_table_covers_all_states_and_valuations():
+    pattern = extract_pattern(_ab_chart())
+    table = compute_transition_table(pattern)
+    assert len(table) == 3 * 4  # (n+1) states x 2^2 valuations
+
+
+# -------------------------------------------------------------- monitors ----
+def test_tr_fig1_monitor_shape():
+    monitor = tr(_fig1_chart())
+    assert monitor.n_states == 5  # n + 1
+    assert monitor.initial == 0
+    assert monitor.final == 4
+    monitor.validate()
+
+
+def test_tr_monitor_deterministic_and_complete():
+    monitor = tr(_ab_chart())
+    monitor.validate()
+
+
+def test_tr_monitor_detects_scenario():
+    monitor = tr(_ab_chart())
+    trace = Trace.from_sets([set(), {"a"}, {"b"}, set()], alphabet={"a", "b"})
+    result = run_monitor(monitor, trace)
+    assert result.accepted
+    assert result.detections == [2]
+    assert result.states[3] == 2  # final state reached after tick 2
+
+
+def test_tr_monitor_rejects_wrong_order():
+    monitor = tr(_ab_chart())
+    trace = Trace.from_sets([{"b"}, {"a"}], alphabet={"a", "b"})
+    assert not run_monitor(monitor, trace).accepted
+
+
+def test_tr_monitor_overlapping_detections():
+    # Pattern 'a' 'a' over trace aaaa: detections at ticks 1, 2, 3.
+    chart = scesc("aa").instances("M").tick(ev("a")).tick(ev("a")).build()
+    monitor = tr(chart)
+    trace = Trace.from_sets([{"a"}] * 4, alphabet={"a"})
+    assert run_monitor(monitor, trace).detections == [1, 2, 3]
+
+
+def test_tr_rejects_oversized_alphabet():
+    builder = scesc("wide").instances("M")
+    builder.tick(*[ev(f"e{i}") for i in range(17)])
+    with pytest.raises(SynthesisError, match="2\\^"):
+        tr(builder.build())
+
+
+def test_guarded_pattern_monitor():
+    chart = (
+        scesc("guarded").props("mode").instances("M")
+        .tick(ev("req", guard="mode"))
+        .tick(ev("ack"))
+        .build()
+    )
+    monitor = tr(chart)
+    ok = Trace.from_sets([{"req", "mode"}, {"ack"}],
+                         alphabet={"req", "ack", "mode"})
+    no_guard = Trace.from_sets([{"req"}, {"ack"}],
+                               alphabet={"req", "ack", "mode"})
+    assert run_monitor(monitor, ok).accepted
+    assert not run_monitor(monitor, no_guard).accepted
+
+
+# ------------------------------------------- oracle agreement (property) ----
+@st.composite
+def conjunctive_charts(draw):
+    """Random phase-exclusive charts (paper construction is exact).
+
+    Each grid line requires one event and forbids the others, so any
+    two pattern elements are either identical or jointly unsatisfiable
+    — the regime in which ``Tr`` provably equals the exact detector
+    (see ``paper_construction_exact``).  Repeated symbols still
+    exercise the KMP failure structure.
+    """
+    symbols = ["w", "x", "y"]
+    n_ticks = draw(st.integers(1, 4))
+    builder = scesc("random").instances("M")
+    for _ in range(n_ticks):
+        chosen = draw(st.sampled_from(symbols))
+        occurrences = [ev(chosen)] + [
+            ev(s, absent=True) for s in symbols if s != chosen
+        ]
+        builder.tick(*occurrences)
+    return builder.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(conjunctive_charts(), st.integers(0, 2**30))
+def test_monitor_agrees_with_denotation_oracle(chart, seed):
+    monitor = tr(chart)
+    generator = TraceGenerator(ScescChart(chart), seed=seed)
+    trace = generator.random_trace(10)
+    result = run_monitor(monitor, trace)
+    windows = satisfying_windows(ScescChart(chart), trace)
+    expected = sorted({start + chart.n_ticks - 1 for start, _ in windows})
+    assert result.detections == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(conjunctive_charts(), st.integers(0, 2**30))
+def test_monitor_agrees_with_subset_oracle(chart, seed):
+    monitor = tr(chart)
+    pattern = extract_pattern(chart)
+    generator = TraceGenerator(ScescChart(chart), seed=seed)
+    trace = generator.random_trace(12)
+    assert run_monitor(monitor, trace).detections == \
+        SubsetMonitor(pattern).feed(trace).detections
+
+
+# ------------------------------------- the documented approximation ----
+def test_paper_construction_overmatches_on_compatible_overlap():
+    """Characterises the approximation DESIGN.md documents.
+
+    Pattern ``a ; b`` with ``a & b`` satisfiable: after a detection the
+    paper's automaton assumes the element that matched ``b`` might also
+    have matched ``a`` and keeps the overlap alive, reporting a second
+    detection the exact semantics does not contain.
+    """
+    monitor = tr(_ab_chart())
+    pattern = extract_pattern(_ab_chart())
+    trace = Trace.from_sets([set(), {"a"}, {"b"}, {"b"}], alphabet={"a", "b"})
+    paper = run_monitor(monitor, trace).detections
+    exact = SubsetMonitor(pattern).feed(trace).detections
+    assert exact == [2]
+    assert paper == [2, 3]  # the extra tick-3 detection is the overmatch
+
+
+def test_paper_construction_exact_predicate():
+    from repro.analysis.equivalence import paper_construction_exact
+
+    # a;b with a&b satisfiable: not exact.
+    assert not paper_construction_exact(extract_pattern(_ab_chart()))
+    # Phase-exclusive chart: exact.
+    exclusive = (
+        scesc("phases").instances("M")
+        .tick(ev("a"), ev("b", absent=True))
+        .tick(ev("b"), ev("a", absent=True))
+        .build()
+    )
+    assert paper_construction_exact(extract_pattern(exclusive))
+    # Identical repetition: exact (entailment holds trivially).
+    repeat = scesc("aa").instances("M").tick(ev("a")).tick(ev("a")).build()
+    assert paper_construction_exact(extract_pattern(repeat))
+
+
+# ---------------------------------------------------------- symbolic form ----
+def test_symbolic_monitor_equivalent_behaviour():
+    chart = _fig1_chart()
+    dense = tr(chart)
+    compact = symbolic_monitor(dense)
+    assert compact.n_states == dense.n_states
+    assert compact.transition_count() < dense.transition_count()
+    generator = TraceGenerator(ScescChart(chart), seed=5)
+    for _ in range(5):
+        trace = generator.satisfying_trace(prefix=2, suffix=2)
+        assert run_monitor(compact, trace).detections == \
+            run_monitor(dense, trace).detections
+
+
+def test_symbolic_monitor_compresses_ab():
+    dense = tr(_ab_chart())
+    compact = symbolic_monitor(dense)
+    compact.validate()
+    # 3 states, few symbolic edges instead of 3 * 4 minterm rows.
+    assert compact.transition_count() <= 8

@@ -1,0 +1,121 @@
+"""Tests for the command-line front end."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+chart handshake {
+  instances M, S;
+  tick: M -> S : req;
+  tick: S -> M : ack;
+  arrow done: req -> ack;
+}
+chart broken {
+  instances M;
+  props mode;
+  tick: M -> env : x when mode & !mode;
+}
+compose both = seq(handshake, handshake);
+"""
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.cesc"
+    path.write_text(SPEC)
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+def test_validate_reports_charts_and_errors(spec_file):
+    status, text = _run(["validate", spec_file])
+    assert status == 2  # 'broken' has an unsatisfiable guard
+    assert "handshake: 2 grid lines, 1 arrows" in text
+    assert "unsatisfiable" in text
+    assert "both: composite (Seq)" in text
+
+
+def test_validate_clean_spec(tmp_path):
+    path = tmp_path / "ok.cesc"
+    path.write_text("chart ok { instances A; tick: x; tick: y; }")
+    status, text = _run(["validate", str(path)])
+    assert status == 0
+    assert "0 error(s)" in text
+
+
+def test_render(spec_file):
+    status, text = _run(["render", spec_file, "handshake"])
+    assert status == 0
+    assert "SCESC handshake" in text
+    assert "req ->" in text
+
+
+def test_synthesize_table(spec_file):
+    status, text = _run(["synthesize", spec_file, "handshake"])
+    assert status == 0
+    assert "3 states" in text
+    assert "Add_evt(req)" in text
+
+
+def test_synthesize_formats(spec_file):
+    for fmt, marker in (
+        ("dot", "digraph"),
+        ("verilog", "endmodule"),
+        ("sva", "cover property"),
+        ("psl", "vunit"),
+        ("python", "class Monitor"),
+    ):
+        status, text = _run(["synthesize", spec_file, "handshake",
+                             "--format", fmt])
+        assert status == 0, fmt
+        assert marker in text, fmt
+
+
+def test_synthesize_dense_has_more_edges(spec_file):
+    _, compact = _run(["synthesize", spec_file, "handshake"])
+    _, dense = _run(["synthesize", spec_file, "handshake", "--dense"])
+    assert dense.count("->") > compact.count("->")
+
+
+def test_check_accepting_and_rejecting(spec_file, tmp_path):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({
+        "signal": [
+            {"name": "req", "wave": "010"},
+            {"name": "ack", "wave": "001"},
+        ]
+    }))
+    status, text = _run(["check", spec_file, "handshake", str(good)])
+    assert status == 0
+    assert "detections at [2]" in text
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({
+        "signal": [
+            {"name": "req", "wave": "010"},
+            {"name": "ack", "wave": "000"},
+        ]
+    }))
+    status, text = _run(["check", spec_file, "handshake", str(bad)])
+    assert status == 3
+
+
+def test_unknown_chart_is_reported(spec_file):
+    status, text = _run(["render", spec_file, "nope"])
+    assert status == 2
+    assert "no SCESC named 'nope'" in text
+
+
+def test_missing_file_is_reported():
+    status, text = _run(["validate", "/does/not/exist.cesc"])
+    assert status == 2
+    assert "error:" in text

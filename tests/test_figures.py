@@ -1,0 +1,66 @@
+"""Tests for the figure-artifact module: every paper figure in one place."""
+
+import pytest
+
+from repro.cesc.validate import validate_chart, validate_scesc
+from repro.figures import (
+    all_figure_charts,
+    fig1_chart,
+    fig1_monitor,
+    fig2_chart,
+    fig2_network,
+    fig5_chart,
+    fig5_monitor,
+    fig6_chart,
+    fig6_monitor,
+    fig7_chart,
+    fig7_monitor,
+    fig8_chart,
+    fig8_monitor,
+)
+
+
+def test_all_figure_charts_validate():
+    charts = all_figure_charts()
+    assert set(charts) == {"fig1", "fig2", "fig5", "fig6", "fig7", "fig8"}
+    for chart in charts.values():
+        validate_chart(chart)
+
+
+@pytest.mark.parametrize(
+    "factory,states",
+    [
+        (fig1_monitor, 5),
+        (fig5_monitor, 4),
+        (fig6_monitor, 3),
+        (fig7_monitor, 7),
+        (fig8_monitor, 4),
+    ],
+)
+def test_figure_monitors_have_paper_state_counts(factory, states):
+    monitor = factory()
+    assert monitor.n_states == states
+    assert monitor.initial == 0
+    assert monitor.final == states - 1
+
+
+def test_figure_monitors_are_well_formed():
+    for factory in (fig1_monitor, fig5_monitor, fig6_monitor, fig8_monitor):
+        factory().validate()
+
+
+def test_fig2_network_shape():
+    network = fig2_network()
+    assert {lm.component for lm in network.locals} == {"M1", "M2"}
+    assert {lm.clock.name for lm in network.locals} == {"clk1", "clk2"}
+
+
+def test_figure_charts_are_fresh_objects():
+    assert fig1_chart() == fig1_chart()
+    assert fig6_chart() is not fig6_chart()
+
+
+def test_dense_variants_available():
+    dense = fig6_monitor(symbolic=False)
+    compact = fig6_monitor(symbolic=True)
+    assert dense.transition_count() > compact.transition_count()

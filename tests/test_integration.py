@@ -1,0 +1,268 @@
+"""Cross-module integration tests: the complete Figure 4 flow.
+
+Each test wires several subsystems end to end: DSL text or builder
+charts through synthesis into monitors attached to live simulation,
+multi-clock networks in the kernel (two genuinely different clock
+periods), codegen closing the loop against the HDL simulator, and the
+assertion checker over recorded traces.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    AssertionChecker,
+    Clock,
+    Implication,
+    Scoreboard,
+    Trace,
+    parse_cesc,
+    run_monitor,
+    symbolic_monitor,
+    synthesize_network,
+    tr,
+)
+from repro.analysis.coverage import CoverageCollector
+from repro.cesc.serialize import chart_to_dsl
+from repro.protocols.readproto import multiclock_read_chart
+from repro.sim.testbench import Testbench
+from repro.visual.wavedrom import trace_to_wavedrom, wavedrom_to_trace
+
+
+def test_full_flow_dsl_to_verdict():
+    """DSL -> validate -> synthesize -> simulate -> verdict."""
+    spec = parse_cesc("""
+        clock sys period 1;
+        chart rw on sys {
+          instances CPU, MEM;
+          tick: CPU -> MEM : wr_req, wr_addr;
+          tick: MEM -> CPU : wr_ack;
+          arrow acked: wr_req -> wr_ack;
+        }
+    """)
+    chart = spec.charts["rw"]
+    monitor = tr(chart)
+
+    bench = Testbench()
+    clk = bench.sim.add_clock(chart.clock)
+    signals = {
+        name: bench.sim.signal(name, chart.clock)
+        for name in ("wr_req", "wr_addr", "wr_ack")
+    }
+
+    def cpu(sim, cycle):
+        if cycle in (1, 5):
+            signals["wr_req"].pulse()
+            signals["wr_addr"].pulse()
+
+    def mem(sim, cycle):
+        if signals["wr_req"].value:
+            signals["wr_ack"].pulse()
+
+    bench.sim.add_process(clk, cpu, level=0)
+    bench.sim.add_process(clk, mem, level=1)
+    # mem reacts same-cycle; ack is sampled on the *same* tick as the
+    # request, so the two-tick scenario needs the ack one tick later:
+    # use a registered responder instead.
+    bench2 = Testbench()
+    clk2 = bench2.sim.add_clock(Clock("sys2", period=1))
+    sigs2 = {
+        name: bench2.sim.signal(name, clk2)
+        for name in ("wr_req", "wr_addr", "wr_ack")
+    }
+    pending = []
+
+    def cpu2(sim, cycle):
+        if cycle in (1, 5):
+            sigs2["wr_req"].pulse()
+            sigs2["wr_addr"].pulse()
+            pending.append(cycle + 1)
+
+    def mem2(sim, cycle):
+        if cycle in pending:
+            sigs2["wr_ack"].pulse()
+
+    bench2.sim.add_process(clk2, cpu2)
+    bench2.sim.add_process(clk2, mem2)
+    engine = bench2.attach_monitor(monitor, clk2, sigs2)
+    bench2.run(clk2, 9)
+    assert engine.detections == [2, 6]
+
+
+def test_network_attached_to_live_two_clock_simulation():
+    """The Fig. 2 network running *inside* the kernel, not on a
+    pre-built global run: two domains with periods 10 and 7, a shared
+    scoreboard, and the cross-domain handoff done with signals."""
+    chart = multiclock_read_chart()
+    network = synthesize_network(chart)
+    clk1 = network.local_for("M1").clock
+    clk2 = network.local_for("M2").clock
+
+    bench = Testbench()
+    bench.sim.add_clock(clk1)
+    bench.sim.add_clock(clk2)
+    m1_names = ["req1", "rd1", "addr1", "req2", "rd2", "addr2", "rdy1",
+                "data1"]
+    m2_names = ["req3", "rd3", "addr3", "rdy3", "data3"]
+    m1_signals = {n: bench.sim.signal(n, clk1) for n in m1_names}
+    m2_signals = {n: bench.sim.signal(n, clk2) for n in m2_names}
+
+    # Master side (clk1): request at tick 0, forward at 1, then wait
+    # for the slave side to produce data before delivering at tick 3.
+    def master_side(sim, cycle):
+        if cycle == 0:
+            for name in ("req1", "rd1", "addr1"):
+                m1_signals[name].pulse()
+        elif cycle == 1:
+            for name in ("req2", "rd2", "addr2"):
+                m1_signals[name].pulse()
+        elif cycle == 2:
+            m1_signals["rdy1"].pulse()
+        elif cycle == 3:
+            m1_signals["data1"].pulse()
+
+    # Slave side (clk2): sees the forwarded request "after" t=10; its
+    # tick 2 is at t=14.
+    def slave_side(sim, cycle):
+        if cycle == 2:
+            for name in ("req3", "rd3", "addr3"):
+                m2_signals[name].pulse()
+        elif cycle == 3:
+            m2_signals["rdy3"].pulse()
+        elif cycle == 4:
+            m2_signals["data3"].pulse()
+
+    bench.sim.add_process(clk1, master_side)
+    bench.sim.add_process(clk2, slave_side)
+    shared, engines = bench.attach_network(
+        network, {"M1": m1_signals, "M2": m2_signals}
+    )
+    bench.run_until(Fraction(45))
+    assert engines["M2"].detections  # slave scenario completed
+    assert engines["M1"].detections  # master scenario completed
+    # The shared scoreboard carried the cross-domain causes.
+    history_events = {event for _, event in shared.history()}
+    assert "req2" in history_events and "data3" in history_events
+
+
+def test_checker_over_recorded_simulation_trace():
+    spec = parse_cesc("""
+        chart cmd { instances M, S; tick: M -> S : cmd; }
+        chart rsp { instances M, S; tick: S -> M : rsp; }
+        compose prop = implies(cmd, rsp);
+    """)
+    checker = AssertionChecker(spec.composites["prop"])
+    trace = Trace.from_sets(
+        [{"cmd"}, {"rsp"}, {"cmd"}, set(), {"cmd"}],
+        alphabet={"cmd", "rsp"},
+    )
+    report = checker.check(trace)
+    assert len(report.passes) == 1
+    assert len(report.violations) == 1
+    assert len(report.pending) == 1  # last cmd undecided at trace end
+
+
+def test_serialized_chart_synthesizes_identically():
+    """builder -> DSL -> parse -> synthesize == direct synthesis."""
+    from repro.protocols.ocp import ocp_simple_read_chart
+
+    chart = ocp_simple_read_chart()
+    reparsed = parse_cesc(chart_to_dsl(
+        __import__("repro").ScescChart(chart))).charts[chart.name]
+    assert reparsed == chart
+    left = tr(chart)
+    right = tr(reparsed)
+    assert left.n_states == right.n_states
+    assert set(left.transitions) == set(right.transitions)
+
+
+def test_wavedrom_to_monitor_to_vcd_loop():
+    """WaveDrom in, simulation out, VCD and WaveDrom back out."""
+    from repro.visual.wavedrom import wavedrom_to_scesc
+
+    diagram = {
+        "signal": [
+            {"name": "start", "wave": "010"},
+            {"name": "done", "wave": "0.1"},
+        ]
+    }
+    chart = wavedrom_to_scesc(diagram, name="w")
+    monitor = tr(chart)
+
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("clk", period=1))
+    start = bench.sim.signal("start", clk)
+    done = bench.sim.signal("done", clk)
+
+    def driver(sim, cycle):
+        if cycle == 2:
+            start.pulse()
+        if cycle == 3:
+            done.pulse()
+
+    bench.sim.add_process(clk, driver)
+    recorder = bench.record(clk, {"start": start, "done": done})
+    engine = bench.attach_monitor(monitor, clk, {"start": start, "done": done})
+    writer = bench.enable_vcd([start, done])
+    bench.run(clk, 6)
+
+    assert engine.detections == [3]
+    vcd = bench.vcd_text()
+    assert "$var wire 1" in vcd and "#2" in vcd
+    exported = trace_to_wavedrom(recorder.trace())
+    assert wavedrom_to_trace(exported).length == 6
+
+
+def test_coverage_closure_loop():
+    """Directed + random stimulus until full transition coverage of the
+    symbolic monitor — the verification-closure workflow."""
+    from repro.cesc.builder import ev, scesc
+    from repro.cesc.charts import ScescChart
+    from repro.monitor.engine import MonitorEngine
+    from repro.semantics.generator import TraceGenerator
+
+    chart = (
+        scesc("cov").instances("M")
+        .tick(ev("a"), ev("b", absent=True))
+        .tick(ev("b"), ev("a", absent=True))
+        .build()
+    )
+    monitor = symbolic_monitor(tr(chart))
+    collector = CoverageCollector(monitor)
+    generator = TraceGenerator(ScescChart(chart), seed=0, noise_density=0.5)
+    for _ in range(60):
+        engine = MonitorEngine(monitor)
+        engine.feed(generator.random_trace(8))
+        collector.record(engine)
+        if collector.transition_coverage() == 1.0:
+            break
+    assert collector.state_coverage() == 1.0
+    assert collector.transition_coverage() > 0.8
+
+
+def test_generated_python_monitor_in_simulation():
+    """Codegen'd Python checker consuming a live recorded trace."""
+    from repro.codegen.python_gen import monitor_to_python
+    from repro.protocols.ocp import (
+        OcpMaster, OcpSignals, OcpSlave, ocp_simple_read_chart,
+    )
+
+    chart = ocp_simple_read_chart()
+    monitor = symbolic_monitor(tr(chart))
+    namespace = {}
+    exec(compile(monitor_to_python(monitor), "<gen>", "exec"), namespace)
+    standalone = namespace["Monitor"]()
+
+    bench = Testbench()
+    clk = bench.sim.add_clock(Clock("ocp_clk", period=1))
+    signals = OcpSignals(bench.sim, clk)
+    master = OcpMaster(signals, schedule=[("read", 1)])
+    slave = OcpSlave(signals, latency=1)
+    bench.sim.add_process(clk, master.process)
+    slave.attach(bench.sim)
+    recorder = bench.record(clk, signals.mapping())
+    bench.run(clk, 5)
+
+    standalone.feed([v.true for v in recorder.trace()])
+    assert standalone.detections == [2]

@@ -1,0 +1,210 @@
+"""Property-based tests for core invariants (hypothesis).
+
+These complement the per-module unit tests with randomized invariants:
+scoreboard multiset algebra, monitor determinism/completeness and the
+state-count law, KMP shift monotonicity, detection/window duality, and
+fault-injection soundness.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Scoreboard, SubsetMonitor, Trace, run_monitor, \
+    symbolic_monitor, tr
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import ScescChart
+from repro.errors import ScoreboardError
+from repro.logic.valuation import Valuation
+from repro.semantics.denotation import matches_window, satisfying_windows
+from repro.semantics.generator import TraceGenerator
+from repro.synthesis.pattern import extract_pattern
+from repro.synthesis.transition import candidate_ladder, pattern_compatibility
+
+_SYMBOLS = ("a", "b", "c")
+
+
+@st.composite
+def exclusive_charts(draw, max_ticks=4):
+    """Charts in the provably-exact regime (phase-exclusive ticks)."""
+    n_ticks = draw(st.integers(1, max_ticks))
+    builder = scesc("prop").instances("M")
+    for _ in range(n_ticks):
+        chosen = draw(st.sampled_from(_SYMBOLS))
+        builder.tick(ev(chosen), *[ev(s, absent=True)
+                                   for s in _SYMBOLS if s != chosen])
+    return builder.build()
+
+
+@st.composite
+def traces(draw, alphabet=_SYMBOLS, max_length=10):
+    length = draw(st.integers(0, max_length))
+    sets = [
+        draw(st.sets(st.sampled_from(list(alphabet)))) for _ in range(length)
+    ]
+    return Trace.from_sets(sets, alphabet=alphabet)
+
+
+# ------------------------------------------------------------- scoreboard ----
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("ad"), st.sampled_from("xyz")),
+                max_size=30))
+def test_scoreboard_counts_never_negative_and_match_history(operations):
+    scoreboard = Scoreboard()
+    shadow = {}
+    for op, event in operations:
+        if op == "a":
+            scoreboard.add(event)
+            shadow[event] = shadow.get(event, 0) + 1
+        else:
+            if shadow.get(event, 0) == 0:
+                with pytest.raises(ScoreboardError):
+                    scoreboard.delete(event)
+            else:
+                scoreboard.delete(event)
+                shadow[event] -= 1
+    for event in "xyz":
+        assert scoreboard.count(event) == shadow.get(event, 0)
+        assert scoreboard.contains(event) == (shadow.get(event, 0) > 0)
+    assert len(scoreboard) == sum(shadow.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from("xyz"), max_size=10))
+def test_scoreboard_snapshot_restore_is_identity(events):
+    scoreboard = Scoreboard()
+    scoreboard.add(*events) if events else None
+    snapshot = scoreboard.snapshot()
+    scoreboard.add("extra")
+    scoreboard.restore(snapshot)
+    assert scoreboard.snapshot() == snapshot
+
+
+# ------------------------------------------------------------- monitors ----
+@settings(max_examples=25, deadline=None)
+@given(exclusive_charts())
+def test_monitor_state_count_law_and_validity(chart):
+    monitor = tr(chart)
+    assert monitor.n_states == chart.n_ticks + 1
+    assert monitor.initial == 0 and monitor.final == chart.n_ticks
+    monitor.validate()  # complete + deterministic
+
+
+@settings(max_examples=20, deadline=None)
+@given(exclusive_charts(max_ticks=3))
+def test_symbolic_compression_preserves_behaviour(chart):
+    dense = tr(chart)
+    compact = symbolic_monitor(dense)
+    generator = TraceGenerator(ScescChart(chart), seed=1)
+    for _ in range(3):
+        trace = generator.random_trace(6)
+        assert run_monitor(dense, trace).detections == \
+            run_monitor(compact, trace).detections
+
+
+@settings(max_examples=25, deadline=None)
+@given(exclusive_charts(), traces())
+def test_detection_window_duality(chart, trace):
+    """Exact regime: detection at i <=> window [i-n+1, i] matches."""
+    monitor = tr(chart)
+    n = chart.n_ticks
+    detections = set(run_monitor(monitor, trace).detections)
+    windows = {
+        start + n - 1 for start, _ in
+        satisfying_windows(ScescChart(chart), trace)
+    }
+    assert detections == windows
+
+
+@settings(max_examples=25, deadline=None)
+@given(exclusive_charts(), traces())
+def test_tr_equals_subset_in_exact_regime(chart, trace):
+    pattern = extract_pattern(chart)
+    assert run_monitor(tr(chart), trace).detections == \
+        SubsetMonitor(pattern).feed(trace).detections
+
+
+# ---------------------------------------------------------------- ladders ----
+@settings(max_examples=40, deadline=None)
+@given(exclusive_charts(), st.integers(0, 4),
+       st.sets(st.sampled_from(list(_SYMBOLS))))
+def test_ladder_targets_bounded_and_descending(chart, state, true_set):
+    pattern = extract_pattern(chart)
+    state = min(state, pattern.length)
+    compatibility = pattern_compatibility(pattern)
+    valuation = Valuation(true_set, _SYMBOLS)
+    ladder = candidate_ladder(pattern, state, valuation, compatibility)
+    targets = [rung.target for rung in ladder]
+    # Targets strictly decrease and never exceed the KMP bound.
+    assert targets == sorted(targets, reverse=True)
+    assert all(0 <= t <= min(pattern.length, state + 1) for t in targets)
+    # The floor rung is unconditional.
+    assert ladder[-1].checks == frozenset() or ladder[-1].target == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(exclusive_charts(), traces())
+def test_monitor_state_equals_longest_matchable_prefix(chart, trace):
+    """In the exact regime the automaton state after reading T equals
+    the longest k such that a suffix of T matches P[1..k]."""
+    monitor = tr(chart)
+    pattern = extract_pattern(chart)
+    from repro.monitor.engine import MonitorEngine
+
+    engine = MonitorEngine(monitor)
+    read = []
+    for valuation in trace:
+        engine.step(valuation)
+        read.append(valuation)
+        best = 0
+        for k in range(1, min(pattern.length, len(read)) + 1):
+            ok = all(
+                pattern.exprs[j].evaluate(read[len(read) - k + j])
+                for j in range(k)
+            )
+            if ok:
+                best = k
+        assert engine.state == best
+
+
+# --------------------------------------------------------------- semantics ----
+@settings(max_examples=30, deadline=None)
+@given(exclusive_charts(), st.integers(0, 2**30), st.integers(0, 4),
+       st.integers(0, 4))
+def test_embedded_scenario_always_detected(chart, seed, prefix, suffix):
+    generator = TraceGenerator(ScescChart(chart), seed=seed)
+    trace = generator.satisfying_trace(prefix=prefix, suffix=suffix,
+                                       minimal_window=True)
+    result = run_monitor(tr(chart), trace)
+    assert (prefix + chart.n_ticks - 1) in result.detections
+
+
+@settings(max_examples=30, deadline=None)
+@given(exclusive_charts(), st.integers(0, 2**30))
+def test_single_fault_on_minimal_window_kills_the_window(chart, seed):
+    """Dropping the required event of any tick unmatches that window."""
+    generator = TraceGenerator(ScescChart(chart), seed=seed,
+                               noise_density=0.0)
+    window = generator.scenario_window(minimal=True)
+    from repro.protocols.faults import drop_event
+
+    for tick_index in range(chart.n_ticks):
+        required = sorted(chart.ticks[tick_index].event_names())
+        if not required:
+            continue
+        mutated = drop_event(window, tick_index, required[0])
+        assert not matches_window(ScescChart(chart), mutated, 0,
+                                  chart.n_ticks)
+
+
+# -------------------------------------------------------------- valuations ----
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.sampled_from(list(_SYMBOLS))),
+       st.sets(st.sampled_from(list(_SYMBOLS))))
+def test_valuation_restrict_extend_laws(true_set, restriction):
+    valuation = Valuation(true_set, _SYMBOLS)
+    restricted = valuation.restricted(restriction)
+    assert restricted.true == true_set & restriction
+    merged = restricted.extended(valuation)
+    assert merged.true == valuation.true
+    assert merged.alphabet == set(_SYMBOLS) | restriction

@@ -1,0 +1,106 @@
+"""Tests for ASCII rendering and the WaveDrom bridge."""
+
+import json
+
+import pytest
+
+from repro.cesc.builder import ev, scesc
+from repro.errors import ChartError
+from repro.semantics.run import Trace
+from repro.visual.ascii_chart import render_scesc
+from repro.visual.timing import render_trace
+from repro.visual.wavedrom import (
+    trace_to_wavedrom,
+    wavedrom_to_scesc,
+    wavedrom_to_trace,
+)
+
+
+def _chart():
+    return (
+        scesc("demo").props("mode").instances("Master", "Slave")
+        .tick(ev("req", src="Master", dst="Slave"),
+              ev("busy", guard="mode", src="Slave", dst="env"))
+        .tick(ev("ack", src="Slave", dst="Master"))
+        .arrow("done", cause="req", effect="ack")
+        .build()
+    )
+
+
+def test_render_scesc_contains_structure():
+    text = render_scesc(_chart())
+    assert "SCESC demo" in text
+    assert "Master" in text and "Slave" in text
+    assert "req ->" in text
+    assert "<- ack" in text
+    assert "busy ->|" in text  # environment event on the frame
+    assert "done: req@t0 ~~> ack@t1" in text
+    assert "t0" in text and "t1" in text
+
+
+def test_render_trace_lanes():
+    trace = Trace.from_sets([{"a"}, set(), {"a", "b"}], alphabet={"a", "b"})
+    text = render_trace(trace)
+    lines = text.splitlines()
+    assert lines[0].endswith("012")
+    assert any(line.startswith("a") and line.endswith("#.#") for line in lines)
+    assert any(line.startswith("b") and line.endswith("..#") for line in lines)
+
+
+def test_wavedrom_round_trip():
+    trace = Trace.from_sets(
+        [{"req"}, set(), {"ack"}], alphabet={"req", "ack"}
+    )
+    document = trace_to_wavedrom(trace, name="demo")
+    parsed = json.loads(document)
+    assert {lane["name"] for lane in parsed["signal"]} == {"req", "ack"}
+    back = wavedrom_to_trace(document)
+    assert [v.true for v in back] == [v.true for v in trace]
+
+
+def test_wavedrom_wave_compression():
+    document = {"signal": [{"name": "x", "wave": "1..0."}]}
+    trace = wavedrom_to_trace(document)
+    assert [v.is_true("x") for v in trace] == [True, True, True, False, False]
+
+
+def test_wavedrom_to_scesc_builds_chart():
+    document = {
+        "signal": [
+            {"name": "req", "wave": "010..."},
+            {"name": "gnt", "wave": "0.10.."},
+            {"name": "data", "wave": "0...10"},
+        ]
+    }
+    chart = wavedrom_to_scesc(document, name="from_wave")
+    # Window runs from the req cycle to the data cycle: 4 grid lines.
+    assert chart.n_ticks == 4
+    assert chart.ticks[0].event_names() == {"req"}
+    assert chart.ticks[1].event_names() == {"gnt"}
+    assert chart.ticks[2].event_names() == set()  # idle interior cycle
+    assert chart.ticks[3].event_names() == {"data"}
+
+
+def test_wavedrom_to_scesc_synthesizes():
+    from repro.monitor.engine import run_monitor
+    from repro.synthesis.tr import tr
+
+    document = {
+        "signal": [
+            {"name": "req", "wave": "10"},
+            {"name": "ack", "wave": "01"},
+        ]
+    }
+    chart = wavedrom_to_scesc(document)
+    monitor = tr(chart)
+    trace = Trace.from_sets([{"req"}, {"ack"}], alphabet={"req", "ack"})
+    assert run_monitor(monitor, trace).accepted
+
+
+def test_wavedrom_errors():
+    with pytest.raises(ChartError):
+        wavedrom_to_trace({"signal": []})
+    with pytest.raises(ChartError):
+        wavedrom_to_trace({"signal": [{"name": "x", "wave": "2345"}]})
+    with pytest.raises(ChartError):
+        wavedrom_to_scesc({"signal": [{"name": "x", "wave": "000"}]})
