@@ -85,3 +85,53 @@ def test_scaling_long_chart_monitoring(benchmark, report):
     report(f"412-tick trace over a 12-tick chart: "
            f"detections {result.detections}")
     assert result.accepted
+
+
+def test_scaling_compiled_long_chart_monitoring(benchmark, report):
+    """Same workload on the compiled runtime: table dispatch per tick."""
+    from repro import TraceGenerator, compile_monitor, run_compiled, \
+        run_monitor
+    from repro.cesc.charts import ScescChart
+
+    chart = _chain_chart(12)
+    monitor = tr(chart)
+    compiled = compile_monitor(monitor)
+    generator = TraceGenerator(ScescChart(chart), seed=4)
+    trace = generator.satisfying_trace(prefix=200, suffix=200)
+    result = benchmark(run_compiled, compiled, trace)
+    report(f"412-tick trace over a 12-tick chart (compiled): "
+           f"detections {result.detections}")
+    assert result.accepted
+    assert result.detections == run_monitor(monitor, trace).detections
+
+
+def test_scaling_compiled_stepping_speedup(report):
+    """Per-length speedup of table dispatch over guard interpretation."""
+    import time as _time
+
+    from repro import TraceGenerator, compile_monitor, run_compiled, \
+        run_monitor
+    from repro.cesc.charts import ScescChart
+
+    def _best_of(repeats, fn, *args):
+        best = float("inf")
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            fn(*args)
+            best = min(best, _time.perf_counter() - start)
+        return best
+
+    report("ticks  interpreted-s  compiled-s  speedup")
+    for n_ticks in (4, 8, 12):
+        chart = _chain_chart(n_ticks)
+        monitor = tr(chart)
+        compiled = compile_monitor(monitor)
+        generator = TraceGenerator(ScescChart(chart), seed=4)
+        trace = generator.satisfying_trace(prefix=500, suffix=500)
+        assert run_monitor(monitor, trace).states == \
+            run_compiled(compiled, trace).states
+        interpreted_s = _best_of(3, run_monitor, monitor, trace)
+        compiled_s = _best_of(3, run_compiled, compiled, trace)
+        report(f"{n_ticks:5}  {interpreted_s:13.4f}  {compiled_s:10.4f}  "
+               f"{interpreted_s / compiled_s:6.1f}x")
+        assert compiled_s < interpreted_s

@@ -43,6 +43,7 @@ from repro.cesc.charts import (
 )
 from repro.cesc.parser import parse_cesc
 from repro.cesc.validate import validate_chart, validate_scesc
+from repro.logic.codec import AlphabetCodec
 from repro.logic.expr import And, EventRef, Expr, Not, Or, PropRef, ScoreboardCheck
 from repro.logic.parser import parse_expr
 from repro.logic.valuation import Valuation
@@ -51,18 +52,31 @@ from repro.monitor.checker import AssertionChecker, Verdict
 from repro.monitor.engine import MonitorEngine, MonitorResult, run_monitor
 from repro.monitor.network import MonitorNetwork
 from repro.monitor.scoreboard import Scoreboard
+from repro.runtime.compiled import (
+    CompiledEngine,
+    CompiledMonitor,
+    compile_monitor,
+    run_compiled,
+    run_many,
+)
 from repro.semantics.generator import TraceGenerator
 from repro.semantics.run import GlobalRun, Trace
 from repro.synthesis.compose import MonitorBank, synthesize_chart
 from repro.synthesis.multiclock import synthesize_network
 from repro.synthesis.subset import SubsetMonitor
 from repro.synthesis.symbolic import symbolic_monitor
-from repro.synthesis.tr import synthesize_monitor, tr
+from repro.synthesis.tr import (
+    synthesize_compiled,
+    synthesize_monitor,
+    tr,
+    tr_compiled,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AddEvt",
+    "AlphabetCodec",
     "Alt",
     "And",
     "AssertionChecker",
@@ -70,6 +84,8 @@ __all__ = [
     "CausalityArrow",
     "Chart",
     "Clock",
+    "CompiledEngine",
+    "CompiledMonitor",
     "CrossArrow",
     "DelEvt",
     "EventOccurrence",
@@ -99,16 +115,21 @@ __all__ = [
     "Transition",
     "Valuation",
     "Verdict",
+    "compile_monitor",
     "ev",
     "parse_cesc",
     "parse_expr",
+    "run_compiled",
+    "run_many",
     "run_monitor",
     "scesc",
     "symbolic_monitor",
     "synthesize_chart",
+    "synthesize_compiled",
     "synthesize_monitor",
     "synthesize_network",
     "tr",
+    "tr_compiled",
     "validate_chart",
     "validate_scesc",
 ]

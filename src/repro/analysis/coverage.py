@@ -26,8 +26,17 @@ class CoverageCollector:
         self._runs = 0
 
     def record(self, engine: MonitorEngine) -> None:
-        """Fold one finished engine run into the coverage totals."""
-        if engine.monitor is not self._monitor:
+        """Fold one finished engine run into the coverage totals.
+
+        Accepts interpreted engines and compiled engines alike: a
+        :class:`~repro.runtime.compiled.CompiledEngine` reports the
+        ``CompiledMonitor``, whose ``source`` points back at the
+        automaton this collector tracks.
+        """
+        ran = engine.monitor
+        if ran is not self._monitor:
+            ran = getattr(ran, "source", None) or ran
+        if ran is not self._monitor:
             raise ValueError(
                 "engine ran a different monitor than this collector tracks"
             )

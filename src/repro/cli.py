@@ -32,8 +32,9 @@ from repro.errors import ReproError
 from repro.monitor.dot import monitor_to_dot
 from repro.monitor.engine import run_monitor
 from repro.monitor.stats import monitor_stats
+from repro.runtime.compiled import run_compiled
 from repro.synthesis.symbolic import symbolic_monitor
-from repro.synthesis.tr import tr
+from repro.synthesis.tr import tr, tr_compiled
 from repro.visual.ascii_chart import render_scesc
 from repro.visual.wavedrom import wavedrom_to_trace
 
@@ -73,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("spec", help="CESC DSL file")
     check.add_argument("chart", help="chart name inside the spec")
     check.add_argument("trace", help="WaveDrom JSON trace file")
+    check.add_argument(
+        "--engine", default="compiled",
+        choices=("compiled", "interpreted"),
+        help="stepping backend: dense table dispatch (default) or the "
+             "reference guard-tree interpreter")
     return parser
 
 
@@ -154,14 +160,16 @@ def _cmd_synthesize(args, out) -> int:
 
 def _cmd_check(args, out) -> int:
     chart = _load_scesc(args.spec, args.chart)
-    monitor = tr(chart)
     with open(args.trace) as stream:
         trace = wavedrom_to_trace(json.load(stream))
     missing = chart.alphabet() - trace.alphabet
     if missing:
         out.write(f"note: trace lacks lanes for {sorted(missing)} "
                   "(treated as constant low)\n")
-    result = run_monitor(monitor, trace)
+    if args.engine == "compiled":
+        result = run_compiled(tr_compiled(chart), trace)
+    else:
+        result = run_monitor(tr(chart), trace)
     out.write(f"trace: {trace.length} ticks; "
               f"detections at {result.detections}\n")
     return 0 if result.accepted else 3

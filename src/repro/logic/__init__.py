@@ -14,9 +14,13 @@ monitor synthesis pipeline:
   synthesis algorithm's compatibility checks;
 * :mod:`repro.logic.qm` — Quine–McCluskey two-level minimisation, used
   to produce the compact figure-style guard expressions;
-* :mod:`repro.logic.bdd` — reduced ordered BDDs for equivalence checks.
+* :mod:`repro.logic.bdd` — reduced ordered BDDs for equivalence checks;
+* :mod:`repro.logic.codec` — bitmask encoding of valuations over a
+  fixed symbol ordering, the index space of the compiled monitor
+  runtime's dense dispatch tables.
 """
 
+from repro.logic.codec import AlphabetCodec
 from repro.logic.expr import (
     FALSE,
     TRUE,
@@ -43,6 +47,7 @@ from repro.logic.sat import (
 from repro.logic.valuation import Valuation, enumerate_valuations
 
 __all__ = [
+    "AlphabetCodec",
     "And",
     "Const",
     "EventRef",

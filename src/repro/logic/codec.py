@@ -1,0 +1,126 @@
+"""Bitmask encoding of valuations over a fixed symbol ordering.
+
+The synthesis algorithm enumerates "each valuation e in 2^Sigma"; a
+valuation over a restricted alphabet of ``k`` symbols is therefore one
+of ``2^k`` rows of a dense table.  :class:`AlphabetCodec` fixes the
+ordering — symbol ``i`` (in sorted order) owns bit ``1 << i`` — and
+converts between :class:`~repro.logic.valuation.Valuation` objects and
+their integer row indices.  The compiled monitor runtime
+(:mod:`repro.runtime.compiled`) indexes its transition tables with
+these masks, replacing per-tick guard-tree interpretation with a list
+lookup.
+
+Encoding is total on the *trace* side: symbols outside the codec's
+alphabet are simply dropped (they read false under the restricted
+alphabet, exactly as :meth:`Valuation.restricted` would make them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.errors import ExprError
+from repro.logic.valuation import Valuation
+
+__all__ = ["AlphabetCodec"]
+
+#: Valuation enumeration beyond this many symbols is refused — the same
+#: tractability cap the synthesis layer applies to ``2^|Sigma|``.
+MAX_CODEC_SYMBOLS = 20
+
+
+class AlphabetCodec:
+    """A fixed, sorted symbol ordering with bitmask conversion.
+
+    ``symbols[i]`` owns bit ``1 << i`` (LSB = first symbol in sorted
+    order).  ``size`` is ``2 ** len(symbols)`` — the number of distinct
+    valuations, i.e. the row count of a dense transition table.
+    """
+
+    __slots__ = ("symbols", "bit_of", "size")
+
+    def __init__(self, symbols: Iterable[str]):
+        ordered: Tuple[str, ...] = tuple(sorted(set(symbols)))
+        if len(ordered) > MAX_CODEC_SYMBOLS:
+            raise ExprError(
+                f"alphabet of {len(ordered)} symbols exceeds the "
+                f"2^{MAX_CODEC_SYMBOLS} dense-table cap"
+            )
+        object.__setattr__(self, "symbols", ordered)
+        object.__setattr__(
+            self, "bit_of", {s: 1 << i for i, s in enumerate(ordered)}
+        )
+        object.__setattr__(self, "size", 1 << len(ordered))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("AlphabetCodec is immutable")
+
+    # -- conversions -----------------------------------------------------
+    def encode(self, valuation) -> int:
+        """Bitmask of ``valuation`` (a Valuation or iterable of symbols).
+
+        Symbols outside the codec's alphabet are ignored — encoding a
+        full-trace valuation against a restricted alphabet projects it,
+        mirroring :meth:`Valuation.restricted`.
+        """
+        true = valuation.true if isinstance(valuation, Valuation) else valuation
+        bit_of = self.bit_of
+        mask = 0
+        for symbol in true:
+            bit = bit_of.get(symbol)
+            if bit:
+                mask |= bit
+        return mask
+
+    def decode(self, mask: int) -> Valuation:
+        """The valuation (over this codec's alphabet) with bits of ``mask``."""
+        if not (0 <= mask < self.size):
+            raise ExprError(
+                f"mask {mask} outside 0..{self.size - 1} for alphabet "
+                f"{list(self.symbols)}"
+            )
+        true = [s for i, s in enumerate(self.symbols) if mask >> i & 1]
+        return Valuation(true, self.symbols)
+
+    def index_of(self, symbol: str) -> int:
+        """Bit position of ``symbol`` in the ordering."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise ExprError(f"symbol {symbol!r} not in codec alphabet")
+
+    def all_masks(self) -> range:
+        """Every valuation index, ``0 .. size-1``."""
+        return range(self.size)
+
+    def truth_table(self, expr) -> int:
+        """Bitmap of ``expr`` over all masks: bit ``m`` set iff true at ``m``.
+
+        ``expr`` must not contain scoreboard checks (its truth must be a
+        function of the input valuation alone).
+        """
+        fn = expr.compile(self)
+        bitmap = 0
+        for mask in range(self.size):
+            if fn(mask, None):
+                bitmap |= 1 << mask
+        return bitmap
+
+    # -- dunder ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.bit_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.symbols)
+
+    def __eq__(self, other):
+        return isinstance(other, AlphabetCodec) and self.symbols == other.symbols
+
+    def __hash__(self):
+        return hash(("AlphabetCodec", self.symbols))
+
+    def __repr__(self):
+        return f"AlphabetCodec({list(self.symbols)})"

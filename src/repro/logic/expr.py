@@ -89,6 +89,21 @@ class Expr:
     def __invert__(self) -> "Expr":
         return Not(self)
 
+    # -- lowering -------------------------------------------------------
+    def compile(self, codec):
+        """Lower this guard to a closure ``(mask, scoreboard) -> bool``.
+
+        ``codec`` fixes the symbol ordering (any object with a
+        ``bit_of: symbol -> bit`` mapping, typically an
+        :class:`~repro.logic.codec.AlphabetCodec`); ``mask`` is the
+        input valuation encoded under that ordering.  Symbols absent
+        from the codec read false, mirroring :meth:`evaluate` against a
+        restricted valuation.  ``Chk_evt`` atoms consult the scoreboard
+        argument at call time, so one compiled guard serves every
+        scoreboard state.
+        """
+        raise NotImplementedError
+
     # -- rewriting ------------------------------------------------------
     def simplify(self) -> "Expr":
         """Return a lightly simplified equivalent expression.
@@ -126,6 +141,10 @@ class Const(Expr):
     def atoms(self) -> FrozenSet[Expr]:
         return frozenset()
 
+    def compile(self, codec):
+        value = self.value
+        return lambda mask, scoreboard=None: value
+
     def simplify(self) -> Expr:
         return TRUE if self.value else FALSE
 
@@ -161,6 +180,13 @@ class _Ref(Expr):
 
     def evaluate(self, valuation, scoreboard=None) -> bool:
         return bool(valuation.is_true(self.name))
+
+    def compile(self, codec):
+        bit = codec.bit_of.get(self.name)
+        if bit is None:
+            # Outside the restricted alphabet: always reads false.
+            return lambda mask, scoreboard=None: False
+        return lambda mask, scoreboard=None: bool(mask & bit)
 
     def atoms(self) -> FrozenSet[Expr]:
         return frozenset({self})
@@ -213,6 +239,18 @@ class ScoreboardCheck(Expr):
             )
         return bool(scoreboard.contains(self.event))
 
+    def compile(self, codec):
+        event = self.event
+
+        def check(mask, scoreboard=None):
+            if scoreboard is None:
+                raise ExprError(
+                    f"Chk_evt({event}) requires a scoreboard to evaluate"
+                )
+            return bool(scoreboard.contains(event))
+
+        return check
+
     def atoms(self) -> FrozenSet[Expr]:
         return frozenset({self})
 
@@ -241,6 +279,10 @@ class Not(Expr):
 
     def evaluate(self, valuation, scoreboard=None) -> bool:
         return not self.operand.evaluate(valuation, scoreboard)
+
+    def compile(self, codec):
+        inner = self.operand.compile(codec)
+        return lambda mask, scoreboard=None: not inner(mask, scoreboard)
 
     def atoms(self) -> FrozenSet[Expr]:
         return self.operand.atoms()
@@ -377,6 +419,16 @@ class And(_Nary):
     def evaluate(self, valuation, scoreboard=None) -> bool:
         return all(arg.evaluate(valuation, scoreboard) for arg in self.args)
 
+    def compile(self, codec):
+        fns = tuple(arg.compile(codec) for arg in self.args)
+        if not fns:
+            return lambda mask, scoreboard=None: True
+        if len(fns) == 1:
+            return fns[0]
+        return lambda mask, scoreboard=None: all(
+            fn(mask, scoreboard) for fn in fns
+        )
+
 
 class Or(_Nary):
     """N-ary disjunction (``a | b | ...``)."""
@@ -388,6 +440,16 @@ class Or(_Nary):
 
     def evaluate(self, valuation, scoreboard=None) -> bool:
         return any(arg.evaluate(valuation, scoreboard) for arg in self.args)
+
+    def compile(self, codec):
+        fns = tuple(arg.compile(codec) for arg in self.args)
+        if not fns:
+            return lambda mask, scoreboard=None: False
+        if len(fns) == 1:
+            return fns[0]
+        return lambda mask, scoreboard=None: any(
+            fn(mask, scoreboard) for fn in fns
+        )
 
 
 def all_of(exprs: Iterable[Expr]) -> Expr:

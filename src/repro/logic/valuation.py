@@ -73,6 +73,23 @@ class Valuation:
         """Copy with ``symbols`` additionally set true."""
         return Valuation(self.true | set(symbols), self.alphabet | set(symbols))
 
+    def to_mask(self, order: Sequence[str]) -> int:
+        """Bitmask of this valuation under a fixed symbol ordering.
+
+        ``order[i]`` owns bit ``1 << i``; symbols of this valuation
+        outside ``order`` are dropped (the projection semantics of
+        :meth:`restricted`).  The compiled monitor runtime uses these
+        masks as dense transition-table indices — see
+        :class:`~repro.logic.codec.AlphabetCodec` for the cached
+        symbol->bit form used on hot paths.
+        """
+        true = self.true
+        mask = 0
+        for index, symbol in enumerate(order):
+            if symbol in true:
+                mask |= 1 << index
+        return mask
+
     # -- dunder ----------------------------------------------------------
     def __eq__(self, other):
         return (

@@ -181,7 +181,7 @@ class Monitor:
         self.transitions: Tuple[Transition, ...] = tuple(transitions)
         self.alphabet: FrozenSet[str] = frozenset(alphabet)
         self.props: FrozenSet[str] = frozenset(props)
-        self._by_source: Dict[int, List[Transition]] = {}
+        grouped: Dict[int, List[Transition]] = {}
         for transition in self.transitions:
             for state in (transition.source, transition.target):
                 if not (0 <= state < n_states):
@@ -189,15 +189,21 @@ class Monitor:
                         f"transition {transition!r} references state {state} "
                         f"outside 0..{n_states - 1}"
                     )
-            self._by_source.setdefault(transition.source, []).append(transition)
+            grouped.setdefault(transition.source, []).append(transition)
+        # Frozen per-state adjacency, built once: engines call
+        # transitions_from on every tick, so it must not allocate.
+        self._by_source: Tuple[Tuple[Transition, ...], ...] = tuple(
+            tuple(grouped.get(state, ())) for state in range(n_states)
+        )
 
     # -- structure ---------------------------------------------------------
     @property
     def states(self) -> range:
         return range(self.n_states)
 
-    def transitions_from(self, state: int) -> List[Transition]:
-        return list(self._by_source.get(state, []))
+    def transitions_from(self, state: int) -> Tuple[Transition, ...]:
+        """Outgoing transitions of ``state`` (shared tuple — do not mutate)."""
+        return self._by_source[state]
 
     def transition_count(self) -> int:
         return len(self.transitions)

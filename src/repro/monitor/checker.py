@@ -102,7 +102,7 @@ class AssertionChecker:
     """Checker for ``A => C`` implication charts over clocked traces."""
 
     def __init__(self, chart: Chart, variant: str = "tr",
-                 loop_limit: int = 3):
+                 loop_limit: int = 3, engine: str = "interpreted"):
         # Imported here to keep repro.monitor importable on its own
         # (synthesis depends on monitor for its output types).
         from repro.synthesis.compose import synthesize_chart
@@ -114,7 +114,10 @@ class AssertionChecker:
                 "AssertionChecker requires an Implication chart; plain "
                 "charts are detectors — use synthesize_chart"
             )
+        if engine not in ("interpreted", "compiled"):
+            raise MonitorError(f"unknown engine backend {engine!r}")
         self._chart = chart
+        self._engine_backend = engine
         self._bank: MonitorBank = synthesize_chart(
             chart.antecedent, variant=variant, loop_limit=loop_limit
         )
@@ -132,7 +135,17 @@ class AssertionChecker:
 
     def check(self, trace: Trace) -> CheckReport:
         """Scan the whole trace; return every obligation's verdict."""
-        engines = [MonitorEngine(monitor) for monitor in self._bank.monitors]
+        if self._engine_backend == "compiled":
+            from repro.runtime.compiled import CompiledEngine
+
+            engines = [
+                CompiledEngine(compiled)
+                for compiled in self._bank.compiled_members()
+            ]
+        else:
+            engines = [
+                MonitorEngine(monitor) for monitor in self._bank.monitors
+            ]
         obligations: List[Obligation] = []
         live: List[Obligation] = []
         detections: List[int] = []

@@ -21,7 +21,7 @@ from repro.monitor.automaton import Monitor, Transition
 from repro.monitor.scoreboard import Scoreboard
 from repro.semantics.run import Trace
 
-__all__ = ["MonitorEngine", "MonitorResult", "run_monitor"]
+__all__ = ["EngineBase", "MonitorEngine", "MonitorResult", "run_monitor"]
 
 
 class MonitorResult:
@@ -54,24 +54,29 @@ class MonitorResult:
         )
 
 
-class MonitorEngine:
-    """Incremental monitor execution with an (optionally shared) scoreboard."""
+class EngineBase:
+    """Shared stepping state machine for both monitor backends.
 
-    def __init__(self, monitor: Monitor,
-                 scoreboard: Optional[Scoreboard] = None):
-        self._monitor = monitor
+    Holds the configuration (state, tick, detections, transition log,
+    optionally-shared scoreboard) and the ``commit``/``feed``/
+    ``result``/``reset`` half of the engine contract.  Subclasses
+    provide ``enabled_transition`` — the interpreted engine by walking
+    guard trees, the compiled engine by table dispatch — and may
+    override ``step`` with a fused fast path.  ``automaton`` is any
+    object exposing ``name``/``initial``/``final``.
+    """
+
+    def __init__(self, automaton, scoreboard: Optional[Scoreboard] = None):
+        self._automaton = automaton
+        self._owns_scoreboard = scoreboard is None
         self._scoreboard = scoreboard if scoreboard is not None else Scoreboard()
-        self._state = monitor.initial
+        self._state = automaton.initial
         self._tick = 0
-        self._states: List[int] = [monitor.initial]
+        self._states: List[int] = [automaton.initial]
         self._detections: List[int] = []
         self._transition_log: List[Transition] = []
 
     # -- observers -------------------------------------------------------
-    @property
-    def monitor(self) -> Monitor:
-        return self._monitor
-
     @property
     def state(self) -> int:
         return self._state
@@ -88,7 +93,79 @@ class MonitorEngine:
     def tick(self) -> int:
         return self._tick
 
+    @property
+    def transition_log(self) -> List[Transition]:
+        """Transitions taken so far, in order (for coverage analysis)."""
+        return list(self._transition_log)
+
     # -- execution ---------------------------------------------------------
+    def enabled_transition(self, valuation: Valuation) -> Transition:
+        """The unique transition enabled by ``valuation`` right now."""
+        raise NotImplementedError
+
+    def commit(self, transition: Transition,
+               apply_actions: bool = True) -> int:
+        """Take a previously selected transition (two-phase stepping).
+
+        Multi-clock networks select transitions for all coincident
+        ticks against the pre-instant scoreboard, then commit them —
+        pass ``apply_actions=False`` when the caller sequences the
+        scoreboard updates itself.
+        """
+        if apply_actions:
+            for action in transition.actions:
+                action.apply(self._scoreboard)
+        self._transition_log.append(transition)
+        self._state = transition.target
+        self._states.append(self._state)
+        if self._state == self._automaton.final:
+            self._detections.append(self._tick)
+        self._tick += 1
+        return self._state
+
+    def step(self, valuation: Valuation) -> int:
+        """Consume one trace element; return the new state."""
+        return self.commit(self.enabled_transition(valuation))
+
+    def feed(self, trace: Iterable[Valuation]) -> "EngineBase":
+        for valuation in trace:
+            self.step(valuation)
+        return self
+
+    def result(self) -> MonitorResult:
+        return MonitorResult(
+            self._automaton.name, list(self._states),
+            list(self._detections), self._tick,
+        )
+
+    def reset(self) -> None:
+        """Return to the initial configuration.
+
+        An injected (shared) scoreboard is left untouched — only an
+        engine-owned scoreboard is cleared, so resetting one engine of
+        a multi-clock network cannot wipe its peers' causality state.
+        """
+        self._state = self._automaton.initial
+        self._tick = 0
+        self._states = [self._automaton.initial]
+        self._detections = []
+        self._transition_log = []
+        if self._owns_scoreboard:
+            self._scoreboard.clear()
+
+
+class MonitorEngine(EngineBase):
+    """Incremental monitor execution with an (optionally shared) scoreboard."""
+
+    def __init__(self, monitor: Monitor,
+                 scoreboard: Optional[Scoreboard] = None):
+        super().__init__(monitor, scoreboard)
+        self._monitor = monitor
+
+    @property
+    def monitor(self) -> Monitor:
+        return self._monitor
+
     def enabled_transition(self, valuation: Valuation) -> Transition:
         """The unique transition enabled by ``valuation`` right now."""
         enabled = [
@@ -111,54 +188,6 @@ class MonitorEngine:
                     f"{[t.label() for t in enabled]}"
                 )
         return enabled[0]
-
-    def commit(self, transition: Transition,
-               apply_actions: bool = True) -> int:
-        """Take a previously selected transition (two-phase stepping).
-
-        Multi-clock networks select transitions for all coincident
-        ticks against the pre-instant scoreboard, then commit them —
-        pass ``apply_actions=False`` when the caller sequences the
-        scoreboard updates itself.
-        """
-        if apply_actions:
-            for action in transition.actions:
-                action.apply(self._scoreboard)
-        self._transition_log.append(transition)
-        self._state = transition.target
-        self._states.append(self._state)
-        if self._state == self._monitor.final:
-            self._detections.append(self._tick)
-        self._tick += 1
-        return self._state
-
-    def step(self, valuation: Valuation) -> int:
-        """Consume one trace element; return the new state."""
-        return self.commit(self.enabled_transition(valuation))
-
-    def feed(self, trace: Iterable[Valuation]) -> "MonitorEngine":
-        for valuation in trace:
-            self.step(valuation)
-        return self
-
-    def result(self) -> MonitorResult:
-        return MonitorResult(
-            self._monitor.name, list(self._states), list(self._detections),
-            self._tick,
-        )
-
-    @property
-    def transition_log(self) -> List[Transition]:
-        """Transitions taken so far, in order (for coverage analysis)."""
-        return list(self._transition_log)
-
-    def reset(self) -> None:
-        self._state = self._monitor.initial
-        self._tick = 0
-        self._states = [self._monitor.initial]
-        self._detections = []
-        self._transition_log = []
-        self._scoreboard.clear()
 
 
 def run_monitor(monitor: Monitor, trace: Trace,

@@ -79,6 +79,17 @@ class MonitorNetwork:
             )
         self.name = name
         self.locals = list(locals_)
+        self._compiled_cache: Dict[str, object] = {}
+
+    def _compiled_local(self, local: LocalMonitor):
+        """Memoized compiled form of one local monitor."""
+        compiled = self._compiled_cache.get(local.clock.name)
+        if compiled is None:
+            from repro.runtime.compiled import compile_monitor
+
+            compiled = compile_monitor(local.monitor)
+            self._compiled_cache[local.clock.name] = compiled
+        return compiled
 
     def local_for(self, component: str) -> LocalMonitor:
         for local in self.locals:
@@ -93,18 +104,37 @@ class MonitorNetwork:
         return sum(lm.monitor.transition_count() for lm in self.locals)
 
     def run(self, global_run: GlobalRun,
-            scoreboard: Optional[Scoreboard] = None) -> NetworkResult:
+            scoreboard: Optional[Scoreboard] = None,
+            engine: str = "interpreted") -> NetworkResult:
         """Execute the network over a global run.
 
         Each local monitor consumes the valuations of its own clock's
         ticks; simultaneous ticks commit their scoreboard actions
         two-phase (selection against the pre-instant scoreboard).
+
+        ``engine`` selects the stepping backend for every local
+        monitor: ``"interpreted"`` (guard-tree walking, the reference
+        semantics) or ``"compiled"`` (dense table dispatch via
+        :class:`~repro.runtime.compiled.CompiledEngine`).  Both honour
+        the two-phase contract, so results are identical.
         """
+        if engine not in ("interpreted", "compiled"):
+            raise MonitorError(f"unknown engine backend {engine!r}")
         shared = scoreboard if scoreboard is not None else Scoreboard()
-        engines: Dict[str, MonitorEngine] = {
-            lm.clock.name: MonitorEngine(lm.monitor, scoreboard=shared)
-            for lm in self.locals
-        }
+        if engine == "compiled":
+            from repro.runtime.compiled import CompiledEngine
+
+            engines = {
+                lm.clock.name: CompiledEngine(
+                    self._compiled_local(lm), scoreboard=shared
+                )
+                for lm in self.locals
+            }
+        else:
+            engines = {
+                lm.clock.name: MonitorEngine(lm.monitor, scoreboard=shared)
+                for lm in self.locals
+            }
         component_of = {lm.clock.name: lm.component for lm in self.locals}
         detections: Dict[str, List[Fraction]] = {
             lm.component: [] for lm in self.locals

@@ -1,0 +1,44 @@
+"""Compiled monitor runtime: table-dispatch stepping and batch execution.
+
+The interpreted :class:`~repro.monitor.engine.MonitorEngine` walks the
+guard expression trees of every outgoing transition on every tick.
+This package compiles a monitor once into integer-indexed dispatch
+tables — the per-valuation enumeration the synthesis algorithm already
+performs, made persistent — so the hot loop is a list lookup:
+
+* :class:`~repro.runtime.compiled.CompiledMonitor` — the dense
+  ``(state, valuation_mask) -> cell`` table over an
+  :class:`~repro.logic.codec.AlphabetCodec` symbol ordering, with a
+  compiled-guard check ladder in the cells whose move depends on the
+  dynamic scoreboard;
+* :func:`~repro.runtime.compiled.compile_monitor` — lower any
+  :class:`~repro.monitor.automaton.Monitor` (dense ``Tr`` output,
+  symbolic, or hand-built) to a :class:`CompiledMonitor`;
+* :class:`~repro.runtime.compiled.CompiledEngine` — same
+  ``step``/``feed``/``result`` contract as ``MonitorEngine`` (including
+  two-phase ``enabled_transition``/``commit``), on the compiled table;
+* :func:`~repro.runtime.compiled.run_compiled` /
+  :func:`~repro.runtime.compiled.run_many` — whole-trace and batched
+  lock-step execution.
+
+The interpreted engine remains the reference semantics; equivalence is
+enforced by property tests (``tests/test_properties.py``).
+"""
+
+from repro.runtime.compiled import (
+    CompiledEngine,
+    CompiledMonitor,
+    as_compiled,
+    compile_monitor,
+    run_compiled,
+    run_many,
+)
+
+__all__ = [
+    "CompiledEngine",
+    "CompiledMonitor",
+    "as_compiled",
+    "compile_monitor",
+    "run_compiled",
+    "run_many",
+]

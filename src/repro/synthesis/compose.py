@@ -66,6 +66,7 @@ class MonitorBank:
             raise SynthesisError(f"monitor bank {name!r} has no members")
         self.name = name
         self.members = list(members)
+        self._compiled: Optional[List["CompiledMonitor"]] = None
 
     @property
     def monitors(self) -> List[Monitor]:
@@ -81,24 +82,82 @@ class MonitorBank:
     def total_transitions(self) -> int:
         return sum(m.transition_count() for m in self.monitors)
 
+    def compiled_members(self) -> List["CompiledMonitor"]:
+        """Each member's monitor lowered to dense table dispatch.
+
+        Compilation happens on first use and is memoized — banks are
+        long-lived relative to the traces they scan, so the cost is
+        paid once per bank, not per run.
+        """
+        from repro.runtime.compiled import compile_monitor
+
+        if self._compiled is None:
+            self._compiled = [
+                compile_monitor(monitor) for _, monitor in self.members
+            ]
+        return self._compiled
+
     def run(self, trace: Trace,
-            scoreboards: Optional[Sequence[Scoreboard]] = None) -> BankResult:
-        """Run every member over ``trace`` and merge detections."""
+            scoreboards: Optional[Sequence[Scoreboard]] = None,
+            engine: str = "interpreted") -> BankResult:
+        """Run every member over ``trace`` and merge detections.
+
+        ``engine`` selects the backend: ``"interpreted"`` walks guard
+        trees (the reference semantics); ``"compiled"`` dispatches on
+        the memoized dense tables — identical results, much faster.
+        """
         if scoreboards is not None and len(scoreboards) != len(self.members):
             raise SynthesisError(
                 "one scoreboard per bank member is required when provided"
             )
-        engines = [
-            MonitorEngine(
-                monitor,
-                scoreboard=scoreboards[i] if scoreboards is not None else None,
-            )
-            for i, (_, monitor) in enumerate(self.members)
-        ]
+        if engine not in ("interpreted", "compiled"):
+            raise SynthesisError(f"unknown engine backend {engine!r}")
+        if engine == "compiled":
+            from repro.runtime.compiled import CompiledEngine
+
+            engines = [
+                CompiledEngine(
+                    compiled,
+                    scoreboard=(
+                        scoreboards[i] if scoreboards is not None else None
+                    ),
+                )
+                for i, compiled in enumerate(self.compiled_members())
+            ]
+        else:
+            engines = [
+                MonitorEngine(
+                    monitor,
+                    scoreboard=(
+                        scoreboards[i] if scoreboards is not None else None
+                    ),
+                )
+                for i, (_, monitor) in enumerate(self.members)
+            ]
         for valuation in trace:
-            for engine in engines:
-                engine.step(valuation)
-        return BankResult([engine.result() for engine in engines])
+            for eng in engines:
+                eng.step(valuation)
+        return BankResult([eng.result() for eng in engines])
+
+    def run_batch(self, traces: Sequence[Trace]) -> List[BankResult]:
+        """Scan many traces with the compiled backend in lock-step.
+
+        Every member monitor is compiled once (memoized) and fed all
+        ``traces`` through :func:`~repro.runtime.compiled.run_many`;
+        returns one :class:`BankResult` per trace, each identical to
+        what ``run(trace)`` would produce.  This is the bulk entry
+        point for serving many concurrent scenarios against one
+        specification.
+        """
+        from repro.runtime.compiled import run_many
+
+        per_member = [
+            run_many(compiled, traces) for compiled in self.compiled_members()
+        ]
+        return [
+            BankResult([member[i] for member in per_member])
+            for i in range(len(traces))
+        ]
 
     def __len__(self) -> int:
         return len(self.members)

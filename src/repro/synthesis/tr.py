@@ -47,7 +47,14 @@ from repro.synthesis.transition import (
     pattern_compatibility,
 )
 
-__all__ = ["minterm_expr", "check_conjunction", "synthesize_monitor", "tr"]
+__all__ = [
+    "minterm_expr",
+    "check_conjunction",
+    "synthesize_monitor",
+    "synthesize_compiled",
+    "tr",
+    "tr_compiled",
+]
 
 _MAX_ALPHABET = 16
 
@@ -192,6 +199,102 @@ def _with_extra_checks(
     return _CheckAugmented(pattern, synthetic)
 
 
+def synthesize_compiled(
+    pattern: FlatPattern,
+    name: Optional[str] = None,
+    extra_adds: Optional[Mapping[int, FrozenSet[str]]] = None,
+    extra_checks: Optional[Mapping[int, FrozenSet[str]]] = None,
+):
+    """Emit a :class:`~repro.runtime.compiled.CompiledMonitor` directly.
+
+    Performs the same per-valuation ladder enumeration as
+    :func:`synthesize_monitor` but fills the dense dispatch table in
+    place of constructing minterm guard expressions — the table ``Tr``
+    computes *is* the compiled artifact.  Carrier
+    :class:`~repro.monitor.automaton.Transition` objects (one per
+    distinct ``(state, target, actions, checks)``) keep the two-phase
+    ``enabled_transition``/``commit`` contract and coverage logging
+    working; their guards record only the scoreboard condition, not the
+    (implicit) valuation index.
+    """
+    from repro.logic.codec import AlphabetCodec
+    from repro.runtime.compiled import CompiledMonitor
+
+    if len(pattern.alphabet) > _MAX_ALPHABET:
+        raise SynthesisError(
+            f"pattern {pattern.name!r} has {len(pattern.alphabet)} symbols; "
+            f"the valuation enumeration (2^|Sigma|) is capped at "
+            f"2^{_MAX_ALPHABET} — split the chart or reduce its alphabet"
+        )
+    if extra_checks:
+        pattern = _with_extra_checks(pattern, extra_checks)
+    n = pattern.length
+    codec = AlphabetCodec(pattern.alphabet)
+    compatibility = pattern_compatibility(pattern)
+    interned: Dict[Tuple[int, int, tuple, FrozenSet[str], tuple], Transition] = {}
+    closures: Dict[FrozenSet[str], object] = {}
+    table = []
+    for state in range(n + 1):
+        row = []
+        for mask in codec.all_masks():
+            ladder = candidate_ladder(
+                pattern, state, codec.decode(mask), compatibility
+            )
+            rungs = []
+            failed_above: List[Expr] = []
+            for rung in ladder:
+                condition = check_conjunction(rung.checks)
+                actions = actions_for_move(
+                    pattern, state, rung.target, extra_adds
+                )
+                key = (state, rung.target, actions, rung.checks,
+                       tuple(failed_above))
+                transition = interned.get(key)
+                if transition is None:
+                    guard = And(
+                        (condition,) + tuple(failed_above)
+                    ).simplify()
+                    transition = Transition(state, guard, actions, rung.target)
+                    interned[key] = transition
+                if rung.checks:
+                    closure = closures.get(rung.checks)
+                    if closure is None:
+                        closure = condition.compile(codec)
+                        closures[rung.checks] = closure
+                    rungs.append((closure, transition))
+                    failed_above.append(Not(condition))
+                else:
+                    rungs.append((None, transition))
+                    break
+            if len(rungs) == 1 and rungs[0][0] is None:
+                row.append(rungs[0][1])
+            else:
+                row.append(tuple(rungs))
+        table.append(row)
+    return CompiledMonitor(
+        name or pattern.name,
+        n_states=n + 1,
+        initial=0,
+        final=n,
+        codec=codec,
+        table=table,
+        transitions=interned.values(),
+        props=pattern.props,
+        # Rung order is the while-loop descent: first passing rung wins
+        # by construction, so cells resolve first-match.
+        ladder_exclusive=True,
+    )
+
+
 def tr(chart: SCESC, name: Optional[str] = None) -> Monitor:
     """The paper's ``main`` routine: SCESC in, monitor out."""
     return synthesize_monitor(extract_pattern(chart), name=name)
+
+
+def tr_compiled(chart: SCESC, name: Optional[str] = None):
+    """``Tr`` straight to the compiled runtime: SCESC in, dispatch table out.
+
+    Behaviourally identical to ``compile_monitor(tr(chart))`` but skips
+    minterm guard construction, so synthesis itself is faster too.
+    """
+    return synthesize_compiled(extract_pattern(chart), name=name)

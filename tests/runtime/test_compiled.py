@@ -1,0 +1,541 @@
+"""Tests for the compiled monitor runtime (dense table dispatch)."""
+
+import pytest
+
+from repro import (
+    AlphabetCodec,
+    CompiledEngine,
+    MonitorEngine,
+    Scoreboard,
+    Trace,
+    TraceGenerator,
+    compile_monitor,
+    run_compiled,
+    run_many,
+    run_monitor,
+    symbolic_monitor,
+    synthesize_chart,
+    synthesize_network,
+    tr,
+    tr_compiled,
+)
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import Alt, Implication, ScescChart
+from repro.errors import ExprError, MonitorError, SynthesisError
+from repro.logic.expr import And, EventRef, Not, Or, PropRef, ScoreboardCheck, TRUE
+from repro.logic.valuation import Valuation, enumerate_valuations
+from repro.monitor.automaton import AddEvt, Monitor, Transition
+from repro.monitor.checker import AssertionChecker
+from repro.protocols.ocp import ocp_simple_read_chart
+
+
+def _ab_chart():
+    return scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+
+
+def _fig5_chart():
+    return (
+        scesc("fig5").props("p1", "p3").instances("A", "B")
+        .tick(ev("e1", guard="p1"))
+        .tick(ev("e2"))
+        .tick(ev("e3", guard="p3"))
+        .arrow("c1", cause="e1", effect="e3")
+        .build()
+    )
+
+
+# ------------------------------------------------------------------ codec ----
+def test_codec_roundtrip_all_masks():
+    codec = AlphabetCodec(["b", "a", "c"])
+    assert codec.symbols == ("a", "b", "c")
+    assert codec.size == 8
+    for mask in codec.all_masks():
+        assert codec.encode(codec.decode(mask)) == mask
+
+
+def test_codec_projects_unknown_symbols():
+    codec = AlphabetCodec(["a", "b"])
+    valuation = Valuation({"a", "zz"}, {"a", "b", "zz"})
+    assert codec.encode(valuation) == 1
+
+
+def test_codec_rejects_bad_mask_and_symbol():
+    codec = AlphabetCodec(["a"])
+    with pytest.raises(ExprError):
+        codec.decode(2)
+    with pytest.raises(ExprError):
+        codec.index_of("nope")
+    assert codec.index_of("a") == 0
+    assert "a" in codec and "b" not in codec
+
+
+def test_valuation_to_mask_follows_ordering():
+    valuation = Valuation({"a", "c"}, {"a", "b", "c"})
+    assert valuation.to_mask(("a", "b", "c")) == 0b101
+    assert valuation.to_mask(("c", "b", "a")) == 0b101
+    assert valuation.to_mask(("b",)) == 0
+
+
+# ------------------------------------------------------------ Expr.compile ----
+def test_compile_matches_evaluate_on_all_valuations():
+    codec = AlphabetCodec(["a", "b", "c"])
+    guards = [
+        TRUE,
+        EventRef("a"),
+        Not(PropRef("b")),
+        And((EventRef("a"), Not(EventRef("b")), EventRef("c"))),
+        Or((EventRef("a"), And((EventRef("b"), EventRef("c"))))),
+        EventRef("unknown_symbol"),
+    ]
+    for guard in guards:
+        fn = guard.compile(codec)
+        for valuation in enumerate_valuations(codec.symbols):
+            restricted = valuation.restricted(codec.symbols)
+            assert fn(codec.encode(valuation)) == guard.evaluate(restricted)
+
+
+def test_compile_scoreboard_check_consults_scoreboard():
+    codec = AlphabetCodec(["a"])
+    guard = And((EventRef("a"), ScoreboardCheck("x")))
+    fn = guard.compile(codec)
+    scoreboard = Scoreboard()
+    assert fn(1, scoreboard) is False
+    scoreboard.add("x")
+    assert fn(1, scoreboard) is True
+    with pytest.raises(ExprError):
+        fn(1, None)
+
+
+def test_truth_table_bitmap():
+    codec = AlphabetCodec(["a", "b"])
+    bitmap = codec.truth_table(EventRef("a"))
+    assert bitmap == 0b1010  # masks 1 and 3 have bit 'a'
+
+
+# -------------------------------------------------------- compile_monitor ----
+def test_compile_monitor_checkfree_cells_are_direct():
+    compiled = compile_monitor(tr(_ab_chart()))
+    assert not compiled.has_checks()
+    for state in compiled.states:
+        for mask in compiled.codec.all_masks():
+            assert isinstance(compiled.cell(state, mask), Transition)
+
+
+def test_compile_monitor_scoreboard_cells_use_ladders():
+    compiled = compile_monitor(tr(_fig5_chart()))
+    assert compiled.has_checks()
+    # Dispatching a check-dependent cell honours the scoreboard.
+    engine = CompiledEngine(compiled)
+    trace = Trace.from_sets(
+        [{"e1", "p1"}, {"e2"}, {"e3", "p3"}],
+        alphabet={"e1", "e2", "e3", "p1", "p3"},
+    )
+    assert engine.feed(trace).result().detections == [2]
+
+
+def test_compile_monitor_rejects_certain_nondeterminism():
+    conflicting = Monitor(
+        "nd", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, TRUE, (), 1),
+            Transition(0, TRUE, (AddEvt("x"),), 0),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        compile_monitor(conflicting)
+    # Agreeing duplicates are fine (the interpreted engine allows them).
+    agreeing = Monitor(
+        "dup", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, TRUE, (), 1),
+            Transition(0, EventRef("a"), (), 1),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    compile_monitor(agreeing)
+
+
+def test_compiled_reports_scoreboard_dependent_nondeterminism():
+    """Two Chk_evt rungs both true at run time must raise, as the
+    interpreted engine does — not silently resolve by declaration."""
+    ambiguous = Monitor(
+        "amb", n_states=3, initial=0, final=2,
+        transitions=[
+            Transition(0, ScoreboardCheck("a"), (), 1),
+            Transition(0, ScoreboardCheck("b"), (), 2),
+            Transition(
+                0,
+                And((Not(ScoreboardCheck("a")), Not(ScoreboardCheck("b")))),
+                (), 0,
+            ),
+            Transition(1, TRUE, (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"x"},
+    )
+    board = Scoreboard()
+    board.add("a")
+    board.add("b")
+    valuation = Valuation((), ("x",))
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        MonitorEngine(ambiguous, scoreboard=board).step(valuation)
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        CompiledEngine(compile_monitor(ambiguous),
+                       scoreboard=board).step(valuation)
+    # With only one check satisfied both backends agree on the move.
+    single = Scoreboard()
+    single.add("b")
+    assert (
+        MonitorEngine(ambiguous, scoreboard=single).step(valuation)
+        == CompiledEngine(compile_monitor(ambiguous),
+                          scoreboard=single).step(valuation)
+        == 2
+    )
+
+
+def test_compiled_detects_conflict_shadowed_by_unconditional_rung():
+    """A check rung declared after an always-enabled one must still be
+    able to trigger the nondeterminism error at run time."""
+    shadowed = Monitor(
+        "shadow", n_states=3, initial=0, final=2,
+        transitions=[
+            Transition(0, TRUE, (), 1),
+            Transition(0, ScoreboardCheck("x"), (), 2),
+            Transition(1, TRUE, (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"a"},
+    )
+    valuation = Valuation((), ("a",))
+    board = Scoreboard()
+    board.add("x")
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        MonitorEngine(shadowed, scoreboard=board).step(valuation)
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        CompiledEngine(compile_monitor(shadowed),
+                       scoreboard=board).step(valuation)
+    # Without the scoreboard entry both backends take the TRUE edge.
+    assert CompiledEngine(compile_monitor(shadowed)).step(valuation) == 1
+
+
+def test_generated_table_python_reports_nondeterminism():
+    from repro.codegen.python_gen import monitor_to_python
+
+    ambiguous = Monitor(
+        "amb", n_states=3, initial=0, final=2,
+        transitions=[
+            Transition(0, ScoreboardCheck("a"), (AddEvt("a"),), 1),
+            Transition(0, ScoreboardCheck("b"), (), 2),
+            Transition(
+                0,
+                And((Not(ScoreboardCheck("a")), Not(ScoreboardCheck("b")))),
+                (), 0,
+            ),
+            Transition(1, TRUE, (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"x"},
+    )
+    source = monitor_to_python(ambiguous, class_name="Amb")
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    instance = namespace["Amb"]()
+    instance._scoreboard = {"a": 1, "b": 1}
+    with pytest.raises(RuntimeError, match="nondeterministic"):
+        instance.step(set())
+
+
+def test_table_codegen_wraps_nondeterminism_as_codegen_error():
+    from repro.codegen.python_gen import monitor_to_python
+    from repro.errors import CodegenError
+
+    conflicting = Monitor(
+        "nd", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, TRUE, (), 1),
+            Transition(0, TRUE, (AddEvt("x"),), 0),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    with pytest.raises(CodegenError, match="nondeterministic"):
+        monitor_to_python(conflicting)
+
+
+def test_compiled_monitor_table_view_is_detached():
+    compiled = compile_monitor(tr(_ab_chart()))
+    view = compiled.table
+    assert view[0][0] is compiled.cell(0, 0)
+    # The view is a copy: writing to internals must be impossible via it.
+    assert isinstance(view, tuple) and isinstance(view[0], tuple)
+
+
+def test_direct_synthesis_dispatch_requires_scoreboard():
+    compiled = tr_compiled(_fig5_chart())
+    # Find a check-laddered cell and dispatch without a scoreboard.
+    for state in compiled.states:
+        for mask in compiled.codec.all_masks():
+            if isinstance(compiled.cell(state, mask), tuple):
+                with pytest.raises(ExprError, match="requires a scoreboard"):
+                    compiled.dispatch(state, mask)
+                return
+    pytest.fail("fig5 compiled monitor should have check-laddered cells")
+
+
+def test_coverage_collector_accepts_compiled_monitor_directly():
+    from repro.analysis.coverage import CoverageCollector
+
+    compiled = compile_monitor(tr(_ab_chart()))
+    engine = CompiledEngine(compiled)
+    engine.feed(Trace.from_sets([{"a"}, {"b"}], alphabet={"a", "b"}))
+    collector = CoverageCollector(compiled)  # tracks the compiled form
+    collector.record(engine)
+    assert collector.transition_coverage() > 0
+
+
+def test_python_codegen_wide_alphabet_falls_back_to_ladder():
+    from repro.codegen.python_gen import monitor_to_python
+
+    wide_alphabet = {f"e{i}" for i in range(14)}
+    monitor = Monitor(
+        "wide", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, EventRef("e0"), (), 1),
+            Transition(0, Not(EventRef("e0")), (), 0),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet=wide_alphabet,
+    )
+    source = monitor_to_python(monitor, class_name="Wide")
+    assert "_TABLE" not in source  # ladder fallback, no 2^14 table
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    instance = namespace["Wide"]().feed([{"e0"}, set()])
+    assert instance.detections == [0, 1]
+
+
+def test_compiled_dispatch_error_on_incomplete_monitor():
+    partial = Monitor(
+        "partial", n_states=2, initial=0, final=1,
+        transitions=[Transition(0, EventRef("a"), (), 1)],
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(partial)
+    engine = CompiledEngine(compiled)
+    with pytest.raises(MonitorError):
+        engine.step(Valuation((), ("a",)))  # no transition for !a
+
+
+# --------------------------------------------------------- CompiledEngine ----
+def test_compiled_engine_matches_interpreted_stepwise():
+    chart = _fig5_chart()
+    monitor = tr(chart)
+    compiled = compile_monitor(monitor)
+    generator = TraceGenerator(ScescChart(chart), seed=13)
+    for index in range(6):
+        trace = (
+            generator.satisfying_trace(prefix=index % 3, suffix=2)
+            if index % 2 else generator.random_trace(12)
+        )
+        interp = MonitorEngine(monitor)
+        fast = CompiledEngine(compiled)
+        for valuation in trace:
+            assert interp.step(valuation) == fast.step(valuation)
+            assert interp.scoreboard.snapshot() == fast.scoreboard.snapshot()
+        assert interp.result().states == fast.result().states
+        assert interp.result().detections == fast.result().detections
+
+
+def test_compiled_engine_two_phase_contract():
+    monitor = tr(_ab_chart())
+    engine = CompiledEngine(compile_monitor(monitor))
+    valuation = Valuation({"a"}, ("a", "b"))
+    transition = engine.enabled_transition(valuation)
+    assert transition.target == 1
+    assert engine.state == 0  # selection must not move the engine
+    assert engine.commit(transition) == 1
+    assert engine.tick == 1
+    assert len(engine.transition_log) == 1
+
+
+def test_compiled_engine_reset_preserves_shared_scoreboard():
+    monitor = tr(_fig5_chart())
+    shared = Scoreboard()
+    shared.add("peer_cause")
+    engine = CompiledEngine(compile_monitor(monitor), scoreboard=shared)
+    engine.reset()
+    assert shared.contains("peer_cause")
+    owned = CompiledEngine(compile_monitor(monitor))
+    owned.scoreboard.add("local")
+    owned.reset()
+    assert not owned.scoreboard.contains("local")
+    assert owned.state == monitor.initial and owned.tick == 0
+
+
+def test_interpreted_engine_reset_preserves_shared_scoreboard():
+    monitor = tr(_fig5_chart())
+    shared = Scoreboard()
+    shared.add("peer_cause")
+    engine = MonitorEngine(monitor, scoreboard=shared)
+    engine.reset()
+    assert shared.contains("peer_cause")
+    owned = MonitorEngine(monitor)
+    owned.scoreboard.add("local")
+    owned.reset()
+    assert not owned.scoreboard.contains("local")
+
+
+def test_transitions_from_is_stable_and_shared():
+    monitor = tr(_ab_chart())
+    first = monitor.transitions_from(0)
+    assert first is monitor.transitions_from(0)  # no per-call allocation
+    assert isinstance(first, tuple)
+
+
+# --------------------------------------------------- direct Tr compilation ----
+def test_tr_compiled_equals_compile_of_tr():
+    chart = ocp_simple_read_chart()
+    monitor = tr(chart)
+    direct = tr_compiled(chart)
+    via_monitor = compile_monitor(monitor)
+    generator = TraceGenerator(ScescChart(chart), seed=3)
+    for index in range(6):
+        trace = (
+            generator.satisfying_trace(prefix=1, suffix=2)
+            if index % 2 else generator.random_trace(15)
+        )
+        reference = run_monitor(monitor, trace)
+        for compiled in (direct, via_monitor):
+            result = run_compiled(compiled, trace)
+            assert result.states == reference.states
+            assert result.detections == reference.detections
+            assert result.ticks == reference.ticks
+
+
+def test_tr_compiled_metadata():
+    chart = _fig5_chart()
+    compiled = tr_compiled(chart)
+    assert compiled.n_states == chart.n_ticks + 1
+    assert compiled.initial == 0 and compiled.final == chart.n_ticks
+    assert compiled.alphabet == chart.alphabet()
+    assert compiled.has_checks() and compiled.has_actions()
+
+
+# ------------------------------------------------------------- batch API ----
+def test_run_many_matches_individual_runs():
+    chart = _fig5_chart()
+    compiled = tr_compiled(chart)
+    monitor = tr(chart)
+    generator = TraceGenerator(ScescChart(chart), seed=23)
+    traces = [generator.random_trace(length) for length in (0, 3, 9, 14)]
+    traces.append(generator.satisfying_trace(prefix=2, suffix=1))
+    batch = run_many(compiled, traces)
+    assert len(batch) == len(traces)
+    for trace, result in zip(traces, batch):
+        reference = run_monitor(monitor, trace)
+        assert result.states == reference.states
+        assert result.detections == reference.detections
+        assert result.ticks == reference.ticks
+
+
+def test_run_many_scoreboard_count_validation():
+    compiled = tr_compiled(_ab_chart())
+    trace = Trace.from_sets([{"a"}], alphabet={"a", "b"})
+    with pytest.raises(MonitorError):
+        run_many(compiled, [trace], scoreboards=[Scoreboard(), Scoreboard()])
+
+
+def test_bank_compiled_run_and_batch():
+    def _one(name, *events):
+        builder = scesc(name).instances("M")
+        for event in events:
+            builder.tick(ev(event))
+        return builder.build()
+
+    bank = synthesize_chart(Alt([_one("a", "x"), _one("b", "y")]))
+    traces = [
+        Trace.from_sets([{"x"}, {"y"}], alphabet={"x", "y"}),
+        Trace.from_sets([set(), set()], alphabet={"x", "y"}),
+    ]
+    for trace in traces:
+        assert (
+            bank.run(trace).detections
+            == bank.run(trace, engine="compiled").detections
+        )
+    batch = bank.run_batch(traces)
+    for trace, result in zip(traces, batch):
+        assert result.detections == bank.run(trace).detections
+    with pytest.raises(SynthesisError):
+        bank.run(traces[0], engine="nope")
+
+
+# --------------------------------------------------- network and checker ----
+def test_network_compiled_backend_matches_interpreted():
+    from repro.protocols.readproto import multiclock_read_chart
+
+    chart = multiclock_read_chart()
+    network = synthesize_network(chart)
+    for seed in range(3):
+        run = TraceGenerator(chart, seed=seed).global_run(
+            chart, cycles=8, satisfy=bool(seed % 2)
+        )
+        interp = network.run(run)
+        fast = network.run(run, engine="compiled")
+        assert interp.detections == fast.detections
+        assert interp.completed_at == fast.completed_at
+    with pytest.raises(MonitorError):
+        network.run(run, engine="nope")
+
+
+def test_assertion_checker_compiled_backend():
+    antecedent = _ab_chart()
+    consequent = (
+        scesc("cd").instances("M").tick(ev("c")).tick(ev("d")).build()
+    )
+    chart = Implication(antecedent, consequent)
+    alphabet = {"a", "b", "c", "d"}
+    traces = [
+        Trace.from_sets([{"a"}, {"b"}, {"c"}, {"d"}], alphabet=alphabet),
+        Trace.from_sets([{"a"}, {"b"}, set(), {"d"}], alphabet=alphabet),
+        Trace.from_sets([{"a"}, {"b"}, {"c"}], alphabet=alphabet),
+    ]
+    interp = AssertionChecker(chart)
+    fast = AssertionChecker(chart, engine="compiled")
+    for trace in traces:
+        left, right = interp.check(trace), fast.check(trace)
+        assert left.antecedent_detections == right.antecedent_detections
+        assert [o.verdict for o in left.obligations] == \
+            [o.verdict for o in right.obligations]
+    with pytest.raises(MonitorError):
+        AssertionChecker(chart, engine="nope")
+
+
+# ------------------------------------------------------------ misc parity ----
+def test_run_compiled_accepts_plain_monitor_and_symbolic():
+    chart = _fig5_chart()
+    trace = Trace.from_sets(
+        [{"e1", "p1"}, {"e2"}, {"e3", "p3"}],
+        alphabet={"e1", "e2", "e3", "p1", "p3"},
+    )
+    dense = tr(chart)
+    symbolic = symbolic_monitor(dense)
+    reference = run_monitor(dense, trace)
+    assert run_compiled(dense, trace).detections == reference.detections
+    assert run_compiled(symbolic, trace).detections == reference.detections
+
+
+def test_compiled_engine_transition_log_feeds_coverage():
+    from repro.analysis.coverage import CoverageCollector
+
+    monitor = tr(_ab_chart())
+    compiled = compile_monitor(monitor)
+    engine = CompiledEngine(compiled)
+    engine.feed(Trace.from_sets([{"a"}, {"b"}], alphabet={"a", "b"}))
+    collector = CoverageCollector(monitor)
+    collector.record(engine)
+    assert collector.transition_coverage() > 0
+    with pytest.raises(ValueError):
+        collector.record(CompiledEngine(compile_monitor(tr(_fig5_chart()))))

@@ -2,16 +2,21 @@
 
 These complement the per-module unit tests with randomized invariants:
 scoreboard multiset algebra, monitor determinism/completeness and the
-state-count law, KMP shift monotonicity, detection/window duality, and
-fault-injection soundness.
+state-count law, KMP shift monotonicity, detection/window duality,
+fault-injection soundness, and compiled-runtime/interpreted-engine
+equivalence (state sequences, detections, and scoreboard-check
+outcomes must agree tick for tick on every backend).
 """
+
+import functools
 
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro import Scoreboard, SubsetMonitor, Trace, run_monitor, \
-    symbolic_monitor, tr
+from repro import CompiledEngine, MonitorEngine, Scoreboard, SubsetMonitor, \
+    Trace, compile_monitor, run_monitor, symbolic_monitor, synthesize_network, \
+    tr, tr_compiled
 from repro.cesc.builder import ev, scesc
 from repro.cesc.charts import ScescChart
 from repro.errors import ScoreboardError
@@ -195,6 +200,90 @@ def test_single_fault_on_minimal_window_kills_the_window(chart, seed):
         mutated = drop_event(window, tick_index, required[0])
         assert not matches_window(ScescChart(chart), mutated, 0,
                                   chart.n_ticks)
+
+
+# --------------------------------------------- compiled runtime equivalence ----
+def _lockstep_assert_equal(monitor, compiled_variants, trace):
+    """Run the interpreted engine against each compiled variant in
+    lock-step, comparing state, detections, and scoreboard contents
+    (the ``Chk_evt`` outcomes) after every tick."""
+    interp = MonitorEngine(monitor)
+    fasts = [CompiledEngine(compiled) for compiled in compiled_variants]
+    for valuation in trace:
+        state = interp.step(valuation)
+        snapshot = interp.scoreboard.snapshot()
+        for fast in fasts:
+            assert fast.step(valuation) == state
+            assert fast.scoreboard.snapshot() == snapshot
+    reference = interp.result()
+    for fast in fasts:
+        result = fast.result()
+        assert result.states == reference.states
+        assert result.detections == reference.detections
+        assert result.ticks == reference.ticks
+
+
+@settings(max_examples=20, deadline=None)
+@given(exclusive_charts(), traces())
+def test_compiled_equivalence_random_charts(chart, trace):
+    monitor = tr(chart)
+    _lockstep_assert_equal(
+        monitor, [compile_monitor(monitor), tr_compiled(chart)], trace
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _fixture_artifacts(which):
+    """Synthesize each protocol fixture once per test session."""
+    if which == "ocp":
+        from repro.protocols.ocp import ocp_simple_read_chart
+        chart = ocp_simple_read_chart()
+    elif which == "ocp_burst":
+        from repro.protocols.ocp import ocp_burst_read_chart
+        chart = ocp_burst_read_chart()
+    else:
+        from repro.protocols.amba import ahb_transaction_chart
+        chart = ahb_transaction_chart()
+    monitor = tr(chart)
+    return chart, monitor, compile_monitor(monitor), tr_compiled(chart)
+
+
+@pytest.mark.parametrize("which", ["ocp", "ocp_burst", "amba"])
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**30), satisfying=st.booleans(),
+       length=st.integers(0, 24))
+def test_compiled_equivalence_protocol_fixtures(which, seed, satisfying,
+                                                length):
+    chart, monitor, compiled, direct = _fixture_artifacts(which)
+    generator = TraceGenerator(ScescChart(chart), seed=seed)
+    if satisfying:
+        trace = generator.satisfying_trace(prefix=length % 4, suffix=2)
+    else:
+        trace = generator.random_trace(length)
+    _lockstep_assert_equal(monitor, [compiled, direct], trace)
+
+
+@functools.lru_cache(maxsize=None)
+def _multiclock_network():
+    from repro.protocols.readproto import multiclock_read_chart
+
+    chart = multiclock_read_chart()
+    return chart, synthesize_network(chart)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**30), satisfying=st.booleans(),
+       cycles=st.integers(1, 10))
+def test_compiled_equivalence_multiclock_network(seed, satisfying, cycles):
+    chart, network = _multiclock_network()
+    run = TraceGenerator(chart, seed=seed).global_run(
+        chart, cycles=cycles, satisfy=satisfying
+    )
+    interp = network.run(run)
+    fast = network.run(run, engine="compiled")
+    assert interp.detections == fast.detections
+    assert interp.completed_at == fast.completed_at
+    assert interp.accepted == fast.accepted
 
 
 # -------------------------------------------------------------- valuations ----
