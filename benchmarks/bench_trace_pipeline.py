@@ -1,0 +1,125 @@
+"""Trace-pipeline benchmarks: VCD ingestion, streaming, and sharding.
+
+Measures the three stages the pipeline adds over PR-1's lock-step
+batch runtime:
+
+* VCD ingestion throughput (ticks/second through ``VcdReader``);
+* streaming vs batch checking on one long trace (identical verdicts,
+  bounded memory);
+* sharded vs single-process batch on many traces, recording the
+  speedup per worker count in ``BENCH_trace.json``.
+
+Sharding wins are hardware-dependent (CI runners may expose two
+cores), so correctness is asserted hard and throughput is recorded,
+not gated.
+"""
+
+import json
+import pathlib
+import time
+
+from repro import StreamingChecker, TraceGenerator, tr_compiled
+from repro.protocols.ocp import ocp_simple_read_chart
+from repro.runtime.compiled import run_compiled, run_many
+from repro.trace import VcdReader, run_sharded, trace_to_vcd
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+_RESULTS_PATH = _REPO_ROOT / "BENCH_trace.json"
+
+_LONG_TRACE_TICKS = 4000
+_BATCH_TRACES = 48
+_BATCH_TICKS = 6000
+
+
+def _record(results):
+    existing = {}
+    if _RESULTS_PATH.exists():
+        try:
+            existing = json.loads(_RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(results)
+    _RESULTS_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _long_trace(ticks):
+    generator = TraceGenerator(ocp_simple_read_chart(), seed=11)
+    trace = generator.satisfying_trace(prefix=2, suffix=2)
+    while trace.length < ticks:
+        trace = trace.concat(
+            generator.satisfying_trace(prefix=2, suffix=2)
+        )
+    return trace
+
+
+def test_vcd_ingestion_throughput(report):
+    trace = _long_trace(_LONG_TRACE_TICKS)
+    text = trace_to_vcd(trace, clock="clk")
+    start = time.perf_counter()
+    count = sum(
+        1 for _ in VcdReader.from_text(text).valuations(clock="clk")
+    )
+    elapsed = time.perf_counter() - start
+    assert count == trace.length
+    rate = count / elapsed
+    report(f"VCD ingestion: {count} ticks in {elapsed * 1e3:.1f} ms "
+           f"({rate / 1e3:.0f}k ticks/s)")
+    _record({"vcd_ingest_ticks_per_s": round(rate)})
+
+
+def test_streaming_matches_batch_on_long_trace(report):
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    trace = _long_trace(_LONG_TRACE_TICKS)
+
+    start = time.perf_counter()
+    batch = run_compiled(compiled, trace)
+    batch_s = time.perf_counter() - start
+
+    checker = StreamingChecker(compiled)
+    start = time.perf_counter()
+    stream = checker.feed(trace)
+    stream_s = time.perf_counter() - start
+
+    assert stream.detections == batch.detections
+    assert len(checker._engines[0]._states) == 1  # O(1) memory per tick
+    report(f"long trace ({trace.length} ticks): batch {batch_s * 1e3:.1f} ms, "
+           f"streaming {stream_s * 1e3:.1f} ms, "
+           f"{stream.n_detections} detections")
+    _record({
+        "stream_ticks_per_s": round(trace.length / stream_s),
+        "batch_ticks_per_s": round(trace.length / batch_s),
+    })
+
+
+def test_sharded_vs_lockstep_batch(report):
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    base = _long_trace(_BATCH_TICKS)
+    traces = [base for _ in range(_BATCH_TRACES)]
+
+    start = time.perf_counter()
+    lockstep = run_many(compiled, traces)
+    single_s = time.perf_counter() - start
+
+    timings = {}
+    for jobs in (2, 4):
+        start = time.perf_counter()
+        sharded = run_sharded(compiled, traces, jobs=jobs)
+        timings[jobs] = time.perf_counter() - start
+        assert [r.detections for r in sharded] == [
+            r.detections for r in lockstep
+        ]
+
+    total_ticks = sum(len(t) for t in traces)
+    report(f"batch of {len(traces)} traces ({total_ticks} ticks): "
+           f"single {single_s * 1e3:.1f} ms, "
+           + ", ".join(f"jobs={j} {s * 1e3:.1f} ms"
+                       for j, s in timings.items()))
+    _record({
+        "shard_single_s": round(single_s, 4),
+        **{f"shard_jobs{j}_s": round(s, 4) for j, s in timings.items()},
+        "shard_speedup_jobs4": round(single_s / timings[4], 2),
+    })

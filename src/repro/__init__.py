@@ -71,6 +71,15 @@ from repro.synthesis.tr import (
     tr,
     tr_compiled,
 )
+from repro.trace import (
+    SignalBinding,
+    StreamReport,
+    StreamingChecker,
+    VcdReader,
+    run_bank_sharded,
+    run_sharded,
+    trace_to_vcd,
+)
 
 __version__ = "1.0.0"
 
@@ -108,20 +117,26 @@ __all__ = [
     "Scoreboard",
     "ScoreboardCheck",
     "Seq",
+    "SignalBinding",
+    "StreamReport",
+    "StreamingChecker",
     "SubsetMonitor",
     "Tick",
     "Trace",
     "TraceGenerator",
     "Transition",
     "Valuation",
+    "VcdReader",
     "Verdict",
     "compile_monitor",
     "ev",
     "parse_cesc",
     "parse_expr",
+    "run_bank_sharded",
     "run_compiled",
     "run_many",
     "run_monitor",
+    "run_sharded",
     "scesc",
     "symbolic_monitor",
     "synthesize_chart",
@@ -130,6 +145,7 @@ __all__ = [
     "synthesize_network",
     "tr",
     "tr_compiled",
+    "trace_to_vcd",
     "validate_chart",
     "validate_scesc",
 ]

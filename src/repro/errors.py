@@ -45,6 +45,10 @@ class SimulationError(ReproError):
     """Error inside the clocked simulation kernel."""
 
 
+class TraceError(ReproError):
+    """Malformed waveform dump or bad trace-pipeline configuration."""
+
+
 class HdlError(ReproError):
     """Error in the Verilog-subset front end or simulator."""
 

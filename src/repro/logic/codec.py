@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, Tuple
 
 from repro.errors import ExprError
 from repro.logic.valuation import Valuation
+from repro.slots import SlotPickle
 
 __all__ = ["AlphabetCodec"]
 
@@ -29,7 +30,7 @@ __all__ = ["AlphabetCodec"]
 MAX_CODEC_SYMBOLS = 20
 
 
-class AlphabetCodec:
+class AlphabetCodec(SlotPickle):
     """A fixed, sorted symbol ordering with bitmask conversion.
 
     ``symbols[i]`` owns bit ``1 << i`` (LSB = first symbol in sorted

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import ExprError
+from repro.slots import SlotPickle
 
 __all__ = [
     "Expr",
@@ -49,7 +50,7 @@ __all__ = [
 ]
 
 
-class Expr:
+class Expr(SlotPickle):
     """Base class for Boolean expressions.
 
     Subclasses are immutable and hashable.  The public operations are:

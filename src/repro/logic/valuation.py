@@ -19,11 +19,12 @@ from itertools import combinations
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ExprError
+from repro.slots import SlotPickle
 
 __all__ = ["Valuation", "enumerate_valuations"]
 
 
-class Valuation:
+class Valuation(SlotPickle):
     """An assignment of truth values to a finite set of symbols.
 
     ``true`` is the set of symbols assigned ``True``; every other

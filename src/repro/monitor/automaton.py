@@ -21,6 +21,7 @@ from repro.errors import MonitorError
 from repro.logic.expr import Expr, Or, Not, TRUE
 from repro.logic.sat import is_satisfiable, jointly_satisfiable
 from repro.monitor.scoreboard import Scoreboard
+from repro.slots import SlotPickle
 
 __all__ = [
     "Action",
@@ -33,8 +34,10 @@ __all__ = [
 ]
 
 
-class Action:
+class Action(SlotPickle):
     """Base class for scoreboard actions attached to transitions."""
+
+    __slots__ = ()
 
     def apply(self, scoreboard: Scoreboard) -> None:
         raise NotImplementedError
@@ -117,7 +120,7 @@ class NullAction(Action):
 NULL_ACTION = NullAction()
 
 
-class Transition:
+class Transition(SlotPickle):
     """One labelled edge ``source --guard/actions--> target``."""
 
     __slots__ = ("source", "guard", "actions", "target")

@@ -29,7 +29,13 @@ from repro.logic.valuation import Valuation
 from repro.monitor.engine import MonitorEngine
 from repro.semantics.run import Trace
 
-__all__ = ["Verdict", "Obligation", "CheckReport", "AssertionChecker"]
+__all__ = [
+    "Verdict",
+    "Obligation",
+    "CheckReport",
+    "AssertionChecker",
+    "advance_obligation",
+]
 
 
 class Verdict(enum.Enum):
@@ -64,6 +70,37 @@ class Obligation:
             f"Obligation(start={self.start_tick}, verdict={self.verdict.value}, "
             f"alternatives={len(self.alternatives)})"
         )
+
+
+def advance_obligation(obligation: Obligation, consequents, valuation: Valuation,
+                       tick_index: int) -> None:
+    """Advance one live obligation by one tick (in place).
+
+    Shared by the batch :class:`AssertionChecker` and the streaming
+    pipeline's online checker so the obligation semantics cannot drift
+    between the two.  ``consequents`` is the flattened consequent
+    pattern list; the obligation's verdict moves to ``PASS`` when some
+    alternative completes, ``FAIL`` when every alternative died.
+    """
+    survivors: Set[Tuple[int, int]] = set()
+    for pattern_index, position in obligation.alternatives:
+        pattern = consequents[pattern_index]
+        expr = pattern.exprs[position]
+        if expr.evaluate(valuation):
+            if position + 1 == pattern.length:
+                obligation.verdict = Verdict.PASS
+                obligation.decided_tick = tick_index
+                return
+            survivors.add((pattern_index, position + 1))
+        else:
+            obligation.failed_expectations.append(
+                f"tick {tick_index}: expected {expr!r} "
+                f"(alternative {pattern.name!r} position {position})"
+            )
+    obligation.alternatives = survivors
+    if not survivors:
+        obligation.verdict = Verdict.FAIL
+        obligation.decided_tick = tick_index
 
 
 class CheckReport:
@@ -172,22 +209,4 @@ class AssertionChecker:
 
     def _advance(self, obligation: Obligation, valuation: Valuation,
                  tick_index: int) -> None:
-        survivors: Set[Tuple[int, int]] = set()
-        for pattern_index, position in obligation.alternatives:
-            pattern = self._consequents[pattern_index]
-            expr = pattern.exprs[position]
-            if expr.evaluate(valuation):
-                if position + 1 == pattern.length:
-                    obligation.verdict = Verdict.PASS
-                    obligation.decided_tick = tick_index
-                    return
-                survivors.add((pattern_index, position + 1))
-            else:
-                obligation.failed_expectations.append(
-                    f"tick {tick_index}: expected {expr!r} "
-                    f"(alternative {pattern.name!r} position {position})"
-                )
-        obligation.alternatives = survivors
-        if not survivors:
-            obligation.verdict = Verdict.FAIL
-            obligation.decided_tick = tick_index
+        advance_obligation(obligation, self._consequents, valuation, tick_index)

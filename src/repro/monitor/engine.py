@@ -64,14 +64,21 @@ class EngineBase:
     guard trees, the compiled engine by table dispatch — and may
     override ``step`` with a fused fast path.  ``automaton`` is any
     object exposing ``name``/``initial``/``final``.
+
+    ``record_history=False`` turns off the per-tick state history and
+    transition log, giving O(1) memory per tick regardless of trace
+    length — the streaming pipeline runs engines this way and drains
+    detections incrementally with :meth:`drain_detections`.
     """
 
-    def __init__(self, automaton, scoreboard: Optional[Scoreboard] = None):
+    def __init__(self, automaton, scoreboard: Optional[Scoreboard] = None,
+                 record_history: bool = True):
         self._automaton = automaton
         self._owns_scoreboard = scoreboard is None
         self._scoreboard = scoreboard if scoreboard is not None else Scoreboard()
         self._state = automaton.initial
         self._tick = 0
+        self._record_history = record_history
         self._states: List[int] = [automaton.initial]
         self._detections: List[int] = []
         self._transition_log: List[Transition] = []
@@ -115,9 +122,10 @@ class EngineBase:
         if apply_actions:
             for action in transition.actions:
                 action.apply(self._scoreboard)
-        self._transition_log.append(transition)
         self._state = transition.target
-        self._states.append(self._state)
+        if self._record_history:
+            self._transition_log.append(transition)
+            self._states.append(self._state)
         if self._state == self._automaton.final:
             self._detections.append(self._tick)
         self._tick += 1
@@ -132,7 +140,31 @@ class EngineBase:
             self.step(valuation)
         return self
 
+    def drain_detections(self) -> List[int]:
+        """Detections recorded since the last drain (then forgotten).
+
+        Streaming consumers call this once per tick (or batch of ticks)
+        so that a monitor observing billions of ticks never accumulates
+        an unbounded detection list inside the engine.
+        """
+        drained = self._detections
+        self._detections = []
+        return drained
+
     def result(self) -> MonitorResult:
+        """The run's outcome (requires ``record_history=True``).
+
+        A history-free engine cannot produce a faithful result — its
+        state sequence was never recorded and detections may have been
+        drained — so asking for one is an error, not silently wrong
+        data.  Streaming consumers read ``drain_detections`` instead.
+        """
+        if not self._record_history:
+            raise MonitorError(
+                f"monitor {self._automaton.name!r}: result() needs "
+                f"record_history=True; streaming engines report through "
+                f"drain_detections()"
+            )
         return MonitorResult(
             self._automaton.name, list(self._states),
             list(self._detections), self._tick,
@@ -158,8 +190,9 @@ class MonitorEngine(EngineBase):
     """Incremental monitor execution with an (optionally shared) scoreboard."""
 
     def __init__(self, monitor: Monitor,
-                 scoreboard: Optional[Scoreboard] = None):
-        super().__init__(monitor, scoreboard)
+                 scoreboard: Optional[Scoreboard] = None,
+                 record_history: bool = True):
+        super().__init__(monitor, scoreboard, record_history=record_history)
         self._monitor = monitor
 
     @property

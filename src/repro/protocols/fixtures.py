@@ -1,0 +1,121 @@
+"""Protocol waveform fixtures: AMBA/OCP scenario traces as VCD dumps.
+
+The trace pipeline needs realistic external waveforms to chew on;
+these builders render seeded protocol scenario traces (satisfying
+windows embedded in bus noise, optionally fault-mutated) through
+:func:`~repro.trace.bridge.trace_to_vcd`.  Every dump carries a ``clk``
+wire with one rising edge per chart tick, so
+``VcdReader.valuations(clock="clk")`` recovers exactly the trace the
+monitor should read — the same discipline a simulator dump of the real
+bus would follow.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.protocols.amba.charts import ahb_transaction_chart
+from repro.protocols.faults import FaultCampaign
+from repro.protocols.ocp.charts import ocp_burst_read_chart, ocp_simple_read_chart
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import Trace
+from repro.trace.bridge import trace_to_vcd
+
+__all__ = [
+    "FIXTURE_CLOCK",
+    "amba_scenario_trace",
+    "amba_vcd",
+    "ocp_simple_scenario_trace",
+    "ocp_simple_vcd",
+    "ocp_burst_scenario_trace",
+    "ocp_burst_vcd",
+    "write_vcd_fixture",
+]
+
+#: Clock wire name used by every generated fixture dump.
+FIXTURE_CLOCK = "clk"
+
+
+def _scenario_trace(chart, seed: int, prefix: int, suffix: int,
+                    repeats: int) -> Trace:
+    """``repeats`` scenario windows, each padded with bus noise."""
+    generator = TraceGenerator(chart, seed=seed)
+    trace = generator.satisfying_trace(prefix=prefix, suffix=suffix)
+    for _ in range(repeats - 1):
+        trace = trace.concat(
+            generator.satisfying_trace(prefix=prefix, suffix=suffix)
+        )
+    return trace
+
+
+def amba_scenario_trace(seed: int = 0, prefix: int = 2, suffix: int = 2,
+                        repeats: int = 1) -> Trace:
+    """A seeded AHB transaction trace realising Figure 8's scenario."""
+    return _scenario_trace(
+        ahb_transaction_chart(), seed, prefix, suffix, repeats
+    )
+
+
+def ocp_simple_scenario_trace(seed: int = 0, prefix: int = 2, suffix: int = 2,
+                              repeats: int = 1) -> Trace:
+    """A seeded OCP simple-read trace realising Figure 6's scenario."""
+    return _scenario_trace(
+        ocp_simple_read_chart(), seed, prefix, suffix, repeats
+    )
+
+
+def ocp_burst_scenario_trace(seed: int = 0, prefix: int = 1, suffix: int = 1,
+                             repeats: int = 1) -> Trace:
+    """A seeded OCP burst-read trace realising Figure 7's scenario."""
+    return _scenario_trace(
+        ocp_burst_read_chart(), seed, prefix, suffix, repeats
+    )
+
+
+def amba_vcd(seed: int = 0, repeats: int = 1, faulty: bool = False) -> str:
+    """VCD text of an AHB transaction trace (``clk``-sampled).
+
+    ``faulty`` applies one seeded random fault mutation, producing a
+    dump whose scenario should *not* be detected cleanly.
+    """
+    trace = amba_scenario_trace(seed=seed, repeats=repeats)
+    if faulty:
+        trace = _mutate(trace, seed)
+    return trace_to_vcd(trace, clock=FIXTURE_CLOCK)
+
+
+def ocp_simple_vcd(seed: int = 0, repeats: int = 1,
+                   faulty: bool = False) -> str:
+    """VCD text of an OCP simple-read trace (``clk``-sampled)."""
+    trace = ocp_simple_scenario_trace(seed=seed, repeats=repeats)
+    if faulty:
+        trace = _mutate(trace, seed)
+    return trace_to_vcd(trace, clock=FIXTURE_CLOCK)
+
+
+def ocp_burst_vcd(seed: int = 0, repeats: int = 1,
+                  faulty: bool = False) -> str:
+    """VCD text of an OCP burst-read trace (``clk``-sampled)."""
+    trace = ocp_burst_scenario_trace(seed=seed, repeats=repeats)
+    if faulty:
+        trace = _mutate(trace, seed)
+    return trace_to_vcd(trace, clock=FIXTURE_CLOCK)
+
+
+def _mutate(trace: Trace, seed: int) -> Trace:
+    campaign = FaultCampaign(trace, sorted(trace.alphabet), seed=seed)
+    return campaign.mutations(1)[0]
+
+
+def write_vcd_fixture(path: Union[str, "os.PathLike[str]"],
+                      text: Optional[str] = None, **kwargs) -> str:
+    """Write a fixture dump to ``path`` (default: :func:`amba_vcd`).
+
+    Returns the text written, so tests can parse what they stored.
+    """
+    if text is None:
+        text = amba_vcd(**kwargs)
+    with open(os.fspath(path), "w") as stream:
+        stream.write(text)
+    return text

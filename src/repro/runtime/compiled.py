@@ -35,8 +35,10 @@ from repro.monitor.automaton import Monitor, Transition
 from repro.monitor.engine import EngineBase, MonitorResult
 from repro.monitor.scoreboard import Scoreboard
 from repro.semantics.run import Trace
+from repro.slots import SlotPickle
 
 __all__ = [
+    "CompiledCheck",
     "CompiledMonitor",
     "CompiledEngine",
     "as_compiled",
@@ -53,7 +55,35 @@ __all__ = [
 Cell = Union[Transition, Tuple[Tuple[Optional[Callable], Transition], ...], None]
 
 
-class CompiledMonitor:
+class CompiledCheck:
+    """A compiled scoreboard-check closure that survives pickling.
+
+    ``Expr.compile`` returns a plain closure, which cannot cross
+    process boundaries; the sharded trace pipeline ships whole compiled
+    monitors to worker processes.  This wrapper keeps the source
+    expression and codec alongside the closure and recompiles on
+    unpickle, so a check ladder pickles as data while calls stay a
+    single indirection.
+    """
+
+    __slots__ = ("expr", "codec", "_fn")
+
+    def __init__(self, expr: Expr, codec: AlphabetCodec):
+        self.expr = expr
+        self.codec = codec
+        self._fn = expr.compile(codec)
+
+    def __call__(self, mask: int, scoreboard) -> bool:
+        return self._fn(mask, scoreboard)
+
+    def __reduce__(self):
+        return (CompiledCheck, (self.expr, self.codec))
+
+    def __repr__(self):
+        return f"CompiledCheck({self.expr!r})"
+
+
+class CompiledMonitor(SlotPickle):
     """A monitor lowered to dense ``(state, mask) -> cell`` dispatch tables.
 
     Same 5-tuple metadata as :class:`~repro.monitor.automaton.Monitor`
@@ -114,6 +144,22 @@ class CompiledMonitor:
 
     def __setattr__(self, name, value):
         raise AttributeError("CompiledMonitor is immutable")
+
+    def without_source(self) -> "CompiledMonitor":
+        """A copy that shares the table but drops the interpreted source.
+
+        The source automaton exists for in-process coverage matching;
+        the sharded runner strips it before shipping monitors to
+        worker processes, roughly halving the pickle payload.  Plain
+        pickling (e.g. an on-disk compilation cache) keeps the source.
+        """
+        if self.source is None:
+            return self
+        clone = CompiledMonitor.__new__(CompiledMonitor)
+        state = self.__getstate__()
+        state["source"] = None
+        clone.__setstate__(state)
+        return clone
 
     # -- structure -------------------------------------------------------
     @property
@@ -339,7 +385,7 @@ def compile_monitor(monitor: Monitor) -> CompiledMonitor:
                     else:
                         check = closure_cache.get(residue)
                         if check is None:
-                            check = residue.compile(codec)
+                            check = CompiledCheck(residue, codec)
                             closure_cache[residue] = check
                     compiled_rungs.append((check, transition))
                 row.append(tuple(compiled_rungs))
@@ -379,9 +425,10 @@ class CompiledEngine(EngineBase):
     """
 
     def __init__(self, monitor: Union[Monitor, CompiledMonitor],
-                 scoreboard: Optional[Scoreboard] = None):
+                 scoreboard: Optional[Scoreboard] = None,
+                 record_history: bool = True):
         compiled = as_compiled(monitor)
-        super().__init__(compiled, scoreboard)
+        super().__init__(compiled, scoreboard, record_history=record_history)
         self._compiled = compiled
         self._table = compiled._table
         self._encode = compiled.codec.encode

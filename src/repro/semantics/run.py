@@ -17,11 +17,12 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 from repro.cesc.ast import Clock
 from repro.errors import ChartError
 from repro.logic.valuation import Valuation
+from repro.slots import SlotPickle
 
 __all__ = ["Trace", "GlobalTick", "GlobalRun"]
 
 
-class Trace:
+class Trace(SlotPickle):
     """A finite single-clock run prefix: one valuation per clock tick."""
 
     __slots__ = ("valuations", "alphabet")
@@ -98,7 +99,7 @@ class Trace:
         return f"Trace[{inner}]"
 
 
-class GlobalTick:
+class GlobalTick(SlotPickle):
     """One instant of the global clock.
 
     ``time`` is the absolute instant; ``clocks`` the names of component
@@ -126,7 +127,7 @@ class GlobalTick:
         return f"GlobalTick(t={self.time}, {parts})"
 
 
-class GlobalRun:
+class GlobalRun(SlotPickle):
     """A finite multi-clock run: global ticks ordered by absolute time."""
 
     __slots__ = ("ticks",)

@@ -9,6 +9,7 @@ and an optional VCD dump together.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -123,8 +124,22 @@ class Testbench:
         return shared, engines
 
     def enable_vcd(self, signals: Sequence[Signal],
-                   timescale_denominator: int = 1) -> VcdWriter:
-        """Capture the given signals at every instant of every clock."""
+                   timescale_denominator: Optional[int] = None) -> VcdWriter:
+        """Capture the given signals at every instant of every clock.
+
+        ``timescale_denominator`` defaults to the LCM of the clock
+        period/phase denominators, so fractional-period clocks land on
+        integer VCD timestamps (the writer rejects anything else).
+        """
+        if timescale_denominator is None:
+            timescale_denominator = 1
+            for clock in self.sim.clocks():
+                for value in (clock.period, clock.phase):
+                    denominator = Fraction(value).denominator
+                    timescale_denominator = (
+                        timescale_denominator * denominator
+                        // math.gcd(timescale_denominator, denominator)
+                    )
         writer = VcdWriter(time_scale_factor=timescale_denominator)
         for signal in signals:
             writer.register(signal)

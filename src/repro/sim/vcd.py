@@ -43,6 +43,7 @@ class VcdWriter:
         self._scopes: Dict[str, List[Signal]] = {}
         self._changes: List[Tuple[int, str, Union[bool, int], int]] = []
         self._last: Dict[str, Union[bool, int]] = {}
+        self._last_time: Optional[int] = None
 
     def register(self, signal: Signal, scope: str = "top") -> None:
         if signal.name in self._ids:
@@ -52,8 +53,28 @@ class VcdWriter:
         self._scopes.setdefault(scope, []).append(signal)
 
     def sample(self, time: Fraction) -> None:
-        """Record the current values of all registered signals."""
-        scaled = int(time * self._scale)
+        """Record the current values of all registered signals.
+
+        ``time * time_scale_factor`` must land on an integer timestamp —
+        VCD has no fractional times, and silently truncating would fold
+        distinct sample instants together.  Pick a
+        ``time_scale_factor`` that clears the denominators (the LCM of
+        the clock period denominators works well).
+        """
+        exact = Fraction(time) * self._scale
+        if exact.denominator != 1:
+            raise SimulationError(
+                f"sample time {time} * scale {self._scale} = {exact} is "
+                f"not an integer VCD timestamp; raise time_scale_factor "
+                f"to clear the denominator"
+            )
+        scaled = int(exact)
+        if self._last_time is not None and scaled < self._last_time:
+            raise SimulationError(
+                f"sample time {scaled} precedes previous sample "
+                f"{self._last_time}; VCD timestamps must not decrease"
+            )
+        self._last_time = scaled
         for signal in self._signals:
             value = signal.value
             if self._last.get(signal.name, _SENTINEL) != value:
@@ -62,8 +83,23 @@ class VcdWriter:
                 )
                 self._last[signal.name] = value
 
+    @staticmethod
+    def _format_change(identifier: str, value: Union[bool, int],
+                       width: int) -> str:
+        if width == 1:
+            return f"{1 if value else 0}{identifier}"
+        return f"b{int(value):b} {identifier}"
+
     def dump(self) -> str:
-        """Render the accumulated VCD text."""
+        """Render the accumulated VCD text.
+
+        The first sampled instant is emitted as a ``$dumpvars`` initial-
+        value section (registered-but-never-sampled signals dump as
+        ``x``), so viewers and :class:`~repro.trace.VcdReader` see every
+        signal's value before the first change.  A trailing timestamp
+        marker records the final sample instant even when nothing
+        changed there, preserving the trace length.
+        """
         lines: List[str] = []
         lines.append(f"$timescale {self._timescale} $end")
         for scope, signals in self._scopes.items():
@@ -76,15 +112,38 @@ class VcdWriter:
                 )
             lines.append("$upscope $end")
         lines.append("$enddefinitions $end")
-        current_time: Optional[int] = None
-        for time, identifier, value, width in self._changes:
+        changes = self._changes
+        if changes:
+            first_time = changes[0][0]
+        elif self._last_time is not None:
+            first_time = self._last_time
+        else:
+            first_time = 0
+        lines.append(f"#{first_time}")
+        lines.append("$dumpvars")
+        index = 0
+        dumped = set()
+        while index < len(changes) and changes[index][0] == first_time:
+            _, identifier, value, width = changes[index]
+            lines.append(self._format_change(identifier, value, width))
+            dumped.add(identifier)
+            index += 1
+        for signal in self._signals:
+            identifier = self._ids[signal.name]
+            if identifier not in dumped:
+                lines.append(
+                    f"x{identifier}" if signal.width == 1
+                    else f"bx {identifier}"
+                )
+        lines.append("$end")
+        current_time = first_time
+        for time, identifier, value, width in changes[index:]:
             if time != current_time:
                 lines.append(f"#{time}")
                 current_time = time
-            if width == 1:
-                lines.append(f"{1 if value else 0}{identifier}")
-            else:
-                lines.append(f"b{int(value):b} {identifier}")
+            lines.append(self._format_change(identifier, value, width))
+        if self._last_time is not None and self._last_time > current_time:
+            lines.append(f"#{self._last_time}")
         return "\n".join(lines) + "\n"
 
     def write(self, stream: TextIO) -> None:

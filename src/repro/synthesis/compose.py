@@ -139,8 +139,9 @@ class MonitorBank:
                 eng.step(valuation)
         return BankResult([eng.result() for eng in engines])
 
-    def run_batch(self, traces: Sequence[Trace]) -> List[BankResult]:
-        """Scan many traces with the compiled backend in lock-step.
+    def run_batch(self, traces: Sequence[Trace],
+                  jobs: Optional[int] = None) -> List[BankResult]:
+        """Scan many traces with the compiled backend.
 
         Every member monitor is compiled once (memoized) and fed all
         ``traces`` through :func:`~repro.runtime.compiled.run_many`;
@@ -148,7 +149,15 @@ class MonitorBank:
         what ``run(trace)`` would produce.  This is the bulk entry
         point for serving many concurrent scenarios against one
         specification.
+
+        ``jobs`` > 1 shards the workload across that many worker
+        processes via :func:`~repro.trace.shard.run_bank_sharded`
+        (``jobs=0`` means one per core); the default stays in-process.
         """
+        if jobs is not None and jobs != 1:
+            from repro.trace.shard import run_bank_sharded
+
+            return run_bank_sharded(self, traces, jobs=jobs)
         from repro.runtime.compiled import run_many
 
         per_member = [

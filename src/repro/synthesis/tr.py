@@ -218,7 +218,7 @@ def synthesize_compiled(
     (implicit) valuation index.
     """
     from repro.logic.codec import AlphabetCodec
-    from repro.runtime.compiled import CompiledMonitor
+    from repro.runtime.compiled import CompiledCheck, CompiledMonitor
 
     if len(pattern.alphabet) > _MAX_ALPHABET:
         raise SynthesisError(
@@ -259,7 +259,7 @@ def synthesize_compiled(
                 if rung.checks:
                     closure = closures.get(rung.checks)
                     if closure is None:
-                        closure = condition.compile(codec)
+                        closure = CompiledCheck(condition, codec)
                         closures[rung.checks] = closure
                     rungs.append((closure, transition))
                     failed_above.append(Not(condition))

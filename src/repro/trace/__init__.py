@@ -1,0 +1,35 @@
+"""Streaming trace pipeline: external waveforms in, verdicts out.
+
+The synthesis layer turns visual specs into monitors; this package
+turns *real simulation dumps* into the valuation streams those
+monitors consume, and scales checking beyond a single process:
+
+* :mod:`repro.trace.vcd_reader` — :class:`VcdReader`, a chunked,
+  incremental VCD parser (the counterpart of
+  :class:`~repro.sim.vcd.VcdWriter`) with a configurable
+  signal-to-symbol :class:`SignalBinding`;
+* :mod:`repro.trace.bridge` — :func:`trace_to_vcd`, rendering recorded
+  traces as VCD dumps (fixtures, golden files, viewer hand-off);
+* :mod:`repro.trace.streaming` — :class:`StreamingChecker`, online
+  checking with bounded memory and early exit;
+* :mod:`repro.trace.shard` — :func:`run_sharded` /
+  :func:`run_bank_sharded`, multiprocessing fan-out of compiled-table
+  checking across worker processes.
+"""
+
+from repro.trace.bridge import trace_to_vcd
+from repro.trace.shard import run_bank_sharded, run_sharded, run_sharded_vcd
+from repro.trace.streaming import StreamingChecker, StreamReport
+from repro.trace.vcd_reader import SignalBinding, VcdReader, VcdSignal
+
+__all__ = [
+    "SignalBinding",
+    "StreamReport",
+    "StreamingChecker",
+    "VcdReader",
+    "VcdSignal",
+    "run_bank_sharded",
+    "run_sharded",
+    "run_sharded_vcd",
+    "trace_to_vcd",
+]

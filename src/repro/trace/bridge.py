@@ -1,0 +1,71 @@
+"""Trace -> VCD rendering: recorded runs as standard waveform dumps.
+
+The inverse direction of :class:`~repro.trace.vcd_reader.VcdReader`:
+any :class:`~repro.semantics.run.Trace` renders as a VCD document, one
+1-bit wire per alphabet symbol.  Used to build protocol fixtures, to
+hand monitor counterexamples to a waveform viewer, and by the
+writer/reader round-trip property tests.
+
+Two layouts:
+
+* without a clock, tick ``i`` lands at time ``i`` — read back with
+  ``VcdReader.valuations(period=1)``;
+* with ``clock="clk"``, a toggling clock wire is added and tick ``i``
+  lands at time ``2*i`` (clock high) / ``2*i + 1`` (clock low) — read
+  back with ``VcdReader.valuations(clock="clk")``, the discipline real
+  synchronous dumps use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import TraceError
+from repro.semantics.run import Trace
+from repro.sim.signal import Signal
+from repro.sim.vcd import VcdWriter
+
+__all__ = ["trace_to_vcd"]
+
+
+def trace_to_vcd(
+    trace: Trace,
+    clock: Optional[str] = None,
+    timescale: str = "1ns",
+    scope: str = "top",
+    alphabet: Optional[Iterable[str]] = None,
+) -> str:
+    """Render ``trace`` as VCD text (one 1-bit wire per symbol).
+
+    ``alphabet`` overrides the emitted signal set (defaults to the
+    trace's own alphabet, sorted).  ``clock`` adds a toggling clock
+    wire of that name with one rising edge per tick.
+    """
+    symbols = sorted(alphabet if alphabet is not None else trace.alphabet)
+    if clock is not None and clock in symbols:
+        raise TraceError(
+            f"clock name {clock!r} collides with a trace symbol"
+        )
+    writer = VcdWriter(timescale=timescale, time_scale_factor=1)
+    signals = {symbol: Signal(symbol) for symbol in symbols}
+    clock_signal = Signal(clock) if clock is not None else None
+    if clock_signal is not None:
+        writer.register(clock_signal, scope=scope)
+    for symbol in symbols:
+        writer.register(signals[symbol], scope=scope)
+
+    def commit(signal: Signal, value: bool) -> None:
+        signal.set(value)
+        signal.commit()
+
+    for tick, valuation in enumerate(trace):
+        for symbol in symbols:
+            commit(signals[symbol], valuation.is_true(symbol))
+        if clock_signal is None:
+            writer.sample(tick)
+        else:
+            commit(clock_signal, True)
+            writer.sample(2 * tick)
+            commit(clock_signal, False)
+            writer.sample(2 * tick + 1)
+    return writer.dump()

@@ -1,0 +1,254 @@
+"""Sharded parallel checking: compiled tables fanned out across cores.
+
+:func:`~repro.runtime.compiled.run_many` steps many traces in
+lock-step inside one process; for large workloads the scaling lever is
+processes, not ticks-per-loop.  :func:`run_sharded` partitions the
+trace list into contiguous, tick-balanced chunks and runs each chunk
+through ``run_many`` in a worker process; :func:`run_bank_sharded`
+does the same for every member of a
+:class:`~repro.synthesis.compose.MonitorBank` (member x chunk work
+units, so even a single huge trace list parallelises across members).
+
+Compiled monitors are shipped to workers exactly once, through the
+pool initializer — this is why :class:`~repro.runtime.compiled.CompiledMonitor`
+(and everything it references, down to guard expressions) pickles
+cleanly.  Results come back as ordinary
+:class:`~repro.monitor.engine.MonitorResult` lists in input order,
+indistinguishable from a single-process run.
+
+Scoreboards: each trace gets a fresh scoreboard in its worker.
+Injected ``scoreboards`` are consumed as *initial* states; unlike
+``run_many``, mutations made by workers do not propagate back to the
+caller's objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import MonitorError
+from repro.monitor.automaton import Monitor
+from repro.monitor.engine import MonitorResult
+from repro.monitor.scoreboard import Scoreboard
+from repro.runtime.compiled import CompiledMonitor, as_compiled, run_many
+from repro.semantics.run import Trace
+
+__all__ = ["run_sharded", "run_bank_sharded", "run_sharded_vcd",
+           "resolve_jobs"]
+
+#: Workers hold the shipped compiled monitors here (set by the pool
+#: initializer, read by every task executed in that worker).
+_WORKER_MONITORS: List[CompiledMonitor] = []
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs``-style request to a worker count.
+
+    ``None`` or ``0`` means "one worker per core"; negative values are
+    rejected.
+    """
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise MonitorError(f"jobs must be >= 0 (got {jobs})")
+    return jobs
+
+
+def _init_worker(monitors: List[CompiledMonitor]) -> None:
+    _WORKER_MONITORS.clear()
+    _WORKER_MONITORS.extend(monitors)
+
+
+def _run_chunk(task) -> List[MonitorResult]:
+    member, traces, scoreboards = task
+    return run_many(_WORKER_MONITORS[member], traces, scoreboards)
+
+
+def _chunk_bounds(lengths: Sequence[int], n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` slices with near-equal total ticks.
+
+    Contiguity keeps results trivially reorderable; balancing by tick
+    count (not trace count) stops one chunk of long traces from
+    serialising the whole pool.
+    """
+    total = sum(lengths)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    consumed = 0
+    for chunk in range(n_chunks):
+        target = (total * (chunk + 1)) // n_chunks
+        end = start
+        # Take the next trace only while it still fits under the
+        # cumulative target (a chunk is never left empty).  Stopping
+        # *before* an overshooting long trace keeps it for the next
+        # chunk — greedily swallowing it would glue a tail-heavy
+        # workload into one chunk and serialise the pool.
+        while end < len(lengths) and (
+            end == start or consumed + lengths[end] <= target
+        ):
+            consumed += lengths[end]
+            end += 1
+        # Never strand the tail: the last chunk takes whatever is left.
+        if chunk == n_chunks - 1:
+            end = len(lengths)
+        if end > start:
+            bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def run_sharded(
+    monitor: Union[Monitor, CompiledMonitor],
+    traces: Sequence[Trace],
+    jobs: Optional[int] = None,
+    scoreboards: Optional[Sequence[Scoreboard]] = None,
+    mp_context: Optional[str] = None,
+) -> List[MonitorResult]:
+    """Run one monitor over many traces across worker processes.
+
+    Drop-in for :func:`~repro.runtime.compiled.run_many` (identical
+    results, in input order).  ``jobs=None`` uses every core; with one
+    worker (or at most one trace) no pool is spawned at all.
+    ``mp_context`` selects the multiprocessing start method
+    (``"fork"``/``"spawn"``; default: the platform's default).
+    """
+    compiled = as_compiled(monitor)
+    if scoreboards is not None and len(scoreboards) != len(traces):
+        raise MonitorError(
+            "run_sharded needs exactly one scoreboard per trace when provided"
+        )
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(traces) <= 1:
+        # Keep the documented isolation contract on the in-process
+        # fallback too: workers mutate pickled copies, so this path
+        # must not mutate the caller's scoreboards either.
+        if scoreboards is not None:
+            scoreboards = pickle.loads(pickle.dumps(list(scoreboards)))
+        return run_many(compiled, traces, scoreboards)
+    lengths = [len(trace) for trace in traces]
+    bounds = _chunk_bounds(lengths, min(jobs, len(traces)))
+    tasks = [
+        (0, list(traces[start:end]),
+         list(scoreboards[start:end]) if scoreboards is not None else None)
+        for start, end in bounds
+    ]
+    context = multiprocessing.get_context(mp_context)
+    with context.Pool(
+        processes=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        # Workers never read the interpreted source automaton; strip
+        # it so the one-time monitor shipment stays small.
+        initargs=([compiled.without_source()],),
+    ) as pool:
+        chunk_results = pool.map(_run_chunk, tasks)
+    results: List[MonitorResult] = []
+    for chunk in chunk_results:
+        results.extend(chunk)
+    return results
+
+
+def _stream_vcd_with(monitor, task):
+    """Parse one dump and stream it through ``monitor`` (in-process)."""
+    from repro.trace.streaming import StreamingChecker
+    from repro.trace.vcd_reader import VcdReader
+
+    path, clock, period, offset, until, binding = task
+    with VcdReader(path, binding=binding) as reader:
+        return StreamingChecker(monitor).feed(
+            reader.valuations(clock=clock, period=period, offset=offset,
+                              until=until)
+        )
+
+
+def _stream_vcd_task(task):
+    return _stream_vcd_with(_WORKER_MONITORS[0], task)
+
+
+def run_sharded_vcd(
+    monitor: Union[Monitor, CompiledMonitor],
+    paths: Sequence[str],
+    jobs: Optional[int] = None,
+    clock: Optional[str] = None,
+    period: Optional[int] = None,
+    offset: int = 0,
+    until: Optional[int] = None,
+    binding=None,
+    mp_context: Optional[str] = None,
+) -> list:
+    """Check many VCD dumps in parallel, parsing inside the workers.
+
+    Unlike materialising each dump and calling :func:`run_sharded`,
+    only the *paths* travel to the pool: each worker opens, parses and
+    streams its own dump through a
+    :class:`~repro.trace.streaming.StreamingChecker`, so both the
+    parsing cost and the memory stay per-worker-bounded no matter how
+    large the dumps are.  Returns one
+    :class:`~repro.trace.streaming.StreamReport` per path, in input
+    order.  ``clock``/``period``/``offset``/``until``/``binding`` are
+    the :meth:`~repro.trace.vcd_reader.VcdReader.valuations` sampling
+    parameters, applied to every dump.
+    """
+    compiled = as_compiled(monitor)
+    jobs = resolve_jobs(jobs)
+    tasks = [
+        (os.fspath(path), clock, period, offset, until, binding)
+        for path in paths
+    ]
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_stream_vcd_with(compiled, task) for task in tasks]
+    context = multiprocessing.get_context(mp_context)
+    with context.Pool(
+        processes=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=([compiled.without_source()],),
+    ) as pool:
+        return pool.map(_stream_vcd_task, tasks)
+
+
+def run_bank_sharded(
+    bank,
+    traces: Sequence[Trace],
+    jobs: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> list:
+    """Run every member of a monitor bank over many traces, sharded.
+
+    Returns one :class:`~repro.synthesis.compose.BankResult` per trace
+    (input order), identical to ``bank.run_batch(traces)``.  Work units
+    are (member, trace-chunk) pairs, so parallelism comes from both
+    axes — many traces, or few traces against a many-member bank.
+    """
+    from repro.synthesis.compose import BankResult
+
+    members = bank.compiled_members()
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or (len(traces) <= 1 and len(members) <= 1):
+        return bank.run_batch(traces)
+    if not traces:
+        return []
+    lengths = [len(trace) for trace in traces]
+    per_member_chunks = max(1, jobs // len(members))
+    bounds = _chunk_bounds(lengths, min(per_member_chunks, len(traces)))
+    tasks = []
+    for member_index in range(len(members)):
+        for start, end in bounds:
+            tasks.append((member_index, list(traces[start:end]), None))
+    context = multiprocessing.get_context(mp_context)
+    with context.Pool(
+        processes=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=([member.without_source() for member in members],),
+    ) as pool:
+        chunk_results = pool.map(_run_chunk, tasks)
+    # Tasks are member-major with chunks in trace order, and pool.map
+    # preserves order, so a single pass reassembles per-member lists.
+    per_member: List[List[MonitorResult]] = [[] for _ in members]
+    for (member_index, _, _), chunk in zip(tasks, chunk_results):
+        per_member[member_index].extend(chunk)
+    return [
+        BankResult([member[i] for member in per_member])
+        for i in range(len(traces))
+    ]

@@ -1,0 +1,269 @@
+"""Online checking: valuation streams in, verdicts out, memory bounded.
+
+Batch checking (:func:`~repro.monitor.engine.run_monitor`,
+:class:`~repro.monitor.checker.AssertionChecker`) materialises the
+whole trace and keeps full state histories.  A
+:class:`StreamingChecker` instead consumes any valuation iterable —
+typically :meth:`VcdReader.valuations <repro.trace.vcd_reader.VcdReader.valuations>`
+over a dump that never fits in memory — pushing each element into the
+monitor engines as it arrives:
+
+* engines run with ``record_history=False`` (no per-tick state or
+  transition log) and are drained of detections every tick;
+* recorded detections/violations are capped at ``max_recorded``
+  (counts stay exact beyond the cap);
+* checking can stop at the first violation (``stop_on_violation``,
+  implication specs) or first detection (``stop_on_detection``),
+  which aborts the ingest loop without reading the rest of the dump.
+
+Specs: a plain chart (or :class:`~repro.synthesis.compose.MonitorBank`,
+:class:`~repro.monitor.automaton.Monitor`,
+:class:`~repro.runtime.compiled.CompiledMonitor`) streams as a
+*detector*; an :class:`~repro.cesc.charts.Implication` chart streams
+as an *assertion* with live obligations, exactly mirroring
+:class:`~repro.monitor.checker.AssertionChecker` verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import MonitorError
+from repro.logic.valuation import Valuation
+from repro.monitor.automaton import Monitor
+from repro.monitor.checker import (
+    AssertionChecker,
+    Obligation,
+    Verdict,
+    advance_obligation,
+)
+from repro.monitor.engine import MonitorEngine
+
+__all__ = ["StreamReport", "StreamingChecker"]
+
+_ENGINE_BACKENDS = ("compiled", "interpreted")
+
+
+class StreamReport:
+    """Summary of an online checking run.
+
+    ``detections`` / ``violations`` hold at most the first
+    ``max_recorded`` entries (a violation is the obligation-opening
+    tick paired with the tick it failed at); ``n_detections`` /
+    ``n_violations`` are exact totals.
+    """
+
+    __slots__ = ("name", "ticks", "detections", "n_detections",
+                 "violations", "n_violations", "n_passes", "n_pending",
+                 "stopped_early")
+
+    def __init__(self, name: str, ticks: int, detections: List[int],
+                 n_detections: int,
+                 violations: List[Tuple[int, int]], n_violations: int,
+                 n_passes: int, n_pending: int, stopped_early: bool):
+        self.name = name
+        self.ticks = ticks
+        self.detections = detections
+        self.n_detections = n_detections
+        self.violations = violations
+        self.n_violations = n_violations
+        self.n_passes = n_passes
+        self.n_pending = n_pending
+        self.stopped_early = stopped_early
+
+    @property
+    def accepted(self) -> bool:
+        """Did the (antecedent) scenario occur at least once?"""
+        return self.n_detections > 0
+
+    @property
+    def ok(self) -> bool:
+        """No violation observed (pending obligations don't count)."""
+        return self.n_violations == 0
+
+    def __repr__(self):
+        return (
+            f"StreamReport({self.name!r}, ticks={self.ticks}, "
+            f"detections={self.n_detections}, "
+            f"violations={self.n_violations}, "
+            f"stopped_early={self.stopped_early})"
+        )
+
+
+class StreamingChecker:
+    """Feed valuations into monitors incrementally, with bounded memory."""
+
+    def __init__(
+        self,
+        spec,
+        engine: str = "compiled",
+        stop_on_violation: bool = True,
+        stop_on_detection: bool = False,
+        max_recorded: int = 10_000,
+        loop_limit: int = 3,
+    ):
+        if engine not in _ENGINE_BACKENDS:
+            raise MonitorError(f"unknown engine backend {engine!r}")
+        if max_recorded < 0:
+            raise MonitorError("max_recorded must be >= 0")
+        self._engine_backend = engine
+        self._stop_on_violation = stop_on_violation
+        self._stop_on_detection = stop_on_detection
+        self._max_recorded = max_recorded
+        self._tick = 0
+        self._stopped = False
+        self._detections: List[int] = []
+        self._n_detections = 0
+        self._violations: List[Tuple[int, int]] = []
+        self._n_violations = 0
+        self._n_passes = 0
+        self._consequents = None
+        self._live: List[Obligation] = []
+        self.name, monitors = self._resolve_spec(spec, loop_limit)
+        if self._consequents is not None and stop_on_detection:
+            # An implication opens an obligation at each (antecedent)
+            # detection; stopping there would never check anything.
+            raise MonitorError(
+                "stop_on_detection applies to detector specs; an "
+                "implication stops early via stop_on_violation"
+            )
+        self._engines = [self._make_engine(monitor) for monitor in monitors]
+
+    # -- construction ----------------------------------------------------
+    def _resolve_spec(self, spec, loop_limit: int):
+        from repro.cesc.charts import Chart, Implication, as_chart
+        from repro.runtime.compiled import CompiledMonitor
+        from repro.synthesis.compose import MonitorBank
+
+        if isinstance(spec, CompiledMonitor):
+            if self._engine_backend == "interpreted":
+                # Interpreted stepping needs guard trees; recover them
+                # from the lowering source when the monitor kept one.
+                if spec.source is None:
+                    raise MonitorError(
+                        f"compiled monitor {spec.name!r} has no interpreted "
+                        f"source; use engine='compiled' or pass the Monitor"
+                    )
+                return spec.name, [spec.source]
+            return spec.name, [spec]
+        if isinstance(spec, Monitor):
+            return spec.name, [spec]
+        if isinstance(spec, MonitorBank):
+            if self._engine_backend == "compiled":
+                return spec.name, list(spec.compiled_members())
+            return spec.name, list(spec.monitors)
+        chart = as_chart(spec) if not isinstance(spec, Chart) else spec
+        if isinstance(chart, Implication):
+            checker = AssertionChecker(
+                chart, loop_limit=loop_limit, engine=self._engine_backend
+            )
+            self._consequents = checker.consequent_patterns
+            bank = checker.antecedent_bank
+            if self._engine_backend == "compiled":
+                return chart.name, list(bank.compiled_members())
+            return chart.name, list(bank.monitors)
+        from repro.synthesis.compose import synthesize_chart
+
+        bank = synthesize_chart(chart, loop_limit=loop_limit)
+        if self._engine_backend == "compiled":
+            return bank.name, list(bank.compiled_members())
+        return bank.name, list(bank.monitors)
+
+    def _make_engine(self, monitor):
+        if self._engine_backend == "compiled":
+            from repro.runtime.compiled import CompiledEngine
+
+            return CompiledEngine(monitor, record_history=False)
+        return MonitorEngine(monitor, record_history=False)
+
+    # -- observers -------------------------------------------------------
+    @property
+    def ticks(self) -> int:
+        return self._tick
+
+    @property
+    def stopped(self) -> bool:
+        """Has an early-exit condition fired?  (push becomes a no-op)"""
+        return self._stopped
+
+    @property
+    def live_obligations(self) -> int:
+        return len(self._live)
+
+    # -- execution -------------------------------------------------------
+    def push(self, valuation: Valuation) -> bool:
+        """Consume one tick; returns False once checking has stopped."""
+        if self._stopped:
+            return False
+        tick = self._tick
+        # Advance live obligations first: an obligation opened at
+        # detection tick t starts matching at tick t+1.  Every live
+        # obligation is advanced — even when one of them fails and
+        # checking is about to stop — so that PASS/PENDING counts for
+        # this tick match what the batch checker would report.
+        if self._consequents is not None and self._live:
+            survivors: List[Obligation] = []
+            violated = False
+            for obligation in self._live:
+                advance_obligation(
+                    obligation, self._consequents, valuation, tick
+                )
+                if obligation.verdict is Verdict.PENDING:
+                    survivors.append(obligation)
+                elif obligation.verdict is Verdict.PASS:
+                    self._n_passes += 1
+                else:
+                    violated = True
+                    self._n_violations += 1
+                    if len(self._violations) < self._max_recorded:
+                        self._violations.append(
+                            (obligation.start_tick, tick)
+                        )
+            self._live = survivors
+            if violated and self._stop_on_violation:
+                self._stopped = True
+                self._tick += 1
+                return False
+
+        detected = False
+        for engine in self._engines:
+            engine.step(valuation)
+            if engine.drain_detections():
+                detected = True
+        if detected:
+            self._n_detections += 1
+            if len(self._detections) < self._max_recorded:
+                self._detections.append(tick)
+            if self._consequents is not None:
+                self._live.append(Obligation(tick, len(self._consequents)))
+            elif self._stop_on_detection:
+                self._stopped = True
+        self._tick += 1
+        return not self._stopped
+
+    def feed(self, valuations: Iterable[Valuation]) -> "StreamReport":
+        """Consume an entire stream (or until early exit); return report.
+
+        The input may be any iterable — a :class:`~repro.semantics.run.Trace`,
+        a generator over a live simulation, or
+        :meth:`VcdReader.valuations
+        <repro.trace.vcd_reader.VcdReader.valuations>` — and is read
+        strictly one element at a time.
+        """
+        for valuation in valuations:
+            if not self.push(valuation):
+                break
+        return self.report()
+
+    def report(self) -> StreamReport:
+        return StreamReport(
+            self.name,
+            ticks=self._tick,
+            detections=list(self._detections),
+            n_detections=self._n_detections,
+            violations=list(self._violations),
+            n_violations=self._n_violations,
+            n_passes=self._n_passes,
+            n_pending=len(self._live),
+            stopped_early=self._stopped,
+        )

@@ -1,0 +1,146 @@
+"""Edge-case coverage for the compiled runtime.
+
+Empty traces, degenerate single-state monitors, and scoreboard-
+dependent nondeterminism — asserted to behave identically across the
+interpreted engine, the compiled engine, the lock-step batch API and
+the streaming checker.
+"""
+
+import pytest
+
+from repro import (
+    CompiledEngine,
+    MonitorEngine,
+    StreamingChecker,
+    Trace,
+    run_compiled,
+    run_many,
+    run_monitor,
+)
+from repro.errors import MonitorError
+from repro.logic.expr import And, EventRef, Not, ScoreboardCheck, TRUE
+from repro.monitor.automaton import AddEvt, Monitor, Transition
+from repro.runtime.compiled import compile_monitor
+
+
+def _single_state_monitor():
+    return Monitor(
+        "one", n_states=1, initial=0, final=0,
+        transitions=[Transition(0, TRUE, (), 0)],
+        alphabet={"a"},
+    )
+
+
+def _nondeterministic_monitor():
+    """Deterministic statically; nondeterministic once ``x`` is scored.
+
+    Tick reading ``{}`` records ``x``; a later tick reading ``{a}``
+    then enables two ``Chk_evt(x)`` transitions that disagree on their
+    target — the dynamic nondeterminism the interpreted engine reports
+    at run time.
+    """
+    a = EventRef("a")
+    check = ScoreboardCheck("x")
+    return Monitor(
+        "dyn", n_states=3, initial=0, final=1,
+        transitions=[
+            Transition(0, Not(a), (AddEvt("x"),), 0),
+            Transition(0, And((a, check)), (), 1),
+            Transition(0, And((a, check)), (), 2),
+            Transition(0, And((a, Not(check))), (), 0),
+            Transition(1, TRUE, (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"a"},
+    )
+
+
+# ------------------------------------------------------------ empty trace ----
+def test_empty_trace_all_paths():
+    monitor = _single_state_monitor()
+    empty = Trace([], alphabet={"a"})
+    interpreted = run_monitor(monitor, empty)
+    compiled = run_compiled(compile_monitor(monitor), empty)
+    assert interpreted.ticks == compiled.ticks == 0
+    assert interpreted.detections == compiled.detections == []
+    assert interpreted.states == compiled.states == [0]
+    assert not interpreted.accepted and not compiled.accepted
+    report = StreamingChecker(compile_monitor(monitor)).feed(empty)
+    assert report.ticks == 0 and report.n_detections == 0
+
+
+def test_run_many_with_empty_and_mixed_length_traces():
+    monitor = compile_monitor(_single_state_monitor())
+    traces = [
+        Trace([], alphabet={"a"}),
+        Trace.from_sets([{"a"}], {"a"}),
+        Trace([], alphabet={"a"}),
+        Trace.from_sets([set(), {"a"}, set()], {"a"}),
+    ]
+    results = run_many(monitor, traces)
+    assert [r.ticks for r in results] == [0, 1, 0, 3]
+    assert [r.detections for r in results] == [[], [0], [], [0, 1, 2]]
+    assert run_many(monitor, []) == []
+
+
+# ---------------------------------------------------- single-state monitor ----
+def test_single_state_monitor_detects_every_tick_in_all_paths():
+    monitor = _single_state_monitor()
+    compiled = compile_monitor(monitor)
+    trace = Trace.from_sets([{"a"}, set(), {"a"}], {"a"})
+    expected = run_monitor(monitor, trace).detections
+    assert expected == [0, 1, 2]
+    assert run_compiled(compiled, trace).detections == expected
+    assert run_many(compiled, [trace])[0].detections == expected
+    assert StreamingChecker(compiled).feed(trace).detections == expected
+
+
+# ------------------------------------------- dynamic nondeterminism parity ----
+def _nondet_trace():
+    return Trace.from_sets([set(), {"a"}], {"a"})
+
+
+def test_dynamic_nondeterminism_raises_in_interpreted_engine():
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        MonitorEngine(_nondeterministic_monitor()).feed(_nondet_trace())
+
+
+def test_dynamic_nondeterminism_raises_in_compiled_engine():
+    compiled = compile_monitor(_nondeterministic_monitor())
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        CompiledEngine(compiled).feed(_nondet_trace())
+
+
+def test_dynamic_nondeterminism_raises_in_batch_mode():
+    compiled = compile_monitor(_nondeterministic_monitor())
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        run_many(compiled, [_nondet_trace()])
+
+
+@pytest.mark.parametrize("engine", ["compiled", "interpreted"])
+def test_dynamic_nondeterminism_raises_in_streaming_mode(engine):
+    monitor = _nondeterministic_monitor()
+    spec = compile_monitor(monitor) if engine == "compiled" else monitor
+    checker = StreamingChecker(spec, engine=engine)
+    with pytest.raises(MonitorError, match="nondeterministic"):
+        checker.feed(_nondet_trace())
+
+
+def test_benign_dynamic_overlap_does_not_raise():
+    """Two passing rungs agreeing on target+actions are fine everywhere."""
+    a = EventRef("a")
+    check = ScoreboardCheck("x")
+    monitor = Monitor(
+        "agree", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, Not(a), (AddEvt("x"),), 0),
+            Transition(0, And((a, check)), (), 1),
+            Transition(0, a, (), 1),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    trace = _nondet_trace()
+    expected = run_monitor(monitor, trace).detections
+    assert run_compiled(compile_monitor(monitor), trace).detections == expected
+    assert run_many(compile_monitor(monitor), [trace])[0].detections == expected

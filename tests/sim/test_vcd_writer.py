@@ -1,0 +1,127 @@
+"""Regression tests for the VCD writer fixes.
+
+Covers the two historic defects: silent truncation of non-integer
+scaled timestamps, and the missing ``$dumpvars`` initial-value section
+(plus the end-of-trace marker that makes writer -> reader round trips
+length-exact).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.semantics.run import Trace
+from repro.sim.signal import Signal
+from repro.sim.vcd import VcdWriter
+from repro.trace import SignalBinding, VcdReader, trace_to_vcd
+
+
+def _writer_with(*signals):
+    writer = VcdWriter()
+    for signal in signals:
+        writer.register(signal)
+    return writer
+
+
+def test_sample_rejects_non_integer_scaled_time():
+    writer = _writer_with(Signal("a"))
+    with pytest.raises(SimulationError, match="not an integer"):
+        writer.sample(Fraction(1, 3))
+
+
+def test_sample_accepts_fraction_cleared_by_scale():
+    signal = Signal("a")
+    writer = VcdWriter(time_scale_factor=3)
+    writer.register(signal)
+    writer.sample(Fraction(1, 3))  # 1/3 * 3 == 1
+    writer.sample(Fraction(2, 3))
+    assert "#1" in writer.dump()
+
+
+def test_sample_rejects_decreasing_time():
+    writer = _writer_with(Signal("a"))
+    writer.sample(2)
+    with pytest.raises(SimulationError, match="must not decrease"):
+        writer.sample(1)
+
+
+def test_dump_emits_dumpvars_initial_values():
+    high = Signal("high", init=True)
+    low = Signal("low", init=False)
+    writer = _writer_with(high, low)
+    writer.sample(0)
+    low.set(True)
+    low.commit()
+    writer.sample(1)
+    text = writer.dump()
+    lines = text.splitlines()
+    start = lines.index("$dumpvars")
+    end = lines.index("$end", start)
+    initial = set(lines[start + 1:end])
+    assert initial == {"1!", '0"'}
+    # The change section still records the later transition only.
+    assert lines[end + 1:] == ["#1", '1"']
+
+
+def test_dump_marks_unsampled_signals_as_x():
+    text = _writer_with(Signal("never_sampled")).dump()
+    lines = text.splitlines()
+    start = lines.index("$dumpvars")
+    assert lines[start + 1] == "x!"
+
+
+def test_dump_emits_trailing_time_marker():
+    signal = Signal("a")
+    writer = _writer_with(signal)
+    writer.sample(0)
+    writer.sample(1)
+    writer.sample(2)  # no changes after tick 0
+    assert writer.dump().rstrip().endswith("#2")
+
+
+def test_enable_vcd_derives_timescale_from_clock_periods():
+    """Fractional clock periods must not crash the default VCD setup."""
+    from repro.cesc.ast import Clock
+    from repro.sim.kernel import Simulator
+    from repro.sim.testbench import Testbench
+
+    sim = Simulator()
+    clock = Clock("clk", period=Fraction(1, 2))
+    sim.add_clock(clock)
+    signal = Signal("a")
+    testbench = Testbench(sim)
+    writer = testbench.enable_vcd([signal])
+    sim.run_cycles(clock, 4)  # samples at 0, 1/2, 1, 3/2 — scale 2
+    text = writer.dump()
+    assert "#3" in text or text.rstrip().endswith("#3")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        min_size=1, max_size=12,
+    ),
+    use_clock=st.booleans(),
+)
+def test_writer_reader_round_trip_property(data, use_clock):
+    """Any bi-level trace survives trace -> VCD -> trace unchanged."""
+    alphabet = ("a", "b", "c")
+    trace = Trace.from_sets(
+        [{s for s, bit in zip(alphabet, row) if bit} for row in data],
+        alphabet,
+    )
+    if use_clock:
+        text = trace_to_vcd(trace, clock="clk")
+        back = VcdReader.from_text(text).trace(clock="clk")
+    else:
+        text = trace_to_vcd(trace)
+        reader = VcdReader.from_text(
+            text, binding=SignalBinding(only=alphabet)
+        )
+        back = reader.trace(period=1)
+    assert [v.true for v in back] == [v.true for v in trace]
+    assert back.length == trace.length

@@ -119,3 +119,159 @@ def test_missing_file_is_reported():
     status, text = _run(["validate", "/does/not/exist.cesc"])
     assert status == 2
     assert "error:" in text
+
+
+# ---------------------------------------------------- VCD / sharded check ----
+@pytest.fixture()
+def amba_setup(tmp_path):
+    from repro.cesc.serialize import scesc_to_dsl
+    from repro.protocols.amba.charts import ahb_transaction_chart
+    from repro.protocols.fixtures import amba_vcd, write_vcd_fixture
+
+    spec = tmp_path / "amba.cesc"
+    spec.write_text(scesc_to_dsl(ahb_transaction_chart()))
+    dumps = []
+    for seed in range(3):
+        path = tmp_path / f"amba{seed}.vcd"
+        write_vcd_fixture(path, amba_vcd(seed=seed))
+        dumps.append(str(path))
+    return str(spec), dumps
+
+
+def test_check_vcd_single_dump(amba_setup):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk"])
+    assert status == 0
+    assert "detections at [4]" in text
+
+
+def test_check_vcd_sharded_jobs(amba_setup):
+    spec, dumps = amba_setup
+    argv = ["check", spec, "ahb_transaction", "--clock", "clk",
+            "--jobs", "4"]
+    for dump in dumps:
+        argv += ["--vcd", dump]
+    status, text = _run(argv)
+    assert status == 0
+    assert text.count("detections at") == len(dumps)
+
+
+def test_check_vcd_faulty_dump_rejected(tmp_path):
+    from repro.cesc.serialize import scesc_to_dsl
+    from repro.protocols.ocp import ocp_simple_read_chart
+
+    spec = tmp_path / "ocp.cesc"
+    spec.write_text(scesc_to_dsl(ocp_simple_read_chart()))
+    # drop-everything mutation may still accept; use an empty-noise dump
+    dump = tmp_path / "noise.vcd"
+    from repro.semantics.run import Trace
+    from repro.trace import trace_to_vcd
+    noise = Trace.from_sets([set()] * 6, {"MCmd_rd"})
+    dump.write_text(trace_to_vcd(noise, clock="clk"))
+    status, text = _run(["check", str(spec), "ocp_simple_read",
+                         "--vcd", str(dump), "--clock", "clk"])
+    assert status == 3
+
+
+def test_check_requires_exactly_one_trace_source(amba_setup, spec_file):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction"])
+    assert status == 2
+    assert "exactly one trace source" in text
+    status, text = _run(["check", spec, "ahb_transaction", "trace.json",
+                         "--vcd", dumps[0]])
+    assert status == 2
+
+
+def test_check_vcd_requires_sampling_discipline(amba_setup):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0]])
+    assert status == 2
+    assert "sampling discipline" in text
+    # --period is the other accepted discipline (clocked fixture dumps
+    # put each tick at 2*i, so period=2 recovers the grid).
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--period", "2"])
+    assert status == 0
+
+
+def test_check_wavedrom_rejects_vcd_only_flags(spec_file, tmp_path):
+    trace = tmp_path / "t.json"
+    trace.write_text(json.dumps({
+        "signal": [{"name": "req", "wave": "010"},
+                   {"name": "ack", "wave": "001"}]
+    }))
+    for extra in (["--clock", "clk"], ["--period", "1"],
+                  ["--bind", "a=b"], ["--jobs", "4"]):
+        status, text = _run(
+            ["check", spec_file, "handshake", str(trace)] + extra)
+        assert status == 2
+        assert "apply to --vcd dumps only" in text
+
+
+def test_check_single_dump_streams_regardless_of_jobs(amba_setup):
+    """One dump can't shard, so --jobs N stays on the streaming path."""
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk",
+                         "--jobs", "0"])
+    assert status == 0
+    assert "detections at [4]" in text
+
+
+def test_check_rejects_negative_jobs(amba_setup):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk",
+                         "--jobs", "-3"])
+    assert status == 2
+    assert "--jobs must be >= 0" in text
+
+
+def test_check_jobs_requires_compiled_engine(amba_setup):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk",
+                         "--jobs", "2", "--engine", "interpreted"])
+    assert status == 2
+    assert "--jobs needs --engine compiled" in text
+
+
+def test_check_vcd_with_binding(tmp_path):
+    from repro.cesc.serialize import scesc_to_dsl
+    from repro.semantics.run import Trace
+    from repro.trace import trace_to_vcd
+
+    spec = tmp_path / "spec.cesc"
+    spec.write_text(SPEC)
+    renamed = Trace.from_sets(
+        [{"REQ_N"}, {"ACK_N"}], {"REQ_N", "ACK_N"}
+    )
+    dump = tmp_path / "renamed.vcd"
+    dump.write_text(trace_to_vcd(renamed, clock="clk"))
+    status, text = _run([
+        "check", str(spec), "handshake", "--vcd", str(dump),
+        "--clock", "clk", "--bind", "REQ_N=req", "--bind", "ACK_N=ack",
+    ])
+    assert status == 0
+    assert "detections at [1]" in text
+
+
+def test_check_vcd_partial_binding_keeps_other_nets(tmp_path):
+    """Renaming one net must not drop the identically-named ones."""
+    from repro.semantics.run import Trace
+    from repro.trace import trace_to_vcd
+
+    spec = tmp_path / "spec.cesc"
+    spec.write_text(SPEC)
+    renamed = Trace.from_sets([{"HREQ"}, {"ack"}], {"HREQ", "ack"})
+    dump = tmp_path / "partial.vcd"
+    dump.write_text(trace_to_vcd(renamed, clock="clk"))
+    status, text = _run([
+        "check", str(spec), "handshake", "--vcd", str(dump),
+        "--clock", "clk", "--bind", "HREQ=req",
+    ])
+    assert status == 0
+    assert "detections at [1]" in text

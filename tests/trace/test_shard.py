@@ -1,0 +1,226 @@
+"""Tests for the sharded parallel runner (and its pickling contract)."""
+
+import pickle
+
+import pytest
+
+from repro import (
+    Scoreboard,
+    Trace,
+    TraceGenerator,
+    run_bank_sharded,
+    run_many,
+    run_sharded,
+    synthesize_chart,
+    tr,
+    tr_compiled,
+)
+from repro.cesc.builder import ev, scesc
+from repro.errors import MonitorError
+from repro.monitor.automaton import Monitor, Transition
+from repro.logic.expr import TRUE
+from repro.protocols.ocp import ocp_burst_read_chart, ocp_simple_read_chart
+from repro.runtime.compiled import compile_monitor
+from repro.trace.shard import _chunk_bounds, resolve_jobs
+
+
+def _traces(chart, count, seed=0):
+    out = []
+    for index in range(count):
+        generator = TraceGenerator(chart, seed=seed + index)
+        if index % 3 == 2:
+            out.append(generator.random_trace(4 + index % 5))
+        else:
+            out.append(
+                generator.satisfying_trace(prefix=index % 3, suffix=index % 2)
+            )
+    return out
+
+
+def _assert_same(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.monitor_name == b.monitor_name
+        assert a.detections == b.detections
+        assert a.ticks == b.ticks
+
+
+# ----------------------------------------------------------- run_sharded ----
+@pytest.mark.parametrize("chart_builder",
+                         [ocp_simple_read_chart, ocp_burst_read_chart])
+def test_run_sharded_matches_run_many(chart_builder):
+    chart = chart_builder()
+    compiled = tr_compiled(chart)
+    traces = _traces(chart, 14)
+    _assert_same(
+        run_sharded(compiled, traces, jobs=4),
+        run_many(compiled, traces),
+    )
+
+
+def test_run_sharded_accepts_interpreted_monitor_input():
+    chart = ocp_simple_read_chart()
+    traces = _traces(chart, 6)
+    _assert_same(
+        run_sharded(tr(chart), traces, jobs=2),
+        run_many(tr_compiled(chart), traces),
+    )
+
+
+def test_run_sharded_single_job_and_single_trace_skip_pool():
+    chart = ocp_simple_read_chart()
+    traces = _traces(chart, 3)
+    _assert_same(run_sharded(tr_compiled(chart), traces, jobs=1),
+                 run_many(tr_compiled(chart), traces))
+    _assert_same(run_sharded(tr_compiled(chart), traces[:1], jobs=8),
+                 run_many(tr_compiled(chart), traces[:1]))
+    assert run_sharded(tr_compiled(chart), [], jobs=4) == []
+
+
+def test_run_sharded_scoreboard_validation():
+    chart = ocp_simple_read_chart()
+    traces = _traces(chart, 4)
+    with pytest.raises(MonitorError, match="one scoreboard per trace"):
+        run_sharded(tr_compiled(chart), traces, scoreboards=[Scoreboard()])
+
+
+def test_fallback_path_does_not_mutate_caller_scoreboards():
+    """jobs=1 honours the same isolation contract as the pooled path."""
+    chart = ocp_simple_read_chart()
+    traces = _traces(chart, 3)
+    boards = [Scoreboard() for _ in traces]
+    run_sharded(tr_compiled(chart), traces, jobs=1, scoreboards=boards)
+    assert all(len(board) == 0 for board in boards)
+    run_sharded(tr_compiled(chart), traces[:1], jobs=4,
+                scoreboards=boards[:1])
+    assert len(boards[0]) == 0
+
+
+def test_run_sharded_with_scoreboards_matches():
+    chart = ocp_simple_read_chart()
+    traces = _traces(chart, 6)
+    boards = [Scoreboard() for _ in traces]
+    sharded = run_sharded(tr_compiled(chart), traces, jobs=3,
+                          scoreboards=[Scoreboard() for _ in traces])
+    _assert_same(sharded, run_many(tr_compiled(chart), traces, boards))
+
+
+def test_worker_errors_propagate():
+    incomplete = Monitor(
+        "stuck", n_states=2, initial=0, final=1,
+        transitions=[Transition(0, TRUE, (), 1)],  # state 1 is a dead end
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(incomplete)
+    traces = [Trace.from_sets([{"a"}, {"a"}], {"a"})] * 4
+    with pytest.raises(MonitorError, match="no transition enabled"):
+        run_sharded(compiled, traces, jobs=2)
+
+
+# ------------------------------------------------------ run_bank_sharded ----
+def test_run_bank_sharded_matches_run_batch():
+    chart = ocp_simple_read_chart()
+    bank = synthesize_chart(chart)
+    traces = _traces(chart, 10)
+    sharded = run_bank_sharded(bank, traces, jobs=4)
+    batch = bank.run_batch(traces)
+    assert len(sharded) == len(batch)
+    for a, b in zip(sharded, batch):
+        assert a.detections == b.detections
+        assert a.accepted == b.accepted
+
+
+def test_run_batch_jobs_parameter_shards():
+    chart = ocp_simple_read_chart()
+    bank = synthesize_chart(chart)
+    traces = _traces(chart, 8)
+    jobs2 = bank.run_batch(traces, jobs=2)
+    plain = bank.run_batch(traces)
+    assert [r.detections for r in jobs2] == [r.detections for r in plain]
+    assert run_bank_sharded(bank, [], jobs=4) == []
+
+
+# -------------------------------------------------------- run_sharded_vcd ----
+def test_run_sharded_vcd_parses_in_workers(tmp_path):
+    from repro.trace import run_sharded_vcd, trace_to_vcd
+
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    paths, expected = [], []
+    for seed in range(5):
+        generator = TraceGenerator(chart, seed=seed)
+        trace = generator.satisfying_trace(prefix=seed % 2, suffix=1)
+        path = tmp_path / f"dump{seed}.vcd"
+        path.write_text(trace_to_vcd(trace, clock="clk"))
+        paths.append(path)
+        expected.append(run_many(compiled, [trace])[0].detections)
+    for jobs in (1, 3):
+        reports = run_sharded_vcd(compiled, paths, jobs=jobs, clock="clk")
+        assert [r.detections for r in reports] == expected
+    assert run_sharded_vcd(compiled, [], jobs=3) == []
+
+
+def test_run_sharded_vcd_with_binding(tmp_path):
+    from repro.trace import SignalBinding, run_sharded_vcd, trace_to_vcd
+
+    trace = Trace.from_sets([{"HREQ"}, {"b"}], {"HREQ", "b"})
+    path = tmp_path / "renamed.vcd"
+    path.write_text(trace_to_vcd(trace, clock="clk"))
+    chart = (
+        scesc("ab").instances("M").tick(ev("a")).tick(ev("b")).build()
+    )
+    binding = SignalBinding({"HREQ": "a"})
+    reports = run_sharded_vcd(
+        tr_compiled(chart), [path, path], jobs=2, clock="clk",
+        binding=binding,
+    )
+    assert [r.detections for r in reports] == [[1], [1]]
+
+
+# --------------------------------------------------------------- helpers ----
+def test_chunk_bounds_cover_all_traces_in_order():
+    lengths = [5, 1, 1, 1, 10, 2, 2, 2, 2, 30]
+    for n_chunks in (1, 2, 3, 4, len(lengths)):
+        bounds = _chunk_bounds(lengths, n_chunks)
+        flattened = [i for s, e in bounds for i in range(s, e)]
+        assert flattened == list(range(len(lengths)))
+        assert all(end > start for start, end in bounds)
+
+
+def test_chunk_bounds_do_not_swallow_tail_heavy_workloads():
+    """A long trace after short ones must land in its own chunk, not
+    glue everything into one (regression: [1,1,1,1,100] with 4 chunks
+    came back as a single chunk, serialising the pool)."""
+    assert len(_chunk_bounds([1, 1, 1, 1, 100], 4)) >= 2
+    assert len(_chunk_bounds([1, 1, 10], 2)) == 2
+    # Balanced workloads still split evenly.
+    assert _chunk_bounds([5, 5, 5, 5], 2) == [(0, 2), (2, 4)]
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(MonitorError):
+        resolve_jobs(-2)
+
+
+# --------------------------------------------------------------- pickling ----
+def test_compiled_monitor_pickle_round_trip_preserves_semantics():
+    chart = ocp_burst_read_chart()
+    traces = _traces(chart, 5)
+    for compiled in (tr_compiled(chart), compile_monitor(tr(chart))):
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.name == compiled.name
+        assert clone.n_states == compiled.n_states
+        assert clone.codec.symbols == compiled.codec.symbols
+        assert clone.ladder_exclusive == compiled.ladder_exclusive
+        _assert_same(run_many(clone, traces), run_many(compiled, traces))
+
+
+def test_trace_and_valuation_pickle_round_trip():
+    chart = ocp_simple_read_chart()
+    trace = _traces(chart, 1)[0]
+    clone = pickle.loads(pickle.dumps(trace))
+    assert clone == trace
+    assert hash(clone) == hash(trace)

@@ -1,0 +1,247 @@
+"""Tests for the online StreamingChecker (bounded memory, early exit)."""
+
+import pytest
+
+from repro import (
+    AssertionChecker,
+    CompiledEngine,
+    MonitorEngine,
+    StreamingChecker,
+    Trace,
+    TraceGenerator,
+    run_monitor,
+    synthesize_chart,
+    tr,
+    tr_compiled,
+)
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import Alt, Implication
+from repro.errors import MonitorError
+from repro.monitor.checker import Verdict
+from repro.protocols.faults import FaultCampaign
+from repro.protocols.ocp import ocp_simple_read_chart
+
+
+def _handshake():
+    return (
+        scesc("handshake").instances("M", "S")
+        .tick(ev("req")).tick(ev("ack"))
+        .arrow("done", cause="req", effect="ack")
+        .build()
+    )
+
+
+def _implication():
+    antecedent = (
+        scesc("request").instances("M", "S").tick(ev("req")).build()
+    )
+    consequent = (
+        scesc("response").instances("M", "S").tick(ev("ack")).build()
+    )
+    return Implication(antecedent, consequent, name="req_implies_ack")
+
+
+# ------------------------------------------------------------- detectors ----
+@pytest.mark.parametrize("engine", ["compiled", "interpreted"])
+def test_streaming_detector_matches_batch(engine):
+    chart = ocp_simple_read_chart()
+    generator = TraceGenerator(chart, seed=7)
+    monitor = tr(chart)
+    for seed in range(6):
+        trace = TraceGenerator(chart, seed=seed).satisfying_trace(
+            prefix=seed % 3, suffix=2
+        )
+        batch = run_monitor(monitor, trace)
+        report = StreamingChecker(chart, engine=engine).feed(trace)
+        assert report.detections == batch.detections
+        assert report.n_detections == len(batch.detections)
+        assert report.ticks == trace.length
+        assert not report.stopped_early
+
+
+def test_streaming_accepts_monitor_bank_and_alt_chart():
+    alt = Alt(
+        (_handshake(),
+         scesc("other").instances("M").tick(ev("x")).tick(ev("y")).build()),
+        name="either",
+    )
+    bank = synthesize_chart(alt)
+    trace = Trace.from_sets(
+        [{"req"}, {"ack"}, {"x"}, {"y"}], {"req", "ack", "x", "y"}
+    )
+    expected = bank.run(trace).detections
+    for spec in (alt, bank):
+        report = StreamingChecker(spec).feed(trace)
+        assert report.detections == expected
+
+
+def test_streaming_accepts_raw_iterator():
+    chart = _handshake()
+    def stream():
+        yield from Trace.from_sets(
+            [{"req"}, {"ack"}], {"req", "ack"}
+        )
+    report = StreamingChecker(chart).feed(stream())
+    assert report.detections == [1]
+
+
+def test_stop_on_detection_aborts_ingest():
+    chart = _handshake()
+    valuations = list(Trace.from_sets(
+        [{"req"}, {"ack"}, {"req"}, {"ack"}], {"req", "ack"}
+    ))
+    checker = StreamingChecker(chart, stop_on_detection=True)
+    report = checker.feed(iter(valuations))
+    assert report.stopped_early
+    assert report.ticks == 2  # never read ticks 2..3
+    assert report.detections == [1]
+
+
+def test_push_after_stop_is_noop():
+    chart = _handshake()
+    checker = StreamingChecker(chart, stop_on_detection=True)
+    trace = Trace.from_sets([{"req"}, {"ack"}], {"req", "ack"})
+    checker.feed(trace)
+    assert checker.stopped
+    assert checker.push(trace[0]) is False
+    assert checker.report().ticks == 2
+
+
+def test_max_recorded_caps_lists_but_not_counts():
+    chart = (
+        scesc("always").instances("M").tick(ev("a")).build()
+    )
+    trace = Trace.from_sets([{"a"}] * 50, {"a"})
+    report = StreamingChecker(chart, max_recorded=5).feed(trace)
+    assert len(report.detections) == 5
+    assert report.n_detections == 50
+
+
+def test_streaming_engines_keep_no_history():
+    chart = ocp_simple_read_chart()
+    checker = StreamingChecker(chart, engine="compiled")
+    trace = TraceGenerator(chart, seed=1).satisfying_trace(prefix=5, suffix=5)
+    checker.feed(trace)
+    for engine in checker._engines:
+        assert len(engine._states) == 1          # no state history
+        assert engine.transition_log == []       # no transition log
+        assert engine._detections == []          # drained every tick
+
+
+def test_history_free_engine_refuses_result():
+    """result() on a record_history=False engine is an error, not
+    silently wrong data (states/detections were never kept)."""
+    monitor = tr(_handshake())
+    trace = Trace.from_sets([{"req"}, {"ack"}], {"req", "ack"})
+    for engine in (MonitorEngine(monitor, record_history=False),
+                   CompiledEngine(monitor, record_history=False)):
+        engine.feed(trace)
+        assert engine.drain_detections() == [1]
+        with pytest.raises(MonitorError, match="record_history"):
+            engine.result()
+
+
+# ----------------------------------------------------------- implications ----
+def test_streaming_implication_matches_assertion_checker():
+    implication = _implication()
+    batch = AssertionChecker(implication)
+    for sets in (
+        [{"req"}, {"ack"}],                 # pass
+        [{"req"}, set()],                   # fail
+        [{"req"}, {"ack"}, {"req"}, set()], # pass then fail
+        [set(), set()],                     # no obligation
+        [{"req"}],                          # pending at end of trace
+    ):
+        trace = Trace.from_sets(sets, {"req", "ack"})
+        report = batch.check(trace)
+        stream = StreamingChecker(
+            implication, stop_on_violation=False
+        ).feed(trace)
+        assert stream.n_violations == len(report.violations)
+        assert stream.n_passes == len(report.passes)
+        assert stream.n_pending == len(report.pending)
+        assert stream.violations == [
+            (o.start_tick, o.decided_tick) for o in report.violations
+        ]
+        assert stream.detections == report.antecedent_detections
+        assert stream.ok == report.ok
+
+
+def test_stop_on_violation_still_advances_sibling_obligations():
+    """A violation must not swallow other live obligations' outcomes.
+
+    Two overlapping obligations are live when the older one fails; the
+    newer one matched the same tick and must still be counted PENDING
+    (regression: it used to vanish from the report entirely).
+    """
+    antecedent = scesc("a").instances("M").tick(ev("req")).build()
+    consequent = (
+        scesc("c").instances("M").tick(ev("ack")).tick(ev("done")).build()
+    )
+    implication = Implication(antecedent, consequent, name="overlap")
+    # req at 0 and 1 -> obligations start matching at 1 and 2.
+    # Tick 2 reads {ack}: obligation 0 (expecting done) FAILS,
+    # obligation 1 (expecting ack) matches and stays PENDING.
+    trace = Trace.from_sets(
+        [{"req"}, {"req", "ack"}, {"ack"}], {"req", "ack", "done"}
+    )
+    report = StreamingChecker(implication).feed(trace)
+    assert report.stopped_early
+    assert report.n_violations == 1
+    assert report.violations == [(0, 2)]
+    assert report.n_pending == 1
+    batch = AssertionChecker(implication).check(trace)
+    assert len(batch.violations) == 1
+    assert len(batch.pending) == 1
+
+
+def test_streaming_implication_stops_at_first_violation():
+    implication = _implication()
+    sets = [{"req"}, set(), {"req"}, {"ack"}]
+    trace = Trace.from_sets(sets, {"req", "ack"})
+    checker = StreamingChecker(implication)  # stop_on_violation default
+    report = checker.feed(trace)
+    assert report.stopped_early
+    assert report.n_violations == 1
+    assert report.violations == [(0, 1)]
+    assert report.ticks == 2  # ticks 2..3 never read
+    assert not report.ok
+
+
+def test_interpreted_backend_accepts_compiled_monitor_via_source():
+    import pickle
+
+    from repro.runtime.compiled import compile_monitor
+
+    chart = _handshake()
+    compiled = compile_monitor(tr(chart))
+    trace = Trace.from_sets([{"req"}, {"ack"}], {"req", "ack"})
+    report = StreamingChecker(compiled, engine="interpreted").feed(trace)
+    assert report.detections == [1]
+    # Plain pickling keeps the source (on-disk compilation caches stay
+    # fully capable)...
+    assert pickle.loads(pickle.dumps(compiled)).source is not None
+    # ...while a source-stripped copy (what sharded workers receive)
+    # gives a clean error for interpreted stepping, not a crash.
+    stripped = compiled.without_source()
+    assert stripped.source is None
+    with pytest.raises(MonitorError, match="no interpreted source"):
+        StreamingChecker(stripped, engine="interpreted")
+    # The compiled backend is unaffected.
+    assert StreamingChecker(stripped).feed(trace).detections == [1]
+
+
+# ---------------------------------------------------------------- errors ----
+def test_unknown_backend_rejected():
+    with pytest.raises(MonitorError):
+        StreamingChecker(_handshake(), engine="quantum")
+
+
+def test_negative_cap_rejected():
+    with pytest.raises(MonitorError):
+        StreamingChecker(_handshake(), max_recorded=-1)
+
+
+def test_stop_on_detection_rejected_for_implications():
+    with pytest.raises(MonitorError, match="stop_on_violation"):
+        StreamingChecker(_implication(), stop_on_detection=True)
