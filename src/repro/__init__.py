@@ -28,6 +28,12 @@ See README.md for the architecture tour and DESIGN.md for the paper
 mapping.
 """
 
+from repro.campaign import (
+    CoverageCampaign,
+    DirectedTrace,
+    FaultMutationCampaign,
+    StimulusSynthesizer,
+)
 from repro.cesc.ast import SCESC, CausalityArrow, Clock, EventOccurrence, Tick
 from repro.cesc.builder import ev, scesc
 from repro.cesc.charts import (
@@ -95,8 +101,11 @@ __all__ = [
     "Clock",
     "CompiledEngine",
     "CompiledMonitor",
+    "CoverageCampaign",
     "CrossArrow",
     "DelEvt",
+    "DirectedTrace",
+    "FaultMutationCampaign",
     "EventOccurrence",
     "EventRef",
     "Expr",
@@ -118,6 +127,7 @@ __all__ = [
     "ScoreboardCheck",
     "Seq",
     "SignalBinding",
+    "StimulusSynthesizer",
     "StreamReport",
     "StreamingChecker",
     "SubsetMonitor",

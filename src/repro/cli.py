@@ -7,10 +7,15 @@ Usage (also via ``python -m repro``)::
     repro synthesize SPEC.cesc CHART --format dot|verilog|sva|psl|python|table
     repro check     SPEC.cesc CHART TRACE.json     # run monitor on a
                                                    # WaveDrom trace
+    repro campaign  SPEC.cesc CHART --target-coverage 1.0 --budget 256
+                                                   # coverage-closure
+                                                   # test campaign
 
 The trace file for ``check`` is a WaveDrom document (bi-level subset);
 exit status is 0 when the scenario was detected, 3 when not — so the
-tool slots into Makefile-style regression flows.
+tool slots into Makefile-style regression flows.  ``campaign`` follows
+the same discipline: exit 0 when coverage closed within budget (and
+every fault prediction held), 3 when it did not.
 """
 
 from __future__ import annotations
@@ -101,6 +106,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="shard trace checking across N worker processes "
              "(0 = one per core; needs --engine compiled)")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a coverage-directed test campaign to closure")
+    campaign.add_argument("spec", help="CESC DSL file")
+    campaign.add_argument("chart", help="chart name inside the spec")
+    campaign.add_argument(
+        "--target-coverage", type=float, default=1.0, metavar="F",
+        help="state and transition coverage target in [0, 1] "
+             "(default: 1.0 — full closure)")
+    campaign.add_argument(
+        "--budget", type=int, default=256, metavar="N",
+        help="maximum number of traces to execute (default: 256)")
+    campaign.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="random seed for the noise phase (default: 0)")
+    campaign.add_argument(
+        "--seed-traces", type=int, default=12, metavar="N",
+        help="random traces executed before directed generation "
+             "(default: 12)")
+    campaign.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard batch execution across N worker processes "
+             "(0 = one per core)")
+    campaign.add_argument(
+        "--engine", default="compiled",
+        choices=("compiled", "interpreted"),
+        help="monitor form the campaign covers: the compiled dispatch "
+             "table's compressed edges (default) or the dense "
+             "interpreted automaton")
+    campaign.add_argument(
+        "--faults", type=int, default=0, metavar="N",
+        help="additionally run a fault-mutation campaign with N random "
+             "mutants on top of the per-tick targeted ones")
+    campaign.add_argument(
+        "--export-vcd", metavar="DIR",
+        help="write the final corpus as VCD dumps into DIR")
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable campaign report")
     return parser
 
 
@@ -298,6 +343,82 @@ def _cmd_check(args, out) -> int:
     return 0 if result.accepted else 3
 
 
+def _cmd_campaign(args, out) -> int:
+    from repro.campaign import CoverageCampaign, FaultMutationCampaign
+
+    chart = _load_scesc(args.spec, args.chart)
+    if not (0.0 <= args.target_coverage <= 1.0):
+        raise ReproError(
+            f"--target-coverage must be in [0, 1] "
+            f"(got {args.target_coverage})"
+        )
+    if args.budget <= 0:
+        raise ReproError(f"--budget must be positive (got {args.budget})")
+    monitor = tr_compiled(chart) if args.engine == "compiled" else tr(chart)
+    campaign = CoverageCampaign(
+        chart, monitor=monitor, seed=args.seed, jobs=args.jobs,
+    )
+    report = campaign.run(
+        target_state_coverage=args.target_coverage,
+        target_transition_coverage=args.target_coverage,
+        budget=args.budget,
+        seed_traces=args.seed_traces,
+    )
+    fault_report = None
+    if args.faults:
+        fault_report = FaultMutationCampaign(
+            monitor, seed=args.seed, synthesizer=campaign.synthesizer,
+        ).run(jobs=args.jobs, random_mutations=args.faults)
+    exported: List[str] = []
+    if args.export_vcd:
+        exported = report.export_vcd(args.export_vcd)
+    ok = report.reached and (fault_report is None or fault_report.ok)
+    if args.json:
+        document = report.to_json()
+        if fault_report is not None:
+            document["faults"] = fault_report.to_json()
+        if args.export_vcd:
+            document["exported_vcd"] = exported
+        out.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        return 0 if ok else 3
+    coverage = report.coverage
+    out.write(
+        f"campaign {report.name}: "
+        f"{'closure reached' if report.reached else 'closure NOT reached'} "
+        f"— {report.state_coverage:.1%} states, "
+        f"{report.transition_coverage:.1%} transitions "
+        f"(target {args.target_coverage:.1%}) in {report.traces_executed} "
+        f"traces / {report.ticks_executed} ticks "
+        f"({report.directed_traces} directed, {report.rounds} round(s), "
+        f"budget {report.budget})\n"
+    )
+    out.write(
+        f"  excluded as unreachable: {len(coverage.excluded_states)} "
+        f"state(s), {len(coverage.excluded_transitions)} transition(s)\n"
+    )
+    open_states = coverage.uncovered_states()
+    open_transitions = coverage.uncovered_transitions()
+    if open_states or open_transitions:
+        out.write(f"  still open: states {open_states}, "
+                  f"{len(open_transitions)} transition(s)\n")
+    if not report.exploration_exhaustive:
+        out.write("  note: reachability search truncated — nothing "
+                  "excluded; raise scoreboard_cap/max_depth\n")
+    if fault_report is not None:
+        out.write(
+            f"faults: {fault_report.n_trials} trial(s), "
+            f"{fault_report.n_killed} killed "
+            f"({fault_report.kill_rate:.0%}), "
+            f"{len(fault_report.mismatches)} prediction mismatch(es)\n"
+        )
+        for mismatch in fault_report.mismatches:
+            out.write(f"  MISMATCH {mismatch}\n")
+    if exported:
+        out.write(f"exported {len(exported)} VCD dump(s) to "
+                  f"{args.export_vcd}\n")
+    return 0 if ok else 3
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -308,6 +429,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "render": _cmd_render,
         "synthesize": _cmd_synthesize,
         "check": _cmd_check,
+        "campaign": _cmd_campaign,
     }
     try:
         return handlers[args.command](args, out)

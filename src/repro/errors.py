@@ -49,6 +49,10 @@ class TraceError(ReproError):
     """Malformed waveform dump or bad trace-pipeline configuration."""
 
 
+class CampaignError(ReproError):
+    """Directed-generation or coverage-campaign failure."""
+
+
 class HdlError(ReproError):
     """Error in the Verilog-subset front end or simulator."""
 

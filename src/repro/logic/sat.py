@@ -38,6 +38,7 @@ __all__ = [
     "entails",
     "are_equivalent",
     "satisfying_assignment",
+    "satisfying_valuation",
     "to_cnf",
     "dpll",
 ]
@@ -207,6 +208,49 @@ def satisfying_assignment(
     if model is None:
         return None
     return {key: model.get(var, False) for key, var in atom_vars.items()}
+
+
+def satisfying_valuation(
+    exprs: Iterable[Expr],
+    alphabet: Iterable[str],
+    chk_true: Iterable[str] = (),
+    chk_false: Iterable[str] = (),
+):
+    """Solve ``exprs`` into a concrete trace element (or ``None``).
+
+    The directed stimulus synthesizer walks monitor automata guard by
+    guard; each guard must become one *valuation over the monitor's
+    alphabet* that provably enables it.  ``chk_true`` / ``chk_false``
+    pin ``Chk_evt`` atoms to the scoreboard contents of the path being
+    synthesized (unconstrained ``Chk_evt`` atoms stay free variables).
+
+    Symbols the model leaves unconstrained default to false — the
+    minimal stimulus — and model atoms outside ``alphabet`` are
+    rejected as an error (a guard referencing foreign symbols cannot
+    be realised on this alphabet).
+    """
+    from repro.logic.valuation import Valuation
+
+    alpha = frozenset(alphabet)
+    constraints: List[Expr] = list(exprs)
+    for event in chk_true:
+        constraints.append(ScoreboardCheck(event))
+    for event in chk_false:
+        constraints.append(Not(ScoreboardCheck(event)))
+    model = satisfying_assignment(constraints)
+    if model is None:
+        return None
+    true = set()
+    for (kind, name), value in model.items():
+        if kind == "chk" or not value:
+            continue
+        if name not in alpha:
+            raise ValueError(
+                f"guard references {name!r} outside alphabet "
+                f"{sorted(alpha)}"
+            )
+        true.add(name)
+    return Valuation(true, alpha)
 
 
 def is_satisfiable(expr: Expr) -> bool:

@@ -27,16 +27,22 @@ __all__ = ["EngineBase", "MonitorEngine", "MonitorResult", "run_monitor"]
 class MonitorResult:
     """Outcome of running a monitor over a finite trace."""
 
-    __slots__ = ("monitor_name", "states", "detections", "ticks")
+    __slots__ = ("monitor_name", "states", "detections", "ticks",
+                 "transitions")
 
     def __init__(self, monitor_name: str, states: List[int],
-                 detections: List[int], ticks: int):
+                 detections: List[int], ticks: int,
+                 transitions: Optional[Tuple[Transition, ...]] = None):
         self.monitor_name = monitor_name
         #: state sequence, ``states[0]`` initial, one entry per tick after.
         self.states = states
         #: tick indices (0-based) at which the final state was entered.
         self.detections = detections
         self.ticks = ticks
+        #: transitions taken, in tick order — present when the run was
+        #: executed with history/transition recording (coverage folding
+        #: reads these), ``None`` otherwise.
+        self.transitions = transitions
 
     @property
     def accepted(self) -> bool:
@@ -168,6 +174,7 @@ class EngineBase:
         return MonitorResult(
             self._automaton.name, list(self._states),
             list(self._detections), self._tick,
+            transitions=tuple(self._transition_log),
         )
 
     def reset(self) -> None:

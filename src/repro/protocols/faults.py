@@ -20,6 +20,7 @@ __all__ = [
     "insert_event",
     "delay_event",
     "swap_ticks",
+    "replace_tick",
     "FaultCampaign",
 ]
 
@@ -57,6 +58,19 @@ def swap_ticks(trace: Trace, left: int, right: int) -> Trace:
     _check_tick(trace, right)
     valuations = list(trace.valuations)
     valuations[left], valuations[right] = valuations[right], valuations[left]
+    return Trace(valuations, trace.alphabet)
+
+
+def replace_tick(trace: Trace, tick: int, valuation: Valuation) -> Trace:
+    """Substitute one whole grid-line valuation.
+
+    The precision mutator: directed fault campaigns compute the exact
+    valuation that falsifies a scenario step (a guard's negation solved
+    by SAT) and splice it in, leaving every other tick untouched.
+    """
+    _check_tick(trace, tick)
+    valuations = list(trace.valuations)
+    valuations[tick] = valuation.restricted(trace.alphabet)
     return Trace(valuations, trace.alphabet)
 
 

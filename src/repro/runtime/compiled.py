@@ -482,6 +482,7 @@ def run_many(
     monitor: Union[Monitor, CompiledMonitor],
     traces: Sequence[Trace],
     scoreboards: Optional[Sequence[Scoreboard]] = None,
+    record_transitions: bool = False,
 ) -> List[MonitorResult]:
     """Step many traces through one monitor in lock-step.
 
@@ -490,6 +491,11 @@ def run_many(
     inner loop touches only integer lists.  Traces may have different
     lengths — shorter ones simply finish earlier.  Each trace gets a
     fresh scoreboard unless ``scoreboards`` injects one per trace.
+
+    ``record_transitions`` additionally logs the transitions each trace
+    took (``MonitorResult.transitions``), which coverage campaigns fold
+    into :class:`~repro.analysis.coverage.MonitorCoverage`; the default
+    leaves the hot loop free of per-tick bookkeeping.
     """
     compiled = as_compiled(monitor)
     if scoreboards is not None and len(scoreboards) != len(traces):
@@ -511,6 +517,9 @@ def run_many(
     boards = (
         list(scoreboards) if scoreboards is not None
         else [Scoreboard() for _ in range(count)]
+    )
+    taken: Optional[List[List[Transition]]] = (
+        [[] for _ in range(count)] if record_transitions else None
     )
     # Lock-step, tick-major: traces drop out of the active set as they
     # finish, so a few long traces never pay per-tick skip scans over
@@ -536,6 +545,8 @@ def run_many(
                 )
             for action in cell.actions:
                 action.apply(boards[index])
+            if taken is not None:
+                taken[index].append(cell)
             state = cell.target
             states[index] = state
             histories[index][tick + 1] = state
@@ -547,6 +558,8 @@ def run_many(
         tick += 1
     return [
         MonitorResult(compiled.name, histories[index], detections[index],
-                      lengths[index])
+                      lengths[index],
+                      transitions=(tuple(taken[index])
+                                   if taken is not None else None))
         for index in range(count)
     ]

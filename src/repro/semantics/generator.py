@@ -56,6 +56,31 @@ class TraceGenerator:
             [self.random_valuation() for _ in range(length)], self._alphabet
         )
 
+    def seed_corpus(self, count: int, noise_length: int = 8,
+                    prefix: int = 2, suffix: int = 2) -> List[Trace]:
+        """A mixed batch of seed traces for coverage campaigns.
+
+        Alternates satisfying runs (scenario window in noise),
+        near-miss violating windows, and pure noise — the cheap random
+        phase a :class:`~repro.campaign.CoverageCampaign` folds into
+        coverage before directed generation targets what is left.
+        Single-leaf charts get the full mix; multi-leaf charts fall
+        back to noise only (window embedding needs one scenario).
+        """
+        single_leaf = len(self._chart.leaves()) == 1
+        traces: List[Trace] = []
+        for index in range(count):
+            kind = index % 3 if single_leaf else 2
+            if kind == 0:
+                traces.append(self.satisfying_trace(
+                    prefix=prefix, suffix=suffix
+                ))
+            elif kind == 1:
+                traces.append(self.violating_window())
+            else:
+                traces.append(self.random_trace(noise_length))
+        return traces
+
     # -- satisfying windows -------------------------------------------------
     def valuation_matching(self, expr: Expr,
                            minimal: bool = False) -> Valuation:

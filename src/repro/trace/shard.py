@@ -9,12 +9,23 @@ does the same for every member of a
 :class:`~repro.synthesis.compose.MonitorBank` (member x chunk work
 units, so even a single huge trace list parallelises across members).
 
-Compiled monitors are shipped to workers exactly once, through the
-pool initializer — this is why :class:`~repro.runtime.compiled.CompiledMonitor`
-(and everything it references, down to guard expressions) pickles
-cleanly.  Results come back as ordinary
-:class:`~repro.monitor.engine.MonitorResult` lists in input order,
-indistinguishable from a single-process run.
+Worker processes are *reused*: the first sharded call spins up a
+persistent pool (one per multiprocessing start method) and later calls
+— a campaign loop issues hundreds — pay no spawn cost.  Monitors
+travel inside tasks as pickled payloads cached worker-side by digest,
+so a pool serves any number of different monitors and each worker
+unpickles a given monitor once.  This is why
+:class:`~repro.runtime.compiled.CompiledMonitor` (and everything it
+references, down to guard expressions) pickles cleanly.  Results come
+back as ordinary :class:`~repro.monitor.engine.MonitorResult` lists in
+input order, indistinguishable from a single-process run.
+
+Worker counts are capped at the machine's core count by default: a
+CPU-bound lock-step loop gains nothing from oversubscription, it only
+pays extra process and pickling overhead (the pre-cap benchmark showed
+``jobs=4`` running 3x *slower* than single-process on a single-core
+container).  Pass ``oversubscribe=True`` to force more workers than
+cores — tests of cross-process behaviour on small machines need that.
 
 Scoreboards: each trace gets a fresh scoreboard in its worker.
 Injected ``scoreboards`` are consumed as *initial* states; unlike
@@ -24,10 +35,12 @@ caller's objects.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import multiprocessing
 import os
 import pickle
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import MonitorError
 from repro.monitor.automaton import Monitor
@@ -37,34 +50,97 @@ from repro.runtime.compiled import CompiledMonitor, as_compiled, run_many
 from repro.semantics.run import Trace
 
 __all__ = ["run_sharded", "run_bank_sharded", "run_sharded_vcd",
-           "resolve_jobs"]
-
-#: Workers hold the shipped compiled monitors here (set by the pool
-#: initializer, read by every task executed in that worker).
-_WORKER_MONITORS: List[CompiledMonitor] = []
+           "resolve_jobs", "shutdown_worker_pools"]
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+def resolve_jobs(jobs: Optional[int], oversubscribe: bool = False) -> int:
     """Normalise a ``--jobs``-style request to a worker count.
 
     ``None`` or ``0`` means "one worker per core"; negative values are
-    rejected.
+    rejected.  Requests beyond the core count are clamped — more
+    CPU-bound workers than cores is pure overhead — unless
+    ``oversubscribe`` explicitly asks for them.
     """
+    cores = max(1, os.cpu_count() or 1)
     if jobs is None or jobs == 0:
-        return max(1, os.cpu_count() or 1)
+        return cores
     if jobs < 0:
         raise MonitorError(f"jobs must be >= 0 (got {jobs})")
+    if not oversubscribe:
+        return min(jobs, cores)
     return jobs
 
 
-def _init_worker(monitors: List[CompiledMonitor]) -> None:
-    _WORKER_MONITORS.clear()
-    _WORKER_MONITORS.extend(monitors)
+# -- persistent worker pools -----------------------------------------------
+#: One long-lived pool per start method: (pool, worker_count).  Reused
+#: across calls so campaign loops pay the spawn cost once, grown (never
+#: shrunk) when a call asks for more workers.
+_POOLS: Dict[str, Tuple[object, int]] = {}
+
+
+def _get_pool(method: Optional[str], workers: int):
+    context = multiprocessing.get_context(method)
+    key = context.get_start_method()
+    cached = _POOLS.get(key)
+    if cached is not None:
+        pool, size = cached
+        if size >= workers:
+            return pool
+        pool.terminate()
+        del _POOLS[key]
+    pool = context.Pool(processes=workers)
+    _POOLS[key] = (pool, workers)
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Terminate every cached worker pool (tests; interpreter exit)."""
+    for pool, _ in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+#: Worker-side LRU cache of shipped monitors, keyed by payload digest
+#: so a reused pool serves many monitors and unpickles each at most
+#: once per worker.  Sized above any realistic bank so member-major
+#: task streams (run_bank_sharded cycles through every member) do not
+#: thrash it back to one unpickle per task.
+_MONITOR_CACHE: Dict[bytes, object] = {}
+_MONITOR_CACHE_LIMIT = 64
+
+
+def _cached_monitor(digest: bytes, payload: bytes):
+    monitor = _MONITOR_CACHE.get(digest)
+    if monitor is None:
+        monitor = pickle.loads(payload)
+        while len(_MONITOR_CACHE) >= _MONITOR_CACHE_LIMIT:
+            _MONITOR_CACHE.pop(next(iter(_MONITOR_CACHE)))
+    else:
+        # Refresh recency (dicts iterate in insertion order, so the
+        # first key is always the least recently used).
+        del _MONITOR_CACHE[digest]
+    _MONITOR_CACHE[digest] = monitor
+    return monitor
+
+
+def _ship(compiled: CompiledMonitor) -> Tuple[bytes, bytes]:
+    """(digest, payload) for one monitor, source stripped.
+
+    Workers never read the interpreted source automaton; stripping it
+    roughly halves the payload.
+    """
+    payload = pickle.dumps(compiled.without_source())
+    return hashlib.sha1(payload).digest(), payload
 
 
 def _run_chunk(task) -> List[MonitorResult]:
-    member, traces, scoreboards = task
-    return run_many(_WORKER_MONITORS[member], traces, scoreboards)
+    digest, payload, traces, scoreboards, record_transitions = task
+    return run_many(_cached_monitor(digest, payload), traces, scoreboards,
+                    record_transitions=record_transitions)
 
 
 def _chunk_bounds(lengths: Sequence[int], n_chunks: int) -> List[Tuple[int, int]]:
@@ -106,44 +182,46 @@ def run_sharded(
     jobs: Optional[int] = None,
     scoreboards: Optional[Sequence[Scoreboard]] = None,
     mp_context: Optional[str] = None,
+    record_transitions: bool = False,
+    oversubscribe: bool = False,
 ) -> List[MonitorResult]:
     """Run one monitor over many traces across worker processes.
 
     Drop-in for :func:`~repro.runtime.compiled.run_many` (identical
     results, in input order).  ``jobs=None`` uses every core; with one
-    worker (or at most one trace) no pool is spawned at all.
+    worker (or at most one trace) no pool is used at all.
     ``mp_context`` selects the multiprocessing start method
     (``"fork"``/``"spawn"``; default: the platform's default).
+    ``record_transitions`` reports the transitions each trace took
+    (coverage folding); transition objects round-trip pickling with
+    structural equality, so they fold into collectors tracking the
+    caller's monitor.
     """
     compiled = as_compiled(monitor)
     if scoreboards is not None and len(scoreboards) != len(traces):
         raise MonitorError(
             "run_sharded needs exactly one scoreboard per trace when provided"
         )
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     if jobs <= 1 or len(traces) <= 1:
         # Keep the documented isolation contract on the in-process
         # fallback too: workers mutate pickled copies, so this path
         # must not mutate the caller's scoreboards either.
         if scoreboards is not None:
             scoreboards = pickle.loads(pickle.dumps(list(scoreboards)))
-        return run_many(compiled, traces, scoreboards)
+        return run_many(compiled, traces, scoreboards,
+                        record_transitions=record_transitions)
     lengths = [len(trace) for trace in traces]
     bounds = _chunk_bounds(lengths, min(jobs, len(traces)))
+    digest, payload = _ship(compiled)
     tasks = [
-        (0, list(traces[start:end]),
-         list(scoreboards[start:end]) if scoreboards is not None else None)
+        (digest, payload, list(traces[start:end]),
+         list(scoreboards[start:end]) if scoreboards is not None else None,
+         record_transitions)
         for start, end in bounds
     ]
-    context = multiprocessing.get_context(mp_context)
-    with context.Pool(
-        processes=min(jobs, len(tasks)),
-        initializer=_init_worker,
-        # Workers never read the interpreted source automaton; strip
-        # it so the one-time monitor shipment stays small.
-        initargs=([compiled.without_source()],),
-    ) as pool:
-        chunk_results = pool.map(_run_chunk, tasks)
+    pool = _get_pool(mp_context, min(jobs, len(tasks)))
+    chunk_results = pool.map(_run_chunk, tasks)
     results: List[MonitorResult] = []
     for chunk in chunk_results:
         results.extend(chunk)
@@ -164,7 +242,8 @@ def _stream_vcd_with(monitor, task):
 
 
 def _stream_vcd_task(task):
-    return _stream_vcd_with(_WORKER_MONITORS[0], task)
+    digest, payload, stream_task = task
+    return _stream_vcd_with(_cached_monitor(digest, payload), stream_task)
 
 
 def run_sharded_vcd(
@@ -177,6 +256,7 @@ def run_sharded_vcd(
     until: Optional[int] = None,
     binding=None,
     mp_context: Optional[str] = None,
+    oversubscribe: bool = False,
 ) -> list:
     """Check many VCD dumps in parallel, parsing inside the workers.
 
@@ -192,20 +272,17 @@ def run_sharded_vcd(
     parameters, applied to every dump.
     """
     compiled = as_compiled(monitor)
-    jobs = resolve_jobs(jobs)
-    tasks = [
+    jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
+    stream_tasks = [
         (os.fspath(path), clock, period, offset, until, binding)
         for path in paths
     ]
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_stream_vcd_with(compiled, task) for task in tasks]
-    context = multiprocessing.get_context(mp_context)
-    with context.Pool(
-        processes=min(jobs, len(tasks)),
-        initializer=_init_worker,
-        initargs=([compiled.without_source()],),
-    ) as pool:
-        return pool.map(_stream_vcd_task, tasks)
+    if jobs <= 1 or len(stream_tasks) <= 1:
+        return [_stream_vcd_with(compiled, task) for task in stream_tasks]
+    digest, payload = _ship(compiled)
+    tasks = [(digest, payload, task) for task in stream_tasks]
+    pool = _get_pool(mp_context, min(jobs, len(tasks)))
+    return pool.map(_stream_vcd_task, tasks)
 
 
 def run_bank_sharded(
@@ -213,6 +290,7 @@ def run_bank_sharded(
     traces: Sequence[Trace],
     jobs: Optional[int] = None,
     mp_context: Optional[str] = None,
+    oversubscribe: bool = False,
 ) -> list:
     """Run every member of a monitor bank over many traces, sharded.
 
@@ -224,7 +302,7 @@ def run_bank_sharded(
     from repro.synthesis.compose import BankResult
 
     members = bank.compiled_members()
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     if jobs <= 1 or (len(traces) <= 1 and len(members) <= 1):
         return bank.run_batch(traces)
     if not traces:
@@ -232,21 +310,20 @@ def run_bank_sharded(
     lengths = [len(trace) for trace in traces]
     per_member_chunks = max(1, jobs // len(members))
     bounds = _chunk_bounds(lengths, min(per_member_chunks, len(traces)))
+    shipped = [_ship(member) for member in members]
     tasks = []
-    for member_index in range(len(members)):
+    member_of_task = []
+    for member_index, (digest, payload) in enumerate(shipped):
         for start, end in bounds:
-            tasks.append((member_index, list(traces[start:end]), None))
-    context = multiprocessing.get_context(mp_context)
-    with context.Pool(
-        processes=min(jobs, len(tasks)),
-        initializer=_init_worker,
-        initargs=([member.without_source() for member in members],),
-    ) as pool:
-        chunk_results = pool.map(_run_chunk, tasks)
+            tasks.append((digest, payload, list(traces[start:end]), None,
+                          False))
+            member_of_task.append(member_index)
+    pool = _get_pool(mp_context, min(jobs, len(tasks)))
+    chunk_results = pool.map(_run_chunk, tasks)
     # Tasks are member-major with chunks in trace order, and pool.map
     # preserves order, so a single pass reassembles per-member lists.
     per_member: List[List[MonitorResult]] = [[] for _ in members]
-    for (member_index, _, _), chunk in zip(tasks, chunk_results):
+    for member_index, chunk in zip(member_of_task, chunk_results):
         per_member[member_index].extend(chunk)
     return [
         BankResult([member[i] for member in per_member])

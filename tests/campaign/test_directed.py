@@ -1,0 +1,225 @@
+"""Tests for directed stimulus synthesis (automaton-walk generation)."""
+
+import pytest
+
+from repro import (
+    Monitor,
+    Trace,
+    TraceGenerator,
+    Transition,
+    run_monitor,
+    tr,
+    tr_compiled,
+)
+from repro.campaign.directed import StimulusSynthesizer
+from repro.cesc.builder import ev, scesc
+from repro.errors import CampaignError
+from repro.logic.expr import TRUE, EventRef, Not
+from repro.monitor.automaton import AddEvt, DelEvt
+from repro.protocols.amba.charts import ahb_transaction_chart
+from repro.protocols.ocp import ocp_burst_read_chart, ocp_simple_read_chart
+from repro.runtime.compiled import compile_monitor, run_compiled, run_many
+
+
+def _handshake_chart():
+    return (
+        scesc("handshake").instances("M", "S")
+        .tick(ev("req")).tick(ev("ack"))
+        .arrow("done", cause="req", effect="ack")
+        .build()
+    )
+
+
+@pytest.mark.parametrize("form", ["interpreted", "compiled"])
+def test_accepting_trace_is_shortest_and_detects(form):
+    chart = ocp_simple_read_chart()
+    monitor = tr(chart) if form == "interpreted" else tr_compiled(chart)
+    directed = StimulusSynthesizer(monitor).accepting_trace()
+    assert directed is not None
+    assert directed.kind == "accepting"
+    # The chart spans 2 grid lines; nothing shorter can detect.
+    assert directed.trace.length == 2
+    assert list(directed.predicted_detections) == [1]
+    assert directed.accepting
+
+
+@pytest.mark.parametrize("form", ["interpreted", "compiled"])
+def test_violating_trace_is_a_near_miss(form):
+    chart = ocp_simple_read_chart()
+    monitor = tr(chart) if form == "interpreted" else tr_compiled(chart)
+    synthesizer = StimulusSynthesizer(monitor)
+    violating = synthesizer.violating_trace()
+    assert violating is not None
+    assert violating.kind == "violating"
+    assert violating.predicted_detections == ()
+    # Same length as the accepting witness: correct up to the last
+    # tick, derailed exactly there.
+    accepting = synthesizer.accepting_trace()
+    assert violating.trace.length == accepting.trace.length
+    assert violating.path[:-1] == accepting.path[:-1]
+    assert violating.path[-1] != accepting.path[-1]
+
+
+def test_predictions_match_reference_engine():
+    chart = ocp_burst_read_chart()
+    monitor = tr_compiled(chart)
+    synthesizer = StimulusSynthesizer(monitor)
+    for directed in (synthesizer.accepting_trace(),
+                     synthesizer.violating_trace()):
+        result = run_compiled(monitor, directed.trace)
+        assert list(result.detections) == list(directed.predicted_detections)
+        assert tuple(result.transitions) == directed.path
+
+
+def test_trace_through_every_reachable_edge():
+    monitor = tr_compiled(ahb_transaction_chart())
+    synthesizer = StimulusSynthesizer(monitor)
+    reachable = synthesizer.reachable_transitions()
+    assert reachable
+    for transition in reachable:
+        directed = synthesizer.trace_through(transition)
+        assert directed is not None
+        assert transition in directed.path
+        # The witness really drives the engine over that edge.
+        result = run_many(monitor, [directed.trace],
+                          record_transitions=True)[0]
+        assert transition in result.transitions
+
+
+def test_unreachable_edges_return_none_and_fuzz_never_hits_them():
+    chart = ocp_simple_read_chart()
+    monitor = tr_compiled(chart)
+    synthesizer = StimulusSynthesizer(monitor)
+    unreachable = synthesizer.unreachable_transitions()
+    # Tr completes the table over free Chk_evt valuations, so dead
+    # edges must exist (e.g. "no command outstanding" in the response
+    # state).
+    assert unreachable
+    for transition in unreachable:
+        assert synthesizer.trace_through(transition) is None
+    generator = TraceGenerator(chart, seed=7)
+    traces = [generator.satisfying_trace(prefix=2, suffix=2)
+              for _ in range(20)]
+    traces += [generator.random_trace(10) for _ in range(20)]
+    hit = set()
+    for result in run_many(monitor, traces, record_transitions=True):
+        hit.update(result.transitions)
+    assert not (hit & set(unreachable))
+
+
+def test_trace_to_state_including_initial():
+    monitor = tr_compiled(ocp_simple_read_chart())
+    synthesizer = StimulusSynthesizer(monitor)
+    for state in synthesizer.reachable_states():
+        directed = synthesizer.trace_to_state(state)
+        assert directed is not None
+        if state == monitor.initial:
+            assert directed.trace.length == 0
+        else:
+            assert directed.path[-1].target == state
+    with pytest.raises(CampaignError):
+        synthesizer.trace_to_state(monitor.n_states)
+
+
+def test_unreachable_state_returns_none():
+    # State 2 has no inbound edge: structurally present, never visited.
+    monitor = Monitor(
+        "island", n_states=3, initial=0, final=1,
+        transitions=[
+            Transition(0, EventRef("a"), (), 1),
+            Transition(0, Not(EventRef("a")), (), 0),
+            Transition(1, TRUE, (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"a"},
+    )
+    synthesizer = StimulusSynthesizer(monitor)
+    assert synthesizer.trace_to_state(2) is None
+    assert synthesizer.unreachable_states() == [2]
+    assert monitor.transitions[3] in synthesizer.unreachable_transitions()
+
+
+def test_interpreted_and_compiled_forms_agree_on_reachability():
+    chart = ocp_simple_read_chart()
+    dense = tr(chart)
+    synthesizer = StimulusSynthesizer(dense)
+    compiled_of_dense = compile_monitor(dense)
+    compiled_synth = StimulusSynthesizer(compiled_of_dense)
+    # compile_monitor preserves the transition objects, so the two
+    # walks must classify exactly the same edges as reachable.
+    assert (synthesizer.reachable_transitions()
+            == compiled_synth.reachable_transitions())
+    assert (synthesizer.reachable_states()
+            == compiled_synth.reachable_states())
+
+
+def test_scoreboard_multiset_paths_replay_exactly():
+    """The burst monitor pipelines 4 outstanding commands: directed
+    paths through its Chk/Del ladder must replay tick-for-tick."""
+    monitor = tr_compiled(ocp_burst_read_chart())
+    synthesizer = StimulusSynthesizer(monitor)
+    for transition in sorted(
+        synthesizer.reachable_transitions(),
+        key=lambda t: (t.source, t.target),
+    ):
+        directed = synthesizer.trace_through(transition)
+        result = run_many(monitor, [directed.trace],
+                          record_transitions=True)[0]
+        assert tuple(result.transitions) == directed.path
+        assert list(result.detections) == list(directed.predicted_detections)
+
+
+def test_derailing_valuation_fires_a_different_transition():
+    monitor = tr_compiled(ocp_simple_read_chart())
+    synthesizer = StimulusSynthesizer(monitor)
+    accepting = synthesizer.accepting_trace()
+    path = list(accepting.path)
+    for tick in range(len(path)):
+        valuation = synthesizer.derailing_valuation(path[:tick], path[tick])
+        assert valuation is not None
+        mutated = Trace(
+            list(accepting.trace.valuations[:tick]) + [valuation],
+            accepting.trace.alphabet,
+        )
+        result = run_many(monitor, [mutated], record_transitions=True)[0]
+        assert result.transitions[tick] != path[tick]
+
+
+def test_scoreboard_cap_guard_refuses_del_below_zero():
+    # add once, delete twice: the second delete must prune the edge,
+    # leaving the final state unreachable rather than crashing replay.
+    monitor = Monitor(
+        "overdel", n_states=3, initial=0, final=2,
+        transitions=[
+            Transition(0, EventRef("a"), (AddEvt("a"),), 1),
+            Transition(0, Not(EventRef("a")), (), 0),
+            Transition(1, EventRef("a"), (DelEvt("a"), DelEvt("a")), 2),
+            Transition(1, Not(EventRef("a")), (), 1),
+            Transition(2, TRUE, (), 2),
+        ],
+        alphabet={"a"},
+    )
+    synthesizer = StimulusSynthesizer(monitor)
+    assert synthesizer.accepting_trace() is None
+    assert 2 in synthesizer.unreachable_states()
+
+
+def test_truncated_exploration_never_claims_unreachability():
+    """A search that hit its bounds proves nothing: it must report
+    itself non-exhaustive and refuse to call anything unreachable."""
+    monitor = tr_compiled(ocp_burst_read_chart())
+    truncated = StimulusSynthesizer(monitor, max_depth=2)
+    assert not truncated.exploration_exhaustive()
+    assert truncated.unreachable_states() == []
+    assert truncated.unreachable_transitions() == []
+    full = StimulusSynthesizer(monitor)
+    assert full.exploration_exhaustive()
+    assert full.unreachable_transitions()
+
+
+def test_directed_trace_repr_and_oracle_agreement():
+    monitor = tr(_handshake_chart())
+    directed = StimulusSynthesizer(monitor).accepting_trace()
+    assert "accepting" in repr(directed)
+    assert (run_monitor(monitor, directed.trace).detections
+            == list(directed.predicted_detections))

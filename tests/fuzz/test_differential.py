@@ -169,9 +169,15 @@ def test_differential_case(name, index):
 
 @pytest.mark.parametrize("name", sorted(FAMILIES))
 def test_differential_sharded_family(name):
-    """Path 4: the sharded runner agrees on the whole family batch."""
+    """Path 4: the sharded runner agrees on the whole family batch.
+
+    ``oversubscribe`` keeps this a genuine cross-process check even on
+    single-core CI runners (worker requests are otherwise capped at
+    the core count).
+    """
     family = _family(name)
-    sharded = run_sharded(family.compiled, family.traces, jobs=2)
+    sharded = run_sharded(family.compiled, family.traces, jobs=2,
+                          oversubscribe=True)
     lockstep = run_many(family.compiled, family.traces)
     assert len(sharded) == len(family.traces)
     for shard_result, lock_result, reference in zip(

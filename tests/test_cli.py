@@ -275,3 +275,70 @@ def test_check_vcd_partial_binding_keeps_other_nets(tmp_path):
     ])
     assert status == 0
     assert "detections at [1]" in text
+
+
+# ---------------------------------------------------------------- campaign ----
+def test_campaign_reaches_closure_and_exits_zero(spec_file):
+    status, text = _run(["campaign", spec_file, "handshake"])
+    assert status == 0
+    assert "closure reached" in text
+    assert "100.0% states" in text
+    assert "100.0% transitions" in text
+
+
+def test_campaign_json_report(spec_file):
+    import json as json_module
+
+    status, text = _run([
+        "campaign", spec_file, "handshake", "--json", "--budget", "64",
+        "--faults", "4",
+    ])
+    assert status == 0
+    document = json_module.loads(text)
+    assert document["reached"] is True
+    assert document["monitor"] == "handshake"
+    assert document["faults"]["mismatches"] == []
+    assert document["faults"]["trials"] >= 2
+
+
+def test_campaign_exports_vcd_corpus(spec_file, tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    status, text = _run([
+        "campaign", spec_file, "handshake",
+        "--export-vcd", str(corpus_dir), "--seed-traces", "2",
+    ])
+    assert status == 0
+    dumps = sorted(corpus_dir.glob("*.vcd"))
+    assert dumps
+    assert "exported" in text
+
+
+def test_campaign_budget_exhaustion_exits_three(spec_file):
+    status, text = _run([
+        "campaign", spec_file, "handshake", "--budget", "1",
+        "--seed-traces", "1",
+    ])
+    assert status == 3
+    assert "closure NOT reached" in text
+
+
+def test_campaign_interpreted_engine_covers_the_dense_automaton(spec_file):
+    status, text = _run([
+        "campaign", spec_file, "handshake", "--engine", "interpreted",
+        "--budget", "128",
+    ])
+    assert status == 0
+    assert "closure reached" in text
+
+
+def test_campaign_rejects_bad_arguments(spec_file):
+    status, text = _run([
+        "campaign", spec_file, "handshake", "--target-coverage", "1.5",
+    ])
+    assert status == 2
+    assert "target-coverage" in text
+    status, text = _run([
+        "campaign", spec_file, "handshake", "--budget", "0",
+    ])
+    assert status == 2
+    assert "budget" in text

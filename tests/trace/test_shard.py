@@ -52,8 +52,10 @@ def test_run_sharded_matches_run_many(chart_builder):
     chart = chart_builder()
     compiled = tr_compiled(chart)
     traces = _traces(chart, 14)
+    # oversubscribe forces real worker processes even on a 1-core box,
+    # keeping this a genuine cross-process check.
     _assert_same(
-        run_sharded(compiled, traces, jobs=4),
+        run_sharded(compiled, traces, jobs=4, oversubscribe=True),
         run_many(compiled, traces),
     )
 
@@ -62,9 +64,55 @@ def test_run_sharded_accepts_interpreted_monitor_input():
     chart = ocp_simple_read_chart()
     traces = _traces(chart, 6)
     _assert_same(
-        run_sharded(tr(chart), traces, jobs=2),
+        run_sharded(tr(chart), traces, jobs=2, oversubscribe=True),
         run_many(tr_compiled(chart), traces),
     )
+
+
+def test_run_sharded_reuses_worker_pool_across_calls_and_monitors():
+    """Campaign loops issue many sharded batches; the pool must persist
+    and serve different monitors through the worker-side cache."""
+    from repro.trace import shard
+
+    shard.shutdown_worker_pools()
+    simple = tr_compiled(ocp_simple_read_chart())
+    burst = tr_compiled(ocp_burst_read_chart())
+    simple_traces = _traces(ocp_simple_read_chart(), 6)
+    burst_traces = _traces(ocp_burst_read_chart(), 6)
+    _assert_same(
+        run_sharded(simple, simple_traces, jobs=2, oversubscribe=True),
+        run_many(simple, simple_traces),
+    )
+    assert len(shard._POOLS) == 1
+    pool_before = next(iter(shard._POOLS.values()))[0]
+    _assert_same(
+        run_sharded(burst, burst_traces, jobs=2, oversubscribe=True),
+        run_many(burst, burst_traces),
+    )
+    assert next(iter(shard._POOLS.values()))[0] is pool_before
+    # A bigger request grows the pool (and retires the old one).
+    _assert_same(
+        run_sharded(simple, simple_traces, jobs=3, oversubscribe=True),
+        run_many(simple, simple_traces),
+    )
+    assert next(iter(shard._POOLS.values()))[1] >= 3
+    shard.shutdown_worker_pools()
+    assert shard._POOLS == {}
+
+
+def test_run_sharded_record_transitions_round_trips_workers():
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    traces = _traces(chart, 6)
+    sharded = run_sharded(compiled, traces, jobs=2, oversubscribe=True,
+                          record_transitions=True)
+    local = run_many(compiled, traces, record_transitions=True)
+    universe = set(compiled.transitions)
+    for a, b in zip(sharded, local):
+        assert a.transitions == b.transitions
+        assert set(a.transitions) <= universe
+    plain = run_sharded(compiled, traces, jobs=2, oversubscribe=True)
+    assert all(r.transitions is None for r in plain)
 
 
 def test_run_sharded_single_job_and_single_trace_skip_pool():
@@ -114,7 +162,7 @@ def test_worker_errors_propagate():
     compiled = compile_monitor(incomplete)
     traces = [Trace.from_sets([{"a"}, {"a"}], {"a"})] * 4
     with pytest.raises(MonitorError, match="no transition enabled"):
-        run_sharded(compiled, traces, jobs=2)
+        run_sharded(compiled, traces, jobs=2, oversubscribe=True)
 
 
 # ------------------------------------------------------ run_bank_sharded ----
@@ -122,7 +170,7 @@ def test_run_bank_sharded_matches_run_batch():
     chart = ocp_simple_read_chart()
     bank = synthesize_chart(chart)
     traces = _traces(chart, 10)
-    sharded = run_bank_sharded(bank, traces, jobs=4)
+    sharded = run_bank_sharded(bank, traces, jobs=4, oversubscribe=True)
     batch = bank.run_batch(traces)
     assert len(sharded) == len(batch)
     for a, b in zip(sharded, batch):
@@ -155,7 +203,8 @@ def test_run_sharded_vcd_parses_in_workers(tmp_path):
         paths.append(path)
         expected.append(run_many(compiled, [trace])[0].detections)
     for jobs in (1, 3):
-        reports = run_sharded_vcd(compiled, paths, jobs=jobs, clock="clk")
+        reports = run_sharded_vcd(compiled, paths, jobs=jobs, clock="clk",
+                                  oversubscribe=True)
         assert [r.detections for r in reports] == expected
     assert run_sharded_vcd(compiled, [], jobs=3) == []
 
@@ -172,7 +221,7 @@ def test_run_sharded_vcd_with_binding(tmp_path):
     binding = SignalBinding({"HREQ": "a"})
     reports = run_sharded_vcd(
         tr_compiled(chart), [path, path], jobs=2, clock="clk",
-        binding=binding,
+        binding=binding, oversubscribe=True,
     )
     assert [r.detections for r in reports] == [[1], [1]]
 
@@ -198,9 +247,17 @@ def test_chunk_bounds_do_not_swallow_tail_heavy_workloads():
 
 
 def test_resolve_jobs():
-    assert resolve_jobs(3) == 3
-    assert resolve_jobs(None) >= 1
-    assert resolve_jobs(0) >= 1
+    import os
+
+    cores = max(1, os.cpu_count() or 1)
+    # Explicit requests are capped at the core count: oversubscribing
+    # a CPU-bound lock-step loop is pure overhead (the regression that
+    # made jobs=4 3x slower than single-process on a 1-core box).
+    assert resolve_jobs(3) == min(3, cores)
+    assert resolve_jobs(3, oversubscribe=True) == 3
+    assert resolve_jobs(cores + 7) == cores
+    assert resolve_jobs(None) == cores
+    assert resolve_jobs(0) == cores
     with pytest.raises(MonitorError):
         resolve_jobs(-2)
 
