@@ -65,6 +65,11 @@ from repro.runtime.compiled import (
     run_compiled,
     run_many,
 )
+from repro.optimize import (
+    OptimizationResult,
+    optimize_compiled,
+    optimize_monitor,
+)
 from repro.semantics.generator import TraceGenerator
 from repro.semantics.run import GlobalRun, Trace
 from repro.synthesis.compose import MonitorBank, synthesize_chart
@@ -118,6 +123,7 @@ __all__ = [
     "MonitorNetwork",
     "MonitorResult",
     "Not",
+    "OptimizationResult",
     "Or",
     "Par",
     "PropRef",
@@ -140,6 +146,8 @@ __all__ = [
     "Verdict",
     "compile_monitor",
     "ev",
+    "optimize_compiled",
+    "optimize_monitor",
     "parse_cesc",
     "parse_expr",
     "run_bank_sharded",

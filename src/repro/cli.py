@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stepping backend: dense table dispatch (default) or the "
              "reference guard-tree interpreter")
     check.add_argument(
+        "--optimize", action="store_true",
+        help="run the monitor through the optimization pipeline "
+             "(state minimisation, alphabet pruning, table compaction) "
+             "before checking — identical verdicts, smaller tables "
+             "(needs --engine compiled)")
+    check.add_argument(
         "--vcd", action="append", default=[], metavar="DUMP",
         help="VCD waveform dump to check (repeatable; each dump is one "
              "trace)")
@@ -136,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitor form the campaign covers: the compiled dispatch "
              "table's compressed edges (default) or the dense "
              "interpreted automaton")
+    campaign.add_argument(
+        "--optimize", action="store_true",
+        help="cover the optimized monitor (minimised, pruned, "
+             "compacted) instead of the raw synthesis output")
     campaign.add_argument(
         "--faults", type=int, default=0, metavar="N",
         help="additionally run a fault-mutation campaign with N random "
@@ -272,6 +282,10 @@ def _validate_check_args(args) -> None:
         raise ReproError(f"--jobs must be >= 0 (got {args.jobs})")
     if args.jobs != 1 and args.engine != "compiled":
         raise ReproError("--jobs needs --engine compiled")
+    if args.optimize and args.engine != "compiled":
+        # The pipeline's artifact is a compiled dispatch table; the
+        # interpreted backend exists as the unoptimized reference.
+        raise ReproError("--optimize needs --engine compiled")
 
 
 def _write_stream_report(out, path, report) -> bool:
@@ -307,7 +321,7 @@ def _check_vcd(args, chart, out) -> int:
             )
     if args.engine == "compiled":
         reports = run_sharded_vcd(
-            tr_compiled(chart), args.vcd, jobs=args.jobs,
+            _compiled_for_check(args, chart), args.vcd, jobs=args.jobs,
             clock=args.clock, period=args.period, binding=binding,
         )
     else:
@@ -328,6 +342,15 @@ def _check_vcd(args, chart, out) -> int:
     return status
 
 
+def _compiled_for_check(args, chart):
+    """The compiled monitor a ``check`` run dispatches on."""
+    if args.optimize:
+        from repro.optimize import optimize_monitor
+
+        return optimize_monitor(tr(chart)).compiled
+    return tr_compiled(chart)
+
+
 def _cmd_check(args, out) -> int:
     chart = _load_scesc(args.spec, args.chart)
     _validate_check_args(args)
@@ -335,7 +358,7 @@ def _cmd_check(args, out) -> int:
         return _check_vcd(args, chart, out)
     trace = _load_wavedrom_trace(args, chart, out)
     if args.engine == "compiled":
-        result = run_compiled(tr_compiled(chart), trace)
+        result = run_compiled(_compiled_for_check(args, chart), trace)
     else:
         result = run_monitor(tr(chart), trace)
     out.write(f"{args.trace}: {trace.length} ticks; "
@@ -354,7 +377,14 @@ def _cmd_campaign(args, out) -> int:
         )
     if args.budget <= 0:
         raise ReproError(f"--budget must be positive (got {args.budget})")
-    monitor = tr_compiled(chart) if args.engine == "compiled" else tr(chart)
+    if args.optimize:
+        from repro.optimize import optimize_monitor
+
+        optimized = optimize_monitor(tr(chart))
+        monitor = (optimized.compiled if args.engine == "compiled"
+                   else optimized.monitor)
+    else:
+        monitor = tr_compiled(chart) if args.engine == "compiled" else tr(chart)
     campaign = CoverageCampaign(
         chart, monitor=monitor, seed=args.seed, jobs=args.jobs,
     )

@@ -139,7 +139,8 @@ class AssertionChecker:
     """Checker for ``A => C`` implication charts over clocked traces."""
 
     def __init__(self, chart: Chart, variant: str = "tr",
-                 loop_limit: int = 3, engine: str = "interpreted"):
+                 loop_limit: int = 3, engine: str = "interpreted",
+                 optimize: bool = False):
         # Imported here to keep repro.monitor importable on its own
         # (synthesis depends on monitor for its output types).
         from repro.synthesis.compose import synthesize_chart
@@ -153,10 +154,17 @@ class AssertionChecker:
             )
         if engine not in ("interpreted", "compiled"):
             raise MonitorError(f"unknown engine backend {engine!r}")
+        if optimize and engine != "compiled":
+            # The pipeline's artifact is a compiled dispatch table; the
+            # interpreted members would silently run unoptimized.
+            raise MonitorError(
+                "optimize=True requires engine=\"compiled\""
+            )
         self._chart = chart
         self._engine_backend = engine
         self._bank: MonitorBank = synthesize_chart(
-            chart.antecedent, variant=variant, loop_limit=loop_limit
+            chart.antecedent, variant=variant, loop_limit=loop_limit,
+            optimize=optimize,
         )
         self._consequents: List[FlatPattern] = flatten_chart(
             chart.consequent, loop_limit=loop_limit

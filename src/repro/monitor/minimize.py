@@ -1,23 +1,62 @@
-"""DFA minimisation for action-free monitors (Moore partition refinement).
+"""State minimisation for monitors (Moore/Mealy partition refinement).
 
 Used by the analysis layer (canonical forms for language-equivalence
-checking) and by the baselines benchmark comparing monitor sizes.
-Monitors carrying scoreboard actions are Mealy-style transducers whose
-output (the action sequence) is part of their behaviour; collapsing
-states could merge distinct action histories, so minimisation is
-restricted to action-free detectors and raises otherwise.
+checking), by the optimization pipeline (:mod:`repro.optimize`) that
+shrinks automata before they are lowered to compiled dispatch tables,
+and by the baselines benchmark comparing monitor sizes.
+
+Action-free detectors minimise as classic Moore machines.  Monitors
+carrying scoreboard actions are Mealy-style transducers whose output
+(the ``Add_evt``/``Del_evt`` sequence) is part of their behaviour;
+they are minimised by including the *action signature* — the move's
+action tuple, resolved per scoreboard-check assignment — in the
+partition-refinement signature, so two states merge only when they
+emit identical actions and reach equivalent successors under **every**
+input valuation *and* every truth assignment of their ``Chk_evt``
+guards.  Quantifying over all check assignments abstracts the dynamic
+scoreboard soundly: merged states are indistinguishable no matter
+which events the scoreboard happens to hold.
+
+The valuation enumeration is routed through
+:class:`~repro.logic.codec.AlphabetCodec` masks, so this layer shares
+the codec's ``2^MAX_CODEC_SYMBOLS`` tractability cap instead of
+silently attempting an astronomically wide enumeration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import MonitorError
-from repro.logic.valuation import Valuation, enumerate_valuations
+from repro.errors import ExprError, MonitorError
+from repro.logic.codec import MAX_CODEC_SYMBOLS, AlphabetCodec
+from repro.logic.expr import ScoreboardCheck, scoreboard_checks_of, substitute_checks
+from repro.logic.qm import minimize_expr
+from repro.logic.valuation import Valuation
 from repro.monitor.automaton import Monitor, Transition
-from repro.synthesis.tr import minterm_expr
 
 __all__ = ["minimize_monitor", "transition_function"]
+
+#: One resolved move: ``(actions, target)`` for a fixed (mask, checks).
+_Move = Tuple[tuple, int]
+
+
+def _codec_for(monitor: Monitor) -> AlphabetCodec:
+    """The codec enumerating the monitor's valuations, cap enforced.
+
+    The dense ``2^|Sigma|`` enumeration below shares
+    :data:`~repro.logic.codec.MAX_CODEC_SYMBOLS` with the compiled
+    runtime — one limit for every layer that materialises the
+    valuation space.
+    """
+    if len(monitor.alphabet) > MAX_CODEC_SYMBOLS:
+        raise MonitorError(
+            f"monitor {monitor.name!r}: alphabet of "
+            f"{len(monitor.alphabet)} symbols exceeds the "
+            f"2^{MAX_CODEC_SYMBOLS} valuation-enumeration cap "
+            f"(shared with AlphabetCodec) — prune the alphabet or "
+            f"split the chart"
+        )
+    return AlphabetCodec(monitor.alphabet)
 
 
 def transition_function(
@@ -33,11 +72,12 @@ def transition_function(
             f"monitor {monitor.name!r} carries scoreboard actions; its "
             "transition function is scoreboard-dependent"
         )
-    alphabet = sorted(monitor.alphabet)
+    codec = _codec_for(monitor)
     table: Dict[Tuple[int, FrozenSet[str]], int] = {}
     for state in monitor.states:
         outgoing = monitor.transitions_from(state)
-        for valuation in enumerate_valuations(alphabet):
+        for mask in codec.all_masks():
+            valuation = codec.decode(mask)
             enabled = [
                 t for t in outgoing
                 if _guard_holds(t, valuation)
@@ -54,93 +94,282 @@ def transition_function(
 def _guard_holds(transition: Transition, valuation: Valuation) -> bool:
     try:
         return transition.guard.evaluate(valuation)
-    except Exception as error:  # Chk_evt without scoreboard
+    except ExprError as error:  # Chk_evt evaluated without a scoreboard
         raise MonitorError(
             f"guard {transition.guard!r} is scoreboard-dependent: {error}"
+        ) from error
+
+
+class _StateBehaviour:
+    """One state's move function, resolved per (mask, check assignment).
+
+    ``checks`` is the sorted tuple of ``Chk_evt`` events the state's
+    outgoing guards mention; ``moves[mask][a]`` is the unique
+    ``(actions, target)`` fired by valuation ``mask`` when assignment
+    ``a`` (bit ``i`` = truth of ``checks[i]``) fixes every check.
+    """
+
+    __slots__ = ("checks", "moves")
+
+    def __init__(self, checks: Tuple[str, ...],
+                 moves: List[List[_Move]]):
+        self.checks = checks
+        self.moves = moves
+
+
+def _state_behaviour(
+    monitor: Monitor, codec: AlphabetCodec, state: int
+) -> _StateBehaviour:
+    """Resolve ``state``'s moves for every valuation and check truth."""
+    outgoing = monitor.transitions_from(state)
+    check_set: set = set()
+    for transition in outgoing:
+        check_set |= scoreboard_checks_of(transition.guard)
+    checks = tuple(sorted(check_set))
+    if len(checks) > MAX_CODEC_SYMBOLS:
+        raise MonitorError(
+            f"monitor {monitor.name!r}: state {state} guards mention "
+            f"{len(checks)} distinct Chk_evt events, exceeding the "
+            f"2^{MAX_CODEC_SYMBOLS} assignment-enumeration cap"
         )
+    n_assignments = 1 << len(checks)
+    # Truth bitmaps per (assignment, transition): with checks fixed the
+    # guard is a pure input function, tabulated in one codec pass.
+    enabled: List[List[Tuple[int, Transition]]] = []
+    for assignment in range(n_assignments):
+        values = {
+            check: bool(assignment >> index & 1)
+            for index, check in enumerate(checks)
+        }
+        entries: List[Tuple[int, Transition]] = []
+        for transition in outgoing:
+            fixed = substitute_checks(transition.guard, values).simplify()
+            bitmap = codec.truth_table(fixed)
+            if bitmap:
+                entries.append((bitmap, transition))
+        enabled.append(entries)
+    moves: List[List[_Move]] = []
+    for mask in codec.all_masks():
+        bit = 1 << mask
+        per_assignment: List[_Move] = []
+        for assignment in range(n_assignments):
+            fired = {
+                (t.actions, t.target)
+                for bitmap, t in enabled[assignment]
+                if bitmap & bit
+            }
+            if len(fired) != 1:
+                kind = "no move" if not fired else (
+                    f"{len(fired)} conflicting moves"
+                )
+                held = [c for i, c in enumerate(checks)
+                        if assignment >> i & 1]
+                raise MonitorError(
+                    f"monitor {monitor.name!r}: state {state} has {kind} "
+                    f"on {codec.decode(mask)!r} with scoreboard checks "
+                    f"{held or '{}'} assumed true"
+                )
+            per_assignment.append(next(iter(fired)))
+        moves.append(per_assignment)
+    return _StateBehaviour(checks, moves)
+
+
+def _dependent_checks(outs: Sequence, n_checks: int) -> List[int]:
+    """Indices of checks the outcome actually depends on.
+
+    ``outs`` maps every assignment (bit ``i`` = truth of check ``i``)
+    to its resolved output; a check whose flip never changes the
+    output is a don't-care and is eliminated from signatures and
+    rebuilt guards alike.
+    """
+    return [
+        index for index in range(n_checks)
+        if any(outs[a] != outs[a ^ (1 << index)]
+               for a in range(len(outs)))
+    ]
+
+
+def _expand_assignment(sub: int, kept: Sequence[int]) -> int:
+    """Map an assignment over the kept checks back to the full space
+    (don't-care bits zero)."""
+    assignment = 0
+    for j, index in enumerate(kept):
+        if sub >> j & 1:
+            assignment |= 1 << index
+    return assignment
+
+
+def _mask_signature(
+    checks: Tuple[str, ...],
+    per_assignment: Sequence[_Move],
+    block_of: Dict[int, int],
+) -> tuple:
+    """Canonical decision function of one ``(state, mask)`` cell.
+
+    Maps targets to their current partition blocks, then eliminates
+    checks the outcome never depends on, so two states whose guards
+    *mention* different checks but *behave* identically get equal
+    signatures.
+    """
+    outs = [
+        (actions, block_of[target]) for actions, target in per_assignment
+    ]
+    kept = _dependent_checks(outs, len(checks))
+    projected = tuple(
+        outs[_expand_assignment(sub, kept)] for sub in range(1 << len(kept))
+    )
+    return (tuple(checks[i] for i in kept), projected)
+
+
+def _check_guard(
+    assignments: Sequence[int], checks: Tuple[str, ...], kept: List[int]
+):
+    """Minimal ``Chk_evt`` expression selecting exactly ``assignments``.
+
+    ``assignments`` index the kept-check truth space (bit ``j`` =
+    ``checks[kept[j]]``); the result is their Quine–McCluskey minimum
+    sum-of-products over ``ScoreboardCheck`` atoms.
+    """
+    atoms = [ScoreboardCheck(checks[i]) for i in kept]
+    width = len(atoms)
+    minterms = []
+    for assignment in assignments:
+        index = 0
+        for j in range(width):
+            if assignment >> j & 1:
+                index |= 1 << (width - 1 - j)
+        minterms.append(index)
+    return minimize_expr(minterms, atoms)
 
 
 def minimize_monitor(monitor: Monitor) -> Monitor:
-    """Language-preserving state minimisation (final state = accepting).
+    """Behaviour-preserving state minimisation (final state = accepting).
 
     Returns a monitor over the same alphabet with the minimum number of
-    states distinguishing acceptance behaviour.  Unreachable states are
-    dropped first.  Transitions in the result are labelled with
-    minterm guards (one per valuation class), ready for
+    states distinguishing acceptance *and* action behaviour:
+    action-free detectors reduce exactly as Moore machines; monitors
+    with scoreboard actions merge states only when every input
+    valuation, under every ``Chk_evt`` truth assignment, yields the
+    same action tuple and an equivalent successor.  Unreachable states
+    are dropped.  Transitions in the result are labelled with minterm
+    guards (one per valuation class, conjoined with a minimised check
+    expression where the move is scoreboard-dependent), ready for
     :func:`~repro.synthesis.symbolic.symbolic_monitor` compression.
     """
-    table = transition_function(monitor)
-    alphabet = sorted(monitor.alphabet)
-    valuations = [v.true for v in enumerate_valuations(alphabet)]
+    codec = _codec_for(monitor)
+    masks = list(codec.all_masks())
 
-    # Reachability.
+    # Reachability over (state) with behaviour resolved lazily — an
+    # unreachable ill-formed state cannot poison the minimisation.
+    behaviour: Dict[int, _StateBehaviour] = {}
+
+    def behaviour_of(state: int) -> _StateBehaviour:
+        resolved = behaviour.get(state)
+        if resolved is None:
+            resolved = _state_behaviour(monitor, codec, state)
+            behaviour[state] = resolved
+        return resolved
+
     reachable = {monitor.initial}
     frontier = [monitor.initial]
     while frontier:
         state = frontier.pop()
-        for value in valuations:
-            target = table[(state, value)]
-            if target not in reachable:
-                reachable.add(target)
-                frontier.append(target)
+        for per_assignment in behaviour_of(state).moves:
+            for _, target in per_assignment:
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
 
-    # Moore refinement.
-    accepting = frozenset({monitor.final}) & frozenset(reachable)
-    partition: List[FrozenSet[int]] = [
-        block
-        for block in (
-            frozenset(reachable) - accepting,
-            accepting,
-        )
-        if block
-    ]
-    while True:
-        index_of = {}
-        for index, block in enumerate(partition):
-            for state in block:
-                index_of[state] = index
-        refined: List[FrozenSet[int]] = []
-        for block in partition:
-            signature_groups: Dict[Tuple[int, ...], List[int]] = {}
-            for state in block:
-                signature = tuple(
-                    index_of[table[(state, value)]] for value in valuations
-                )
-                signature_groups.setdefault(signature, []).append(state)
-            refined.extend(frozenset(g) for g in signature_groups.values())
-        if len(refined) == len(partition):
-            break
-        partition = refined
-
-    index_of = {}
-    for index, block in enumerate(partition):
-        for state in block:
-            index_of[state] = index
-    # Renumber with the initial block first for readability.
-    order = sorted(range(len(partition)),
-                   key=lambda i: (i != index_of[monitor.initial], i))
-    renumber = {old: new for new, old in enumerate(order)}
-
-    transitions: List[Transition] = []
-    for index, block in enumerate(partition):
-        representative = min(block)
-        for value in valuations:
-            target_block = index_of[table[(representative, value)]]
-            guard = minterm_expr(value, alphabet, monitor.props)
-            transitions.append(
-                Transition(renumber[index], guard, (), renumber[target_block])
-            )
-    if monitor.final not in index_of:
+    # The empty-language check runs *before* partition refinement: a
+    # final state no run can enter means the detected language is
+    # empty, and no amount of refinement changes that.  ``initial ==
+    # final`` (an empty chart) is trivially reachable and proceeds.
+    if monitor.final not in reachable:
         raise MonitorError(
             f"monitor {monitor.name!r}: final state unreachable — the "
             "detected language is empty and has no DFA in monitor form"
         )
-    final_block = renumber[index_of[monitor.final]]
+
+    # Partition refinement, accepting block split out first.
+    accepting = frozenset({monitor.final})
+    partition: List[FrozenSet[int]] = [
+        block
+        for block in (frozenset(reachable) - accepting, accepting)
+        if block
+    ]
+    while True:
+        block_of: Dict[int, int] = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+        refined: List[FrozenSet[int]] = []
+        for block in partition:
+            groups: Dict[tuple, List[int]] = {}
+            for state in block:
+                resolved = behaviour_of(state)
+                signature = tuple(
+                    _mask_signature(
+                        resolved.checks, resolved.moves[mask], block_of
+                    )
+                    for mask in masks
+                )
+                groups.setdefault(signature, []).append(state)
+            refined.extend(frozenset(g) for g in groups.values())
+        if len(refined) == len(partition):
+            break
+        partition = refined
+
+    block_of = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = index
+    # Renumber with the initial block first for readability.
+    order = sorted(range(len(partition)),
+                   key=lambda i: (i != block_of[monitor.initial], i))
+    renumber = {old: new for new, old in enumerate(order)}
+
+    from repro.synthesis.tr import minterm_expr
+    from repro.logic.expr import And
+
+    alphabet = codec.symbols
+    transitions: List[Transition] = []
+    for index, block in enumerate(partition):
+        representative = min(block)
+        resolved = behaviour_of(representative)
+        checks = resolved.checks
+        for mask in masks:
+            per_assignment = resolved.moves[mask]
+            outs = [
+                (actions, block_of[target])
+                for actions, target in per_assignment
+            ]
+            kept = _dependent_checks(outs, len(checks))
+            groups: Dict[_Move, List[int]] = {}
+            for sub in range(1 << len(kept)):
+                groups.setdefault(
+                    outs[_expand_assignment(sub, kept)], []
+                ).append(sub)
+            minterm = minterm_expr(
+                codec.decode(mask).true, alphabet, monitor.props
+            )
+            for (actions, target_block), subs in sorted(
+                groups.items(), key=lambda item: repr(item[0])
+            ):
+                if len(groups) == 1:
+                    guard = minterm
+                else:
+                    guard = And(
+                        (minterm, _check_guard(subs, checks, kept))
+                    ).simplify()
+                transitions.append(
+                    Transition(renumber[index], guard, actions,
+                               renumber[target_block])
+                )
     return Monitor(
         f"{monitor.name}:min",
         n_states=len(partition),
-        initial=renumber[index_of[monitor.initial]],
-        final=final_block,
+        initial=renumber[block_of[monitor.initial]],
+        final=renumber[block_of[monitor.final]],
         transitions=transitions,
         alphabet=monitor.alphabet,
         props=monitor.props,

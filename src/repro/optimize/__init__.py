@@ -1,0 +1,44 @@
+"""Monitor optimization: shrink automata before the compiled runtime.
+
+The pipeline (:func:`optimize_monitor` / :func:`optimize_compiled`)
+composes three behaviour-preserving passes attacking the paper's
+``O((n+1) * 2^|Sigma|)`` table bound from every side:
+
+* **scoreboard-aware minimisation** — the ``n + 1`` state factor
+  (:func:`~repro.monitor.minimize.minimize_monitor`, Mealy-extended);
+* **alphabet pruning** — the ``2^|Sigma|`` width factor
+  (:mod:`repro.optimize.prune`);
+* **table compaction** — the constant factor
+  (:mod:`repro.optimize.compact`, sparse default-cell rows).
+
+``MonitorBank``/``MonitorNetwork``/``AssertionChecker`` expose the
+pipeline via their ``optimize=`` knob, the CLI via ``--optimize``.
+"""
+
+from repro.optimize.compact import compact_monitor, compact_row, compaction_stats
+from repro.optimize.pipeline import (
+    OptimizationResult,
+    as_optimized,
+    optimize_compiled,
+    optimize_monitor,
+)
+from repro.optimize.prune import (
+    prune_compiled,
+    prune_monitor,
+    used_symbols,
+    used_symbols_compiled,
+)
+
+__all__ = [
+    "OptimizationResult",
+    "as_optimized",
+    "compact_monitor",
+    "compact_row",
+    "compaction_stats",
+    "optimize_compiled",
+    "optimize_monitor",
+    "prune_compiled",
+    "prune_monitor",
+    "used_symbols",
+    "used_symbols_compiled",
+]

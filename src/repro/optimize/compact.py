@@ -1,0 +1,92 @@
+"""Table compaction: sparse default-cell rows for compiled monitors.
+
+Even after pruning, most masks of a dispatch row resolve to one cell —
+the self-loop (or failure shift) absorbing the valuations that do not
+advance the pattern.  Dense rows repeat that cell ``2^|Sigma|`` times;
+a :class:`~repro.runtime.compiled.CompactRow` stores the most common
+cell once as the row default and only the exceptional masks
+explicitly, with ``dict.__missing__`` keeping the hot-path
+``table[state][mask]`` lookup transparent to every engine.
+
+Compaction is per-row and opt-out: a row only compacts when the sparse
+form actually stores fewer cells (``len(exceptions) + 1 <
+min_fill * 2^|Sigma|``), so near-uniform rows shrink dramatically while
+genuinely dense rows stay as lists (list indexing beats a dict miss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.runtime.compiled import CompactRow, CompiledMonitor, peek_cell
+
+__all__ = ["compact_monitor", "compact_row", "compaction_stats"]
+
+#: A row compacts only when its sparse cell count stays below this
+#: fraction of the dense width — the break-even point where the
+#: ``__missing__`` indirection is worth the memory saved.
+DEFAULT_MIN_FILL = 0.75
+
+
+def compact_row(cells, size: int, min_fill: float = DEFAULT_MIN_FILL):
+    """The sparse form of one row, or the dense list when not worth it.
+
+    ``cells`` is indexable over ``0..size-1`` (a dense list or an
+    existing :class:`CompactRow`).  The default cell is the most
+    frequent one; equality groups cells, so interned transitions and
+    shared ladder tuples coalesce.
+    """
+    row = [peek_cell(cells, mask) for mask in range(size)]
+    counts: Dict[object, int] = {}
+    for cell in row:
+        counts[cell] = counts.get(cell, 0) + 1
+    # First-seen wins ties, so the choice is deterministic.
+    default = max(counts, key=counts.get)
+    exceptional = size - counts[default]
+    if exceptional + 1 >= min_fill * size:
+        return row
+    return CompactRow(
+        {mask: cell for mask, cell in enumerate(row) if cell != default},
+        default,
+    )
+
+
+def compact_monitor(
+    compiled: CompiledMonitor, min_fill: float = DEFAULT_MIN_FILL
+) -> CompiledMonitor:
+    """Re-encode every worthwhile row of ``compiled`` sparsely.
+
+    Dispatch is unchanged — :class:`CompactRow` answers the same
+    ``row[mask]`` queries — so engines, the stimulus synthesizer, and
+    the sharded pipeline read the compacted table exactly as the dense
+    one.  Identity when no row passes the break-even test.
+    """
+    size = compiled.codec.size
+    table = [
+        compact_row(compiled._table[state], size, min_fill)
+        for state in compiled.states
+    ]
+    if not any(isinstance(row, CompactRow) for row in table):
+        return compiled
+    return CompiledMonitor(
+        compiled.name,
+        n_states=compiled.n_states,
+        initial=compiled.initial,
+        final=compiled.final,
+        codec=compiled.codec,
+        table=table,
+        transitions=compiled.transitions,
+        props=compiled.props,
+        source=compiled.source,
+        ladder_exclusive=compiled.ladder_exclusive,
+    )
+
+
+def compaction_stats(compiled: CompiledMonitor) -> Dict[str, int]:
+    """Size accounting for one compiled monitor's table."""
+    return {
+        "states": compiled.n_states,
+        "alphabet": len(compiled.codec),
+        "dense_cells": compiled.n_states * compiled.codec.size,
+        "stored_cells": compiled.table_cells(),
+    }

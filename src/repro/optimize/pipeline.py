@@ -1,0 +1,186 @@
+"""The optimization pipeline: shrink automata before they hit the table.
+
+The paper's ``Tr`` construction is ``O((n+1) * 2^|Sigma|)`` and the
+compiled runtime materialises exactly that product as dense
+``(state, mask)`` rows — so at production scale *table size*, not tick
+rate, is the wall.  This pipeline sits between synthesis and the
+compiled runtime and attacks both factors:
+
+1. **scoreboard-aware minimisation**
+   (:func:`~repro.monitor.minimize.minimize_monitor`) merges
+   behaviourally equivalent states — the ``n + 1`` factor;
+2. **symbolic compression**
+   (:func:`~repro.synthesis.symbolic.symbolic_monitor`) re-derives
+   compact guards whose don't-care literals expose unused symbols;
+3. **alphabet pruning** (:mod:`repro.optimize.prune`) rebuilds the
+   monitor over the symbols its behaviour references — the
+   ``2^|Sigma|`` factor, halved per pruned symbol;
+4. **table compaction** (:mod:`repro.optimize.compact`) stores each
+   row's dominant cell once as a default — the constant factor.
+
+Every stage preserves tick-exact behaviour (detections at identical
+ticks, identical scoreboard evolution); the differential suite in
+``tests/optimize`` locks this down across all five execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.errors import MonitorError
+from repro.monitor.automaton import Monitor
+from repro.optimize.compact import compact_monitor
+from repro.optimize.prune import prune_compiled, prune_monitor
+from repro.runtime.compiled import CompiledMonitor, compile_monitor
+
+__all__ = [
+    "OptimizationResult",
+    "as_optimized",
+    "optimize_compiled",
+    "optimize_monitor",
+]
+
+
+class OptimizationResult:
+    """What the pipeline produced, with before/after size accounting.
+
+    ``monitor`` is the optimized *interpreted* form (minimised +
+    pruned), still runnable on the reference engine and usable for
+    code generation; ``compiled`` is its pruned + compacted dispatch
+    table.  ``stats`` records ``states``/``rows``/``cells`` (logical
+    ``rows x 2^|Sigma|`` and actually stored) before and after.
+    """
+
+    __slots__ = ("monitor", "compiled", "stats")
+
+    def __init__(self, monitor: Monitor, compiled: CompiledMonitor,
+                 stats: Dict[str, int]):
+        self.monitor = monitor
+        self.compiled = compiled
+        self.stats = stats
+
+    @property
+    def cell_reduction(self) -> float:
+        """Dense baseline cells / stored optimized cells (>= 1.0)."""
+        stored = self.stats["optimized_stored_cells"]
+        return self.stats["baseline_cells"] / stored if stored else 1.0
+
+    def __repr__(self):
+        return (
+            f"OptimizationResult({self.compiled.name!r}, "
+            f"states {self.stats['baseline_states']}->"
+            f"{self.stats['optimized_states']}, "
+            f"cells {self.stats['baseline_cells']}->"
+            f"{self.stats['optimized_stored_cells']} "
+            f"({self.cell_reduction:.1f}x))"
+        )
+
+
+def optimize_monitor(
+    monitor: Monitor,
+    minimize: bool = True,
+    prune: bool = True,
+    compact: bool = True,
+    name: Optional[str] = None,
+) -> OptimizationResult:
+    """Run the full pipeline on an interpreted monitor.
+
+    Stages toggle independently (each is behaviour-preserving on its
+    own).  A symbolic guard re-compression always runs in between:
+    it merges the per-minterm transition fan into shared edges — which
+    is what lets dispatch cells coincide for compaction — and its
+    Quine–McCluskey pass drops don't-care literals, exposing unused
+    symbols to the pruning scan.  Monitors whose guards are not ``Tr``
+    minterm output skip the compression gracefully.
+    """
+    from repro.errors import SynthesisError
+    from repro.synthesis.symbolic import symbolic_monitor
+
+    baseline_states = monitor.n_states
+    baseline_cells = baseline_states * (1 << len(monitor.alphabet))
+    target_name = name or monitor.name
+    optimized = monitor
+    if minimize:
+        optimized = minimize_monitor_safely(optimized)
+    if prune:
+        # Pre-prune declared-but-never-referenced symbols so the
+        # guards' minterms span exactly the remaining alphabet (the
+        # shape the symbolic compressor expects).
+        optimized = prune_monitor(optimized)
+    try:
+        optimized = symbolic_monitor(optimized, name=optimized.name)
+    except SynthesisError:
+        # Hand-built guards need not be Tr minterm output; later
+        # stages then work off the guards exactly as written.
+        pass
+    if prune:
+        optimized = prune_monitor(optimized)
+    if optimized.name != target_name:
+        optimized = Monitor(
+            target_name, n_states=optimized.n_states,
+            initial=optimized.initial, final=optimized.final,
+            transitions=optimized.transitions,
+            alphabet=optimized.alphabet, props=optimized.props,
+        )
+    compiled = compile_monitor(optimized)
+    if compact:
+        compiled = compact_monitor(compiled)
+    stats = {
+        "baseline_states": baseline_states,
+        "baseline_cells": baseline_cells,
+        "optimized_states": compiled.n_states,
+        "optimized_alphabet": len(compiled.codec),
+        "optimized_dense_cells": compiled.n_states * compiled.codec.size,
+        "optimized_stored_cells": compiled.table_cells(),
+    }
+    return OptimizationResult(optimized, compiled, stats)
+
+
+def minimize_monitor_safely(monitor: Monitor) -> Monitor:
+    """Minimise, keeping the input when minimisation cannot apply.
+
+    The pipeline optimises monitors it did not build (hand-written,
+    incomplete, or with guards outside the synthesis fragment);
+    minimisation requiring a total deterministic move function is then
+    a per-monitor property, not a pipeline failure.
+    """
+    from repro.monitor.minimize import minimize_monitor
+
+    try:
+        minimized = minimize_monitor(monitor)
+    except MonitorError:
+        return monitor
+    if minimized.n_states >= monitor.n_states:
+        # Nothing merged: keep the original's (possibly compact)
+        # guard structure instead of the rebuilt minterm fan.
+        return monitor
+    return minimized
+
+
+def optimize_compiled(
+    compiled: CompiledMonitor,
+    prune: bool = True,
+    compact: bool = True,
+) -> CompiledMonitor:
+    """Table-only optimization for an already-compiled monitor.
+
+    ``tr_compiled`` output carries no input guards to scan, so pruning
+    detects unused symbols from the table itself (cells invariant
+    under a bit flip) and compaction re-encodes the rows; state
+    minimisation needs the interpreted form and is not attempted.
+    """
+    optimized = compiled
+    if prune:
+        optimized = prune_compiled(optimized)
+    if compact:
+        optimized = compact_monitor(optimized)
+    return optimized
+
+
+def as_optimized(
+    monitor: Union[Monitor, CompiledMonitor]
+) -> CompiledMonitor:
+    """Coerce either monitor form to an optimized compiled monitor."""
+    if isinstance(monitor, CompiledMonitor):
+        return optimize_compiled(monitor)
+    return optimize_monitor(monitor).compiled

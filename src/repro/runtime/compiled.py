@@ -38,6 +38,7 @@ from repro.semantics.run import Trace
 from repro.slots import SlotPickle
 
 __all__ = [
+    "CompactRow",
     "CompiledCheck",
     "CompiledMonitor",
     "CompiledEngine",
@@ -45,6 +46,8 @@ __all__ = [
     "cell_rungs",
     "compile_monitor",
     "lower_monitor",
+    "peek_cell",
+    "row_cells",
     "run_compiled",
     "run_many",
 ]
@@ -53,6 +56,102 @@ __all__ = [
 #: ``(compiled_check_or_None, transition)`` rungs, or ``None`` (no
 #: transition enabled — an incomplete monitor).
 Cell = Union[Transition, Tuple[Tuple[Optional[Callable], Transition], ...], None]
+
+
+class CompactRow(dict):
+    """A sparse dispatch row: explicit cells plus one default cell.
+
+    After alphabet pruning most masks of a state share a single target
+    (the self-loop absorbing irrelevant inputs), so a dense
+    ``2^|Sigma|``-cell row wastes memory on repeats.  A ``CompactRow``
+    stores only the exceptional ``mask -> cell`` entries; every other
+    mask resolves to ``default`` through ``__missing__``, which keeps
+    the hot-path ``table[state][mask]`` expression working unchanged
+    for both row shapes (dispatch stays transparent to the engines).
+
+    ``__missing__`` *memoizes*: the first lookup of a default mask
+    inserts it, so every later lookup takes the C-level dict hit path
+    instead of a Python call — steady-state stepping costs within a
+    few percent of dense list indexing, while resident size stays
+    bounded by the masks a workload actually exercises.  Memoized
+    entries are semantically invisible (same cell object) and are
+    shed on pickling; cold-path scans should use :meth:`peek` /
+    :func:`peek_cell`, which never memoize.
+
+    Size accounting (:meth:`explicit_count`, ``CompiledMonitor.
+    table_cells``) counts only the genuine exceptions plus the
+    default, never memoized repeats.
+    """
+
+    __slots__ = ("default",)
+
+    def __init__(self, exceptions, default: Cell):
+        super().__init__(exceptions)
+        self.default = default
+
+    def __missing__(self, mask: int) -> Cell:
+        default = self.default
+        self[mask] = default
+        return default
+
+    def peek(self, mask: int) -> Cell:
+        """The cell for ``mask`` without memoizing a default hit."""
+        return self.get(mask, self.default)
+
+    def explicit(self) -> dict:
+        """The genuine ``mask -> cell`` exceptions (memoized default
+        entries excluded — ``compact_row`` never stores the default
+        explicitly, so equality with the default identifies them)."""
+        default = self.default
+        return {
+            mask: cell for mask, cell in self.items() if cell != default
+        }
+
+    def explicit_count(self) -> int:
+        default = self.default
+        return sum(1 for cell in self.values() if cell != default)
+
+    def __reduce__(self):
+        return (CompactRow, (self.explicit(), self.default))
+
+    def __eq__(self, other):
+        """Logical row equality: same default, same genuine exceptions.
+
+        ``dict.__eq__`` would ignore the default slot (and count
+        memoized repeats), calling behaviourally different rows equal.
+        """
+        if isinstance(other, CompactRow):
+            return (self.default == other.default
+                    and self.explicit() == other.explicit())
+        return NotImplemented
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        if equal is NotImplemented:
+            return equal
+        return not equal
+
+    __hash__ = None  # mutable (memoizing), like the dict base
+
+    def __repr__(self):
+        return (f"CompactRow({self.explicit_count()} explicit, "
+                f"default={self.default!r})")
+
+
+def peek_cell(row, mask: int) -> Cell:
+    """Read one cell of a dense or compact row without memoizing."""
+    if isinstance(row, CompactRow):
+        return row.peek(mask)
+    return row[mask]
+
+
+def row_cells(row) -> Iterable[Cell]:
+    """Every distinct cell slot of a dispatch row, dense or compact."""
+    if isinstance(row, CompactRow):
+        yield row.default
+        yield from row.explicit().values()
+    else:
+        yield from row
 
 
 class CompiledCheck:
@@ -118,7 +217,14 @@ class CompiledMonitor(SlotPickle):
                 f"table has {len(table)} rows for {n_states} states"
             )
         for row in table:
-            if len(row) != codec.size:
+            if isinstance(row, CompactRow):
+                bad = [mask for mask in row if not 0 <= mask < codec.size]
+                if bad:
+                    raise MonitorError(
+                        f"compact row holds masks {bad} outside codec "
+                        f"size {codec.size}"
+                    )
+            elif len(row) != codec.size:
                 raise MonitorError(
                     f"table row of {len(row)} cells for codec size "
                     f"{codec.size}"
@@ -140,7 +246,11 @@ class CompiledMonitor(SlotPickle):
         #: then scanned in full so that scoreboard-dependent
         #: nondeterminism raises exactly as the interpreted engine does.
         object.__setattr__(self, "ladder_exclusive", bool(ladder_exclusive))
-        object.__setattr__(self, "_table", [list(row) for row in table])
+        object.__setattr__(self, "_table", [
+            CompactRow(row.explicit(), row.default)
+            if isinstance(row, CompactRow) else list(row)
+            for row in table
+        ])
 
     def __setattr__(self, name, value):
         raise AttributeError("CompiledMonitor is immutable")
@@ -168,13 +278,32 @@ class CompiledMonitor(SlotPickle):
 
     @property
     def table(self) -> Tuple[Tuple[Cell, ...], ...]:
-        """An immutable view of the dispatch table.
+        """An immutable *dense* view of the dispatch table.
 
         Compiled monitors are memoized and shared by banks and
         networks, so the live table is never handed out — mutating
-        this copy cannot corrupt other runs.
+        this copy cannot corrupt other runs.  Compact rows are
+        expanded, so the view always has ``codec.size`` cells per row.
         """
-        return tuple(tuple(row) for row in self._table)
+        masks = range(self.codec.size)
+        return tuple(
+            tuple(peek_cell(row, mask) for mask in masks)
+            for row in self._table
+        )
+
+    @property
+    def is_compact(self) -> bool:
+        """Does any row use the sparse default-cell encoding?"""
+        return any(isinstance(row, CompactRow) for row in self._table)
+
+    def table_cells(self) -> int:
+        """Cells the table actually stores (dense rows count in full,
+        compact rows count their explicit cells plus the default)."""
+        return sum(
+            row.explicit_count() + 1 if isinstance(row, CompactRow)
+            else len(row)
+            for row in self._table
+        )
 
     def transition_count(self) -> int:
         return len(self.transitions)
@@ -186,11 +315,13 @@ class CompiledMonitor(SlotPickle):
         """Does any cell fall back to scoreboard-dependent dispatch?"""
         return any(
             isinstance(cell, tuple)
-            for row in self._table for cell in row
+            for row in self._table for cell in row_cells(row)
         )
 
     def cell(self, state: int, mask: int) -> Cell:
-        return self._table[state][mask]
+        """One cell, without memoizing a compact row's default hit —
+        table scans (synthesizers, pruning) stay allocation-free."""
+        return peek_cell(self._table[state], mask)
 
     def events(self) -> frozenset:
         return self.alphabet - self.props
@@ -216,8 +347,8 @@ class CompiledMonitor(SlotPickle):
     def __repr__(self):
         return (
             f"CompiledMonitor({self.name!r}, states={self.n_states}, "
-            f"alphabet={len(self.codec)}, cells="
-            f"{self.n_states * self.codec.size})"
+            f"alphabet={len(self.codec)}, cells={self.table_cells()}"
+            f"{', compact' if self.is_compact else ''})"
         )
 
 

@@ -59,13 +59,21 @@ class MonitorBank:
     Each member owns its own scoreboard (alternatives are independent
     matching attempts); a shared scoreboard can be injected for
     multi-clock use.
+
+    ``optimize=True`` routes compilation through the optimization
+    pipeline (:func:`repro.optimize.optimize_monitor` — minimisation,
+    alphabet pruning, table compaction), shrinking the memoized
+    dispatch tables with tick-identical behaviour.
     """
 
-    def __init__(self, name: str, members: Sequence[Tuple[FlatPattern, Monitor]]):
+    def __init__(self, name: str,
+                 members: Sequence[Tuple[FlatPattern, Monitor]],
+                 optimize: bool = False):
         if not members:
             raise SynthesisError(f"monitor bank {name!r} has no members")
         self.name = name
         self.members = list(members)
+        self.optimize = bool(optimize)
         self._compiled: Optional[List["CompiledMonitor"]] = None
 
     @property
@@ -87,14 +95,23 @@ class MonitorBank:
 
         Compilation happens on first use and is memoized — banks are
         long-lived relative to the traces they scan, so the cost is
-        paid once per bank, not per run.
+        paid once per bank, not per run.  An ``optimize=True`` bank
+        lowers each member through the optimization pipeline instead.
         """
         from repro.runtime.compiled import compile_monitor
 
         if self._compiled is None:
-            self._compiled = [
-                compile_monitor(monitor) for _, monitor in self.members
-            ]
+            if self.optimize:
+                from repro.optimize import optimize_monitor
+
+                self._compiled = [
+                    optimize_monitor(monitor).compiled
+                    for _, monitor in self.members
+                ]
+            else:
+                self._compiled = [
+                    compile_monitor(monitor) for _, monitor in self.members
+                ]
         return self._compiled
 
     def run(self, trace: Trace,
@@ -112,6 +129,14 @@ class MonitorBank:
             )
         if engine not in ("interpreted", "compiled"):
             raise SynthesisError(f"unknown engine backend {engine!r}")
+        if self.optimize and engine != "compiled":
+            # Mirrors AssertionChecker: the pipeline's artifact is the
+            # compiled table, and silently running the raw interpreted
+            # members would fake an optimized run.
+            raise SynthesisError(
+                "an optimize=True bank runs with engine=\"compiled\" "
+                "(the interpreted members are the unoptimized reference)"
+            )
         if engine == "compiled":
             from repro.runtime.compiled import CompiledEngine
 
@@ -180,12 +205,15 @@ def synthesize_chart(
     variant: str = "tr",
     loop_limit: int = 3,
     name: Optional[str] = None,
+    optimize: bool = False,
 ) -> MonitorBank:
     """Synthesize a monitor bank for a synchronous chart.
 
     ``variant`` selects the guard representation: ``"tr"`` keeps the
     paper's per-valuation minterm table; ``"symbolic"`` compresses it
     into figure-style labelled edges (behaviourally identical).
+    ``optimize`` makes the bank compile its members through the
+    optimization pipeline (minimise + prune + compact).
     """
     chart = as_chart(chart)
     if variant not in ("tr", "symbolic"):
@@ -197,4 +225,4 @@ def synthesize_chart(
         if variant == "symbolic":
             monitor = symbolic_monitor(monitor)
         members.append((pattern, monitor))
-    return MonitorBank(name or chart.name, members)
+    return MonitorBank(name or chart.name, members, optimize=optimize)

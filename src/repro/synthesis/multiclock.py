@@ -38,8 +38,13 @@ def synthesize_network(
     chart: AsyncPar,
     variant: str = "tr",
     name: Optional[str] = None,
+    optimize: bool = False,
 ) -> MonitorNetwork:
-    """Build the local-monitor network for an asynchronous composition."""
+    """Build the local-monitor network for an asynchronous composition.
+
+    ``optimize`` makes the network lower its local monitors through
+    the optimization pipeline when the compiled backend runs them.
+    """
     if not isinstance(chart, AsyncPar):
         raise SynthesisError(
             "synthesize_network requires an AsyncPar chart; synchronous "
@@ -87,4 +92,4 @@ def synthesize_network(
         if variant == "symbolic":
             monitor = symbolic_monitor(monitor)
         locals_.append(LocalMonitor(child.name, clock, monitor))
-    return MonitorNetwork(name or chart.name, locals_)
+    return MonitorNetwork(name or chart.name, locals_, optimize=optimize)

@@ -22,6 +22,26 @@ Three sampling disciplines turn value changes into the per-clock
 A :class:`SignalBinding` maps VCD signal references to alphabet
 symbols; unmapped signals are ignored, multi-bit signals read true
 when non-zero, and ``x``/``z`` read false.
+
+x/z sampling semantics
+----------------------
+Four-value VCD has no direct image in the two-valued synchronous
+model, so unknown (``x``) and high-impedance (``z``) parse to
+``None`` in :meth:`VcdReader.changes` — *not* to 0.  The distinction
+matters in three places:
+
+* a symbol whose driver is ``x``/``z`` reads **false** at sampling
+  time (``bool(None)``), the conservative choice for event symbols
+  ("no occurrence observed");
+* a clock driven to ``x``/``z`` reads **low**: the unknown itself can
+  never be a sampling edge (no tick fires on ``1 -> x``), while the
+  next real ``1`` — whether from ``0`` or from ``x`` — is the rising
+  edge that ticks the monitor;
+* a dump whose only content so far is all-``x`` (``$dumpvars`` of an
+  uninitialised design, or a ``$dumpoff`` blackout) has produced **no
+  value** yet: event/periodic sampling starts at the first real value
+  (``saw_value``), so uninitialised preambles do not emit all-false
+  phantom ticks.
 """
 
 from __future__ import annotations
@@ -45,6 +65,9 @@ from repro.semantics.run import Trace
 
 __all__ = ["SignalBinding", "VcdReader", "VcdSignal"]
 
+#: Scalar change tokens.  ``x``/``z`` map to ``None`` — "no known
+#: value" — which samples as false, never rises a clock, and does not
+#: count as the dump's first real value (see module docstring).
 _SCALAR_VALUES = {"0": 0, "1": 1, "x": None, "X": None, "z": None, "Z": None}
 
 #: Directives whose body is skipped wholesale (up to ``$end``).

@@ -154,15 +154,25 @@ def test_minimize_reduces_redundant_states():
         run_monitor(monitor, trace).detections
 
 
-def test_minimize_rejects_action_monitors():
+def test_minimize_handles_action_monitors():
+    """Scoreboard-aware minimisation: action monitors minimise too,
+    with identical detections (the action signature is part of the
+    refinement signature, so no distinct action histories merge)."""
     chart = (
         scesc("arrowed").instances("M")
         .tick(ev("x")).tick(ev("y"))
         .arrow("a", cause="x", effect="y")
         .build()
     )
-    with pytest.raises(MonitorError):
-        minimize_monitor(tr(chart))
+    monitor = tr(chart)
+    minimal = minimize_monitor(monitor)
+    assert minimal.n_states <= monitor.n_states
+    assert minimal.has_actions()
+    for sets in ([{"x"}, {"y"}], [{"y"}, {"x"}, {"x"}, {"y"}],
+                 [set(), {"x", "y"}, {"y"}]):
+        trace = Trace.from_sets(sets, alphabet={"x", "y"})
+        assert run_monitor(minimal, trace).detections == \
+            run_monitor(monitor, trace).detections
 
 
 def test_transition_function_table():

@@ -1,0 +1,301 @@
+"""Unit tests for the optimization passes and their wiring."""
+
+import io
+import pickle
+
+import pytest
+
+from repro import synthesize_chart
+from repro.cesc.builder import ev, scesc
+from repro.cesc.charts import Implication, ScescChart
+from repro.cli import main
+from repro.errors import MonitorError
+from repro.logic.expr import TRUE, EventRef, Not, ScoreboardCheck
+from repro.monitor.automaton import AddEvt, Monitor, Transition
+from repro.monitor.checker import AssertionChecker
+from repro.monitor.engine import run_monitor
+from repro.optimize import (
+    compact_monitor,
+    compact_row,
+    optimize_compiled,
+    optimize_monitor,
+    prune_compiled,
+    prune_monitor,
+    used_symbols,
+    used_symbols_compiled,
+)
+from repro.protocols.ocp import ocp_simple_read_chart
+from repro.runtime.compiled import (
+    CompactRow,
+    compile_monitor,
+    run_compiled,
+    run_many,
+)
+from repro.semantics.generator import TraceGenerator
+from repro.semantics.run import Trace
+from repro.synthesis.tr import tr, tr_compiled
+
+
+def _chain(name, *events):
+    builder = scesc(name).instances("M")
+    for event in events:
+        builder.tick(ev(event))
+    return builder.build()
+
+
+# ----------------------------------------------------------- CompactRow ----
+def test_compact_row_dispatches_like_dense():
+    dense = ["a", "b", "a", "a", "a", "c", "a", "a"]
+    row = compact_row(dense, 8)
+    assert isinstance(row, CompactRow)
+    assert [row[i] for i in range(8)] == dense
+    assert row.default == "a"
+    # Hot-path lookups memoized the default hits; the genuine
+    # exception accounting is unaffected, and peek never memoizes.
+    assert row.explicit_count() == 2
+    assert row.explicit() == {1: "b", 5: "c"}
+    fresh = compact_row(dense, 8)
+    assert [fresh.peek(i) for i in range(8)] == dense
+    assert len(fresh) == 2
+
+def test_compact_row_keeps_dense_rows_dense():
+    dense = list(range(8))  # all distinct: sparse form saves nothing
+    row = compact_row(dense, 8)
+    assert isinstance(row, list)
+    assert row == dense
+
+
+def test_compact_row_equality_includes_the_default():
+    assert compact_row(["a"] * 8, 8) != CompactRow({}, "b")
+    left = compact_row(["a"] * 7 + ["x"], 8)
+    right = compact_row(["a"] * 7 + ["x"], 8)
+    left[3]  # memoizes a default entry on one side only
+    assert left == right  # logical equality ignores memoization
+
+
+def test_compact_row_pickles():
+    row = compact_row(["x"] * 7 + ["y"], 8)
+    back = pickle.loads(pickle.dumps(row))
+    assert isinstance(back, CompactRow)
+    assert back.default == "x"
+    assert back[7] == "y"
+    assert back[3] == "x"
+
+
+def test_compact_monitor_table_accounting():
+    compiled = tr_compiled(ocp_simple_read_chart())
+    compacted = compact_monitor(compiled)
+    assert compacted.is_compact
+    assert not compiled.is_compact
+    assert compacted.table_cells() < compiled.table_cells()
+    assert compiled.table_cells() == compiled.n_states * compiled.codec.size
+    # The dense view expands compact rows back to full width.
+    assert compacted.table == compiled.table
+
+
+def test_tr_compiled_compact_knob():
+    chart = ocp_simple_read_chart()
+    dense = tr_compiled(chart)
+    compact = tr_compiled(chart, compact=True)
+    assert compact.is_compact
+    generator = TraceGenerator(chart, seed=3)
+    for index in range(20):
+        trace = (generator.random_trace(12) if index % 2
+                 else generator.satisfying_trace(prefix=1, suffix=1))
+        assert (run_compiled(compact, trace).detections
+                == run_compiled(dense, trace).detections)
+
+
+def test_run_many_over_compact_tables():
+    chart = ocp_simple_read_chart()
+    dense = tr_compiled(chart)
+    compact = tr_compiled(chart, compact=True)
+    generator = TraceGenerator(chart, seed=5)
+    traces = [generator.random_trace(10) for _ in range(12)]
+    assert ([r.detections for r in run_many(compact, traces)]
+            == [r.detections for r in run_many(dense, traces)])
+
+
+# --------------------------------------------------------------- pruning ----
+def _widened(monitor, *extra):
+    return Monitor(
+        monitor.name, n_states=monitor.n_states, initial=monitor.initial,
+        final=monitor.final, transitions=monitor.transitions,
+        alphabet=monitor.alphabet | set(extra), props=monitor.props,
+    )
+
+
+def test_prune_monitor_drops_unreferenced_symbols():
+    monitor = _widened(tr(_chain("ab", "a", "b")), "junk1", "junk2")
+    assert used_symbols(monitor) == frozenset({"a", "b"})
+    pruned = prune_monitor(monitor)
+    assert pruned.alphabet == frozenset({"a", "b"})
+    trace = Trace.from_sets([{"a"}, {"b"}], alphabet={"a", "b", "junk1"})
+    assert (run_monitor(pruned, trace).detections
+            == run_monitor(monitor, trace).detections)
+
+
+def test_prune_monitor_identity_when_all_used():
+    monitor = tr(_chain("ab", "a", "b"))
+    assert prune_monitor(monitor) is monitor
+
+
+def test_prune_compiled_narrows_the_codec():
+    monitor = _widened(tr(_chain("ab", "a", "b")), "junk")
+    compiled = compile_monitor(monitor)
+    assert compiled.codec.size == 8
+    pruned = prune_compiled(compiled)
+    assert used_symbols_compiled(compiled) == frozenset({"a", "b"})
+    assert pruned.codec.size == 4
+    generator = TraceGenerator(ScescChart(_chain("ab", "a", "b")), seed=1)
+    for _ in range(10):
+        trace = generator.random_trace(8)
+        assert (run_compiled(pruned, trace).detections
+                == run_compiled(compiled, trace).detections)
+
+
+def test_prune_compiled_keeps_check_residue_symbols():
+    """A symbol only read inside a compiled check residue must survive
+    pruning even though the cell objects coincide across its bit."""
+    guard_taken = EventRef("a") & ScoreboardCheck("x")
+    monitor = Monitor(
+        "residue", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, guard_taken, (AddEvt("x"),), 1),
+            Transition(0, Not(EventRef("a") & ScoreboardCheck("x")), (), 0),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a", "b"},
+    )
+    compiled = compile_monitor(monitor)
+    # "a" appears only under the non-conjunctive residue guards, "b"
+    # appears nowhere: exactly one symbol must prune.
+    assert used_symbols_compiled(compiled) == frozenset({"a"})
+    pruned = prune_compiled(compiled)
+    assert pruned.codec.symbols == ("a",)
+    from repro.monitor.scoreboard import Scoreboard
+
+    for sets in ([{"a"}, {"a"}], [set(), {"a"}], [{"b"}, {"a"}, {"a"}]):
+        trace = Trace.from_sets(sets, alphabet={"a", "b"})
+        reference = run_compiled(
+            compiled, trace, scoreboard=Scoreboard(strict=False)
+        ).detections
+        got = run_compiled(
+            pruned, trace, scoreboard=Scoreboard(strict=False)
+        ).detections
+        assert got == reference, sets
+
+
+def test_synthesizer_reads_pruned_and_compacted_tables():
+    from repro.campaign.directed import StimulusSynthesizer
+
+    monitor = _widened(tr(ocp_simple_read_chart()), "junk")
+    optimized = optimize_monitor(monitor)
+    assert optimized.compiled.is_compact
+    assert "junk" not in optimized.compiled.alphabet
+    synthesizer = StimulusSynthesizer(optimized.compiled)
+    accepting = synthesizer.accepting_trace()
+    assert accepting is not None
+    assert accepting.predicted_detections
+    # Replay through the unoptimized reference: same detection ticks.
+    projected = Trace(
+        [v.restricted(monitor.alphabet) for v in accepting.trace],
+        monitor.alphabet,
+    )
+    assert (run_monitor(monitor, projected).detections
+            == list(accepting.predicted_detections))
+
+
+# -------------------------------------------------------------- pipeline ----
+def test_optimize_monitor_preserves_name_and_reports_stats():
+    monitor = tr(ocp_simple_read_chart())
+    result = optimize_monitor(monitor)
+    assert result.monitor.name == monitor.name
+    assert result.compiled.name == monitor.name
+    assert result.stats["baseline_cells"] >= \
+        result.stats["optimized_stored_cells"]
+    assert result.cell_reduction >= 2.0
+
+
+def test_optimize_monitor_stage_knobs():
+    monitor = tr(ocp_simple_read_chart())
+    plain = optimize_monitor(monitor, minimize=False, prune=False,
+                             compact=False)
+    assert not plain.compiled.is_compact
+    assert plain.compiled.codec.size == \
+        compile_monitor(monitor).codec.size
+    compact_only = optimize_monitor(monitor, minimize=False, prune=False)
+    assert compact_only.compiled.is_compact
+
+
+def test_optimize_compiled_table_only():
+    compiled = tr_compiled(ocp_simple_read_chart())
+    optimized = optimize_compiled(compiled)
+    assert optimized.is_compact
+    assert optimized.table_cells() < compiled.table_cells()
+
+
+def test_bank_optimize_knob_is_tick_identical():
+    chart = ocp_simple_read_chart()
+    bank = synthesize_chart(chart)
+    optimized = synthesize_chart(chart, optimize=True)
+    assert optimized.optimize
+    generator = TraceGenerator(chart, seed=11)
+    traces = [generator.random_trace(10) for _ in range(6)]
+    assert ([r.detections for r in bank.run_batch(traces)]
+            == [r.detections for r in optimized.run_batch(traces)])
+    for compiled in optimized.compiled_members():
+        assert compiled.is_compact
+
+
+def test_bank_optimize_rejects_interpreted_runs():
+    from repro.errors import SynthesisError
+
+    bank = synthesize_chart(ocp_simple_read_chart(), optimize=True)
+    trace = Trace.from_sets([set()], alphabet=set())
+    with pytest.raises(SynthesisError, match="compiled"):
+        bank.run(trace)  # default engine="interpreted"
+
+
+def test_checker_optimize_requires_compiled_engine():
+    implication = Implication(
+        ScescChart(_chain("req", "req")), ScescChart(_chain("ok", "ok"))
+    )
+    with pytest.raises(MonitorError, match="compiled"):
+        AssertionChecker(implication, optimize=True)  # default interpreted
+
+
+def test_checker_optimize_knob():
+    implication = Implication(
+        ScescChart(_chain("req", "req")), ScescChart(_chain("ok", "ok"))
+    )
+    plain = AssertionChecker(implication, engine="compiled")
+    optimized = AssertionChecker(implication, engine="compiled",
+                                 optimize=True)
+    good = Trace.from_sets([{"req"}, {"ok"}], alphabet={"req", "ok"})
+    bad = Trace.from_sets([{"req"}, set()], alphabet={"req", "ok"})
+    assert plain.check(good).ok and optimized.check(good).ok
+    assert not plain.check(bad).ok and not optimized.check(bad).ok
+
+
+# -------------------------------------------------------------------- cli ----
+def test_cli_optimize_requires_compiled_engine(tmp_path):
+    trace_path = tmp_path / "t.json"
+    trace_path.write_text('{"signal": [{"name": "MCmd_rd", "wave": "0"}]}')
+    out = io.StringIO()
+    status = main([
+        "check", "examples/ocp_simple_read.cesc", "ocp_simple_read",
+        str(trace_path), "--engine", "interpreted", "--optimize",
+    ], out=out)
+    assert status == 2
+    assert "--optimize needs --engine compiled" in out.getvalue()
+
+
+def test_cli_campaign_optimize_reaches_closure():
+    out = io.StringIO()
+    status = main([
+        "campaign", "examples/ocp_simple_read.cesc", "ocp_simple_read",
+        "--target-coverage", "1.0", "--budget", "64", "--optimize",
+    ], out=out)
+    assert status == 0, out.getvalue()
+    assert "closure reached" in out.getvalue()
