@@ -104,14 +104,22 @@ def _corpus(chart, count=24):
     return traces
 
 
-def _best_rate(runner, trace, repeats=5):
-    best = None
+def _best_rates(runners, trace, repeats=7):
+    """Best-of rates for several runners, measured *interleaved*.
+
+    Round-robin sampling exposes every runner to the same share of
+    scheduler and frequency drift; sequential best-of quietly biases
+    whichever runner happens to go first on a warm machine.
+    """
+    best = [None] * len(runners)
     for _ in range(repeats):
-        start = time.perf_counter()
-        runner(trace)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None or elapsed < best else best
-    return trace.length / best
+        for index, runner in enumerate(runners):
+            start = time.perf_counter()
+            runner(trace)
+            elapsed = time.perf_counter() - start
+            if best[index] is None or elapsed < best[index]:
+                best[index] = elapsed
+    return [trace.length / elapsed for elapsed in best]
 
 
 def test_optimized_tables_shrink_with_identical_verdicts(report):
@@ -184,9 +192,12 @@ def test_compaction_tick_rate_within_budget(report):
             == run_compiled(dense, trace).detections
             == run_compiled(optimized, trace).detections)
 
-    dense_rate = _best_rate(lambda t: run_compiled(dense, t), trace)
-    compact_rate = _best_rate(lambda t: run_compiled(compact, t), trace)
-    optimized_rate = _best_rate(lambda t: run_compiled(optimized, t), trace)
+    dense_rate, compact_rate, optimized_rate = _best_rates(
+        [lambda t: run_compiled(dense, t),
+         lambda t: run_compiled(compact, t),
+         lambda t: run_compiled(optimized, t)],
+        trace,
+    )
     ratio = compact_rate / dense_rate
     report(
         f"tick rate ({trace.length} ticks): dense {dense_rate / 1e3:.0f}k/s, "

@@ -57,14 +57,17 @@ def _long_trace(ticks):
 def test_vcd_ingestion_throughput(report):
     trace = _long_trace(_LONG_TRACE_TICKS)
     text = trace_to_vcd(trace, clock="clk")
-    start = time.perf_counter()
-    count = sum(
-        1 for _ in VcdReader.from_text(text).valuations(clock="clk")
-    )
-    elapsed = time.perf_counter() - start
+    best = None
+    for _ in range(5):
+        start = time.perf_counter()
+        count = sum(
+            1 for _ in VcdReader.from_text(text).valuations(clock="clk")
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
     assert count == trace.length
-    rate = count / elapsed
-    report(f"VCD ingestion: {count} ticks in {elapsed * 1e3:.1f} ms "
+    rate = count / best
+    report(f"VCD ingestion: {count} ticks in {best * 1e3:.1f} ms "
            f"({rate / 1e3:.0f}k ticks/s)")
     _record({"vcd_ingest_ticks_per_s": round(rate)})
 

@@ -92,6 +92,20 @@ from repro.trace import (
     trace_to_vcd,
 )
 
+#: Vector-kernel names resolved lazily (PEP 562) so that plain
+#: ``import repro`` never imports NumPy — the kernel's optional
+#: dependency — on behalf of scalar-only users.
+_VECTOR_EXPORTS = ("VectorEngine", "run_many_vector")
+
+
+def __getattr__(name):
+    if name in _VECTOR_EXPORTS:
+        from repro.runtime import vector
+
+        return getattr(vector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -136,6 +150,7 @@ __all__ = [
     "StimulusSynthesizer",
     "StreamReport",
     "StreamingChecker",
+    "VectorEngine",
     "SubsetMonitor",
     "Tick",
     "Trace",
@@ -153,6 +168,7 @@ __all__ = [
     "run_bank_sharded",
     "run_compiled",
     "run_many",
+    "run_many_vector",
     "run_monitor",
     "run_sharded",
     "scesc",

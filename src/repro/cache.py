@@ -1,0 +1,55 @@
+"""Bounded identity-keyed memo caches for derived per-object artifacts.
+
+Several hot-path layers derive an expensive artifact from one
+long-lived immutable object — the expanded stepping table of a compact
+:class:`~repro.runtime.compiled.CompiledMonitor`, the flat lowering of
+:class:`~repro.runtime.vector.VectorTable` — and memoize it by the
+source object's *identity*.  The pattern is always the same: a strong
+reference keeps the id stable for the entry's lifetime, a defensive
+identity check guards the (unreachable, by construction) id-collision
+case, and a bounded FIFO keeps memory bounded.  This module is that
+pattern, written once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["IdentityCache"]
+
+
+class IdentityCache:
+    """``id(source) -> value`` memo with strong refs and a size bound.
+
+    Entries hold a strong reference to their source object, so an id
+    cannot be recycled while its entry lives; :meth:`get` still
+    verifies identity defensively.  When full, the oldest entry is
+    evicted (dicts iterate in insertion order).
+    """
+
+    __slots__ = ("_entries", "limit")
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError("cache limit must be positive")
+        self._entries: dict = {}
+        self.limit = int(limit)
+
+    def get(self, source: Any) -> Optional[Any]:
+        entry = self._entries.get(id(source))
+        if entry is not None and entry[0] is source:
+            return entry[1]
+        return None
+
+    def put(self, source: Any, value: Any) -> Any:
+        """Store (evicting the oldest entries if full); returns ``value``."""
+        while len(self._entries) >= self.limit:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[id(source)] = (source, value)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

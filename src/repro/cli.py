@@ -84,15 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="WaveDrom JSON trace file (or use --vcd)")
     check.add_argument(
         "--engine", default="compiled",
-        choices=("compiled", "interpreted"),
-        help="stepping backend: dense table dispatch (default) or the "
-             "reference guard-tree interpreter")
+        choices=("compiled", "interpreted", "vector"),
+        help="stepping backend: dense table dispatch (default), the "
+             "reference guard-tree interpreter, or the trace-parallel "
+             "vector kernel (flat-array batch stepping; identical "
+             "verdicts)")
     check.add_argument(
         "--optimize", action="store_true",
         help="run the monitor through the optimization pipeline "
              "(state minimisation, alphabet pruning, table compaction) "
              "before checking — identical verdicts, smaller tables "
-             "(needs --engine compiled)")
+             "(needs --engine compiled or vector)")
     check.add_argument(
         "--vcd", action="append", default=[], metavar="DUMP",
         help="VCD waveform dump to check (repeatable; each dump is one "
@@ -280,12 +282,12 @@ def _validate_check_args(args) -> None:
         )
     if args.jobs < 0:
         raise ReproError(f"--jobs must be >= 0 (got {args.jobs})")
-    if args.jobs != 1 and args.engine != "compiled":
-        raise ReproError("--jobs needs --engine compiled")
-    if args.optimize and args.engine != "compiled":
+    if args.jobs != 1 and args.engine == "interpreted":
+        raise ReproError("--jobs needs --engine compiled or vector")
+    if args.optimize and args.engine == "interpreted":
         # The pipeline's artifact is a compiled dispatch table; the
         # interpreted backend exists as the unoptimized reference.
-        raise ReproError("--optimize needs --engine compiled")
+        raise ReproError("--optimize needs --engine compiled or vector")
 
 
 def _write_stream_report(out, path, report) -> bool:
@@ -319,10 +321,11 @@ def _check_vcd(args, chart, out) -> int:
             _note_missing_lanes(
                 chart, reader.alphabet(clock=args.clock), path, out
             )
-    if args.engine == "compiled":
+    if args.engine in ("compiled", "vector"):
         reports = run_sharded_vcd(
             _compiled_for_check(args, chart), args.vcd, jobs=args.jobs,
             clock=args.clock, period=args.period, binding=binding,
+            engine=args.engine,
         )
     else:
         monitor = tr(chart)
@@ -357,7 +360,11 @@ def _cmd_check(args, out) -> int:
     if args.vcd:
         return _check_vcd(args, chart, out)
     trace = _load_wavedrom_trace(args, chart, out)
-    if args.engine == "compiled":
+    if args.engine == "vector":
+        from repro.runtime.vector import run_many_vector
+
+        result = run_many_vector(_compiled_for_check(args, chart), [trace])[0]
+    elif args.engine == "compiled":
         result = run_compiled(_compiled_for_check(args, chart), trace)
     else:
         result = run_monitor(tr(chart), trace)

@@ -17,17 +17,48 @@ alphabet, exactly as :meth:`Valuation.restricted` would make them).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from array import array
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ExprError
 from repro.logic.valuation import Valuation
 from repro.slots import SlotPickle
 
-__all__ = ["AlphabetCodec"]
+__all__ = ["AlphabetCodec", "clear_trace_cache", "trace_cache_info"]
 
 #: Valuation enumeration beyond this many symbols is refused — the same
 #: tractability cap the synthesis layer applies to ``2^|Sigma|``.
 MAX_CODEC_SYMBOLS = 20
+
+#: Shared mask-array cache for :meth:`AlphabetCodec.encode_trace`.
+#: Keyed by ``(symbol ordering, id(trace))`` and holding a strong
+#: reference to the trace (so the id cannot be recycled while the entry
+#: lives); equal codecs — every member of a bank synthesized over the
+#: same alphabet builds its own but ``==`` instance — share entries, so
+#: a batch run over ``N`` monitors encodes each trace *once*, not ``N``
+#: times.  Bounded LRU: dicts iterate in insertion order, so the first
+#: key is always the least recently used.
+_TRACE_CACHE: Dict[tuple, Tuple[object, array]] = {}
+_TRACE_CACHE_LIMIT = 256
+_trace_cache_hits = 0
+_trace_cache_misses = 0
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared ``encode_trace`` cache."""
+    return {
+        "hits": _trace_cache_hits,
+        "misses": _trace_cache_misses,
+        "entries": len(_TRACE_CACHE),
+    }
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached mask array (tests; memory pressure)."""
+    global _trace_cache_hits, _trace_cache_misses
+    _TRACE_CACHE.clear()
+    _trace_cache_hits = 0
+    _trace_cache_misses = 0
 
 
 class AlphabetCodec(SlotPickle):
@@ -72,6 +103,94 @@ class AlphabetCodec(SlotPickle):
             if bit:
                 mask |= bit
         return mask
+
+    def _encode_masks(self, trace: Sequence[Valuation]) -> List[int]:
+        """The raw per-tick mask list of ``trace`` (no caching)."""
+        bit_of_get = self.bit_of.get
+        encoded: List[int] = []
+        append = encoded.append
+        for valuation in trace:
+            mask = 0
+            for symbol in valuation.true:
+                bit = bit_of_get(symbol)
+                if bit:
+                    mask |= bit
+            append(mask)
+        return encoded
+
+    def _cache_entry(self, trace: Sequence[Valuation]) -> list:
+        global _trace_cache_hits, _trace_cache_misses
+        # Identity keying is only sound for immutable traces: a plain
+        # list mutated in place keeps its id, and serving the stale
+        # masks would silently check the old contents.  Other sequence
+        # types encode fresh (local import: codec sits below the
+        # semantics layer).
+        from repro.semantics.run import Trace
+
+        if not isinstance(trace, Trace):
+            return [trace, array("i", self._encode_masks(trace)), None]
+        key = (self.symbols, id(trace))
+        entry = _TRACE_CACHE.get(key)
+        if entry is not None and entry[0] is trace:
+            # Refresh recency (insertion order is the eviction order).
+            del _TRACE_CACHE[key]
+            _TRACE_CACHE[key] = entry
+            _trace_cache_hits += 1
+            return entry
+        _trace_cache_misses += 1
+        # The third slot lazily memoizes the plain-list form the
+        # scalar batch loop indexes fastest (see encode_trace_list).
+        entry = [trace, array("i", self._encode_masks(trace)), None]
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = entry
+        return entry
+
+    def encode_trace(self, trace: Sequence[Valuation]) -> array:
+        """The whole trace's masks as one reusable ``array('i')``.
+
+        Encoding a trace costs a Python loop per tick; batch runs feed
+        the *same* traces to every monitor of a bank (and the vector
+        kernel views the result as a NumPy buffer without copying), so
+        the arrays are memoized in a shared bounded cache keyed by the
+        codec's symbol ordering and the trace's identity.  The returned
+        array is shared — treat it as read-only.
+        """
+        return self._cache_entry(trace)[1]
+
+    def encode_trace_list(self, trace: Sequence[Valuation]) -> List[int]:
+        """The cached mask stream as a plain list (shared, read-only).
+
+        Plain lists index fastest in the scalar tick loop; the list
+        form is materialised from the cached array once and memoized
+        alongside it, so warm batch runs pay no per-call conversion.
+        """
+        entry = self._cache_entry(trace)
+        if entry[2] is None:
+            entry[2] = list(entry[1])
+        return entry[2]
+
+    def encode_many(self, traces: Iterable[Sequence[Valuation]],
+                    as_list: bool = False) -> list:
+        """One mask array (or list, ``as_list=True``) per trace.
+
+        Batches at least as large as the cache bypass it entirely: a
+        sequential scan over more traces than the cache holds is LRU's
+        worst case — every entry would be evicted before its reuse —
+        so caching there costs bookkeeping and pins memory for a 0%
+        hit rate.  Callers running several monitors over such a batch
+        share mask arrays explicitly (see ``MonitorBank.run_batch``).
+        """
+        if not isinstance(traces, (list, tuple)):
+            traces = list(traces)
+        if len(traces) >= _TRACE_CACHE_LIMIT:
+            encoded = [self._encode_masks(trace) for trace in traces]
+            if as_list:
+                return encoded
+            return [array("i", masks) for masks in encoded]
+        if as_list:
+            return [self.encode_trace_list(trace) for trace in traces]
+        return [self.encode_trace(trace) for trace in traces]
 
     def decode(self, mask: int) -> Valuation:
         """The valuation (over this codec's alphabet) with bits of ``mask``."""

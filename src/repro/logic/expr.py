@@ -42,6 +42,7 @@ __all__ = [
     "Or",
     "all_of",
     "any_of",
+    "intern_expr",
     "symbols_of",
     "event_symbols_of",
     "prop_symbols_of",
@@ -152,6 +153,9 @@ class Const(Expr):
     def nnf(self) -> Expr:
         return self.simplify()
 
+    def __reduce__(self):
+        return (type(self), (self.value,))
+
     def __eq__(self, other):
         return isinstance(other, Const) and self.value == other.value
 
@@ -191,6 +195,9 @@ class _Ref(Expr):
 
     def atoms(self) -> FrozenSet[Expr]:
         return frozenset({self})
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
 
     def __eq__(self, other):
         return type(self) is type(other) and self.name == other.name
@@ -255,6 +262,9 @@ class ScoreboardCheck(Expr):
     def atoms(self) -> FrozenSet[Expr]:
         return frozenset({self})
 
+    def __reduce__(self):
+        return (type(self), (self.event,))
+
     def __eq__(self, other):
         return isinstance(other, ScoreboardCheck) and self.event == other.event
 
@@ -310,6 +320,9 @@ class Not(Expr):
         if isinstance(inner, Or):
             return And(tuple(Not(a).nnf() for a in inner.args))
         return self
+
+    def __reduce__(self):
+        return (type(self), (self.operand,))
 
     def __eq__(self, other):
         return isinstance(other, Not) and self.operand == other.operand
@@ -391,6 +404,9 @@ class _Nary(Expr):
     def nnf(self) -> Expr:
         return type(self)(tuple(a.nnf() for a in self.args))
 
+    def __reduce__(self):
+        return (type(self), (self.args,))
+
     def __eq__(self, other):
         return type(self) is type(other) and self.args == other.args
 
@@ -461,6 +477,39 @@ def all_of(exprs: Iterable[Expr]) -> Expr:
 def any_of(exprs: Iterable[Expr]) -> Expr:
     """Disjunction of ``exprs`` (``FALSE`` when empty), simplified."""
     return Or(tuple(exprs)).simplify()
+
+
+def intern_expr(expr: Expr, cache: Optional[dict] = None) -> Expr:
+    """Hash-cons ``expr``: equal subtrees become the *same* object.
+
+    Synthesis and minimisation build guards bottom-up without sharing,
+    so a monitor's transitions typically hold hundreds of structurally
+    equal but distinct subtrees.  Interning them makes equality checks
+    short-circuit on identity and — because pickle memoizes by object
+    identity — collapses the serialized payload to one copy per
+    distinct subtree.  The result is ``==`` to the input.
+
+    Pass a shared ``cache`` to intern across several expressions (e.g.
+    every guard of a monitor).
+    """
+    if cache is None:
+        cache = {}
+
+    def visit(node: Expr) -> Expr:
+        interned = cache.get(node)
+        if interned is not None:
+            return interned
+        if isinstance(node, _Nary):
+            args = tuple(visit(arg) for arg in node.args)
+            if any(new is not old for new, old in zip(args, node.args)):
+                node = type(node)(args)
+        elif isinstance(node, Not):
+            operand = visit(node.operand)
+            if operand is not node.operand:
+                node = Not(operand)
+        return cache.setdefault(node, node)
+
+    return visit(expr)
 
 
 def _walk(expr: Expr) -> Iterator[Expr]:

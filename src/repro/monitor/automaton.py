@@ -62,6 +62,9 @@ class AddEvt(Action):
     def apply(self, scoreboard: Scoreboard) -> None:
         scoreboard.add(*self.events)
 
+    def __reduce__(self):
+        return (type(self), self.events)
+
     def __eq__(self, other):
         return isinstance(other, AddEvt) and self.events == other.events
 
@@ -87,6 +90,9 @@ class DelEvt(Action):
 
     def apply(self, scoreboard: Scoreboard) -> None:
         scoreboard.delete(*self.events)
+
+    def __reduce__(self):
+        return (type(self), self.events)
 
     def __eq__(self, other):
         return isinstance(other, DelEvt) and self.events == other.events
@@ -135,6 +141,10 @@ class Transition(SlotPickle):
 
     def __setattr__(self, name, value):
         raise AttributeError("Transition is immutable")
+
+    def __reduce__(self):
+        return (Transition, (self.source, self.guard, self.actions,
+                             self.target))
 
     def label(self) -> str:
         """Figure-style edge label ``guard / actions``."""

@@ -9,13 +9,17 @@ composes three behaviour-preserving passes attacking the paper's
 * **alphabet pruning** — the ``2^|Sigma|`` width factor
   (:mod:`repro.optimize.prune`);
 * **table compaction** — the constant factor
-  (:mod:`repro.optimize.compact`, sparse default-cell rows).
+  (:mod:`repro.optimize.compact`, sparse default-cell rows), applied
+  only when it shrinks the serialized payload;
+* **ladder hardening** — first-match dispatch and floor collapse for
+  check ladders proven deterministic (:mod:`repro.optimize.ladders`).
 
 ``MonitorBank``/``MonitorNetwork``/``AssertionChecker`` expose the
 pipeline via their ``optimize=`` knob, the CLI via ``--optimize``.
 """
 
 from repro.optimize.compact import compact_monitor, compact_row, compaction_stats
+from repro.optimize.ladders import harden_ladders
 from repro.optimize.pipeline import (
     OptimizationResult,
     as_optimized,
@@ -35,6 +39,7 @@ __all__ = [
     "compact_monitor",
     "compact_row",
     "compaction_stats",
+    "harden_ladders",
     "optimize_compiled",
     "optimize_monitor",
     "prune_compiled",

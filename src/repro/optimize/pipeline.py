@@ -25,11 +25,14 @@ ticks, identical scoreboard evolution); the differential suite in
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, Optional, Union
 
 from repro.errors import MonitorError
-from repro.monitor.automaton import Monitor
+from repro.logic.expr import And, Expr, Not, Or, intern_expr
+from repro.monitor.automaton import Monitor, Transition
 from repro.optimize.compact import compact_monitor
+from repro.optimize.ladders import harden_ladders
 from repro.optimize.prune import prune_compiled, prune_monitor
 from repro.runtime.compiled import CompiledMonitor, compile_monitor
 
@@ -122,9 +125,10 @@ def optimize_monitor(
             transitions=optimized.transitions,
             alphabet=optimized.alphabet, props=optimized.props,
         )
-    compiled = compile_monitor(optimized)
+    optimized = _intern_guards(optimized)
+    compiled = _carrier_transitions(harden_ladders(compile_monitor(optimized)))
     if compact:
-        compiled = compact_monitor(compiled)
+        compiled = _compact_when_smaller(compiled)
     stats = {
         "baseline_states": baseline_states,
         "baseline_cells": baseline_cells,
@@ -134,6 +138,217 @@ def optimize_monitor(
         "optimized_stored_cells": compiled.table_cells(),
     }
     return OptimizationResult(optimized, compiled, stats)
+
+
+def _node_count(expr: Expr) -> int:
+    count = 1
+    for child in expr.children():
+        count += _node_count(child)
+    return count
+
+
+def _and_term(literals) -> Expr:
+    return literals[0] if len(literals) == 1 else And(tuple(literals))
+
+
+def _factor_once(expr: Expr) -> Expr:
+    """One bottom-up factoring sweep (see :func:`_factor_guard`)."""
+    if isinstance(expr, Not):
+        return Not(_factor_once(expr.operand))
+    if isinstance(expr, And):
+        return And(tuple(_factor_once(arg) for arg in expr.args))
+    if not isinstance(expr, Or) or len(expr.args) < 2:
+        return expr
+    args = tuple(_factor_once(arg) for arg in expr.args)
+    terms = [arg.args if isinstance(arg, And) else (arg,) for arg in args]
+    sets = [frozenset(term) for term in terms]
+    # Literals common to *every* term hoist out wholesale.
+    common = tuple(
+        literal for literal in terms[0]
+        if all(literal in term for term in sets[1:])
+    )
+    if common:
+        common_set = frozenset(common)
+        residues = []
+        for term in terms:
+            left = tuple(lit for lit in term if lit not in common_set)
+            if not left:
+                # A term equal to the common part absorbs the sum.
+                return And(common).simplify()
+            residues.append(_and_term(left))
+        return And(common + (Or(tuple(residues)),)).simplify()
+    # Otherwise group on the most shared literal (first-seen breaks
+    # ties, so the rewrite is deterministic); the fixpoint loop in
+    # _factor_guard re-factors the grouped remainder.
+    order: list = []
+    counts: dict = {}
+    for term in terms:
+        for literal in term:
+            if literal not in counts:
+                counts[literal] = 0
+                order.append(literal)
+            counts[literal] += 1
+    pivot = None
+    for literal in order:
+        if counts[literal] >= 2 and (
+            pivot is None or counts[literal] > counts[pivot]
+        ):
+            pivot = literal
+    if pivot is None:
+        return Or(args)
+    grouped = []
+    others = []
+    bare_pivot = False
+    for term in terms:
+        if pivot in term:
+            # A bare pivot term absorbs every pivot & rest term; the
+            # scan still continues so non-pivot terms are kept.
+            if len(term) == 1:
+                bare_pivot = True
+            elif not bare_pivot:
+                grouped.append(_and_term(
+                    tuple(lit for lit in term if lit != pivot)
+                ))
+        else:
+            others.append(_and_term(term))
+    head = pivot if bare_pivot else And((pivot, Or(tuple(grouped))))
+    if not others:
+        return head.simplify() if bare_pivot else head
+    return Or((head,) + tuple(others))
+
+
+def _factor_guard(expr: Expr) -> Expr:
+    """Refactor a sum-of-products guard into a smaller equivalent tree.
+
+    Quine–McCluskey emits flat sum-of-products; terms of one guard
+    usually share most of their literals (``(a&x)|(a&y) -> a&(x|y)``,
+    and products of sums re-emerge from repeated grouping).  Every
+    rewrite is the distribution or absorption law run backwards —
+    evaluation is unchanged — and the sweep repeats only while the
+    node count strictly shrinks, so factoring terminates and never
+    grows a guard.
+    """
+    best = expr
+    best_count = _node_count(expr)
+    while True:
+        candidate = _factor_once(best)
+        count = _node_count(candidate)
+        if count >= best_count:
+            return best
+        best, best_count = candidate, count
+
+
+def _intern_guards(monitor: Monitor) -> Monitor:
+    """Factor and hash-cons every guard.
+
+    Factoring (:func:`_factor_guard`) is evaluation-preserving;
+    interning makes equal subtrees the *same* object, so equality
+    checks short-circuit on identity and — because pickle memoizes by
+    object identity — the serialized monitor stores one copy per
+    distinct subtree.  Minimisation and symbolic recompression
+    otherwise leave hundreds of structurally equal but distinct nodes
+    behind.
+    """
+    cache: dict = {}
+    transitions = tuple(
+        Transition(t.source, intern_expr(_factor_guard(t.guard), cache),
+                   t.actions, t.target)
+        for t in monitor.transitions
+    )
+    return Monitor(
+        monitor.name, n_states=monitor.n_states, initial=monitor.initial,
+        final=monitor.final, transitions=transitions,
+        alphabet=monitor.alphabet, props=monitor.props,
+    )
+
+
+def _carrier_transitions(compiled: CompiledMonitor) -> CompiledMonitor:
+    """Replace full guards with carrier guards in the compiled artifact.
+
+    A dispatch table never evaluates its transitions' guards — the
+    valuation part is baked into the cell indexing and only the
+    scoreboard residues survive as compiled checks — yet
+    ``compile_monitor`` keeps the interpreted monitor's full guard
+    expressions on every :class:`Transition`, and they dominate the
+    serialized payload of an optimized monitor.  This rewrites each
+    table-referenced transition to a *carrier* (guard = its scoreboard
+    residue, mirroring ``tr_compiled`` direct emission), merging
+    transitions that become indistinguishable.  The interpreted
+    ``OptimizationResult.monitor`` keeps the full guards — it is the
+    form that needs them.
+    """
+    from repro.runtime.compiled import _split_guard, map_table_cells
+
+    carriers: Dict[Transition, Transition] = {}
+    mapped: Dict[int, Transition] = {}
+
+    def carrier(transition: Transition) -> Transition:
+        cached = mapped.get(id(transition))
+        if cached is None:
+            _, residue = _split_guard(transition.guard)
+            slim = Transition(
+                transition.source, residue, transition.actions,
+                transition.target,
+            )
+            cached = carriers.setdefault(slim, slim)
+            mapped[id(transition)] = cached
+        return cached
+
+    cells: Dict[int, tuple] = {}
+
+    def convert(cell):
+        if cell is None:
+            return None
+        if isinstance(cell, tuple):
+            cached = cells.get(id(cell))
+            if cached is None:
+                cached = tuple(
+                    (check, carrier(transition)) for check, transition in cell
+                )
+                cells[id(cell)] = cached
+            return cached
+        return carrier(cell)
+
+    table = map_table_cells(compiled, convert)
+    transitions = tuple(
+        carrier(transition) for transition in compiled.transitions
+    )
+    # Dedup while keeping first-seen order.
+    transitions = tuple(dict.fromkeys(transitions))
+    return CompiledMonitor(
+        compiled.name,
+        n_states=compiled.n_states,
+        initial=compiled.initial,
+        final=compiled.final,
+        codec=compiled.codec,
+        table=table,
+        transitions=transitions,
+        props=compiled.props,
+        source=compiled.source,
+        ladder_exclusive=compiled.ladder_exclusive,
+    )
+
+
+def _compact_when_smaller(compiled: CompiledMonitor) -> CompiledMonitor:
+    """Compact the table only when that *shrinks* the serialized form.
+
+    Compaction never wins tick rate (the memoizing ``CompactRow`` is at
+    best a few percent behind dense list indexing), so its one
+    justification is size.  Narrow tables can invert that: a sparse row
+    of dict entries serializes *larger* than the dense list it
+    replaces.  Comparing the pickled payloads — what the sharded
+    pipeline ships and a compilation cache stores — keeps whichever
+    form is genuinely smaller, so optimization can no longer lose both
+    size and speed at once.
+    """
+    compacted = compact_monitor(compiled)
+    if compacted is compiled:
+        return compiled
+    dense_bytes = len(pickle.dumps(compiled.without_source()))
+    compact_bytes = len(pickle.dumps(compacted.without_source()))
+    if compact_bytes < dense_bytes:
+        return compacted
+    return compiled
 
 
 def minimize_monitor_safely(monitor: Monitor) -> Monitor:
@@ -169,11 +384,11 @@ def optimize_compiled(
     under a bit flip) and compaction re-encodes the rows; state
     minimisation needs the interpreted form and is not attempted.
     """
-    optimized = compiled
+    optimized = harden_ladders(compiled)
     if prune:
         optimized = prune_compiled(optimized)
     if compact:
-        optimized = compact_monitor(optimized)
+        optimized = _compact_when_smaller(optimized)
     return optimized
 
 

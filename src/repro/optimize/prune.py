@@ -135,10 +135,15 @@ def prune_compiled(compiled: CompiledMonitor) -> CompiledMonitor:
         mask_map.append(old_mask)
 
     recompiled: Dict[int, CompiledCheck] = {}
+    converted: Dict[int, tuple] = {}
 
     def convert(cell):
         if not isinstance(cell, tuple):
             return cell
+        # Interned input cells convert to interned output cells.
+        cached = converted.get(id(cell))
+        if cached is not None:
+            return cached
         rungs = []
         for check, transition in cell:
             if check is not None:
@@ -148,7 +153,9 @@ def prune_compiled(compiled: CompiledMonitor) -> CompiledMonitor:
                     recompiled[id(check)] = replacement
                 check = replacement
             rungs.append((check, transition))
-        return tuple(rungs)
+        result = tuple(rungs)
+        converted[id(cell)] = result
+        return result
 
     table: List[List[object]] = []
     for state in compiled.states:

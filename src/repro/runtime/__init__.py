@@ -19,10 +19,15 @@ performs, made persistent — so the hot loop is a list lookup:
   two-phase ``enabled_transition``/``commit``), on the compiled table;
 * :func:`~repro.runtime.compiled.run_compiled` /
   :func:`~repro.runtime.compiled.run_many` — whole-trace and batched
-  lock-step execution.
+  lock-step execution;
+* :mod:`repro.runtime.vector` — the trace-parallel batch kernel:
+  check-free cells lowered to one flat integer array stepped with
+  NumPy fancy indexing (pure-Python fallback when NumPy is absent),
+  escape lanes resolved through the scalar dispatch above.
 
 The interpreted engine remains the reference semantics; equivalence is
-enforced by property tests (``tests/test_properties.py``).
+enforced by property tests (``tests/test_properties.py``) and the
+vector differential suite.
 """
 
 from repro.runtime.compiled import (
@@ -32,13 +37,39 @@ from repro.runtime.compiled import (
     compile_monitor,
     run_compiled,
     run_many,
+    run_many_encoded,
 )
+
+#: Vector-kernel names resolved lazily (PEP 562): importing the vector
+#: module pulls in NumPy when present, and scalar-only users — the CLI
+#: with --engine compiled, sharded worker spawns — should not pay that
+#: import for a kernel they never touch.
+_VECTOR_EXPORTS = (
+    "VectorEngine",
+    "run_many_vector",
+    "run_many_vector_encoded",
+    "vector_table",
+)
+
+
+def __getattr__(name):
+    if name in _VECTOR_EXPORTS:
+        from repro.runtime import vector
+
+        return getattr(vector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CompiledEngine",
     "CompiledMonitor",
+    "VectorEngine",
     "as_compiled",
     "compile_monitor",
     "run_compiled",
     "run_many",
+    "run_many_encoded",
+    "run_many_vector",
+    "run_many_vector_encoded",
+    "vector_table",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import IdentityCache
 from repro.errors import MonitorError
 from repro.logic.codec import AlphabetCodec
 from repro.logic.expr import And, Expr, all_of, scoreboard_checks_of
@@ -50,6 +51,7 @@ __all__ = [
     "row_cells",
     "run_compiled",
     "run_many",
+    "run_many_encoded",
 ]
 
 #: One dispatch cell: a transition (unconditional), a check ladder of
@@ -112,7 +114,17 @@ class CompactRow(dict):
         return sum(1 for cell in self.values() if cell != default)
 
     def __reduce__(self):
-        return (CompactRow, (self.explicit(), self.default))
+        # Group exception masks by cell: a row's exceptions repeat a
+        # handful of distinct cells, so pickling ``(cell, masks...)``
+        # groups stores each cell reference once instead of once per
+        # mask — about half the per-entry cost of pickling the dict.
+        groups: dict = {}
+        for mask, cell in sorted(self.explicit().items()):
+            groups.setdefault(cell, []).append(mask)
+        payload = tuple(
+            (cell, tuple(masks)) for cell, masks in groups.items()
+        )
+        return (_rebuild_compact_row, (payload, self.default))
 
     def __eq__(self, other):
         """Logical row equality: same default, same genuine exceptions.
@@ -138,6 +150,15 @@ class CompactRow(dict):
                 f"default={self.default!r})")
 
 
+def _rebuild_compact_row(payload, default: Cell) -> "CompactRow":
+    """Unpickle hook for :meth:`CompactRow.__reduce__`."""
+    exceptions = {}
+    for cell, masks in payload:
+        for mask in masks:
+            exceptions[mask] = cell
+    return CompactRow(exceptions, default)
+
+
 def peek_cell(row, mask: int) -> Cell:
     """Read one cell of a dense or compact row without memoizing."""
     if isinstance(row, CompactRow):
@@ -152,6 +173,30 @@ def row_cells(row) -> Iterable[Cell]:
         yield from row.explicit().values()
     else:
         yield from row
+
+
+def map_table_cells(compiled: "CompiledMonitor", convert) -> list:
+    """A new table with ``convert`` applied to every cell slot.
+
+    Preserves each row's shape (dense list or :class:`CompactRow` with
+    the converted default).  ``convert`` receives each *distinct* cell
+    slot; callers that intern converted cells should memoize inside
+    ``convert`` (cells are shared across slots by identity).  This is
+    the one rebuild loop the table-rewriting passes (ladder hardening,
+    carrier slimming) share, so a new row representation only needs
+    teaching here.
+    """
+    table = []
+    for row in compiled._table:
+        if isinstance(row, CompactRow):
+            table.append(CompactRow(
+                {mask: convert(cell)
+                 for mask, cell in row.explicit().items()},
+                convert(row.default),
+            ))
+        else:
+            table.append([convert(cell) for cell in row])
+    return table
 
 
 class CompiledCheck:
@@ -498,6 +543,11 @@ def compile_monitor(monitor: Monitor) -> CompiledMonitor:
     codec = AlphabetCodec(monitor.alphabet)
     lowered = lower_monitor(monitor, codec)
     closure_cache: dict = {}
+    # Equal check ladders are interned to one shared tuple: adjacent
+    # masks of a state overwhelmingly produce the same ladder, so
+    # interning shrinks the resident table and lets pickle memoize one
+    # copy per distinct ladder instead of one per cell.
+    cell_cache: dict = {}
     table: List[List[Cell]] = []
     for state in monitor.states:
         entries = lowered[state]
@@ -519,7 +569,8 @@ def compile_monitor(monitor: Monitor) -> CompiledMonitor:
                             check = CompiledCheck(residue, codec)
                             closure_cache[residue] = check
                     compiled_rungs.append((check, transition))
-                row.append(tuple(compiled_rungs))
+                cell = tuple(compiled_rungs)
+                row.append(cell_cache.setdefault(cell, cell))
         table.append(row)
     return CompiledMonitor(
         monitor.name,
@@ -539,6 +590,61 @@ def as_compiled(monitor: Union[Monitor, CompiledMonitor]) -> CompiledMonitor:
     if isinstance(monitor, CompiledMonitor):
         return monitor
     return compile_monitor(monitor)
+
+
+#: Compact tables up to this many dense cells re-expand to plain lists
+#: inside long-running engines — list indexing is the fastest dispatch
+#: and the expansion is cheaper than the table's own construction was.
+_DENSE_STEP_CELLS = 1 << 15
+
+
+#: Memoized expansions, keyed by monitor identity.
+_STEP_TABLES = IdentityCache(limit=64)
+
+
+def _stepping_table(compiled: CompiledMonitor):
+    """The hot-loop view of a monitor's table.
+
+    Compact rows trade a few percent of dispatch speed for resident
+    and serialized size; an engine about to take millions of steps
+    wants the speed back.  Small compact tables are expanded to dense
+    lists (cells shared where possible) while the monitor keeps its
+    compact form for storage and shipping; big tables stay compact —
+    expansion would defeat their reason to exist.  While rebuilding,
+    ladder rungs shed their :class:`CompiledCheck` pickling wrapper
+    for the raw compiled closure — one less call frame per check
+    evaluation.  Expansions are memoized per monitor, so banks and
+    repeated batch calls pay once.
+    """
+    table = compiled._table
+    if not compiled.is_compact:
+        return table
+    if compiled.n_states * compiled.codec.size > _DENSE_STEP_CELLS:
+        return table
+    cached = _STEP_TABLES.get(compiled)
+    if cached is not None:
+        return cached
+    unwrapped: dict = {}
+
+    def fast_cell(cell: Cell) -> Cell:
+        if type(cell) is not tuple:
+            return cell
+        cached = unwrapped.get(id(cell))
+        if cached is None:
+            cached = tuple(
+                (check._fn if isinstance(check, CompiledCheck) else check,
+                 transition)
+                for check, transition in cell
+            )
+            unwrapped[id(cell)] = cached
+        return cached
+
+    masks = range(compiled.codec.size)
+    expanded = [
+        [fast_cell(peek_cell(row, mask)) for mask in masks]
+        for row in table
+    ]
+    return _STEP_TABLES.put(compiled, expanded)
 
 
 class CompiledEngine(EngineBase):
@@ -561,7 +667,7 @@ class CompiledEngine(EngineBase):
         compiled = as_compiled(monitor)
         super().__init__(compiled, scoreboard, record_history=record_history)
         self._compiled = compiled
-        self._table = compiled._table
+        self._table = _stepping_table(compiled)
         self._encode = compiled.codec.encode
         self._exclusive = compiled.ladder_exclusive
 
@@ -633,13 +739,42 @@ def run_many(
         raise MonitorError(
             "run_many needs exactly one scoreboard per trace when provided"
         )
-    encode = compiled.codec.encode
-    table = compiled._table
+    return run_many_encoded(
+        compiled,
+        compiled.codec.encode_many(traces, as_list=True),
+        scoreboards=scoreboards,
+        record_transitions=record_transitions,
+    )
+
+
+def run_many_encoded(
+    monitor: Union[Monitor, CompiledMonitor],
+    mask_arrays: Sequence[Sequence[int]],
+    scoreboards: Optional[Sequence[Scoreboard]] = None,
+    record_transitions: bool = False,
+) -> List[MonitorResult]:
+    """:func:`run_many` over pre-encoded valuation-mask arrays.
+
+    The sharded pipeline encodes traces once in the parent and ships
+    only the mask arrays to worker processes; the vector kernel shares
+    the same arrays.  ``mask_arrays`` entries may be any integer
+    sequence (``array('i')`` from
+    :meth:`~repro.logic.codec.AlphabetCodec.encode_trace`, a list, or a
+    NumPy array) — each is the per-tick mask stream of one trace.
+    """
+    compiled = as_compiled(monitor)
+    if scoreboards is not None and len(scoreboards) != len(mask_arrays):
+        raise MonitorError(
+            "run_many needs exactly one scoreboard per trace when provided"
+        )
+    table = _stepping_table(compiled)
     final = compiled.final
     exclusive = compiled.ladder_exclusive
-    count = len(traces)
+    count = len(mask_arrays)
+    # Plain lists index faster than buffer types in the tick loop.
     masks: List[List[int]] = [
-        [encode(valuation) for valuation in trace] for trace in traces
+        stream if type(stream) is list else list(stream)
+        for stream in mask_arrays
     ]
     lengths = [len(m) for m in masks]
     states = [compiled.initial] * count

@@ -1,0 +1,730 @@
+"""Trace-parallel vectorized batch execution over flat integer tables.
+
+:func:`~repro.runtime.compiled.run_many` steps one trace element per
+Python iteration — fast per *monitor*, but the interpreter overhead is
+paid per lane-tick.  This kernel flattens a
+:class:`~repro.runtime.compiled.CompiledMonitor`'s check-free cells
+into a single integer array ``next_state[state * 2^|Sigma| + mask]``
+and advances **every trace of a batch in lock-step with one indexed
+gather per tick** (NumPy fancy indexing), so the per-tick interpreter
+cost is amortized over the whole batch width.
+
+Escape-mask design
+------------------
+Cells the gather cannot resolve directly are *escapes*, encoded as
+negative entries in the flat table:
+
+* **check-ladder cells** — their move depends on the dynamic
+  scoreboard;
+* **action-carrying transitions** — they mutate the scoreboard, and
+  the mutation must land in tick order;
+* **missing cells** — an incomplete monitor raises exactly as the
+  scalar engines do.
+
+After each gather the escaped lanes are grouped by cell and resolved
+against a **vectorized scoreboard**: one ``counts[event, lane]``
+matrix replaces the per-lane :class:`~repro.monitor.scoreboard.Scoreboard`
+objects, ``Add_evt``/``Del_evt`` become fancy-indexed increments, and
+ladder rung conditions compile to NumPy boolean kernels — so even a
+100%-ladder monitor stays inside array code.  Any anomaly (a missing
+cell, a strict ``Del_evt`` under-run, scoreboard-dependent
+nondeterminism) *replays* the offending lane through the scalar
+resolver on a reconstructed scoreboard, so the raised error is the
+genuine article.  Caller-injected scoreboards are real objects with
+observable mutations; those runs keep the scalar per-lane escape path.
+Verdicts, detection ticks, state histories and scoreboard evolution
+stay bit-identical to :func:`run_many` by construction — the
+differential suite (``tests/runtime/test_vector_differential.py``)
+locks this down.
+
+NumPy is an **optional** dependency: when it is absent (or the
+``REPRO_NO_NUMPY`` environment variable is set) the identical API runs
+on a pure-Python flat ``array('i')`` fallback — still faster than cell
+dispatch, since the hot loop compares one int instead of type-checking
+cell objects.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.cache import IdentityCache
+from repro.errors import MonitorError
+from repro.logic.expr import And, Const, Not, Or, ScoreboardCheck, _Ref
+from repro.monitor.automaton import AddEvt, DelEvt, Monitor, Transition
+from repro.monitor.engine import MonitorResult
+from repro.monitor.scoreboard import Scoreboard
+from repro.runtime.compiled import (
+    CompiledEngine,
+    CompiledMonitor,
+    _resolve_ladder,
+    _stepping_table,
+    as_compiled,
+    peek_cell,
+    run_many_encoded,
+)
+from repro.semantics.run import Trace
+
+__all__ = [
+    "MISSING",
+    "VectorEngine",
+    "VectorTable",
+    "run_many_vector",
+    "run_many_vector_encoded",
+    "vector_table",
+]
+
+try:  # pragma: no cover - exercised via the fallback differential run
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+if os.environ.get("REPRO_NO_NUMPY"):  # test hook: force the fallback
+    _np = None
+
+#: Flat-table marker for a cell with no enabled transition.  Escape
+#: cells with scalar payloads are encoded ``-2 - spec_index``.
+MISSING = -1
+
+
+class _EscapeSpec:
+    """Scalar payload of one escape cell.
+
+    ``kind`` is ``"step"`` (unconditional transition with actions) or
+    ``"ladder"``; ``ops`` / rung ops are ``("add"|"del", event_row)``
+    pairs against the counts matrix; ``conds`` holds one vectorized
+    condition kernel per rung (``None`` = unconditional floor).
+    """
+
+    __slots__ = ("kind", "cell", "state", "target", "ops", "rungs",
+                 "differs")
+
+    def __init__(self, kind, cell, state, target=None, ops=(), rungs=(),
+                 differs=None):
+        self.kind = kind
+        self.cell = cell
+        self.state = state
+        self.target = target
+        self.ops = ops
+        self.rungs = rungs
+        self.differs = differs
+
+
+def _action_ops(transition: Transition, event_row) -> Tuple:
+    ops = []
+    for action in transition.actions:
+        if isinstance(action, AddEvt):
+            ops.extend(("add", event_row(e)) for e in action.events)
+        elif isinstance(action, DelEvt):
+            ops.extend(("del", event_row(e)) for e in action.events)
+        else:  # pragma: no cover - no other Action kinds exist today
+            raise LookupError(f"unsupported action {action!r}")
+    return tuple(ops)
+
+
+def _vector_cond(expr, codec, event_row) -> Callable:
+    """Compile a guard residue to ``fn(counts_sub, masks_sub) -> bools``.
+
+    ``counts_sub`` is the counts matrix restricted to the lanes under
+    evaluation, ``masks_sub`` their current valuation masks (a ladder
+    cell interned across several masks sees per-lane masks).  Raises
+    ``LookupError`` for expression kinds outside the guard language —
+    the caller then keeps the scalar escape path.
+    """
+    if isinstance(expr, Const):
+        value = bool(expr.value)
+        return lambda counts, masks: _np.full(masks.shape, value, bool)
+    if isinstance(expr, _Ref):
+        bit = codec.bit_of.get(expr.name, 0)
+        if not bit:
+            return lambda counts, masks: _np.zeros(masks.shape, bool)
+        return lambda counts, masks: (masks & bit) != 0
+    if isinstance(expr, ScoreboardCheck):
+        row = event_row(expr.event)
+        return lambda counts, masks: counts[row] > 0
+    if isinstance(expr, Not):
+        inner = _vector_cond(expr.operand, codec, event_row)
+        return lambda counts, masks: ~inner(counts, masks)
+    if isinstance(expr, (And, Or)):
+        fns = [_vector_cond(arg, codec, event_row) for arg in expr.args]
+        combine = _np.logical_and if isinstance(expr, And) else _np.logical_or
+        def nary(counts, masks, fns=fns, combine=combine):
+            result = fns[0](counts, masks)
+            for fn in fns[1:]:
+                result = combine(result, fn(counts, masks))
+            return result
+        return nary
+    raise LookupError(f"unsupported guard kind {type(expr).__name__}")
+
+
+class VectorTable:
+    """A compiled monitor lowered to one flat ``next_state`` array.
+
+    ``flat[state * size + mask]`` is the successor state for check-free,
+    action-free cells; negative entries escape (:data:`MISSING` or an
+    index into ``specs``).  ``escape_ratio`` reports the static density
+    of escape cells — the batch planner's signal for when the vector
+    kernel stops paying (see DESIGN.md).
+    """
+
+    __slots__ = ("compiled", "size", "n_states", "final", "flat",
+                 "escapes", "specs", "events", "vectorizable", "_np_flat")
+
+    def __init__(self, compiled: CompiledMonitor):
+        self.compiled = compiled
+        self.size = size = compiled.codec.size
+        self.n_states = compiled.n_states
+        self.final = compiled.final
+        codec = compiled.codec
+        events: List[str] = []
+        rows: dict = {}
+
+        def event_row(event: str) -> int:
+            row = rows.get(event)
+            if row is None:
+                row = rows[event] = len(events)
+                events.append(event)
+            return row
+
+        specs: List[_EscapeSpec] = []
+        spec_of: dict = {}
+        vectorizable = True
+        escapes = 0
+        cells: List[int] = []
+        for state in range(compiled.n_states):
+            row = compiled._table[state]
+            for mask in range(size):
+                cell = peek_cell(row, mask)
+                if cell is None:
+                    cells.append(MISSING)
+                    escapes += 1
+                    continue
+                if type(cell) is not tuple and not cell.actions:
+                    cells.append(cell.target)
+                    continue
+                escapes += 1
+                key = id(cell)
+                index = spec_of.get(key)
+                if index is None:
+                    index = len(specs)
+                    if _np is None:
+                        # The fallback loop resolves escapes through
+                        # the scalar cells; condition kernels would
+                        # need NumPy to even build.
+                        vectorizable = False
+                        specs.append(_EscapeSpec("scalar", cell, state))
+                    else:
+                        try:
+                            specs.append(self._lower_escape(
+                                cell, state, codec, event_row
+                            ))
+                        except LookupError:
+                            vectorizable = False
+                            specs.append(_EscapeSpec("scalar", cell, state))
+                    spec_of[key] = index
+                cells.append(-2 - index)
+        self.flat = array("i", cells)
+        self.escapes = escapes
+        self.specs = specs
+        self.events = tuple(events)
+        self.vectorizable = vectorizable
+        self._np_flat = None
+
+    @staticmethod
+    def _lower_escape(cell, state, codec, event_row) -> _EscapeSpec:
+        if type(cell) is not tuple:
+            return _EscapeSpec(
+                "step", cell, state, target=cell.target,
+                ops=_action_ops(cell, event_row),
+            )
+        rungs = []
+        for check, transition in cell:
+            cond = (None if check is None
+                    else _vector_cond(check.expr, codec, event_row))
+            rungs.append((cond, transition.target,
+                          _action_ops(transition, event_row), transition))
+        differs = [
+            [
+                (left[3].target, left[3].actions)
+                != (right[3].target, right[3].actions)
+                for right in rungs
+            ]
+            for left in rungs
+        ]
+        return _EscapeSpec("ladder", cell, state, rungs=tuple(rungs),
+                           differs=differs)
+
+    @property
+    def escape_ratio(self) -> float:
+        return self.escapes / len(self.flat) if len(self.flat) else 0.0
+
+    def np_flat(self):
+        """The flat table as a NumPy array (built once, shared)."""
+        if self._np_flat is None:
+            self._np_flat = _np.asarray(self.flat, dtype=_np.int32)
+        return self._np_flat
+
+    def __repr__(self):
+        return (f"VectorTable({self.compiled.name!r}, "
+                f"states={self.n_states}, size={self.size}, "
+                f"escapes={self.escapes})")
+
+
+#: Memoized lowerings, keyed by monitor identity.
+_TABLES = IdentityCache(limit=64)
+
+
+def vector_table(compiled: CompiledMonitor) -> VectorTable:
+    """The (memoized) flat lowering of ``compiled``."""
+    cached = _TABLES.get(compiled)
+    if cached is not None:
+        return cached
+    return _TABLES.put(compiled, VectorTable(compiled))
+
+
+def _resolve_escape(compiled, table, state: int, mask: int, scoreboard,
+                    trace_index: int, tick: int):
+    """Scalar resolution of one escape lane: the transition taken.
+
+    Mirrors the ``run_many`` inner loop exactly — same ladder
+    semantics, same action application order, same error messages.
+    """
+    cell = table[state][mask]
+    if type(cell) is tuple:
+        cell = _resolve_ladder(
+            cell, mask, scoreboard, compiled.ladder_exclusive,
+            compiled.name, state,
+        )
+    if cell is None:
+        raise MonitorError(
+            f"monitor {compiled.name!r}: no transition enabled in "
+            f"state {state} on input "
+            f"{compiled.codec.decode(mask)!r} (trace {trace_index}, "
+            f"tick {tick})"
+        )
+    for action in cell.actions:
+        action.apply(scoreboard)
+    return cell
+
+
+def run_many_vector(
+    monitor: Union[Monitor, CompiledMonitor],
+    traces: Sequence[Trace],
+    scoreboards: Optional[Sequence[Scoreboard]] = None,
+    record_transitions: bool = False,
+) -> List[MonitorResult]:
+    """Drop-in for :func:`~repro.runtime.compiled.run_many`, vectorized.
+
+    Traces are encoded once through the shared
+    :meth:`~repro.logic.codec.AlphabetCodec.encode_trace` cache, then
+    stepped lock-step through the flat table.  ``record_transitions``
+    needs the per-tick transition *objects*, which no gather can
+    produce — those runs delegate to the scalar ``run_many`` (identical
+    results either way).
+    """
+    compiled = as_compiled(monitor)
+    if scoreboards is not None and len(scoreboards) != len(traces):
+        raise MonitorError(
+            "run_many needs exactly one scoreboard per trace when provided"
+        )
+    # The fallback loop indexes plain lists; ask the cache for its
+    # memoized list form directly so warm batches pay no conversion.
+    return run_many_vector_encoded(
+        compiled,
+        compiled.codec.encode_many(traces, as_list=_np is None),
+        scoreboards=scoreboards,
+        record_transitions=record_transitions,
+    )
+
+
+def run_many_vector_encoded(
+    monitor: Union[Monitor, CompiledMonitor],
+    mask_arrays: Sequence[Sequence[int]],
+    scoreboards: Optional[Sequence[Scoreboard]] = None,
+    record_transitions: bool = False,
+) -> List[MonitorResult]:
+    """:func:`run_many_vector` over pre-encoded mask arrays."""
+    compiled = as_compiled(monitor)
+    if record_transitions:
+        # Transition logging is inherently scalar: every tick needs the
+        # taken Transition object, so the gather buys nothing.
+        return run_many_encoded(
+            compiled, mask_arrays, scoreboards=scoreboards,
+            record_transitions=True,
+        )
+    if scoreboards is not None and len(scoreboards) != len(mask_arrays):
+        raise MonitorError(
+            "run_many needs exactly one scoreboard per trace when provided"
+        )
+    if _np is not None:
+        return _run_numpy(compiled, mask_arrays, scoreboards)
+    return _run_fallback(compiled, mask_arrays, scoreboards)
+
+
+class _VectorAnomaly(Exception):
+    """Internal signal: some escaped lane of this tick must raise.
+
+    Anomalies (strict ``Del_evt`` under-runs, no enabled rung,
+    scoreboard-dependent nondeterminism, missing cells) are detected in
+    cell-group order, but ``run_many`` surfaces the failure of the
+    *lowest trace index* — so detection only flags the tick, and the
+    handler re-resolves every escaped lane in trace order from a
+    pre-tick snapshot to raise the identical error.
+    """
+
+
+class _NumpyRun:
+    """One lock-step batch execution (NumPy path).
+
+    Lanes are sorted by trace length (descending) so the active set at
+    any tick is a prefix and every per-tick array op is one slice.
+    The scoreboard is the ``counts[event, lane]`` matrix unless the
+    caller injected real scoreboards (their mutations are observable),
+    in which case escapes resolve per lane through the scalar path.
+    """
+
+    def __init__(self, compiled, mask_arrays, scoreboards):
+        self.compiled = compiled
+        self.vt = vector_table(compiled)
+        self.count = len(mask_arrays)
+        self.lengths = [len(m) for m in mask_arrays]
+        self.order = sorted(range(self.count), key=lambda i: -self.lengths[i])
+        self.sorted_lengths = [self.lengths[i] for i in self.order]
+        self.max_len = self.sorted_lengths[0] if self.count else 0
+        self.mat = _np.zeros((self.count, self.max_len), dtype=_np.int32)
+        for row, lane in enumerate(self.order):
+            if self.lengths[lane]:
+                self.mat[row, :self.lengths[lane]] = _np.asarray(
+                    mask_arrays[lane], dtype=_np.int32
+                )
+        self.history = _np.empty((self.count, self.max_len + 1),
+                                 dtype=_np.int32)
+        self.history[:, 0] = compiled.initial
+        self.states = _np.full(self.count, compiled.initial, dtype=_np.int32)
+        self.scalar_table = _stepping_table(compiled)
+        self.vector_boards = scoreboards is None and self.vt.vectorizable
+        self.counts = (
+            _np.zeros((max(1, len(self.vt.events)), self.count),
+                      dtype=_np.int32)
+            if self.vector_boards and self.vt.escapes else None
+        )
+        if scoreboards is not None:
+            self.boards: Optional[List[Scoreboard]] = [
+                scoreboards[i] for i in self.order
+            ]
+        elif not self.vector_boards:
+            self.boards = [Scoreboard() for _ in range(self.count)]
+        else:
+            self.boards = None
+
+    # -- scalar replay -----------------------------------------------------
+    def _board_for(self, row: int) -> Scoreboard:
+        """A real scoreboard equal to lane ``row``'s counts column."""
+        board = Scoreboard()
+        if self.counts is not None:
+            board.restore({
+                event: int(self.counts[index, row])
+                for index, event in enumerate(self.vt.events)
+            })
+        return board
+
+    def _raise_in_trace_order(self, escaped, snapshot, tick, live):
+        """Re-resolve every escaped lane scalar, lowest trace index
+        first, raising the exact error ``run_many`` would surface.
+
+        ``snapshot`` restores the escaped lanes' counts columns to
+        their pre-tick state (group processing may have mutated some
+        before the anomaly was detected); each lane then replays on a
+        fresh scoreboard built from its own column, so succeeding lanes
+        cannot double-apply actions."""
+        if self.counts is not None and snapshot is not None:
+            self.counts[:, escaped] = snapshot
+        rows = sorted((int(row) for row in escaped),
+                      key=self.order.__getitem__)
+        for row in rows:
+            _resolve_escape(
+                self.compiled, self.scalar_table, int(live[row]),
+                int(self.mat[row, tick]), self._board_for(row),
+                self.order[row], tick,
+            )
+        raise MonitorError(  # pragma: no cover - detection was certain
+            f"monitor {self.compiled.name!r}: internal vector anomaly at "
+            f"tick {tick} did not reproduce under scalar replay"
+        )
+
+    # -- vectorized scoreboard ops ----------------------------------------
+    def _apply_ops(self, ops, group) -> None:
+        counts = self.counts
+        for op, row_index in ops:
+            if op == "add":
+                counts[row_index, group] += 1
+            else:
+                column = counts[row_index, group]
+                if (column <= 0).any():
+                    # Strict Del_evt under-run somewhere in the group.
+                    raise _VectorAnomaly
+                counts[row_index, group] = column - 1
+
+    def _ladder_exclusive(self, spec, group, tick, nxt) -> None:
+        remaining = group
+        masks = self.mat[group, tick]
+        for cond, target, ops, _ in spec.rungs:
+            if remaining.size == 0:
+                return
+            if cond is None:
+                chosen = remaining
+                remaining = remaining[:0]
+            else:
+                sel = cond(self.counts[:, remaining], masks)
+                chosen = remaining[sel]
+                remaining = remaining[~sel]
+                masks = masks[~sel]
+            if chosen.size:
+                if ops:
+                    self._apply_ops(ops, chosen)
+                nxt[chosen] = target
+        if remaining.size:
+            # No rung passed: an incomplete monitor.
+            raise _VectorAnomaly
+
+    def _ladder_full_scan(self, spec, group, tick, nxt) -> None:
+        masks = self.mat[group, tick]
+        counts_sub = self.counts[:, group]
+        rungs = spec.rungs
+        passing = [
+            (_np.ones(group.shape, bool) if cond is None
+             else cond(counts_sub, masks))
+            for cond, _, _, _ in rungs
+        ]
+        first = _np.full(group.shape, -1, dtype=_np.int32)
+        for index in range(len(rungs)):
+            first = _np.where((first == -1) & passing[index], index, first)
+        if (first == -1).any():
+            raise _VectorAnomaly
+        differs = spec.differs
+        for later in range(1, len(rungs)):
+            conflicting = passing[later] & (first != later)
+            if conflicting.any():
+                for row in _np.nonzero(conflicting)[0]:
+                    if differs[int(first[row])][later]:
+                        # Scoreboard-dependent nondeterminism: the full
+                        # scan the interpreted engine runs would raise.
+                        raise _VectorAnomaly
+        for index, (_, target, ops, _) in enumerate(rungs):
+            chosen = group[first == index]
+            if chosen.size:
+                if ops:
+                    self._apply_ops(ops, chosen)
+                nxt[chosen] = target
+
+    # -- the tick loop -----------------------------------------------------
+    def run(self) -> List[MonitorResult]:
+        compiled = self.compiled
+        vt = self.vt
+        flat = vt.np_flat()
+        size = vt.size
+        specs = vt.specs
+        exclusive = compiled.ladder_exclusive
+        has_escapes = vt.escapes > 0
+        scalar_escapes = self.boards is not None
+        active = self.count
+        for tick in range(self.max_len):
+            while active > 0 and self.sorted_lengths[active - 1] <= tick:
+                active -= 1
+            live = self.states[:active]
+            index = live * size
+            index += self.mat[:active, tick]
+            nxt = flat.take(index)
+            if has_escapes:
+                escaped = _np.nonzero(nxt < 0)[0]
+                if escaped.size:
+                    if scalar_escapes:
+                        # Trace-index order: independent boards make
+                        # the results order-free, but *which* lane's
+                        # error surfaces first must match run_many.
+                        for row in sorted((int(r) for r in escaped),
+                                          key=self.order.__getitem__):
+                            transition = _resolve_escape(
+                                compiled, self.scalar_table, int(live[row]),
+                                int(self.mat[row, tick]), self.boards[row],
+                                self.order[row], tick,
+                            )
+                            nxt[row] = transition.target
+                    else:
+                        snapshot = (self.counts[:, escaped].copy()
+                                    if self.counts is not None else None)
+                        try:
+                            codes = nxt.take(escaped)
+                            for code in _np.unique(codes):
+                                group = escaped[codes == code]
+                                if code == MISSING:
+                                    raise _VectorAnomaly
+                                spec = specs[-2 - int(code)]
+                                if spec.kind == "step":
+                                    if spec.ops:
+                                        self._apply_ops(spec.ops, group)
+                                    nxt[group] = spec.target
+                                elif exclusive:
+                                    self._ladder_exclusive(
+                                        spec, group, tick, nxt
+                                    )
+                                else:
+                                    self._ladder_full_scan(
+                                        spec, group, tick, nxt
+                                    )
+                        except _VectorAnomaly:
+                            self._raise_in_trace_order(
+                                escaped, snapshot, tick, live
+                            )
+            self.states[:active] = nxt
+            self.history[:active, tick + 1] = nxt
+        results: List[Optional[MonitorResult]] = [None] * self.count
+        final = vt.final
+        for row, lane in enumerate(self.order):
+            length = self.lengths[lane]
+            lane_history = self.history[row, :length + 1]
+            detections = _np.nonzero(lane_history[1:] == final)[0].tolist()
+            results[lane] = MonitorResult(
+                compiled.name, lane_history.tolist(), detections, length
+            )
+        return results
+
+
+def _run_numpy(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
+    count = len(mask_arrays)
+    if count == 0 or max(len(m) for m in mask_arrays) == 0:
+        return [
+            MonitorResult(compiled.name, [compiled.initial], [], 0)
+            for _ in range(count)
+        ]
+    return _NumpyRun(compiled, mask_arrays, scoreboards).run()
+
+
+def _run_fallback(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
+    """Pure-Python flat-table lock-step (NumPy absent) — same contract."""
+    count = len(mask_arrays)
+    vt = vector_table(compiled)
+    flat = vt.flat
+    size = vt.size
+    final = vt.final
+    scalar_table = _stepping_table(compiled)
+    masks = [
+        stream if type(stream) is list else list(stream)
+        for stream in mask_arrays
+    ]
+    lengths = [len(m) for m in masks]
+    states = [compiled.initial] * count
+    histories = [[compiled.initial] * (length + 1) for length in lengths]
+    detections: List[List[int]] = [[] for _ in range(count)]
+    boards: List[Optional[Scoreboard]] = (
+        list(scoreboards) if scoreboards is not None else [None] * count
+    )
+    active = [index for index in range(count) if lengths[index] > 0]
+    tick = 0
+    while active:
+        surviving: List[int] = []
+        for index in active:
+            mask = masks[index][tick]
+            state = flat[states[index] * size + mask]
+            if state < 0:
+                board = boards[index]
+                if board is None:
+                    board = Scoreboard()
+                    boards[index] = board
+                state = _resolve_escape(
+                    compiled, scalar_table, states[index], mask, board,
+                    index, tick,
+                ).target
+            states[index] = state
+            histories[index][tick + 1] = state
+            if state == final:
+                detections[index].append(tick)
+            if tick + 1 < lengths[index]:
+                surviving.append(index)
+        active = surviving
+        tick += 1
+    return [
+        MonitorResult(compiled.name, histories[index], detections[index],
+                      lengths[index])
+        for index in range(count)
+    ]
+
+
+class VectorEngine(CompiledEngine):
+    """A compiled engine with a chunked flat-table fast path.
+
+    Scalar ``step``/``feed``/two-phase semantics are inherited
+    unchanged from :class:`CompiledEngine`; :meth:`feed_masks` consumes
+    a pre-encoded chunk of ticks in one tight loop over the flat
+    integer table — the streaming checker's vector mode batches its
+    input into chunks and pushes them through here, skipping three
+    Python method calls per tick per monitor.
+    """
+
+    def __init__(self, monitor, scoreboard: Optional[Scoreboard] = None,
+                 record_history: bool = True):
+        super().__init__(monitor, scoreboard=scoreboard,
+                         record_history=record_history)
+        self._vt = vector_table(self._compiled)
+
+    def feed_masks(self, masks: Sequence[int]) -> List[int]:
+        """Consume one chunk of encoded ticks; return detection offsets.
+
+        Offsets are relative to the first tick of the chunk.  State,
+        tick count and scoreboard evolve exactly as ``len(masks)``
+        ``step`` calls would — including on failure: an escape that
+        cannot resolve raises the same error ``step`` raises, with the
+        engine left exactly where per-tick stepping would have left it
+        (state and tick at the failing element, earlier elements
+        committed).  Per-tick history recording is not supported
+        (streaming engines run ``record_history=False``).
+        """
+        if self._record_history:
+            raise MonitorError(
+                "feed_masks is the streaming fast path; construct the "
+                "engine with record_history=False (step() records "
+                "history tick by tick)"
+            )
+        vt = self._vt
+        flat = vt.flat
+        size = vt.size
+        final = vt.final
+        compiled = self._compiled
+        scalar_table = self._table
+        scoreboard = self._scoreboard
+        exclusive = self._exclusive
+        state = self._state
+        detections: List[int] = []
+        for offset, mask in enumerate(masks):
+            nxt = flat[state * size + mask]
+            if nxt < 0:
+                try:
+                    cell = scalar_table[state][mask]
+                    if type(cell) is tuple:
+                        cell = _resolve_ladder(
+                            cell, mask, scoreboard, exclusive,
+                            compiled.name, state,
+                        )
+                    if cell is None:
+                        raise MonitorError(
+                            f"monitor {compiled.name!r}: no transition "
+                            f"enabled in state {state} on input "
+                            f"{compiled.codec.decode(mask)!r} "
+                            f"(scoreboard {scoreboard!r})"
+                        )
+                    for action in cell.actions:
+                        action.apply(scoreboard)
+                except Exception:
+                    # Leave the engine where step-by-step stepping
+                    # would have: at the failing tick.
+                    self._state = state
+                    self._tick += offset
+                    raise
+                nxt = cell.target
+            state = nxt
+            if state == final:
+                detections.append(offset)
+        self._state = state
+        self._tick += len(masks)
+        return detections

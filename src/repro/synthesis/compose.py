@@ -165,29 +165,55 @@ class MonitorBank:
         return BankResult([eng.result() for eng in engines])
 
     def run_batch(self, traces: Sequence[Trace],
-                  jobs: Optional[int] = None) -> List[BankResult]:
-        """Scan many traces with the compiled backend.
+                  jobs: Optional[int] = None,
+                  engine: str = "compiled") -> List[BankResult]:
+        """Scan many traces with a batch backend.
 
         Every member monitor is compiled once (memoized) and fed all
-        ``traces`` through :func:`~repro.runtime.compiled.run_many`;
-        returns one :class:`BankResult` per trace, each identical to
-        what ``run(trace)`` would produce.  This is the bulk entry
-        point for serving many concurrent scenarios against one
-        specification.
+        ``traces`` through :func:`~repro.runtime.compiled.run_many`
+        (``engine="compiled"``) or the trace-parallel
+        :func:`~repro.runtime.vector.run_many_vector`
+        (``engine="vector"``, identical results); returns one
+        :class:`BankResult` per trace, each identical to what
+        ``run(trace)`` would produce.  This is the bulk entry point for
+        serving many concurrent scenarios against one specification.
+        Each trace is encoded to its mask array once per distinct
+        member alphabet (the shared codec cache), not once per member.
 
         ``jobs`` > 1 shards the workload across that many worker
         processes via :func:`~repro.trace.shard.run_bank_sharded`
         (``jobs=0`` means one per core); the default stays in-process.
         """
+        if engine not in ("compiled", "vector"):
+            raise SynthesisError(f"unknown batch engine {engine!r}")
         if jobs is not None and jobs != 1:
             from repro.trace.shard import run_bank_sharded
 
-            return run_bank_sharded(self, traces, jobs=jobs)
-        from repro.runtime.compiled import run_many
+            return run_bank_sharded(self, traces, jobs=jobs, engine=engine)
+        if engine == "vector":
+            from repro.runtime import vector
 
-        per_member = [
-            run_many(compiled, traces) for compiled in self.compiled_members()
-        ]
+            runner = vector.run_many_vector_encoded
+            # The NumPy kernel wants buffer-backed arrays; the
+            # pure-Python fallback indexes plain lists fastest.
+            as_list = vector._np is None
+        else:
+            from repro.runtime.compiled import run_many_encoded as runner
+
+            as_list = True
+        # Mask arrays are shared *explicitly* across same-alphabet
+        # members — one encode per distinct codec per call, robust at
+        # any batch size (the bounded encode cache alone thrashes on
+        # batches larger than its capacity).
+        encoded_by_codec: dict = {}
+        per_member = []
+        for compiled in self.compiled_members():
+            key = compiled.codec.symbols
+            masks = encoded_by_codec.get(key)
+            if masks is None:
+                masks = compiled.codec.encode_many(traces, as_list=as_list)
+                encoded_by_codec[key] = masks
+            per_member.append(runner(compiled, masks))
         return [
             BankResult([member[i] for member in per_member])
             for i in range(len(traces))

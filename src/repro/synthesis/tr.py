@@ -238,6 +238,8 @@ def synthesize_compiled(
     compatibility = pattern_compatibility(pattern)
     interned: Dict[Tuple[int, int, tuple, FrozenSet[str], tuple], Transition] = {}
     closures: Dict[FrozenSet[str], object] = {}
+    # Equal ladders share one tuple (smaller table, one pickle copy).
+    cells: Dict[tuple, tuple] = {}
     table = []
     for state in range(n + 1):
         row = []
@@ -274,7 +276,8 @@ def synthesize_compiled(
             if len(rungs) == 1 and rungs[0][0] is None:
                 row.append(rungs[0][1])
             else:
-                row.append(tuple(rungs))
+                cell = tuple(rungs)
+                row.append(cells.setdefault(cell, cell))
         table.append(row)
     if compact:
         from repro.optimize.compact import compact_row

@@ -46,8 +46,37 @@ from repro.errors import MonitorError
 from repro.monitor.automaton import Monitor
 from repro.monitor.engine import MonitorResult
 from repro.monitor.scoreboard import Scoreboard
-from repro.runtime.compiled import CompiledMonitor, as_compiled, run_many
+from repro.runtime.compiled import (
+    CompiledMonitor,
+    as_compiled,
+    run_many,
+    run_many_encoded,
+)
 from repro.semantics.run import Trace
+
+_ENGINES = ("compiled", "vector")
+
+
+def _require_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise MonitorError(
+            f"unknown batch engine {engine!r} (choose from {_ENGINES})"
+        )
+    return engine
+
+
+def _batch_runner(engine: str):
+    """The in-process batch entry point for an engine name.
+
+    The vector kernel is imported lazily — it pulls in NumPy when
+    present, and compiled-engine runs should not pay that import.
+    """
+    _require_engine(engine)
+    if engine == "vector":
+        from repro.runtime.vector import run_many_vector
+
+        return run_many_vector
+    return run_many
 
 __all__ = ["run_sharded", "run_bank_sharded", "run_sharded_vcd",
            "resolve_jobs", "shutdown_worker_pools"]
@@ -138,9 +167,13 @@ def _ship(compiled: CompiledMonitor) -> Tuple[bytes, bytes]:
 
 
 def _run_chunk(task) -> List[MonitorResult]:
-    digest, payload, traces, scoreboards, record_transitions = task
-    return run_many(_cached_monitor(digest, payload), traces, scoreboards,
-                    record_transitions=record_transitions)
+    digest, payload, masks, scoreboards, record_transitions, engine = task
+    if engine == "vector":
+        from repro.runtime.vector import run_many_vector_encoded as runner
+    else:
+        runner = run_many_encoded
+    return runner(_cached_monitor(digest, payload), masks, scoreboards,
+                  record_transitions=record_transitions)
 
 
 def _chunk_bounds(lengths: Sequence[int], n_chunks: int) -> List[Tuple[int, int]]:
@@ -184,6 +217,7 @@ def run_sharded(
     mp_context: Optional[str] = None,
     record_transitions: bool = False,
     oversubscribe: bool = False,
+    engine: str = "compiled",
 ) -> List[MonitorResult]:
     """Run one monitor over many traces across worker processes.
 
@@ -195,9 +229,17 @@ def run_sharded(
     ``record_transitions`` reports the transitions each trace took
     (coverage folding); transition objects round-trip pickling with
     structural equality, so they fold into collectors tracking the
-    caller's monitor.
+    caller's monitor.  ``engine`` selects the worker-side batch kernel:
+    ``"compiled"`` (scalar lock-step) or ``"vector"``
+    (:func:`~repro.runtime.vector.run_many_vector`, identical results).
+
+    Traces are encoded to valuation-mask arrays *once, in the parent*
+    (through the shared codec cache) and only those integer arrays ship
+    to the pool — a fraction of the pickled size of ``Trace`` objects,
+    and workers skip re-encoding entirely.
     """
     compiled = as_compiled(monitor)
+    runner = _batch_runner(engine)
     if scoreboards is not None and len(scoreboards) != len(traces):
         raise MonitorError(
             "run_sharded needs exactly one scoreboard per trace when provided"
@@ -209,15 +251,16 @@ def run_sharded(
         # must not mutate the caller's scoreboards either.
         if scoreboards is not None:
             scoreboards = pickle.loads(pickle.dumps(list(scoreboards)))
-        return run_many(compiled, traces, scoreboards,
-                        record_transitions=record_transitions)
-    lengths = [len(trace) for trace in traces]
+        return runner(compiled, traces, scoreboards,
+                      record_transitions=record_transitions)
+    masks = compiled.codec.encode_many(traces)
+    lengths = [len(stream) for stream in masks]
     bounds = _chunk_bounds(lengths, min(jobs, len(traces)))
     digest, payload = _ship(compiled)
     tasks = [
-        (digest, payload, list(traces[start:end]),
+        (digest, payload, list(masks[start:end]),
          list(scoreboards[start:end]) if scoreboards is not None else None,
-         record_transitions)
+         record_transitions, engine)
         for start, end in bounds
     ]
     pool = _get_pool(mp_context, min(jobs, len(tasks)))
@@ -233,9 +276,9 @@ def _stream_vcd_with(monitor, task):
     from repro.trace.streaming import StreamingChecker
     from repro.trace.vcd_reader import VcdReader
 
-    path, clock, period, offset, until, binding = task
+    path, clock, period, offset, until, binding, engine = task
     with VcdReader(path, binding=binding) as reader:
-        return StreamingChecker(monitor).feed(
+        return StreamingChecker(monitor, engine=engine).feed(
             reader.valuations(clock=clock, period=period, offset=offset,
                               until=until)
         )
@@ -257,6 +300,7 @@ def run_sharded_vcd(
     binding=None,
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
+    engine: str = "compiled",
 ) -> list:
     """Check many VCD dumps in parallel, parsing inside the workers.
 
@@ -272,9 +316,10 @@ def run_sharded_vcd(
     parameters, applied to every dump.
     """
     compiled = as_compiled(monitor)
+    _require_engine(engine)
     jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     stream_tasks = [
-        (os.fspath(path), clock, period, offset, until, binding)
+        (os.fspath(path), clock, period, offset, until, binding, engine)
         for path in paths
     ]
     if jobs <= 1 or len(stream_tasks) <= 1:
@@ -291,6 +336,7 @@ def run_bank_sharded(
     jobs: Optional[int] = None,
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
+    engine: str = "compiled",
 ) -> list:
     """Run every member of a monitor bank over many traces, sharded.
 
@@ -298,13 +344,17 @@ def run_bank_sharded(
     (input order), identical to ``bank.run_batch(traces)``.  Work units
     are (member, trace-chunk) pairs, so parallelism comes from both
     axes — many traces, or few traces against a many-member bank.
+    Traces are encoded in the parent once per distinct member codec
+    (members over the same alphabet share mask arrays through the codec
+    cache) and only the arrays ship to the pool.
     """
     from repro.synthesis.compose import BankResult
 
     members = bank.compiled_members()
+    _require_engine(engine)
     jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     if jobs <= 1 or (len(traces) <= 1 and len(members) <= 1):
-        return bank.run_batch(traces)
+        return bank.run_batch(traces, engine=engine)
     if not traces:
         return []
     lengths = [len(trace) for trace in traces]
@@ -313,10 +363,16 @@ def run_bank_sharded(
     shipped = [_ship(member) for member in members]
     tasks = []
     member_of_task = []
+    encoded_by_codec: Dict[tuple, list] = {}
     for member_index, (digest, payload) in enumerate(shipped):
+        codec = members[member_index].codec
+        masks = encoded_by_codec.get(codec.symbols)
+        if masks is None:
+            masks = codec.encode_many(traces)
+            encoded_by_codec[codec.symbols] = masks
         for start, end in bounds:
-            tasks.append((digest, payload, list(traces[start:end]), None,
-                          False))
+            tasks.append((digest, payload, list(masks[start:end]), None,
+                          False, engine))
             member_of_task.append(member_index)
     pool = _get_pool(mp_context, min(jobs, len(tasks)))
     chunk_results = pool.map(_run_chunk, tasks)

@@ -26,6 +26,7 @@ as an *assertion* with live obligations, exactly mirroring
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, List, Tuple
 
 from repro.errors import MonitorError
@@ -41,7 +42,13 @@ from repro.monitor.engine import MonitorEngine
 
 __all__ = ["StreamReport", "StreamingChecker"]
 
-_ENGINE_BACKENDS = ("compiled", "interpreted")
+_ENGINE_BACKENDS = ("compiled", "interpreted", "vector")
+
+#: Ticks buffered per vector-mode chunk: enough to amortize the
+#: per-chunk Python overhead, small enough that early exits stay
+#: early (a chunk is the detection-latency granularity of nothing —
+#: verdict ticks are exact — only of wasted lookahead work).
+DEFAULT_CHUNK_TICKS = 256
 
 
 class StreamReport:
@@ -101,15 +108,19 @@ class StreamingChecker:
         stop_on_detection: bool = False,
         max_recorded: int = 10_000,
         loop_limit: int = 3,
+        chunk_ticks: int = DEFAULT_CHUNK_TICKS,
     ):
         if engine not in _ENGINE_BACKENDS:
             raise MonitorError(f"unknown engine backend {engine!r}")
         if max_recorded < 0:
             raise MonitorError("max_recorded must be >= 0")
+        if chunk_ticks <= 0:
+            raise MonitorError("chunk_ticks must be positive")
         self._engine_backend = engine
         self._stop_on_violation = stop_on_violation
         self._stop_on_detection = stop_on_detection
         self._max_recorded = max_recorded
+        self._chunk_ticks = chunk_ticks
         self._tick = 0
         self._stopped = False
         self._detections: List[int] = []
@@ -149,27 +160,38 @@ class StreamingChecker:
         if isinstance(spec, Monitor):
             return spec.name, [spec]
         if isinstance(spec, MonitorBank):
-            if self._engine_backend == "compiled":
+            if self._engine_backend != "interpreted":
                 return spec.name, list(spec.compiled_members())
             return spec.name, list(spec.monitors)
         chart = as_chart(spec) if not isinstance(spec, Chart) else spec
         if isinstance(chart, Implication):
+            if self._engine_backend == "vector":
+                # Obligations interleave with detections tick by tick —
+                # chunked lookahead would have to re-derive them anyway.
+                raise MonitorError(
+                    "the vector engine streams detector specs; "
+                    "implications run with engine='compiled'"
+                )
             checker = AssertionChecker(
                 chart, loop_limit=loop_limit, engine=self._engine_backend
             )
             self._consequents = checker.consequent_patterns
             bank = checker.antecedent_bank
-            if self._engine_backend == "compiled":
+            if self._engine_backend != "interpreted":
                 return chart.name, list(bank.compiled_members())
             return chart.name, list(bank.monitors)
         from repro.synthesis.compose import synthesize_chart
 
         bank = synthesize_chart(chart, loop_limit=loop_limit)
-        if self._engine_backend == "compiled":
+        if self._engine_backend != "interpreted":
             return bank.name, list(bank.compiled_members())
         return bank.name, list(bank.monitors)
 
     def _make_engine(self, monitor):
+        if self._engine_backend == "vector":
+            from repro.runtime.vector import VectorEngine
+
+            return VectorEngine(monitor, record_history=False)
         if self._engine_backend == "compiled":
             from repro.runtime.compiled import CompiledEngine
 
@@ -241,6 +263,63 @@ class StreamingChecker:
         self._tick += 1
         return not self._stopped
 
+    def push_chunk(self, valuations: List[Valuation]) -> bool:
+        """Consume a batch of ticks through the vector fast path.
+
+        Verdict-equivalent to ``push`` per element — detections land on
+        exact ticks, ``stop_on_detection`` truncates the tick count at
+        the first detecting tick — but each engine consumes the whole
+        chunk in one :meth:`~repro.runtime.vector.VectorEngine.feed_masks`
+        call: the chunk is encoded once per member alphabet and stepped
+        over the flat table without per-tick method dispatch.  Returns
+        ``False`` once checking has stopped.
+
+        Caveat (multi-member error ordering): each member consumes the
+        chunk in turn, so when *several* members would raise inside the
+        same chunk, the earliest-listed member's error surfaces rather
+        than the earliest-*tick* one, and members fed before the raise
+        have stepped up to their own failing tick.  Verdict reports are
+        unaffected — an error aborts the run in every mode — and
+        single-member specs (the common case) behave identically to
+        per-tick pushing.
+        """
+        if self._engine_backend != "vector":
+            raise MonitorError(
+                "push_chunk is the vector fast path; construct the "
+                "checker with engine='vector' (push() streams per tick)"
+            )
+        if self._stopped:
+            return False
+        if not valuations:
+            return True
+        if self._stop_on_detection:
+            # Stopping at the first detection means ticks past it are
+            # never stepped — chunked lookahead would step them anyway
+            # and could surface errors (incomplete monitors, strict
+            # scoreboards) the per-tick checker never reaches.  Process
+            # per element; the chunk only batched the iteration.
+            for valuation in valuations:
+                if not self.push(valuation):
+                    return False
+            return True
+        base = self._tick
+        detected: set = set()
+        encoded: dict = {}
+        for engine in self._engines:
+            codec = engine.monitor.codec
+            masks = encoded.get(codec.symbols)
+            if masks is None:
+                encode = codec.encode
+                masks = [encode(v) for v in valuations]
+                encoded[codec.symbols] = masks
+            detected.update(engine.feed_masks(masks))
+        for offset in sorted(detected):
+            self._n_detections += 1
+            if len(self._detections) < self._max_recorded:
+                self._detections.append(base + offset)
+        self._tick = base + len(valuations)
+        return True
+
     def feed(self, valuations: Iterable[Valuation]) -> "StreamReport":
         """Consume an entire stream (or until early exit); return report.
 
@@ -248,8 +327,22 @@ class StreamingChecker:
         a generator over a live simulation, or
         :meth:`VcdReader.valuations
         <repro.trace.vcd_reader.VcdReader.valuations>` — and is read
-        strictly one element at a time.
+        strictly one element at a time (``chunk_ticks`` elements at a
+        time for the vector backend, which batches the engine work
+        without changing any verdict tick).  A ``stop_on_detection``
+        check always reads and steps strictly per tick, whatever the
+        backend: buffering a chunk would pull (and step) live-source
+        ticks past the stopping detection.
         """
+        if self._engine_backend == "vector" and not self._stop_on_detection:
+            iterator = iter(valuations)
+            while not self._stopped:
+                chunk = list(islice(iterator, self._chunk_ticks))
+                if not chunk:
+                    break
+                if not self.push_chunk(chunk):
+                    break
+            return self.report()
         for valuation in valuations:
             if not self.push(valuation):
                 break

@@ -159,6 +159,66 @@ class SignalBinding:
         return f"SignalBinding(identity, only={self._only})"
 
 
+class _TokenStream:
+    """Buffered whitespace tokenizer with batch access.
+
+    Tokenizes one chunk of the stream at a time with a single
+    ``str.split`` and exposes the result as an indexable buffer: the
+    hot value-change parser walks ``_buffer``/``_pos`` directly (no
+    generator resume per token), while header parsing and rare
+    directives use the ordinary iterator protocol.  A token cut
+    mid-chunk is carried over to the next refill.
+    """
+
+    __slots__ = ("_stream", "_chunk_size", "_buffer", "_pos", "_pending")
+
+    def __init__(self, stream, chunk_size: int):
+        self._stream = stream
+        self._chunk_size = chunk_size
+        self._buffer: List[str] = []
+        self._pos = 0
+        self._pending = ""
+
+    def _refill(self) -> bool:
+        """Load the next non-empty token batch; False at end of input."""
+        while True:
+            chunk = self._stream.read(self._chunk_size)
+            if not chunk:
+                if self._pending:
+                    self._buffer = [self._pending]
+                    self._pending = ""
+                    self._pos = 0
+                    return True
+                return False
+            parts = (self._pending + chunk).split()
+            # The final fragment may be a token cut mid-chunk; keep it
+            # back unless the chunk ended on whitespace.
+            if parts and not chunk[-1].isspace():
+                self._pending = parts.pop()
+            else:
+                self._pending = ""
+            if parts:
+                self._buffer = parts
+                self._pos = 0
+                return True
+
+    def next_token(self) -> Optional[str]:
+        if self._pos >= len(self._buffer) and not self._refill():
+            return None
+        token = self._buffer[self._pos]
+        self._pos += 1
+        return token
+
+    def __iter__(self) -> "_TokenStream":
+        return self
+
+    def __next__(self) -> str:
+        token = self.next_token()
+        if token is None:
+            raise StopIteration
+        return token
+
+
 class VcdReader:
     """Chunked, incremental reader of VCD waveform dumps.
 
@@ -186,7 +246,7 @@ class VcdReader:
         self.timescale: Optional[str] = None
         self.signals: List[VcdSignal] = []
         self._by_code: Dict[str, VcdSignal] = {}
-        self._tokens = self._tokenize()
+        self._tokens = _TokenStream(self._stream, chunk_size)
         try:
             self._parse_header()
         except Exception:
@@ -213,26 +273,6 @@ class VcdReader:
         self.close()
 
     # -- tokenization ----------------------------------------------------
-    def _tokenize(self) -> Iterator[str]:
-        """Whitespace-separated tokens, reading one chunk at a time."""
-        pending = ""
-        while True:
-            chunk = self._stream.read(self._chunk_size)
-            if not chunk:
-                break
-            pending += chunk
-            parts = pending.split()
-            # The final fragment may be a token cut mid-chunk; keep it
-            # back unless the chunk ended on whitespace.
-            if parts and not chunk[-1].isspace():
-                pending = parts.pop()
-            else:
-                pending = ""
-            for token in parts:
-                yield token
-        if pending:
-            yield pending
-
     def _directive_body(self, name: str) -> List[str]:
         body: List[str] = []
         for token in self._tokens:
@@ -298,68 +338,136 @@ class VcdReader:
         so it raises instead; construct a fresh ``VcdReader`` to
         re-read.
         """
+        batches = self._change_batches()
+
+        def flattened() -> Iterator[Tuple[int, str, Optional[int]]]:
+            for batch in batches:
+                yield from batch
+
+        return flattened()
+
+    def _change_batches(self) -> Iterator[List[Tuple[int, str, Optional[int]]]]:
+        """One list of change records per tokenizer refill (see
+        :meth:`_iter_change_batches`); single-consumption guarded."""
         if self._consumed:
             raise TraceError(
                 "VCD value changes already consumed; open a new VcdReader "
                 "to re-read the dump"
             )
         self._consumed = True
-        return self._changes()
+        return self._iter_change_batches()
 
-    def _changes(self) -> Iterator[Tuple[int, str, Optional[int]]]:
+    def _change_directive(self, token: str) -> None:
+        """Rare-path handling of a directive in the change stream."""
+        if token == "$dumpoff":
+            # A blackout section: every signal is dumped as x/z purely
+            # to mark the gap.  Applying those would read all symbols
+            # false and register a phantom clock edge at $dumpon, so
+            # the section is skipped wholesale — values hold until
+            # $dumpon re-dumps them.
+            for skipped in self._tokens:
+                if skipped == "$end":
+                    return
+            raise TraceError("unterminated $dumpoff section (missing $end)")
+        if token in _DUMP_DIRECTIVES or token == "$end":
+            return
+        if token[0] == "$":
+            self._directive_body(token)
+            return
+        raise TraceError(f"unexpected value-change token {token!r}")
+
+    def _iter_change_batches(
+        self,
+    ) -> Iterator[List[Tuple[int, str, Optional[int]]]]:
+        """Value-change records, one list per tokenizer refill.
+
+        The hot loop walks the token buffer by index — ``str.split``
+        already tokenized the whole chunk — and dispatches on the first
+        character with the most frequent kinds (scalar changes, then
+        timestamps) tested first.  Only directives and a value token
+        cut at a buffer boundary leave the fast loop.  Consumers get
+        whole batches, so the per-record generator resume of a naive
+        token pipeline disappears from both sides.
+        """
         time = 0
-        for token in self._tokens:
-            lead = token[0]
-            if lead == "#":
-                try:
-                    time = int(token[1:])
-                except ValueError:
-                    raise TraceError(f"bad timestamp token {token!r}")
-                yield (time, "", None)  # timestamp marker
-            elif lead in _SCALAR_VALUES:
-                code = token[1:]
-                if not code:
-                    raise TraceError(f"scalar change {token!r} lacks an id")
-                yield (time, code, _SCALAR_VALUES[lead])
-            elif lead in "bB":
-                bits = token[1:]
-                code = next(self._tokens, None)
-                if code is None:
-                    raise TraceError(f"vector change {token!r} lacks an id")
-                if any(c in "xXzZ" for c in bits):
-                    yield (time, code, None)
-                else:
+        miss = object()
+        scalar_get = _SCALAR_VALUES.get
+        tokens = self._tokens
+        while True:
+            if tokens._pos >= len(tokens._buffer) and not tokens._refill():
+                return
+            buffer = tokens._buffer
+            index = tokens._pos
+            n = len(buffer)
+            out: List[Tuple[int, str, Optional[int]]] = []
+            append = out.append
+            while index < n:
+                token = buffer[index]
+                lead = token[0]
+                value = scalar_get(lead, miss)
+                if value is not miss:
+                    index += 1
+                    code = token[1:]
+                    if not code:
+                        raise TraceError(
+                            f"scalar change {token!r} lacks an id"
+                        )
+                    append((time, code, value))
+                elif lead == "#":
+                    index += 1
                     try:
-                        yield (time, code, int(bits, 2))
+                        time = int(token[1:])
                     except ValueError:
-                        raise TraceError(f"bad vector value {token!r}")
-            elif lead in "rR":
-                code = next(self._tokens, None)
-                if code is None:
-                    raise TraceError(f"real change {token!r} lacks an id")
-                try:
-                    yield (time, code, int(float(token[1:]) != 0.0))
-                except ValueError:
-                    raise TraceError(f"bad real value {token!r}")
-            elif token == "$dumpoff":
-                # A blackout section: every signal is dumped as x/z
-                # purely to mark the gap.  Applying those would read
-                # all symbols false and register a phantom clock edge
-                # at $dumpon, so the section is skipped wholesale —
-                # values hold until $dumpon re-dumps them.
-                for skipped in self._tokens:
-                    if skipped == "$end":
-                        break
+                        raise TraceError(f"bad timestamp token {token!r}")
+                    append((time, "", None))  # timestamp marker
+                elif lead in "bBrR":
+                    index += 1
+                    if index < n:
+                        code = buffer[index]
+                        index += 1
+                    else:
+                        # Value token cut at the buffer boundary: pull
+                        # its identifier through the stream (refills).
+                        tokens._pos = index
+                        code = tokens.next_token()
+                        buffer = tokens._buffer
+                        index = tokens._pos
+                        n = len(buffer)
+                    if lead in "bB":
+                        if code is None:
+                            raise TraceError(
+                                f"vector change {token!r} lacks an id"
+                            )
+                        bits = token[1:]
+                        if any(c in "xXzZ" for c in bits):
+                            append((time, code, None))
+                        else:
+                            try:
+                                append((time, code, int(bits, 2)))
+                            except ValueError:
+                                raise TraceError(
+                                    f"bad vector value {token!r}"
+                                )
+                    else:
+                        if code is None:
+                            raise TraceError(
+                                f"real change {token!r} lacks an id"
+                            )
+                        try:
+                            append((time, code, int(float(token[1:]) != 0.0)))
+                        except ValueError:
+                            raise TraceError(f"bad real value {token!r}")
                 else:
-                    raise TraceError(
-                        "unterminated $dumpoff section (missing $end)"
-                    )
-            elif token in _DUMP_DIRECTIVES or token == "$end":
-                continue
-            elif lead == "$":
-                self._directive_body(token)
-            else:
-                raise TraceError(f"unexpected value-change token {token!r}")
+                    # Directive (or junk): hand the stream back at this
+                    # position and let the slow path consume it.
+                    tokens._pos = index + 1
+                    self._change_directive(token)
+                    buffer = tokens._buffer
+                    index = tokens._pos
+                    n = len(buffer)
+            tokens._pos = index
+            if out:
+                yield out
 
     # -- sampling --------------------------------------------------------
     def _bound_symbols(self) -> Dict[str, Tuple[str, ...]]:
@@ -477,8 +585,20 @@ class VcdReader:
         # event/periodic ticks only start once a real value appears.
         saw_value = False
 
+        # Snapshots are cached per symbol-state version: idle stretches
+        # (periodic sampling across gaps, clock ticks with no data
+        # activity) then reuse one immutable Valuation instead of
+        # rebuilding an identical one per tick.
+        state_version = 0
+        snap_version = -1
+        snap_value: Optional[Valuation] = None
+
         def snapshot() -> Valuation:
-            return Valuation(frozenset(true_now), alphabet)
+            nonlocal snap_version, snap_value
+            if snap_version != state_version:
+                snap_value = Valuation(frozenset(true_now), alphabet)
+                snap_version = state_version
+            return snap_value
 
         def in_window(time: int) -> bool:
             return time >= offset and (until is None or time <= until)
@@ -486,32 +606,6 @@ class VcdReader:
         # Per-code high/low tracking; a symbol is true when any of its
         # driving codes is high (multiple signals may bind one symbol).
         code_high: Dict[str, bool] = {}
-
-        def set_code(code: str, value: Optional[int]) -> None:
-            nonlocal clock_high, clock_rose, saw_value
-            if value is not None:
-                saw_value = True
-            high = bool(value)
-            if code in clock_codes:
-                if high and not clock_high:
-                    clock_rose = True
-                clock_high = high
-            symbols = bound.get(code)
-            if not symbols:
-                return
-            previous = code_high.get(code, False)
-            if previous == high:
-                return
-            code_high[code] = high
-            for symbol in symbols:
-                if high:
-                    counts[symbol] = counts.get(symbol, 0) + 1
-                    true_now.add(symbol)
-                else:
-                    remaining = counts.get(symbol, 0) - 1
-                    counts[symbol] = remaining
-                    if remaining <= 0:
-                        true_now.discard(symbol)
 
         def flush_periodic(limit: int) -> Iterator[Valuation]:
             """Emit samples at every point strictly before ``limit``."""
@@ -521,8 +615,45 @@ class VcdReader:
                 next_sample += period
 
         pending_block = False
-        for time, code, value in self.changes():
-            if code == "":  # timestamp marker
+        bound_get = bound.get
+        code_high_get = code_high.get
+        counts_get = counts.get
+        # The change stream arrives in tokenizer-refill batches; the
+        # per-change work below is a plain loop over those lists, with
+        # the set-code bookkeeping inlined (it runs once per change
+        # record — the dominant count in any dump).
+        for changes in self._change_batches():
+            for time, code, value in changes:
+                if code:
+                    # Changes before any timestamp (e.g. a bare
+                    # $dumpvars section) belong to an implicit instant
+                    # at time 0.
+                    pending_block = True
+                    if value is not None:
+                        saw_value = True
+                        high = value != 0
+                    else:
+                        high = False
+                    if code in clock_codes:
+                        if high and not clock_high:
+                            clock_rose = True
+                        clock_high = high
+                    symbols = bound_get(code)
+                    if not symbols or code_high_get(code, False) == high:
+                        continue
+                    code_high[code] = high
+                    state_version += 1
+                    for symbol in symbols:
+                        if high:
+                            counts[symbol] = counts_get(symbol, 0) + 1
+                            true_now.add(symbol)
+                        else:
+                            remaining = counts_get(symbol, 0) - 1
+                            counts[symbol] = remaining
+                            if remaining <= 0:
+                                true_now.discard(symbol)
+                    continue
+                # Timestamp marker.
                 if pending_block and time == block_time:
                     # Same instant continues — e.g. an initial-value
                     # section written *before* the first '#0' marker
@@ -554,11 +685,6 @@ class VcdReader:
                     return
                 block_time = time
                 pending_block = True
-                continue
-            # Changes before any timestamp (e.g. a bare $dumpvars
-            # section) belong to an implicit instant at time 0.
-            pending_block = True
-            set_code(code, value)
         # Close the final instant.
         if pending_block:
             if clock is not None:

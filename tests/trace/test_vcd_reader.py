@@ -108,7 +108,11 @@ def test_offset_and_until_window_event_sampling():
 
 
 def test_until_stops_reading_early():
-    reader = _reader()
+    # A tiny chunk size forces the dump to span many tokenizer
+    # refills; the window's early exit must leave the later chunks
+    # unread (this is what bounds the work on huge dumps — the batch
+    # parser consumes at most one chunk beyond the window).
+    reader = _reader(chunk_size=8)
     valuations = reader.valuations(clock="clk", until=1)
     assert [sorted(v.true) for v in valuations] == [["req"]]
     # The token stream was abandoned mid-dump, not drained: the
