@@ -15,13 +15,22 @@ not gated.
 """
 
 import json
+import os
 import pathlib
 import time
 
 from repro import StreamingChecker, TraceGenerator, tr_compiled
+from repro.cache import CorpusCache
 from repro.protocols.ocp import ocp_simple_read_chart
+from repro.runtime.vector import run_many_vector_encoded
 from repro.runtime.compiled import run_compiled, run_many
 from repro.trace import VcdReader, run_sharded, trace_to_vcd
+from repro.trace.columnar import ColumnarTraceSet, masks_from_vcd_text
+
+try:
+    import numpy as _np
+except ImportError:
+    _np = None
 
 _REPO_ROOT = pathlib.Path(__file__).parent.parent
 _RESULTS_PATH = _REPO_ROOT / "BENCH_trace.json"
@@ -70,6 +79,131 @@ def test_vcd_ingestion_throughput(report):
     report(f"VCD ingestion: {count} ticks in {best * 1e3:.1f} ms "
            f"({rate / 1e3:.0f}k ticks/s)")
     _record({"vcd_ingest_ticks_per_s": round(rate)})
+
+
+def test_columnar_ingest_throughput(report):
+    """Cold columnar ingest: the delta parser beats the full reader.
+
+    Gated at >= 2x the sequential parse-and-encode rate on multi-core
+    machines (CI runners: lean tokenizer + chunk-parallel fan-out);
+    a single-core box only clears the tokenizer's own win, so the
+    floor there is 1.4x.  Masks are verdict-identical either way.
+    """
+    compiled = tr_compiled(ocp_simple_read_chart())
+    codec = compiled.codec
+    trace = _long_trace(_LONG_TRACE_TICKS)
+    text = trace_to_vcd(trace, clock="clk")
+
+    best_seq = None
+    for _ in range(3):
+        start = time.perf_counter()
+        expected = [
+            codec.encode(v)
+            for v in VcdReader.from_text(text).valuations(clock="clk")
+        ]
+        elapsed = time.perf_counter() - start
+        best_seq = elapsed if best_seq is None or elapsed < best_seq \
+            else best_seq
+
+    best_cold = None
+    for _ in range(3):
+        start = time.perf_counter()
+        masks = masks_from_vcd_text(text, codec, clock="clk", jobs=4)
+        elapsed = time.perf_counter() - start
+        best_cold = elapsed if best_cold is None or elapsed < best_cold \
+            else best_cold
+    assert list(masks) == expected
+
+    seq_rate = trace.length / best_seq
+    cold_rate = trace.length / best_cold
+    speedup = cold_rate / seq_rate
+    report(f"columnar cold ingest: {trace.length} ticks in "
+           f"{best_cold * 1e3:.1f} ms ({cold_rate / 1e3:.0f}k ticks/s, "
+           f"{speedup:.1f}x sequential parse+encode)")
+    _record({
+        "columnar_ingest_ticks_per_s": round(cold_rate),
+        "columnar_ingest_speedup": round(speedup, 2),
+    })
+    floor = 2.0 if (os.cpu_count() or 1) > 1 else 1.4
+    assert speedup >= floor, (
+        f"cold columnar ingest only {speedup:.2f}x the sequential "
+        f"reader (promised >= {floor}x)"
+    )
+
+
+_WARM_TRACES = 512
+_WARM_PAD = 200
+
+
+def test_columnar_warm_throughput(report, tmp_path):
+    """Warm cached re-check: one .rtrc corpus load + lockstep verdicts.
+
+    The warm path re-checks a cached campaign corpus: load the single
+    ``.rtrc``, hand the pre-encoded lanes straight to the trace-parallel
+    vector kernel.  Gated at >= 10x the sequential parse-and-encode
+    rate under NumPy (and >= 5M ticks/s absolute); the pure-Python
+    fallback only clears the parse saving itself, so its floor is 3x.
+    """
+    compiled = tr_compiled(ocp_simple_read_chart())
+    codec = compiled.codec
+    traces = []
+    for seed in range(_WARM_TRACES):
+        generator = TraceGenerator(ocp_simple_read_chart(), seed=seed)
+        traces.append(generator.satisfying_trace(
+            prefix=_WARM_PAD, suffix=_WARM_PAD
+        ))
+    texts = [trace_to_vcd(trace, clock="clk") for trace in traces]
+    total_ticks = sum(trace.length for trace in traces)
+
+    start = time.perf_counter()
+    expected = [
+        [codec.encode(v)
+         for v in VcdReader.from_text(text).valuations(clock="clk")]
+        for text in texts
+    ]
+    seq_s = time.perf_counter() - start
+    baseline = run_many_vector_encoded(compiled, expected)
+
+    cache = CorpusCache(tmp_path / "cache")
+    corpus = ColumnarTraceSet.from_mask_arrays(
+        expected, symbols=codec.symbols, meta={"clock": "clk"}
+    )
+    path = cache.store_bytes("warm-corpus", corpus.to_bytes())
+
+    best_warm = None
+    for _ in range(5):
+        start = time.perf_counter()
+        warm_set = ColumnarTraceSet.load(path)
+        results = run_many_vector_encoded(
+            compiled, warm_set.mask_arrays()
+        )
+        elapsed = time.perf_counter() - start
+        best_warm = elapsed if best_warm is None or elapsed < best_warm \
+            else best_warm
+    assert [r.detections for r in results] == \
+        [r.detections for r in baseline]
+
+    seq_rate = total_ticks / seq_s
+    warm_rate = total_ticks / best_warm
+    speedup = warm_rate / seq_rate
+    report(f"columnar warm re-check: {len(traces)} traces / "
+           f"{total_ticks} ticks in {best_warm * 1e3:.1f} ms "
+           f"({warm_rate / 1e6:.1f}M ticks/s, "
+           f"{speedup:.0f}x sequential parse+encode)")
+    _record({
+        "columnar_warm_ticks_per_s": round(warm_rate),
+        "columnar_warm_speedup": round(speedup, 1),
+    })
+    floor = 10.0 if _np is not None else 3.0
+    assert speedup >= floor, (
+        f"warm cached re-check only {speedup:.1f}x the sequential "
+        f"reader (promised >= {floor}x)"
+    )
+    if _np is not None:
+        assert warm_rate >= 5e6, (
+            f"warm cached re-check at {warm_rate / 1e6:.2f}M ticks/s "
+            f"(promised >= 5M ticks/s under NumPy)"
+        )
 
 
 def test_streaming_matches_batch_on_long_trace(report):

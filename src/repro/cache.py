@@ -1,21 +1,34 @@
-"""Bounded identity-keyed memo caches for derived per-object artifacts.
+"""Caches: in-memory identity memos and the on-disk corpus store.
 
-Several hot-path layers derive an expensive artifact from one
-long-lived immutable object — the expanded stepping table of a compact
-:class:`~repro.runtime.compiled.CompiledMonitor`, the flat lowering of
-:class:`~repro.runtime.vector.VectorTable` — and memoize it by the
-source object's *identity*.  The pattern is always the same: a strong
-reference keeps the id stable for the entry's lifetime, a defensive
-identity check guards the (unreachable, by construction) id-collision
-case, and a bounded FIFO keeps memory bounded.  This module is that
-pattern, written once.
+Two patterns live here:
+
+* :class:`IdentityCache` — several hot-path layers derive an expensive
+  artifact from one long-lived immutable object (the expanded stepping
+  table of a compact :class:`~repro.runtime.compiled.CompiledMonitor`,
+  the flat lowering of :class:`~repro.runtime.vector.VectorTable`) and
+  memoize it by the source object's *identity*: a strong reference
+  keeps the id stable for the entry's lifetime, a defensive identity
+  check guards the (unreachable, by construction) id-collision case,
+  and a bounded FIFO keeps memory bounded.
+
+* :class:`CorpusCache` — a content-addressed on-disk blob store for
+  pre-encoded columnar traces (:mod:`repro.trace.columnar`).  Keys are
+  caller-computed digests; entries are whole files written atomically
+  (temp file + ``os.replace``), so concurrent writers race harmlessly
+  (last full write wins, readers never observe a partial entry) and a
+  corrupted entry is simply dropped and rebuilt by its caller.  The
+  store is deliberately dumb about contents: validation (magic,
+  version, checksums) belongs to the payload format, which knows what
+  "intact" means.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+import os
+import tempfile
+from typing import Any, Iterator, Optional, Union
 
-__all__ = ["IdentityCache"]
+__all__ = ["CorpusCache", "IdentityCache"]
 
 
 class IdentityCache:
@@ -53,3 +66,81 @@ class IdentityCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+class CorpusCache:
+    """Content-addressed on-disk blob store, one file per key.
+
+    ``load_bytes`` returns ``None`` for anything it cannot read — a
+    missing entry, a permission problem, a directory race — never an
+    exception: cache misses must degrade to "re-derive", not crash the
+    caller.  ``store_bytes`` is atomic (temp file in the same
+    directory + ``os.replace``), so readers and concurrent writers
+    only ever see complete entries.
+    """
+
+    _SAFE_KEY_CHARS = frozenset(
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+    )
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"],
+                 suffix: str = ".rtrc"):
+        self.root = os.fspath(root)
+        self.suffix = suffix
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """The entry file a ``key`` maps to (whether or not it exists)."""
+        if not key or not set(key) <= self._SAFE_KEY_CHARS \
+                or key.startswith("."):
+            raise ValueError(f"unsafe cache key {key!r}")
+        return os.path.join(self.root, key + self.suffix)
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self.path_for(key), "rb") as stream:
+                return stream.read()
+        except OSError:
+            return None
+
+    def store_bytes(self, key: str, data: bytes) -> str:
+        """Atomically (re)write one entry; returns its path."""
+        path = self.path_for(key)
+        handle, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=self.suffix, dir=self.root
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry (missing is fine — eviction is idempotent)."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def keys(self) -> Iterator[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in sorted(names):
+            if name.endswith(self.suffix) and not name.startswith("."):
+                yield name[: -len(self.suffix)]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> None:
+        for key in list(self.keys()):
+            self.invalidate(key)

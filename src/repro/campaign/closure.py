@@ -150,6 +150,32 @@ class CampaignReport:
             written.append(path)
         return written
 
+    def export_columnar(self, path,
+                        alphabet: Optional[Sequence[str]] = None) -> str:
+        """Write the whole corpus as one pre-encoded ``.rtrc`` file.
+
+        The columnar twin of :meth:`export_vcd`: one mask stream per
+        corpus trace (empty traces included — their lengths are part
+        of the record), encoded against ``alphabet`` (default: the
+        union of the corpus alphabets, which for a campaign is the
+        monitor's own).  Re-checking the corpus then reads mask arrays
+        straight off disk — no VCD round-trip, no re-encoding.
+        """
+        from repro.trace.columnar import ColumnarTraceSet
+
+        traces = [entry.trace for entry in self.corpus]
+        columns = ColumnarTraceSet.from_traces(
+            traces, alphabet=alphabet, meta={
+                "campaign": self.name,
+                "labels": [entry.label for entry in self.corpus],
+                "kinds": [entry.kind for entry in self.corpus],
+                "detections": [
+                    list(entry.detections) for entry in self.corpus
+                ],
+            },
+        )
+        return columns.save(path)
+
     def __repr__(self):
         return (
             f"CampaignReport({self.name!r}, reached={self.reached}, "

@@ -7,6 +7,9 @@ Usage (also via ``python -m repro``)::
     repro synthesize SPEC.cesc CHART --format dot|verilog|sva|psl|python|table
     repro check     SPEC.cesc CHART TRACE.json     # run monitor on a
                                                    # WaveDrom trace
+    repro ingest    SPEC.cesc CHART --vcd DUMP --clock clk --cache DIR
+                                                   # pre-encode dumps to
+                                                   # columnar .rtrc form
     repro campaign  SPEC.cesc CHART --target-coverage 1.0 --budget 256
                                                    # coverage-closure
                                                    # test campaign
@@ -114,6 +117,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="shard trace checking across N worker processes "
              "(0 = one per core; needs --engine compiled)")
+    check.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed columnar corpus cache: dumps are "
+             "ingested to pre-encoded .rtrc entries on first sight and "
+             "warm re-checks skip VCD parsing entirely (needs --vcd)")
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="convert VCD dumps to the pre-encoded columnar .rtrc form")
+    ingest.add_argument("spec", help="CESC DSL file")
+    ingest.add_argument("chart", help="chart name inside the spec "
+                                      "(fixes the alphabet codec)")
+    ingest.add_argument(
+        "--vcd", action="append", default=[], metavar="DUMP",
+        help="VCD waveform dump to ingest (repeatable)")
+    ingest.add_argument(
+        "--clock", metavar="SIGNAL",
+        help="sample on rising edges of this signal")
+    ingest.add_argument(
+        "--period", type=int, metavar="N",
+        help="sample every N time units instead of a clock")
+    ingest.add_argument(
+        "--bind", action="append", default=[], metavar="SIGNAL=SYMBOL",
+        help="map a VCD signal to a chart symbol (repeatable)")
+    ingest.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="parse each dump's change stream across N worker "
+             "processes (default 0 = one per core)")
+    ingest.add_argument(
+        "--optimize", action="store_true",
+        help="encode against the optimized monitor's (possibly pruned) "
+             "alphabet — match the flag you will pass to check")
+    ingest.add_argument(
+        "--cache", metavar="DIR",
+        help="store entries content-addressed in this corpus cache "
+             "directory (the form `check --cache` reads back)")
+    ingest.add_argument(
+        "--out", metavar="FILE",
+        help="write a single dump's columnar form to an explicit path "
+             "(exactly one --vcd)")
+    ingest.add_argument(
+        "--force", action="store_true",
+        help="re-parse even when a warm cache entry exists")
 
     campaign = commands.add_parser(
         "campaign",
@@ -155,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--export-vcd", metavar="DIR",
         help="write the final corpus as VCD dumps into DIR")
+    campaign.add_argument(
+        "--export-columnar", metavar="FILE",
+        help="write the final corpus as one pre-encoded columnar "
+             ".rtrc file (mask arrays ready for re-checking)")
     campaign.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable campaign report")
@@ -272,13 +322,14 @@ def _validate_check_args(args) -> None:
             "output)"
         )
     if args.trace and (args.clock is not None or args.period is not None
-                       or args.bind or args.jobs != 1):
+                       or args.bind or args.jobs != 1
+                       or args.cache is not None):
         # These flags only shape VCD ingestion; accepting them with a
         # WaveDrom trace would silently compute a verdict with none of
         # them applied.
         raise ReproError(
-            "--clock/--period/--bind/--jobs apply to --vcd dumps only, "
-            "not to a WaveDrom trace"
+            "--clock/--period/--bind/--jobs/--cache apply to --vcd "
+            "dumps only, not to a WaveDrom trace"
         )
     if args.jobs < 0:
         raise ReproError(f"--jobs must be >= 0 (got {args.jobs})")
@@ -288,6 +339,10 @@ def _validate_check_args(args) -> None:
         # The pipeline's artifact is a compiled dispatch table; the
         # interpreted backend exists as the unoptimized reference.
         raise ReproError("--optimize needs --engine compiled or vector")
+    if args.cache is not None and args.engine == "interpreted":
+        # Cached entries are mask arrays over the compiled codec; the
+        # interpreted engine steps guard trees on valuations.
+        raise ReproError("--cache needs --engine compiled or vector")
 
 
 def _write_stream_report(out, path, report) -> bool:
@@ -325,7 +380,7 @@ def _check_vcd(args, chart, out) -> int:
         reports = run_sharded_vcd(
             _compiled_for_check(args, chart), args.vcd, jobs=args.jobs,
             clock=args.clock, period=args.period, binding=binding,
-            engine=args.engine,
+            engine=args.engine, cache=args.cache,
         )
     else:
         monitor = tr(chart)
@@ -373,6 +428,50 @@ def _cmd_check(args, out) -> int:
     return 0 if result.accepted else 3
 
 
+def _cmd_ingest(args, out) -> int:
+    """Convert dumps to columnar form, cache- or file-addressed."""
+    from repro.cache import CorpusCache
+    from repro.trace.columnar import codec_fingerprint, ingest_vcd
+    from repro.trace.vcd_reader import SignalBinding
+
+    chart = _load_scesc(args.spec, args.chart)
+    if not args.vcd:
+        raise ReproError("ingest needs at least one --vcd DUMP")
+    if args.clock is None and args.period is None:
+        raise ReproError(
+            "ingest needs a sampling discipline: --clock SIGNAL or "
+            "--period N (the same one the later check will use)"
+        )
+    if args.jobs < 0:
+        raise ReproError(f"--jobs must be >= 0 (got {args.jobs})")
+    if args.out and len(args.vcd) != 1:
+        raise ReproError("--out writes one file; pass exactly one --vcd")
+    if not args.out and not args.cache:
+        raise ReproError("ingest needs a destination: --cache DIR or "
+                         "--out FILE")
+    compiled = _compiled_for_check(args, chart)
+    binding = SignalBinding.parse(args.bind) if args.bind else None
+    cache = CorpusCache(args.cache) if args.cache else None
+    out.write(f"codec: {len(compiled.codec.symbols)} symbols, "
+              f"fingerprint {codec_fingerprint(compiled.codec)[:16]}\n")
+    for path in args.vcd:
+        columns, hit, entry_path = ingest_vcd(
+            path, compiled.codec, cache=cache, binding=binding,
+            clock=args.clock, period=args.period, jobs=args.jobs,
+            refresh=args.force,
+        )
+        if args.out:
+            dest = columns.save(args.out)
+        else:
+            dest = entry_path
+        out.write(
+            f"{path}: {columns.total_ticks} ticks over "
+            f"{len(columns.symbols)} symbols -> {dest} "
+            f"({'cached' if hit else 'parsed'})\n"
+        )
+    return 0
+
+
 def _cmd_campaign(args, out) -> int:
     from repro.campaign import CoverageCampaign, FaultMutationCampaign
 
@@ -409,6 +508,11 @@ def _cmd_campaign(args, out) -> int:
     exported: List[str] = []
     if args.export_vcd:
         exported = report.export_vcd(args.export_vcd)
+    exported_columnar = None
+    if args.export_columnar:
+        exported_columnar = report.export_columnar(
+            args.export_columnar, alphabet=monitor.alphabet
+        )
     ok = report.reached and (fault_report is None or fault_report.ok)
     if args.json:
         document = report.to_json()
@@ -416,6 +520,8 @@ def _cmd_campaign(args, out) -> int:
             document["faults"] = fault_report.to_json()
         if args.export_vcd:
             document["exported_vcd"] = exported
+        if exported_columnar is not None:
+            document["exported_columnar"] = exported_columnar
         out.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
         return 0 if ok else 3
     coverage = report.coverage
@@ -453,6 +559,9 @@ def _cmd_campaign(args, out) -> int:
     if exported:
         out.write(f"exported {len(exported)} VCD dump(s) to "
                   f"{args.export_vcd}\n")
+    if exported_columnar is not None:
+        out.write(f"exported columnar corpus ({len(report.corpus)} "
+                  f"trace(s)) to {exported_columnar}\n")
     return 0 if ok else 3
 
 
@@ -466,6 +575,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "render": _cmd_render,
         "synthesize": _cmd_synthesize,
         "check": _cmd_check,
+        "ingest": _cmd_ingest,
         "campaign": _cmd_campaign,
     }
     try:

@@ -683,7 +683,15 @@ class CompiledEngine(EngineBase):
 
     def step(self, valuation: Valuation) -> int:
         """Consume one trace element; return the new state."""
-        mask = self._encode(valuation)
+        return self.step_mask(self._encode(valuation))
+
+    def step_mask(self, mask: int) -> int:
+        """Consume one pre-encoded valuation mask; return the new state.
+
+        The mask form of :meth:`step`: bank streaming encodes a tick
+        once per distinct member alphabet and steps every member
+        through here, instead of once per member.
+        """
         cell = self._table[self._state][mask]
         if type(cell) is tuple:
             cell = _resolve_ladder(

@@ -10,6 +10,10 @@ monitors consume, and scales checking beyond a single process:
   signal-to-symbol :class:`SignalBinding`;
 * :mod:`repro.trace.bridge` — :func:`trace_to_vcd`, rendering recorded
   traces as VCD dumps (fixtures, golden files, viewer hand-off);
+* :mod:`repro.trace.columnar` — :class:`ColumnarTraceSet`, the binary
+  ``.rtrc`` columnar store of pre-encoded mask arrays, with the
+  chunk-parallel VCD converter (:func:`masks_from_vcd`) and the
+  content-addressed corpus ingest (:func:`ingest_vcd`);
 * :mod:`repro.trace.streaming` — :class:`StreamingChecker`, online
   checking with bounded memory and early exit;
 * :mod:`repro.trace.shard` — :func:`run_sharded` /
@@ -18,16 +22,28 @@ monitors consume, and scales checking beyond a single process:
 """
 
 from repro.trace.bridge import trace_to_vcd
+from repro.trace.columnar import (
+    ColumnarTraceSet,
+    codec_fingerprint,
+    ingest_vcd,
+    masks_from_vcd,
+    masks_from_vcd_text,
+)
 from repro.trace.shard import run_bank_sharded, run_sharded, run_sharded_vcd
 from repro.trace.streaming import StreamingChecker, StreamReport
 from repro.trace.vcd_reader import SignalBinding, VcdReader, VcdSignal
 
 __all__ = [
+    "ColumnarTraceSet",
     "SignalBinding",
     "StreamReport",
     "StreamingChecker",
     "VcdReader",
     "VcdSignal",
+    "codec_fingerprint",
+    "ingest_vcd",
+    "masks_from_vcd",
+    "masks_from_vcd_text",
     "run_bank_sharded",
     "run_sharded",
     "run_sharded_vcd",

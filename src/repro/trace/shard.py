@@ -301,6 +301,7 @@ def run_sharded_vcd(
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
     engine: str = "compiled",
+    cache=None,
 ) -> list:
     """Check many VCD dumps in parallel, parsing inside the workers.
 
@@ -314,9 +315,25 @@ def run_sharded_vcd(
     order.  ``clock``/``period``/``offset``/``until``/``binding`` are
     the :meth:`~repro.trace.vcd_reader.VcdReader.valuations` sampling
     parameters, applied to every dump.
+
+    ``cache`` (a :class:`~repro.cache.CorpusCache` or its root
+    directory) switches to the columnar corpus path: dumps are
+    resolved through :func:`~repro.trace.columnar.ingest_vcd` — warm
+    entries skip parsing entirely and hand the batch kernel
+    pre-encoded mask arrays; misses run the chunk-parallel converter
+    and populate the cache.  Verdicts are identical either way.
     """
     compiled = as_compiled(monitor)
     _require_engine(engine)
+    if cache is not None:
+        from repro.trace.columnar import check_vcd_cached
+
+        return check_vcd_cached(
+            compiled, [os.fspath(path) for path in paths], cache,
+            jobs=jobs, clock=clock, period=period, offset=offset,
+            until=until, binding=binding, mp_context=mp_context,
+            oversubscribe=oversubscribe, engine=engine,
+        )
     jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     stream_tasks = [
         (os.fspath(path), clock, period, offset, until, binding, engine)

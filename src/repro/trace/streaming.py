@@ -139,6 +139,23 @@ class StreamingChecker:
                 "implication stops early via stop_on_violation"
             )
         self._engines = [self._make_engine(monitor) for monitor in monitors]
+        # Multi-member specs (banks, implication antecedents) usually
+        # synthesize every member over the *same* alphabet; stepping
+        # them per tick used to re-encode the valuation once per
+        # member.  Group engines by codec symbol ordering so push()
+        # encodes once per distinct alphabet — the interpreted backend
+        # steps on guard trees and has no mask to share.
+        self._push_groups = None
+        if self._engine_backend != "interpreted" and len(self._engines) > 1:
+            groups: dict = {}
+            for engine in self._engines:
+                codec = engine.monitor.codec
+                group = groups.get(codec.symbols)
+                if group is None:
+                    groups[codec.symbols] = (codec.encode, [engine])
+                else:
+                    group[1].append(engine)
+            self._push_groups = list(groups.values())
 
     # -- construction ----------------------------------------------------
     def _resolve_spec(self, spec, loop_limit: int):
@@ -248,10 +265,18 @@ class StreamingChecker:
                 return False
 
         detected = False
-        for engine in self._engines:
-            engine.step(valuation)
-            if engine.drain_detections():
-                detected = True
+        if self._push_groups is not None:
+            for encode, engines in self._push_groups:
+                mask = encode(valuation)
+                for engine in engines:
+                    engine.step_mask(mask)
+                    if engine.drain_detections():
+                        detected = True
+        else:
+            for engine in self._engines:
+                engine.step(valuation)
+                if engine.drain_detections():
+                    detected = True
         if detected:
             self._n_detections += 1
             if len(self._detections) < self._max_recorded:
@@ -319,6 +344,90 @@ class StreamingChecker:
                 self._detections.append(base + offset)
         self._tick = base + len(valuations)
         return True
+
+    def _require_shared_codec(self):
+        """The codec every engine shares (pre-encoded input contract)."""
+        symbols = None
+        for engine in self._engines:
+            these = engine.monitor.codec.symbols
+            if symbols is None:
+                symbols = these
+            elif these != symbols:
+                raise MonitorError(
+                    "pre-encoded masks need every member over one shared "
+                    f"alphabet (got {list(symbols)} and {list(these)})"
+                )
+        return symbols
+
+    def push_masks(self, masks: List[int]) -> bool:
+        """Consume a batch of pre-encoded ticks (vector backend).
+
+        The zero-encode twin of :meth:`push_chunk` for input that is
+        *already* in mask form — a columnar trace set's arrays, a
+        cached corpus entry — verdict-equivalent tick for tick.  All
+        members must share one alphabet (the masks are in a single
+        codec's bit layout).  Returns ``False`` once checking stopped.
+        """
+        if self._engine_backend != "vector":
+            raise MonitorError(
+                "push_masks is the vector fast path; construct the "
+                "checker with engine='vector'"
+            )
+        if self._consequents is not None:
+            raise MonitorError(
+                "pre-encoded streaming checks detector specs; an "
+                "implication interleaves obligations per valuation"
+            )
+        self._require_shared_codec()
+        if self._stopped:
+            return False
+        if not len(masks):
+            return True
+        if self._stop_on_detection:
+            for mask in masks:
+                if self._stopped:
+                    return False
+                tick = self._tick
+                detected = False
+                for engine in self._engines:
+                    engine.step_mask(mask)
+                    if engine.drain_detections():
+                        detected = True
+                if detected:
+                    self._n_detections += 1
+                    if len(self._detections) < self._max_recorded:
+                        self._detections.append(tick)
+                    self._stopped = True
+                self._tick += 1
+            return not self._stopped
+        base = self._tick
+        detected_at: set = set()
+        for engine in self._engines:
+            detected_at.update(engine.feed_masks(masks))
+        for offset in sorted(detected_at):
+            self._n_detections += 1
+            if len(self._detections) < self._max_recorded:
+                self._detections.append(base + offset)
+        self._tick = base + len(masks)
+        return True
+
+    def feed_masks(self, masks) -> "StreamReport":
+        """Consume a whole pre-encoded mask stream; return the report.
+
+        ``masks`` is any int sequence — typically one trace of a
+        :class:`~repro.trace.columnar.ColumnarTraceSet`, fed in
+        ``chunk_ticks`` slices so detection early-exit stays early.
+        """
+        total = len(masks)
+        cursor = 0
+        while cursor < total and not self._stopped:
+            chunk = masks[cursor:cursor + self._chunk_ticks]
+            if not self.push_masks(
+                chunk if isinstance(chunk, list) else list(chunk)
+            ):
+                break
+            cursor += self._chunk_ticks
+        return self.report()
 
     def feed(self, valuations: Iterable[Valuation]) -> "StreamReport":
         """Consume an entire stream (or until early exit); return report.

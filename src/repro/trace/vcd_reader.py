@@ -142,6 +142,17 @@ class SignalBinding:
         return (signal.reference in self._mapping
                 or signal.name in self._mapping)
 
+    def fingerprint(self) -> str:
+        """Canonical text form for cache keys: equal bindings (same
+        mapping, same ``only`` restriction) fingerprint equally."""
+        mapping = ",".join(
+            f"{signal}={symbol}"
+            for signal, symbol in sorted(self._mapping.items())
+        )
+        only = ("*" if self._only is None
+                else ",".join(sorted(self._only)))
+        return f"map[{mapping}]only[{only}]"
+
     def symbol_for(self, signal: VcdSignal) -> Optional[str]:
         """The alphabet symbol ``signal`` feeds, or ``None`` to ignore."""
         symbol = self._mapping.get(signal.reference)

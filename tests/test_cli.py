@@ -342,3 +342,94 @@ def test_campaign_rejects_bad_arguments(spec_file):
     ])
     assert status == 2
     assert "budget" in text
+
+
+# ------------------------------------------------- ingest / corpus cache ----
+def test_ingest_cold_then_cached(amba_setup, tmp_path):
+    spec, dumps = amba_setup
+    cache = str(tmp_path / "cache")
+    argv = ["ingest", spec, "ahb_transaction", "--vcd", dumps[0],
+            "--clock", "clk", "--cache", cache]
+    status, text = _run(argv)
+    assert status == 0
+    assert "fingerprint" in text
+    assert "(parsed)" in text
+    status, text = _run(argv)
+    assert status == 0
+    assert "(cached)" in text
+
+
+def test_ingest_to_file_loads_back(amba_setup, tmp_path):
+    from repro.trace.columnar import ColumnarTraceSet
+
+    spec, dumps = amba_setup
+    dest = tmp_path / "corpus.rtrc"
+    status, text = _run(["ingest", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk",
+                         "--out", str(dest)])
+    assert status == 0
+    columns = ColumnarTraceSet.load(dest)
+    assert columns.n_traces == 1
+    assert columns.total_ticks > 0
+    assert "clk" not in columns.symbols
+
+
+def test_ingest_rejects_bad_arguments(amba_setup, tmp_path):
+    spec, dumps = amba_setup
+    status, text = _run(["ingest", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk"])
+    assert status == 2
+    assert "destination" in text
+    status, text = _run(["ingest", spec, "ahb_transaction",
+                         "--vcd", dumps[0],
+                         "--cache", str(tmp_path / "c")])
+    assert status == 2
+    assert "sampling discipline" in text
+    status, text = _run(["ingest", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--vcd", dumps[1],
+                         "--clock", "clk",
+                         "--out", str(tmp_path / "one.rtrc")])
+    assert status == 2
+    assert "exactly one" in text
+
+
+def test_check_vcd_with_cache_matches_uncached(amba_setup, tmp_path):
+    spec, dumps = amba_setup
+    cache = str(tmp_path / "cache")
+    base = ["check", spec, "ahb_transaction", "--clock", "clk",
+            "--engine", "vector"]
+    for dump in dumps:
+        base += ["--vcd", dump]
+    status, plain = _run(base)
+    assert status == 0
+    status, cold = _run(base + ["--cache", cache])
+    assert status == 0
+    status, warm = _run(base + ["--cache", cache])
+    assert status == 0
+    assert plain == cold == warm
+
+
+def test_check_cache_requires_compiled_engine(amba_setup, tmp_path):
+    spec, dumps = amba_setup
+    status, text = _run(["check", spec, "ahb_transaction",
+                         "--vcd", dumps[0], "--clock", "clk",
+                         "--engine", "interpreted",
+                         "--cache", str(tmp_path / "c")])
+    assert status == 2
+    assert "--cache" in text
+
+
+def test_campaign_exports_columnar_corpus(spec_file, tmp_path):
+    from repro.trace.columnar import ColumnarTraceSet
+
+    dest = tmp_path / "corpus.rtrc"
+    status, text = _run([
+        "campaign", spec_file, "handshake",
+        "--export-columnar", str(dest), "--seed-traces", "2",
+    ])
+    assert status == 0
+    assert "exported columnar corpus" in text
+    columns = ColumnarTraceSet.load(dest)
+    assert columns.n_traces > 0
+    assert columns.meta["campaign"] == "handshake"
+    assert len(columns.meta["labels"]) == columns.n_traces
