@@ -232,31 +232,84 @@ def test_streaming_matches_batch_on_long_trace(report):
 
 
 def test_sharded_vs_lockstep_batch(report):
+    """Sharded fan-out vs lock-step, and shm vs pickled handoff.
+
+    Workers are forced real (``oversubscribe=True``) so the measurement
+    is a genuine cross-process one everywhere.  The headline
+    ``shard_speedup_jobs4`` is *gated* only where the hardware can
+    deliver it: >= 2.5x with four or more available cores, >= 1.3x with
+    two or three.  A single-core runner cannot speed anything up by
+    adding processes — there the numbers are recorded for the ratio
+    between the two handoff paths, not asserted.
+    """
+    from repro.trace import shard
+    from repro.trace.shard import available_cores
+
     chart = ocp_simple_read_chart()
     compiled = tr_compiled(chart)
     base = _long_trace(_BATCH_TICKS)
     traces = [base for _ in range(_BATCH_TRACES)]
 
-    start = time.perf_counter()
-    lockstep = run_many(compiled, traces)
-    single_s = time.perf_counter() - start
+    def best_of(runs, fn):
+        best = result = None
+        for _ in range(runs):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        return best, result
+
+    single_s, lockstep = best_of(3, lambda: run_many(compiled, traces))
 
     timings = {}
     for jobs in (2, 4):
-        start = time.perf_counter()
-        sharded = run_sharded(compiled, traces, jobs=jobs)
-        timings[jobs] = time.perf_counter() - start
+        # Warm the exact-size pool first: spawning workers is a one-time
+        # cost campaign loops amortise, not part of the steady state.
+        # At least ``jobs`` traces, or the chunker caps the pool below
+        # the size the timed run asks for.
+        run_sharded(compiled, traces[:jobs], jobs=jobs, oversubscribe=True)
+        timings[jobs], sharded = best_of(3, lambda: run_sharded(
+            compiled, traces, jobs=jobs, oversubscribe=True))
         assert [r.detections for r in sharded] == [
             r.detections for r in lockstep
         ]
 
+    # Same fan-out with shared memory masked: every task ships its mask
+    # arrays pickled, the path the shm handoff replaced.
+    saved_shm = shard._shared_memory
+    shard._shared_memory = None
+    try:
+        pickle_s, pickled = best_of(3, lambda: run_sharded(
+            compiled, traces, jobs=4, oversubscribe=True))
+    finally:
+        shard._shared_memory = saved_shm
+    assert [r.detections for r in pickled] == [
+        r.detections for r in lockstep
+    ]
+
     total_ticks = sum(len(t) for t in traces)
-    report(f"batch of {len(traces)} traces ({total_ticks} ticks): "
-           f"single {single_s * 1e3:.1f} ms, "
+    cores = available_cores()
+    speedup = single_s / timings[4]
+    report(f"batch of {len(traces)} traces ({total_ticks} ticks, "
+           f"{cores} core(s)): single {single_s * 1e3:.1f} ms, "
            + ", ".join(f"jobs={j} {s * 1e3:.1f} ms"
-                       for j, s in timings.items()))
+                       for j, s in timings.items())
+           + f"; jobs=4 pickled handoff {pickle_s * 1e3:.1f} ms")
     _record({
+        "shard_cores": cores,
         "shard_single_s": round(single_s, 4),
         **{f"shard_jobs{j}_s": round(s, 4) for j, s in timings.items()},
-        "shard_speedup_jobs4": round(single_s / timings[4], 2),
+        "shard_jobs4_pickle_s": round(pickle_s, 4),
+        "shard_shm_speedup": round(pickle_s / timings[4], 2),
+        "shard_speedup_jobs4": round(speedup, 2),
     })
+    if cores >= 4:
+        floor = 2.5
+    elif cores >= 2:
+        floor = 1.3
+    else:
+        return  # one core: nothing to gain from more processes
+    assert speedup >= floor, (
+        f"sharded jobs=4 at {speedup:.2f}x the lock-step batch on "
+        f"{cores} cores (promised >= {floor}x)"
+    )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from typing import Any, Iterator, Optional, Union
 
 __all__ = ["CorpusCache", "IdentityCache"]
@@ -76,7 +77,9 @@ class CorpusCache:
     exception: cache misses must degrade to "re-derive", not crash the
     caller.  ``store_bytes`` is atomic (temp file in the same
     directory + ``os.replace``), so readers and concurrent writers
-    only ever see complete entries.
+    only ever see complete entries.  Opening a cache sweeps ``.tmp-*``
+    orphans older than ``stale_tmp_seconds`` — the droppings of
+    writers killed mid-write, which no rename would ever reclaim.
     """
 
     _SAFE_KEY_CHARS = frozenset(
@@ -84,11 +87,47 @@ class CorpusCache:
         "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
     )
 
+    #: Temp-file prefix of in-flight writes (swept when stale).
+    _TMP_PREFIX = ".tmp-"
+
     def __init__(self, root: Union[str, "os.PathLike[str]"],
-                 suffix: str = ".rtrc"):
+                 suffix: str = ".rtrc",
+                 stale_tmp_seconds: float = 3600.0):
         self.root = os.fspath(root)
         self.suffix = suffix
+        self.stale_tmp_seconds = stale_tmp_seconds
         os.makedirs(self.root, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove orphaned temp files left by writers that died mid-write.
+
+        ``store_bytes`` unlinks its temp file on any failure it can
+        see, but a writer killed outright (OOM, SIGKILL, power loss)
+        leaves ``.tmp-*`` orphans that nothing would ever reclaim.
+        Swept on cache open; only files older than
+        ``stale_tmp_seconds`` go, so a *live* concurrent writer's temp
+        file is never yanked out from under it.  Returns the number
+        removed (diagnostics, tests).
+        """
+        removed = 0
+        cutoff = time.time() - self.stale_tmp_seconds
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return removed
+        for name in names:
+            if not name.startswith(self._TMP_PREFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) <= cutoff:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                # Raced with its writer's rename/unlink — fine either way.
+                continue
+        return removed
 
     def path_for(self, key: str) -> str:
         """The entry file a ``key`` maps to (whether or not it exists)."""
@@ -108,7 +147,7 @@ class CorpusCache:
         """Atomically (re)write one entry; returns its path."""
         path = self.path_for(key)
         handle, tmp = tempfile.mkstemp(
-            prefix=".tmp-", suffix=self.suffix, dir=self.root
+            prefix=self._TMP_PREFIX, suffix=self.suffix, dir=self.root
         )
         try:
             with os.fdopen(handle, "wb") as stream:

@@ -208,6 +208,45 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable campaign report")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run monitors as a long-lived async checking service")
+    serve.add_argument("spec", help="CESC DSL file")
+    serve.add_argument(
+        "charts", nargs="+",
+        help="chart name(s) to serve (the first is the default monitor "
+             "for streams that name none)")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8750, metavar="N",
+        help="bind port (default: 8750; 0 picks a free port)")
+    serve.add_argument(
+        "--engine", default="vector",
+        choices=("compiled", "interpreted", "vector"),
+        help="stepping backend for streams (default: vector — enables "
+             "chunked push and the push_masks zero-decode path)")
+    serve.add_argument(
+        "--optimize", action="store_true",
+        help="serve optimized monitors (minimised, pruned, compacted); "
+             "identical verdicts (needs --engine compiled or vector)")
+    serve.add_argument(
+        "--queue-chunks", type=int, default=8, metavar="N",
+        help="chunks buffered per stream before backpressure (or "
+             "shedding) kicks in (default: 8)")
+    serve.add_argument(
+        "--shed-slow", action="store_true",
+        help="refuse further pushes on a stream whose queue overruns "
+             "instead of stalling the producer (default: stall)")
+    serve.add_argument(
+        "--max-streams", type=int, default=1024, metavar="N",
+        help="cap on concurrently open streams (default: 1024)")
+    serve.add_argument(
+        "--cache", metavar="DIR",
+        help="corpus cache root the 'corpus' op resolves keys against "
+             "(the directory `repro ingest --cache` filled)")
     return parser
 
 
@@ -565,6 +604,48 @@ def _cmd_campaign(args, out) -> int:
     return 0 if ok else 3
 
 
+def _cmd_serve(args, out) -> int:
+    """Load the bank once, then multiplex streams until interrupted."""
+    import asyncio
+
+    from repro.serve import MonitorService, ServeConfig
+
+    if args.optimize and args.engine == "interpreted":
+        raise ReproError("--optimize needs --engine compiled or vector")
+    monitors = {}
+    for name in args.charts:
+        chart = _load_scesc(args.spec, name)
+        if args.optimize:
+            from repro.optimize import optimize_monitor
+
+            monitors[name] = optimize_monitor(tr(chart)).compiled
+        elif args.engine == "interpreted":
+            monitors[name] = tr(chart)
+        else:
+            monitors[name] = tr_compiled(chart)
+    service = MonitorService(monitors, ServeConfig(
+        host=args.host, port=args.port, engine=args.engine,
+        queue_chunks=args.queue_chunks, shed_slow=args.shed_slow,
+        max_streams=args.max_streams, cache_root=args.cache,
+    ))
+
+    async def _run():
+        host, port = await service.start()
+        out.write(f"serving {len(monitors)} monitor(s) on {host}:{port} "
+                  f"(engine {args.engine}; GET /health, /metrics)\n")
+        getattr(out, "flush", lambda: None)()
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        out.write("interrupted; shutting down\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -577,6 +658,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "check": _cmd_check,
         "ingest": _cmd_ingest,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args, out)

@@ -53,6 +53,10 @@ class CampaignError(ReproError):
     """Directed-generation or coverage-campaign failure."""
 
 
+class ServeError(ReproError):
+    """Checking-service configuration or protocol failure."""
+
+
 class HdlError(ReproError):
     """Error in the Verilog-subset front end or simulator."""
 

@@ -1,0 +1,79 @@
+"""Service counters: what ``/metrics`` reports and tests assert on.
+
+Plain integer counters bumped from the (single-threaded) event loop —
+no locks, no sampling machinery.  Rates are derived at snapshot time
+from monotonic uptime, so the endpoint is cheap enough to poll every
+second.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ServeMetrics"]
+
+
+class ServeMetrics:
+    """Cumulative counters of one :class:`~repro.serve.server.MonitorService`."""
+
+    __slots__ = (
+        "started_monotonic", "started_wall",
+        "connections_opened", "connections_closed",
+        "streams_opened", "streams_closed", "streams_shed",
+        "ticks_checked", "chunks_checked", "detections", "violations",
+        "corpus_checks", "corpus_ticks", "protocol_errors",
+    )
+
+    def __init__(self):
+        self.started_monotonic = time.monotonic()
+        self.started_wall = time.time()
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.streams_opened = 0
+        self.streams_closed = 0
+        self.streams_shed = 0
+        self.ticks_checked = 0
+        self.chunks_checked = 0
+        self.detections = 0
+        self.violations = 0
+        self.corpus_checks = 0
+        self.corpus_ticks = 0
+        self.protocol_errors = 0
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def record_chunk(self, ticks: int) -> None:
+        self.chunks_checked += 1
+        self.ticks_checked += ticks
+
+    def snapshot(self, live_streams: int = 0, queue_depth: int = 0,
+                 live_connections: int = 0) -> dict:
+        """The ``/metrics`` document; live gauges injected by the server."""
+        uptime = self.uptime_s
+        return {
+            "uptime_s": round(uptime, 3),
+            "started_at": self.started_wall,
+            "connections": {
+                "live": live_connections,
+                "opened": self.connections_opened,
+                "closed": self.connections_closed,
+            },
+            "streams": {
+                "live": live_streams,
+                "opened": self.streams_opened,
+                "closed": self.streams_closed,
+                "shed": self.streams_shed,
+            },
+            "queue_depth": queue_depth,
+            "ticks": self.ticks_checked,
+            "chunks": self.chunks_checked,
+            "ticks_per_s": round(self.ticks_checked / uptime, 1)
+            if uptime > 0 else 0.0,
+            "detections": self.detections,
+            "violations": self.violations,
+            "corpus_checks": self.corpus_checks,
+            "corpus_ticks": self.corpus_ticks,
+            "protocol_errors": self.protocol_errors,
+        }

@@ -29,7 +29,13 @@ from repro.trace.columnar import (
     masks_from_vcd,
     masks_from_vcd_text,
 )
-from repro.trace.shard import run_bank_sharded, run_sharded, run_sharded_vcd
+from repro.trace.shard import (
+    available_cores,
+    run_bank_sharded,
+    run_sharded,
+    run_sharded_vcd,
+    shutdown_worker_pools,
+)
 from repro.trace.streaming import StreamingChecker, StreamReport
 from repro.trace.vcd_reader import SignalBinding, VcdReader, VcdSignal
 
@@ -40,6 +46,7 @@ __all__ = [
     "StreamingChecker",
     "VcdReader",
     "VcdSignal",
+    "available_cores",
     "codec_fingerprint",
     "ingest_vcd",
     "masks_from_vcd",
@@ -47,5 +54,6 @@ __all__ = [
     "run_bank_sharded",
     "run_sharded",
     "run_sharded_vcd",
+    "shutdown_worker_pools",
     "trace_to_vcd",
 ]

@@ -20,9 +20,19 @@ references, down to guard expressions) pickles cleanly.  Results come
 back as ordinary :class:`~repro.monitor.engine.MonitorResult` lists in
 input order, indistinguishable from a single-process run.
 
-Worker counts are capped at the machine's core count by default: a
-CPU-bound lock-step loop gains nothing from oversubscription, it only
-pays extra process and pickling overhead (the pre-cap benchmark showed
+Encoded mask payloads cross the process boundary through
+``multiprocessing.shared_memory`` when they are large enough to make
+the segment worthwhile: the parent packs every trace's int32 masks
+into one segment plus an offsets table and tasks carry only the
+segment name and slice bounds, so workers map the payload zero-copy
+instead of unpickling it (see the handoff section below; pickle
+remains the universal fallback).
+
+Worker counts are capped at the *available* core count by default —
+the scheduler affinity set where the platform exposes it, so
+cgroup/container-limited runs do not oversubscribe: a CPU-bound
+lock-step loop gains nothing from oversubscription, it only pays
+extra process and pickling overhead (the pre-cap benchmark showed
 ``jobs=4`` running 3x *slower* than single-process on a single-core
 container).  Pass ``oversubscribe=True`` to force more workers than
 cores — tests of cross-process behaviour on small machines need that.
@@ -40,6 +50,10 @@ import hashlib
 import multiprocessing
 import os
 import pickle
+import struct
+import sys
+import threading
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import MonitorError
@@ -79,18 +93,40 @@ def _batch_runner(engine: str):
     return run_many
 
 __all__ = ["run_sharded", "run_bank_sharded", "run_sharded_vcd",
-           "resolve_jobs", "shutdown_worker_pools"]
+           "available_cores", "resolve_jobs", "shutdown_worker_pools"]
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup cpuset or ``taskset`` affinity mask (containers, CI
+    runners) it overstates the budget and a "one worker per core"
+    pool oversubscribes the cores we really have.  The scheduler
+    affinity set is the truth where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+        except OSError:
+            affinity = 0
+        if affinity > 0:
+            return affinity
+    return max(1, os.cpu_count() or 1)
 
 
 def resolve_jobs(jobs: Optional[int], oversubscribe: bool = False) -> int:
     """Normalise a ``--jobs``-style request to a worker count.
 
-    ``None`` or ``0`` means "one worker per core"; negative values are
-    rejected.  Requests beyond the core count are clamped — more
-    CPU-bound workers than cores is pure overhead — unless
-    ``oversubscribe`` explicitly asks for them.
+    ``None`` or ``0`` means "one worker per available core" (the
+    affinity set, not the raw machine core count — see
+    :func:`available_cores`); negative values are rejected.  Requests
+    beyond the available cores are clamped — more CPU-bound workers
+    than cores is pure overhead — unless ``oversubscribe`` explicitly
+    asks for them.
     """
-    cores = max(1, os.cpu_count() or 1)
+    cores = available_cores()
     if jobs is None or jobs == 0:
         return cores
     if jobs < 0:
@@ -102,32 +138,50 @@ def resolve_jobs(jobs: Optional[int], oversubscribe: bool = False) -> int:
 
 # -- persistent worker pools -----------------------------------------------
 #: One long-lived pool per start method: (pool, worker_count).  Reused
-#: across calls so campaign loops pay the spawn cost once, grown (never
-#: shrunk) when a call asks for more workers.
+#: across calls so campaign loops pay the spawn cost once.  A call
+#: asking for a *different* worker count retires the cached pool
+#: (terminate + join, so its processes are reaped, not stranded) and
+#: spins up an exact-size replacement — before this policy an
+#: oversubscribed test call could leave a 32-process pool idling for
+#: the rest of the interpreter's life.
 _POOLS: Dict[str, Tuple[object, int]] = {}
+_POOLS_LOCK = threading.RLock()
+
+
+def _retire_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
 
 
 def _get_pool(method: Optional[str], workers: int):
     context = multiprocessing.get_context(method)
     key = context.get_start_method()
-    cached = _POOLS.get(key)
-    if cached is not None:
-        pool, size = cached
-        if size >= workers:
-            return pool
-        pool.terminate()
-        del _POOLS[key]
-    pool = context.Pool(processes=workers)
-    _POOLS[key] = (pool, workers)
-    return pool
+    with _POOLS_LOCK:
+        cached = _POOLS.get(key)
+        if cached is not None:
+            pool, size = cached
+            if size == workers:
+                return pool
+            del _POOLS[key]
+            _retire_pool(pool)
+        pool = context.Pool(processes=workers)
+        _POOLS[key] = (pool, workers)
+        return pool
 
 
 def shutdown_worker_pools() -> None:
-    """Terminate every cached worker pool (tests; interpreter exit)."""
-    for pool, _ in _POOLS.values():
-        pool.terminate()
-        pool.join()
-    _POOLS.clear()
+    """Terminate every cached worker pool (tests; interpreter exit).
+
+    Idempotent and safe under concurrent callers: the registry is
+    atomically drained under the lock, so two racing shutdowns (or a
+    shutdown racing ``_get_pool``) each operate on disjoint pools and
+    a second call finds nothing left to do.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool, _ in pools:
+        _retire_pool(pool)
 
 
 atexit.register(shutdown_worker_pools)
@@ -166,13 +220,192 @@ def _ship(compiled: CompiledMonitor) -> Tuple[bytes, bytes]:
     return hashlib.sha1(payload).digest(), payload
 
 
+# -- zero-copy mask handoff -------------------------------------------------
+# Encoded mask arrays used to travel to the pool *inside* every task —
+# pickled in the parent, piped, unpickled per worker.  For wide batches
+# the arrays dominate the task payload (the monitor ships once and is
+# digest-cached), so the pickle tax was the measured reason
+# ``shard_speedup_jobs4`` sat far under the core count.  Batches above
+# ``_MIN_SHM_BYTES`` now land in one ``multiprocessing.shared_memory``
+# segment — int32 payload plus an offsets table, the same layout as a
+# ``.rtrc`` body — and tasks carry only ``(segment name, offsets,
+# start, end)``.  Workers map the segment and slice zero-copy views
+# (NumPy ``frombuffer`` or a cast ``memoryview``).  Anything that keeps
+# shared memory from working — platform without ``/dev/shm``, creation
+# failure, ``REPRO_NO_SHM=1`` — degrades to the original pickled path.
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+if os.environ.get("REPRO_NO_SHM"):  # test hook: force the pickle path
+    _shared_memory = None
+
+#: Mask payloads below this size ship pickled: one pipe write costs
+#: less than a segment create + map round trip.
+_MIN_SHM_BYTES = 1 << 15
+
+
+def _mask_bytes(masks) -> bytes:
+    """Little-endian int32 bytes of one mask sequence."""
+    if isinstance(masks, array) and masks.typecode == "i" \
+            and masks.itemsize == 4:
+        if sys.byteorder == "little":
+            return masks.tobytes()
+        swapped = array("i", masks)
+        swapped.byteswap()
+        return swapped.tobytes()
+    if hasattr(masks, "astype"):  # NumPy array (never imported here)
+        return masks.astype("<i4", copy=False).tobytes()
+    return struct.pack(f"<{len(masks)}i", *masks)
+
+
+class _SharedMasks:
+    """Parent-side handle of one shared-memory mask payload."""
+
+    __slots__ = ("segment", "offsets")
+
+    def __init__(self, segment, offsets: Tuple[int, ...]):
+        self.segment = segment
+        self.offsets = offsets
+
+    def task_spec(self, start: int, end: int) -> tuple:
+        """The picklable handoff record for traces ``[start, end)``."""
+        return ("shm", self.segment.name, self.offsets, start, end)
+
+    def release(self) -> None:
+        """Close and unlink the segment (workers keep their mappings)."""
+        try:
+            self.segment.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        try:
+            self.segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def _share_masks(mask_arrays) -> Optional[_SharedMasks]:
+    """Pack mask arrays into one shared segment (``None``: use pickle).
+
+    Falling back is never an error: shared memory is an optimisation
+    with identical results, so any failure to obtain a segment simply
+    keeps the per-task pickle path.
+    """
+    if _shared_memory is None:
+        return None
+    offsets = [0]
+    for masks in mask_arrays:
+        offsets.append(offsets[-1] + len(masks))
+    nbytes = 4 * offsets[-1]
+    if nbytes < _MIN_SHM_BYTES:
+        return None
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=nbytes)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return None
+    try:
+        view = memoryview(segment.buf)
+        cursor = 0
+        for masks in mask_arrays:
+            data = _mask_bytes(masks)
+            view[cursor:cursor + len(data)] = data
+            cursor += len(data)
+        del view
+    except BaseException:  # pragma: no cover - defensive
+        segment.close()
+        try:
+            segment.unlink()
+        except OSError:
+            pass
+        raise
+    return _SharedMasks(segment, tuple(offsets))
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without resource-tracker registration.
+
+    Only the creating parent owns a segment's lifetime.  Before Python
+    3.13 (``track=False``) every attach *also* registers it with the
+    resource tracker, which then "cleans up" on the attacher's behalf —
+    under ``spawn`` that unlinks a live segment when a worker exits,
+    and under ``fork`` (tracker shared with the parent) a worker-side
+    unregister collides with the parent's own.  Suppressing the
+    registration during attach sidesteps both.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _shared_chunk_views(name: str, offsets: Sequence[int],
+                        start: int, end: int, want_numpy: bool = False):
+    """``(segment, views)``: zero-copy per-trace mask views of a chunk.
+
+    ``want_numpy`` picks the view flavour for the consuming kernel: the
+    vector engine eats NumPy arrays natively, but the scalar compiled
+    loop materialises ``list(stream)`` — from a NumPy view that is a
+    list of NumPy int32 *scalars*, whose dict/table indexing is slower
+    than the pickle path it replaced.  A cast ``memoryview`` yields
+    plain Python ints, also zero-copy, so that is the default.
+    """
+    segment = _attach_segment(name)
+    total = offsets[-1]
+    flat = None
+    if want_numpy and not os.environ.get("REPRO_NO_NUMPY"):
+        try:
+            import numpy
+
+            flat = numpy.frombuffer(segment.buf, dtype="<i4", count=total)
+        except ImportError:
+            flat = None
+    if flat is None:
+        # A segment may be page-rounded beyond the payload; slice first
+        # so the cast sees exactly the int32 payload.
+        payload = memoryview(segment.buf)[:4 * total]
+        if sys.byteorder == "little":
+            flat = payload.cast("i")
+        else:  # pragma: no cover - big-endian hosts
+            flat = array("i")
+            flat.frombytes(payload.tobytes())
+            flat.byteswap()
+    views = [flat[offsets[index]:offsets[index + 1]]
+             for index in range(start, end)]
+    return segment, views
+
+
 def _run_chunk(task) -> List[MonitorResult]:
-    digest, payload, masks, scoreboards, record_transitions, engine = task
+    digest, payload, mask_spec, scoreboards, record_transitions, engine = task
     if engine == "vector":
         from repro.runtime.vector import run_many_vector_encoded as runner
     else:
         runner = run_many_encoded
-    return runner(_cached_monitor(digest, payload), masks, scoreboards,
+    monitor = _cached_monitor(digest, payload)
+    if mask_spec[0] == "shm":
+        _, name, offsets, start, end = mask_spec
+        segment, views = _shared_chunk_views(
+            name, offsets, start, end, want_numpy=engine == "vector"
+        )
+        try:
+            return runner(monitor, views, scoreboards,
+                          record_transitions=record_transitions)
+        finally:
+            del views
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view escaped into
+                pass             # an in-flight traceback; fd dies with
+                                 # the worker
+    return runner(monitor, mask_spec[1], scoreboards,
                   record_transitions=record_transitions)
 
 
@@ -234,9 +467,10 @@ def run_sharded(
     (:func:`~repro.runtime.vector.run_many_vector`, identical results).
 
     Traces are encoded to valuation-mask arrays *once, in the parent*
-    (through the shared codec cache) and only those integer arrays ship
-    to the pool — a fraction of the pickled size of ``Trace`` objects,
-    and workers skip re-encoding entirely.
+    (through the shared codec cache); large batches hand the arrays to
+    the pool through one shared-memory segment (workers slice zero-copy
+    views), small ones ship them pickled — either way a fraction of the
+    cost of shipping ``Trace`` objects, and workers never re-encode.
     """
     compiled = as_compiled(monitor)
     runner = _batch_runner(engine)
@@ -257,14 +491,22 @@ def run_sharded(
     lengths = [len(stream) for stream in masks]
     bounds = _chunk_bounds(lengths, min(jobs, len(traces)))
     digest, payload = _ship(compiled)
-    tasks = [
-        (digest, payload, list(masks[start:end]),
-         list(scoreboards[start:end]) if scoreboards is not None else None,
-         record_transitions, engine)
-        for start, end in bounds
-    ]
-    pool = _get_pool(mp_context, min(jobs, len(tasks)))
-    chunk_results = pool.map(_run_chunk, tasks)
+    shared = _share_masks(masks)
+    try:
+        tasks = [
+            (digest, payload,
+             shared.task_spec(start, end) if shared is not None
+             else ("inline", list(masks[start:end])),
+             list(scoreboards[start:end]) if scoreboards is not None
+             else None,
+             record_transitions, engine)
+            for start, end in bounds
+        ]
+        pool = _get_pool(mp_context, min(jobs, len(tasks)))
+        chunk_results = pool.map(_run_chunk, tasks)
+    finally:
+        if shared is not None:
+            shared.release()
     results: List[MonitorResult] = []
     for chunk in chunk_results:
         results.extend(chunk)
@@ -381,18 +623,31 @@ def run_bank_sharded(
     tasks = []
     member_of_task = []
     encoded_by_codec: Dict[tuple, list] = {}
-    for member_index, (digest, payload) in enumerate(shipped):
-        codec = members[member_index].codec
-        masks = encoded_by_codec.get(codec.symbols)
-        if masks is None:
-            masks = codec.encode_many(traces)
-            encoded_by_codec[codec.symbols] = masks
-        for start, end in bounds:
-            tasks.append((digest, payload, list(masks[start:end]), None,
-                          False, engine))
-            member_of_task.append(member_index)
-    pool = _get_pool(mp_context, min(jobs, len(tasks)))
-    chunk_results = pool.map(_run_chunk, tasks)
+    shared_by_codec: Dict[tuple, Optional[_SharedMasks]] = {}
+    try:
+        for member_index, (digest, payload) in enumerate(shipped):
+            codec = members[member_index].codec
+            masks = encoded_by_codec.get(codec.symbols)
+            if masks is None:
+                masks = codec.encode_many(traces)
+                encoded_by_codec[codec.symbols] = masks
+                # One segment per distinct alphabet: same-codec members
+                # read the same shared payload, encoded and mapped once.
+                shared_by_codec[codec.symbols] = _share_masks(masks)
+            shared = shared_by_codec[codec.symbols]
+            for start, end in bounds:
+                tasks.append((digest, payload,
+                              shared.task_spec(start, end)
+                              if shared is not None
+                              else ("inline", list(masks[start:end])),
+                              None, False, engine))
+                member_of_task.append(member_index)
+        pool = _get_pool(mp_context, min(jobs, len(tasks)))
+        chunk_results = pool.map(_run_chunk, tasks)
+    finally:
+        for shared in shared_by_codec.values():
+            if shared is not None:
+                shared.release()
     # Tasks are member-major with chunks in trace order, and pool.map
     # preserves order, so a single pass reassembles per-member lists.
     per_member: List[List[MonitorResult]] = [[] for _ in members]

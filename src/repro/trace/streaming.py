@@ -217,8 +217,23 @@ class StreamingChecker:
 
     # -- observers -------------------------------------------------------
     @property
+    def engine(self) -> str:
+        """The stepping backend this checker was constructed with."""
+        return self._engine_backend
+
+    @property
     def ticks(self) -> int:
         return self._tick
+
+    @property
+    def n_detections(self) -> int:
+        """Exact detection count so far (uncapped)."""
+        return self._n_detections
+
+    @property
+    def n_violations(self) -> int:
+        """Exact violation count so far (uncapped)."""
+        return self._n_violations
 
     @property
     def stopped(self) -> bool:

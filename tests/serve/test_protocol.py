@@ -1,0 +1,80 @@
+"""Tests for the serve wire protocol: framing, validation, limits."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    MAX_TICKS_PER_PUSH,
+    decode_request,
+    encode_message,
+    error_message,
+    masks_from_wire,
+    ticks_from_wire,
+)
+
+
+def test_decode_request_accepts_every_op():
+    for op in ("open", "push", "push_masks", "poll", "close", "corpus",
+               "metrics", "ping"):
+        assert decode_request(
+            json.dumps({"op": op}).encode()
+        )["op"] == op
+
+
+def test_decode_request_rejects_garbage():
+    with pytest.raises(ServeError, match="not valid JSON"):
+        decode_request(b"{nope")
+    with pytest.raises(ServeError, match="JSON object"):
+        decode_request(b"[1, 2]")
+    with pytest.raises(ServeError, match="unknown op"):
+        decode_request(b'{"op": "launch"}')
+    with pytest.raises(ServeError, match="unknown op"):
+        decode_request(b'{"ticks": []}')  # op missing entirely
+
+
+def test_encode_message_is_one_compact_json_line():
+    line = encode_message({"ok": True, "stream": "s1"})
+    assert line.endswith(b"\n")
+    assert b" " not in line.strip()
+    assert json.loads(line) == {"ok": True, "stream": "s1"}
+
+
+def test_error_message_echoes_stream_only_when_known():
+    assert error_message(ServeError("boom")) == {"ok": False,
+                                                "error": "boom"}
+    assert error_message("bad", stream="s1") == {
+        "ok": False, "error": "bad", "stream": "s1"}
+
+
+def test_ticks_from_wire_validates_shape():
+    assert ticks_from_wire([["req"], [], ["ack", "req"]]) == [
+        ["req"], [], ["ack", "req"]]
+    assert ticks_from_wire([]) == []
+    with pytest.raises(ServeError, match="list of symbol lists"):
+        ticks_from_wire(None)
+    with pytest.raises(ServeError, match="true-symbol strings"):
+        ticks_from_wire(["req"])  # a tick must itself be a list
+    with pytest.raises(ServeError, match="true-symbol strings"):
+        ticks_from_wire([[1]])
+
+
+def test_masks_from_wire_validates_values():
+    assert masks_from_wire([0, 3, 7]) == [0, 3, 7]
+    with pytest.raises(ServeError, match="list of integers"):
+        masks_from_wire("07")
+    with pytest.raises(ServeError, match="non-negative"):
+        masks_from_wire([-1])
+    with pytest.raises(ServeError, match="non-negative"):
+        masks_from_wire([True])  # JSON true is not a mask
+
+
+def test_per_push_tick_cap():
+    oversized = [[] for _ in range(MAX_TICKS_PER_PUSH + 1)]
+    with pytest.raises(ServeError, match="split the chunk"):
+        ticks_from_wire(oversized)
+    with pytest.raises(ServeError, match="split the chunk"):
+        masks_from_wire([0] * (MAX_TICKS_PER_PUSH + 1))
+    assert len(ticks_from_wire([[]] * MAX_TICKS_PER_PUSH)) \
+        == MAX_TICKS_PER_PUSH

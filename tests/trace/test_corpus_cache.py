@@ -8,6 +8,7 @@ Never a crash, never wrong masks.
 import os
 import struct
 import threading
+import time
 
 import pytest
 
@@ -207,3 +208,48 @@ def test_ingest_without_cache_just_parses(dump, codec):
     columns, hit, path = ingest_vcd(dump, codec, clock="clk")
     assert not hit and path is None
     assert list(columns.masks(0)) == _expected_masks(dump, codec)
+
+
+# ------------------------------------------------- crashed-writer sweep ----
+def test_open_sweeps_stale_tmp_orphans_and_keeps_live_ones(tmp_path):
+    """A writer killed mid-write (OOM, SIGKILL) leaves a `.tmp-*` file
+    no rename will ever reclaim; opening the cache must sweep the stale
+    ones while leaving a live concurrent writer's temp file alone."""
+    root = tmp_path / "cache"
+    cache = CorpusCache(root)
+    cache.store_bytes("survivor", b"payload")
+
+    # Simulate the crash: mkstemp happened, the process died, no
+    # replace.  One orphan is ancient, one is seconds old ("live").
+    stale = root / ".tmp-dead-writer.rtrc"
+    stale.write_bytes(b"half-written")
+    ancient = time.time() - 7200
+    os.utime(stale, (ancient, ancient))
+    live = root / ".tmp-live-writer.rtrc"
+    live.write_bytes(b"in flight")
+
+    reopened = CorpusCache(root)
+    assert not stale.exists()  # the orphan is gone
+    assert live.exists()  # the in-flight write is untouched
+    assert reopened.load_bytes("survivor") == b"payload"  # entries kept
+
+    # An aggressive threshold reclaims everything on the next open.
+    CorpusCache(root, stale_tmp_seconds=0.0)
+    assert not live.exists()
+    assert reopened.load_bytes("survivor") == b"payload"
+
+
+def test_sweep_reports_count_and_survives_unreadable_roots(tmp_path):
+    root = tmp_path / "cache"
+    cache = CorpusCache(root)
+    for index in range(3):
+        orphan = root / f".tmp-{index}.rtrc"
+        orphan.write_bytes(b"x")
+        os.utime(orphan, (time.time() - 7200,) * 2)
+    assert cache._sweep_stale_tmp() == 3
+    assert cache._sweep_stale_tmp() == 0  # idempotent
+    # A root that disappears between open and sweep is a no-op, not a
+    # crash (the cache contract: worst case is a re-parse).
+    vanished = CorpusCache(tmp_path / "gone")
+    os.rmdir(vanished.root)
+    assert vanished._sweep_stale_tmp() == 0

@@ -1,6 +1,7 @@
 """Tests for the sharded parallel runner (and its pickling contract)."""
 
 import pickle
+import threading
 
 import pytest
 
@@ -21,7 +22,7 @@ from repro.monitor.automaton import Monitor, Transition
 from repro.logic.expr import TRUE
 from repro.protocols.ocp import ocp_burst_read_chart, ocp_simple_read_chart
 from repro.runtime.compiled import compile_monitor
-from repro.trace.shard import _chunk_bounds, resolve_jobs
+from repro.trace.shard import _chunk_bounds, available_cores, resolve_jobs
 
 
 def _traces(chart, count, seed=0):
@@ -247,9 +248,7 @@ def test_chunk_bounds_do_not_swallow_tail_heavy_workloads():
 
 
 def test_resolve_jobs():
-    import os
-
-    cores = max(1, os.cpu_count() or 1)
+    cores = available_cores()
     # Explicit requests are capped at the core count: oversubscribing
     # a CPU-bound lock-step loop is pure overhead (the regression that
     # made jobs=4 3x slower than single-process on a 1-core box).
@@ -260,6 +259,175 @@ def test_resolve_jobs():
     assert resolve_jobs(0) == cores
     with pytest.raises(MonitorError):
         resolve_jobs(-2)
+
+
+def test_available_cores_prefers_scheduler_affinity(monkeypatch):
+    """Regression: ``resolve_jobs`` sized pools from ``os.cpu_count()``,
+    which overstates the budget inside cgroup/affinity-limited runs —
+    a jobs=0 campaign on a 2-of-64-core container spun up 64 workers."""
+    import os as os_module
+
+    from repro.trace import shard
+
+    monkeypatch.setattr(os_module, "cpu_count", lambda: 64)
+    monkeypatch.setattr(os_module, "sched_getaffinity",
+                        lambda pid: {0, 5, 9}, raising=False)
+    assert shard.available_cores() == 3
+    assert shard.resolve_jobs(0) == 3
+    assert shard.resolve_jobs(None) == 3
+    assert shard.resolve_jobs(8) == 3
+    assert shard.resolve_jobs(8, oversubscribe=True) == 8
+    # An affinity probe failure falls back to the machine count.
+    def broken(pid):
+        raise OSError("no affinity syscall")
+    monkeypatch.setattr(os_module, "sched_getaffinity", broken,
+                        raising=False)
+    assert shard.available_cores() == 64
+    # Platforms without the call at all (macOS, Windows) also fall back.
+    monkeypatch.delattr(os_module, "sched_getaffinity", raising=False)
+    assert shard.available_cores() == 64
+
+
+# ------------------------------------------------- zero-copy shm handoff ----
+def _force_shm(monkeypatch):
+    """Every payload qualifies for shared memory, however small."""
+    from repro.trace import shard
+
+    if shard._shared_memory is None:
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    monkeypatch.setattr(shard, "_MIN_SHM_BYTES", 0)
+
+
+@pytest.mark.parametrize("engine", ["compiled", "vector"])
+def test_run_sharded_shm_handoff_matches_inline(monkeypatch, engine):
+    """Forced shared-memory handoff must be invisible in the results."""
+    from repro.trace import shard
+
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    traces = _traces(chart, 12)
+    reference = run_many(compiled, traces)
+    _force_shm(monkeypatch)
+    _assert_same(
+        run_sharded(compiled, traces, jobs=3, oversubscribe=True,
+                    engine=engine),
+        reference,
+    )
+    # And with shared memory disabled the pickled path still agrees.
+    monkeypatch.setattr(shard, "_shared_memory", None)
+    _assert_same(
+        run_sharded(compiled, traces, jobs=3, oversubscribe=True,
+                    engine=engine),
+        reference,
+    )
+
+
+def test_run_bank_sharded_shm_handoff_matches(monkeypatch):
+    bank = synthesize_chart(ocp_simple_read_chart())
+    traces = _traces(ocp_simple_read_chart(), 8)
+    batch = bank.run_batch(traces)
+    _force_shm(monkeypatch)
+    sharded = run_bank_sharded(bank, traces, jobs=3, oversubscribe=True)
+    for a, b in zip(sharded, batch):
+        assert a.detections == b.detections
+
+
+def test_shm_handoff_with_scoreboards_and_transitions(monkeypatch):
+    """The shm path must compose with every other task payload field."""
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    traces = _traces(chart, 6)
+    _force_shm(monkeypatch)
+    with_boards = run_sharded(compiled, traces, jobs=2, oversubscribe=True,
+                              scoreboards=[Scoreboard() for _ in traces])
+    _assert_same(with_boards, run_many(compiled, traces))
+    recorded = run_sharded(compiled, traces, jobs=2, oversubscribe=True,
+                           record_transitions=True)
+    local = run_many(compiled, traces, record_transitions=True)
+    assert [r.transitions for r in recorded] == \
+        [r.transitions for r in local]
+
+
+def test_share_masks_thresholds_and_release():
+    from repro.trace import shard
+
+    if shard._shared_memory is None:
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    # Below the threshold: not worth a segment.
+    assert shard._share_masks([[1, 2, 3]]) is None
+    big = [list(range(16384)), list(range(8192))]
+    shared = shard._share_masks(big)
+    assert shared is not None
+    assert shared.offsets == (0, 16384, 24576)
+    name = shared.segment.name
+    spec = shared.task_spec(0, 2)
+    assert spec[0] == "shm" and spec[1] == name
+    # Workers see exactly the parent's masks through the mapping.
+    segment, views = shard._shared_chunk_views(name, shared.offsets, 0, 2)
+    try:
+        assert [list(view) for view in views] == big
+    finally:
+        del views
+        segment.close()
+    shared.release()
+    # Released means unlinked: a fresh attach must fail.
+    with pytest.raises((FileNotFoundError, OSError)):
+        shard._attach_segment(name)
+
+
+def test_mask_bytes_is_layout_identical_across_sources():
+    from array import array
+
+    from repro.trace import shard
+
+    values = [0, 1, 7, 2**20, 2**30]
+    reference = shard._mask_bytes(values)  # struct.pack path
+    assert shard._mask_bytes(array("i", values)) == reference
+    numpy = pytest.importorskip("numpy")
+    assert shard._mask_bytes(numpy.array(values, dtype=numpy.int32)) \
+        == reference
+    assert len(reference) == 4 * len(values)
+
+
+# ------------------------------------------------------- pool lifecycle ----
+def test_get_pool_retires_mismatched_sizes_without_stranding():
+    from repro.trace import shard
+
+    shard.shutdown_worker_pools()
+    first = shard._get_pool(None, 2)
+    assert shard._get_pool(None, 2) is first
+    second = shard._get_pool(None, 3)
+    assert second is not first
+    # Exactly one cached pool per start method, sized as last requested.
+    assert len(shard._POOLS) == 1
+    assert next(iter(shard._POOLS.values()))[1] == 3
+    # The retired pool's processes are gone, not stranded.
+    assert all(not p.is_alive() for p in first._pool)
+    shard.shutdown_worker_pools()
+
+
+def test_shutdown_worker_pools_is_idempotent_under_concurrency():
+    from repro.trace import shard
+
+    shard.shutdown_worker_pools()
+    shard._get_pool(None, 2)
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(5):
+                shard.shutdown_worker_pools()
+        except BaseException as error:  # pragma: no cover - the bug
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert shard._POOLS == {}
+    shard.shutdown_worker_pools()  # and once more on an empty registry
 
 
 # --------------------------------------------------------------- pickling ----
