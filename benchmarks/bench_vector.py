@@ -8,8 +8,10 @@ against the scalar compiled lock-step on identical workloads:
   >= 1.5x at the wide batch width; locally it measures ~4-5x, ~9x
   against ``BENCH_runtime.json``'s recorded ``batch_32x`` rate);
 * the scoreboard-heavy **OCP simple read** and **AMBA AHB** suites —
-  escape cells everywhere, resolved through the vectorized scoreboard
-  (>= 2x over scalar batch at the wide width is the acceptance bar);
+  65-75% of their cells are ladders/action steps, all resolved inside
+  the predicated kernels; the CI gates assert the post-predication
+  residual stays under 10% (``residual_ratio``) and the wide-width
+  speedup over scalar batch stays >= 2x;
 * the **encode-once** micro-bench — a bank of N monitors over one
   trace list hits the shared mask-array cache N-1 times per trace, so
   banks pay the per-tick encode loop once, not per member.
@@ -52,6 +54,11 @@ _REPEATS = 5
 #: CI gate: at the wide width, vector must beat scalar batch by this
 #: factor on the check-free fixture.
 _MIN_CHECKFREE_SPEEDUP = 1.5
+#: CI gates for the scoreboard-heavy protocol suites: the predicated
+#: kernels must leave under 10% of cells on the scalar escape path and
+#: keep the wide-width speedup over scalar batch.
+_MAX_SUITE_RESIDUAL = 0.10
+_MIN_SUITE_SPEEDUP = 2.0
 
 
 def _record(results):
@@ -100,8 +107,10 @@ def _bench_chart(chart, seed):
     base = generator.satisfying_trace(
         prefix=_TRACE_TICKS // 2, suffix=_TRACE_TICKS // 2
     )
+    table = vector_table(compiled)
     results = {
-        "escape_ratio": round(vector_table(compiled).escape_ratio, 3),
+        "escape_ratio": round(table.escape_ratio, 3),
+        "residual_ratio": round(table.residual_ratio, 3),
         "numpy": _np is not None,
     }
     for width in _WIDTHS:
@@ -152,6 +161,18 @@ def test_vector_scoreboard_suites_throughput(report):
         results[name] = _bench_chart(build(), seed=seed)
         report(f"{name}: {results[name]}")
     _record(results)
+    for name, suite in results.items():
+        residual = suite["residual_ratio"]
+        assert residual < _MAX_SUITE_RESIDUAL, (
+            f"{name}: {residual:.1%} of cells still resolve escapes on "
+            f"the scalar path post-predication "
+            f"(gate {_MAX_SUITE_RESIDUAL:.0%})"
+        )
+        wide = suite[f"speedup_w{_WIDTHS[-1]}"]
+        assert wide >= _MIN_SUITE_SPEEDUP, (
+            f"{name}: predicated kernel only {wide:.2f}x of scalar "
+            f"compiled batch (gate {_MIN_SUITE_SPEEDUP}x)"
+        )
 
 
 def test_bank_encode_once_microbench(report):

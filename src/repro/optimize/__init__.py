@@ -19,7 +19,7 @@ pipeline via their ``optimize=`` knob, the CLI via ``--optimize``.
 """
 
 from repro.optimize.compact import compact_monitor, compact_row, compaction_stats
-from repro.optimize.ladders import harden_ladders
+from repro.optimize.ladders import harden_ladders, prove_first_match
 from repro.optimize.pipeline import (
     OptimizationResult,
     as_optimized,
@@ -42,6 +42,7 @@ __all__ = [
     "harden_ladders",
     "optimize_compiled",
     "optimize_monitor",
+    "prove_first_match",
     "prune_compiled",
     "prune_monitor",
     "used_symbols",

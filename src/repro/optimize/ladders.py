@@ -42,7 +42,7 @@ from repro.logic.expr import scoreboard_checks_of, symbols_of
 from repro.monitor.scoreboard import Scoreboard
 from repro.runtime.compiled import CompiledMonitor, map_table_cells, row_cells
 
-__all__ = ["harden_ladders"]
+__all__ = ["harden_ladders", "prove_first_match"]
 
 #: Cells checking more than this many distinct events are left alone —
 #: the subset enumeration is ``2^k`` per cell.
@@ -61,12 +61,16 @@ class _SetBoard:
         return event in self._events
 
 
-def _harden_cell(cell) -> Optional[tuple]:
+def prove_first_match(cell) -> Optional[tuple]:
     """The first-match-safe form of one ladder cell, or ``None``.
 
     Returns the cell (floor collapsed when total) when first-match
     scanning is provably equivalent to the full scan for *every*
     scoreboard state; ``None`` when the proof fails.
+
+    Beyond :func:`harden_ladders`, the vector kernel's predication
+    planner (:mod:`repro.runtime.vector`) calls this per escape cell:
+    a proven cell skips the run-time conflict matrices entirely.
     """
     events: set = set()
     for check, _ in cell:
@@ -124,7 +128,7 @@ def harden_ladders(compiled: CompiledMonitor) -> CompiledMonitor:
             if not isinstance(cell, tuple) or id(cell) in hardened:
                 continue
             any_ladder = True
-            safe = _harden_cell(cell)
+            safe = prove_first_match(cell)
             if safe is None:
                 return compiled
             hardened[id(cell)] = safe

@@ -21,34 +21,54 @@ negative entries in the flat table:
 * **missing cells** — an incomplete monitor raises exactly as the
   scalar engines do.
 
-After each gather the escaped lanes are grouped by cell and resolved
-against a **vectorized scoreboard**: one ``counts[event, lane]``
-matrix replaces the per-lane :class:`~repro.monitor.scoreboard.Scoreboard`
-objects, ``Add_evt``/``Del_evt`` become fancy-indexed increments, and
-ladder rung conditions compile to NumPy boolean kernels — so even a
-100%-ladder monitor stays inside array code.  Any anomaly (a missing
-cell, a strict ``Del_evt`` under-run, scoreboard-dependent
-nondeterminism) *replays* the offending lane through the scalar
-resolver on a reconstructed scoreboard, so the raised error is the
-genuine article.  Caller-injected scoreboards are real objects with
-observable mutations; those runs keep the scalar per-lane escape path.
-Verdicts, detection ticks, state histories and scoreboard evolution
-stay bit-identical to :func:`run_many` by construction — the
-differential suite (``tests/runtime/test_vector_differential.py``)
-locks this down.
+Predicated ladders
+------------------
+Every ladder and action cell lowers further, at table-build time, to a
+**predicated plan**: each rung's condition is normalized to
+disjunctive normal form over literal atoms, and every DNF term becomes
+one row of four bitmasks — positive/negative ``Chk_evt`` literals over
+a packed scoreboard-*presence* word, and positive/negative input
+literals over the valuation mask.  At run time the escaped lanes of a
+tick resolve **all at once**: the per-lane presence words and masks
+are tested against the stacked ``(lane, rung)`` literal matrices, the
+first passing rung per lane falls out of one ``argmax``, successor
+states gather from a target matrix, and ``Add_evt``/``Del_evt``
+scoreboard effects apply to the ``counts[event, lane]`` matrix as one
+fancy-indexed delta add.  A companion *min-prefix* matrix detects
+strict ``Del_evt`` under-runs, and a rung-difference matrix detects
+the full-scan nondeterminism the scalar engines report — cells whose
+first-match safety :func:`~repro.optimize.ladders.prove_first_match`
+proves (and all ``ladder_exclusive`` monitors) skip that check
+entirely.  Every anomaly check runs *before* any mutation, so a lane
+that must raise **replays** through the scalar resolver on a
+scoreboard reconstructed from its pre-tick counts column: the raised
+error — message, trace-index order — is byte-identical to
+``run_many``'s.  Caller-injected scoreboards are real objects with
+observable mutations; those runs keep the scalar per-lane escape
+path.  The differential suite
+(``tests/runtime/test_vector_differential.py``) locks all of this
+down, including a seeded 100%-ladder-density stress generator.
+
+``VectorTable.escape_ratio`` reports the *static* lowering density
+(cells outside the one-gather fast path); ``residual_ratio`` reports
+what is left **after** predication — the cells whose lanes still drop
+to per-lane scalar resolution (missing cells, or everything when some
+cell resists predication).  The batch planner and the vector bench
+read the residual, not the raw density.
 
 NumPy is an **optional** dependency: when it is absent (or the
 ``REPRO_NO_NUMPY`` environment variable is set) the identical API runs
-on a pure-Python flat ``array('i')`` fallback — still faster than cell
-dispatch, since the hot loop compares one int instead of type-checking
-cell objects.
+on a pure-Python flat ``array('i')`` fallback — loop-predicated: the
+same literal-term plans are tested per lane with integer ops against a
+per-lane counts list and presence word, no ``Scoreboard`` objects or
+check-closure calls on the hot path.
 """
 
 from __future__ import annotations
 
 import os
 from array import array
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.cache import IdentityCache
 from repro.errors import MonitorError
@@ -56,6 +76,7 @@ from repro.logic.expr import And, Const, Not, Or, ScoreboardCheck, _Ref
 from repro.monitor.automaton import AddEvt, DelEvt, Monitor, Transition
 from repro.monitor.engine import MonitorResult
 from repro.monitor.scoreboard import Scoreboard
+from repro.optimize.ladders import prove_first_match
 from repro.runtime.compiled import (
     CompiledEngine,
     CompiledMonitor,
@@ -87,75 +108,210 @@ if os.environ.get("REPRO_NO_NUMPY"):  # test hook: force the fallback
 #: cells with scalar payloads are encoded ``-2 - spec_index``.
 MISSING = -1
 
+#: A rung condition whose DNF exceeds this many terms stays scalar —
+#: real ladder conditions are small conjunctions of ``Chk_evt`` atoms.
+_MAX_RUNG_TERMS = 32
+
+#: ``Chk_evt`` literals pack into one presence word per lane; int64
+#: bounds the packable counts-matrix rows.
+_MAX_PRESENCE_BITS = 63
+
+
+class _PredicatedPlan:
+    """Predicated lowering of one escape cell: flat rung-*term* rows.
+
+    Each rung condition's DNF term is one row
+    ``(chk_pos, chk_neg, inp_pos, inp_neg, target, deltas, group)``:
+
+    * ``chk_pos``/``chk_neg`` — presence-word literals over the
+      table's counts-matrix rows (``Chk_evt`` and its negation);
+    * ``inp_pos``/``inp_neg`` — valuation-mask literals (input refs);
+    * ``target`` — the rung's successor state;
+    * ``deltas`` — the rung's scoreboard effect,
+      ``(counts_row, total, floor)`` per touched event (see
+      :func:`_rung_deltas`);
+    * ``group`` — rung behaviour class: terms with equal
+      ``(target, actions)`` share a group, and only cross-group double
+      passes are the full-scan nondeterminism the scalar engine
+      reports.
+
+    ``safe`` marks cells where first-match dispatch is provably the
+    full scan's answer (``ladder_exclusive`` monitors by construction,
+    single-group cells trivially, full-scan cells via
+    :func:`~repro.optimize.ladders.prove_first_match`): their runs
+    skip the conflict matrices entirely.
+    """
+
+    __slots__ = ("terms", "safe")
+
+    def __init__(self, terms: Tuple[tuple, ...], safe: bool):
+        self.terms = terms
+        self.safe = safe
+
 
 class _EscapeSpec:
     """Scalar payload of one escape cell.
 
-    ``kind`` is ``"step"`` (unconditional transition with actions) or
-    ``"ladder"``; ``ops`` / rung ops are ``("add"|"del", event_row)``
-    pairs against the counts matrix; ``conds`` holds one vectorized
-    condition kernel per rung (``None`` = unconditional floor).
+    ``kind`` is ``"step"`` (unconditional transition with actions),
+    ``"ladder"``, or ``"scalar"`` (a cell whose condition falls
+    outside the predicated guard language — the whole monitor then
+    resolves escapes per lane).  ``plan`` is the
+    :class:`_PredicatedPlan`, or ``None`` for scalar cells.
     """
 
-    __slots__ = ("kind", "cell", "state", "target", "ops", "rungs",
-                 "differs")
+    __slots__ = ("kind", "cell", "state", "plan")
 
-    def __init__(self, kind, cell, state, target=None, ops=(), rungs=(),
-                 differs=None):
+    def __init__(self, kind, cell, state, plan=None):
         self.kind = kind
         self.cell = cell
         self.state = state
-        self.target = target
-        self.ops = ops
-        self.rungs = rungs
-        self.differs = differs
+        self.plan = plan
 
 
-def _action_ops(transition: Transition, event_row) -> Tuple:
-    ops = []
+def _rung_deltas(transition: Transition, event_row) -> Tuple:
+    """Net scoreboard effect of one transition's action list.
+
+    ``(counts_row, total, floor)`` per touched event: ``total`` is the
+    net delta over the whole list, ``floor`` the minimum running total
+    any ``Del_evt`` step reaches during sequential application — a
+    lane under-runs (the strict-scoreboard error) iff
+    ``counts + floor < 0``, which the kernels test *before* applying
+    ``total``.
+    """
+    totals: dict = {}
+    floors: dict = {}
     for action in transition.actions:
         if isinstance(action, AddEvt):
-            ops.extend(("add", event_row(e)) for e in action.events)
+            step = 1
         elif isinstance(action, DelEvt):
-            ops.extend(("del", event_row(e)) for e in action.events)
+            step = -1
         else:  # pragma: no cover - no other Action kinds exist today
             raise LookupError(f"unsupported action {action!r}")
-    return tuple(ops)
+        for event in action.events:
+            row = event_row(event)
+            running = totals.get(row, 0) + step
+            totals[row] = running
+            if step < 0 and running < floors.get(row, 0):
+                floors[row] = running
+    return tuple(
+        (row, total, floors.get(row, 0))
+        for row, total in totals.items()
+        if total or floors.get(row, 0)
+    )
 
 
-def _vector_cond(expr, codec, event_row) -> Callable:
-    """Compile a guard residue to ``fn(counts_sub, masks_sub) -> bools``.
+def _literal_terms(expr, codec, event_row, negate=False) -> Optional[list]:
+    """Disjunctive normal form of a rung condition over literal atoms.
 
-    ``counts_sub`` is the counts matrix restricted to the lanes under
-    evaluation, ``masks_sub`` their current valuation masks (a ladder
-    cell interned across several masks sees per-lane masks).  Raises
-    ``LookupError`` for expression kinds outside the guard language —
-    the caller then keeps the scalar escape path.
+    Returns ``(chk_pos, chk_neg, inp_pos, inp_neg)`` bitmask terms —
+    the condition holds iff some term's positive literals all hold and
+    none of its negative ones do; ``[]`` is constant false.  Returns
+    ``None`` when the condition falls outside the literal language or
+    its DNF exceeds :data:`_MAX_RUNG_TERMS` — the caller then keeps
+    the scalar escape path.
     """
     if isinstance(expr, Const):
-        value = bool(expr.value)
-        return lambda counts, masks: _np.full(masks.shape, value, bool)
+        return [(0, 0, 0, 0)] if bool(expr.value) ^ negate else []
     if isinstance(expr, _Ref):
         bit = codec.bit_of.get(expr.name, 0)
         if not bit:
-            return lambda counts, masks: _np.zeros(masks.shape, bool)
-        return lambda counts, masks: (masks & bit) != 0
+            # Symbol outside the codec: constantly absent.
+            return [(0, 0, 0, 0)] if negate else []
+        return [(0, 0, 0, bit)] if negate else [(0, 0, bit, 0)]
     if isinstance(expr, ScoreboardCheck):
         row = event_row(expr.event)
-        return lambda counts, masks: counts[row] > 0
+        if row >= _MAX_PRESENCE_BITS:
+            return None
+        bit = 1 << row
+        return [(0, bit, 0, 0)] if negate else [(bit, 0, 0, 0)]
     if isinstance(expr, Not):
-        inner = _vector_cond(expr.operand, codec, event_row)
-        return lambda counts, masks: ~inner(counts, masks)
+        return _literal_terms(expr.operand, codec, event_row, not negate)
     if isinstance(expr, (And, Or)):
-        fns = [_vector_cond(arg, codec, event_row) for arg in expr.args]
-        combine = _np.logical_and if isinstance(expr, And) else _np.logical_or
-        def nary(counts, masks, fns=fns, combine=combine):
-            result = fns[0](counts, masks)
-            for fn in fns[1:]:
-                result = combine(result, fn(counts, masks))
-            return result
-        return nary
-    raise LookupError(f"unsupported guard kind {type(expr).__name__}")
+        parts = [
+            _literal_terms(arg, codec, event_row, negate)
+            for arg in expr.args
+        ]
+        if any(part is None for part in parts):
+            return None
+        if not (isinstance(expr, And) ^ negate):
+            # Disjunction (Or, or De Morgan'd And): concatenate.
+            union = [term for part in parts for term in part]
+            union = list(dict.fromkeys(union))
+            return None if len(union) > _MAX_RUNG_TERMS else union
+        # Conjunction: cross product, contradictory terms dropped.
+        terms = [(0, 0, 0, 0)]
+        for part in parts:
+            merged = []
+            for cp, cn, ip, im in terms:
+                for pcp, pcn, pip, pim in part:
+                    ncp, ncn = cp | pcp, cn | pcn
+                    nip, nim = ip | pip, im | pim
+                    if ncp & ncn or nip & nim:
+                        continue
+                    merged.append((ncp, ncn, nip, nim))
+            merged = list(dict.fromkeys(merged))
+            if len(merged) > _MAX_RUNG_TERMS:
+                return None
+            terms = merged
+        return terms
+    return None
+
+
+class _NpPlan:
+    """The stacked NumPy form of every spec's predicated plan.
+
+    Row ``(spec, rung)`` of each matrix is one DNF term; specs with
+    fewer terms than the widest pad with invalid rows.  Shared by
+    every batch run of the owning table (built once, lazily).
+    """
+
+    __slots__ = ("valid", "cpos", "cmask", "ipos", "imask", "target",
+                 "delta", "minp", "diff", "pow2", "n_events",
+                 "any_chk", "any_inp", "has_ops", "has_dels",
+                 "has_conflicts")
+
+    def __init__(self, specs, n_events):
+        rows = max(1, n_events)
+        width = max([len(spec.plan.terms) for spec in specs] + [1])
+        shape = (len(specs), width)
+        self.n_events = n_events
+        self.valid = _np.zeros(shape, dtype=bool)
+        # A term holds iff ``word & (pos|neg) == pos`` — one masked
+        # compare covers both literal polarities per family.
+        self.cpos = _np.zeros(shape, dtype=_np.int64)
+        self.cmask = _np.zeros(shape, dtype=_np.int64)
+        self.ipos = _np.zeros(shape, dtype=_np.int32)
+        self.imask = _np.zeros(shape, dtype=_np.int32)
+        self.target = _np.zeros(shape, dtype=_np.int32)
+        self.delta = _np.zeros(shape + (rows,), dtype=_np.int32)
+        self.minp = _np.zeros(shape + (rows,), dtype=_np.int32)
+        self.diff = _np.zeros(shape + (width,), dtype=bool)
+        for index, spec in enumerate(specs):
+            terms = spec.plan.terms
+            for rung, term in enumerate(terms):
+                self.valid[index, rung] = True
+                self.cpos[index, rung] = term[0]
+                self.cmask[index, rung] = term[1]
+                self.ipos[index, rung] = term[2]
+                self.imask[index, rung] = term[3]
+                self.target[index, rung] = term[4]
+                for row, total, floor in term[5]:
+                    self.delta[index, rung, row] = total
+                    self.minp[index, rung, row] = floor
+            if not spec.plan.safe:
+                for left, lterm in enumerate(terms):
+                    for right, rterm in enumerate(terms):
+                        self.diff[index, left, right] = (
+                            lterm[6] != rterm[6]
+                        )
+        self.pow2 = _np.left_shift(
+            _np.int64(1), _np.arange(n_events, dtype=_np.int64)
+        )
+        self.any_chk = bool(self.cmask.any())
+        self.any_inp = bool(self.imask.any())
+        self.has_ops = bool(self.delta.any() or self.minp.any())
+        self.has_dels = bool(self.minp.any())
+        self.has_conflicts = bool(self.diff.any())
 
 
 class VectorTable:
@@ -164,12 +320,14 @@ class VectorTable:
     ``flat[state * size + mask]`` is the successor state for check-free,
     action-free cells; negative entries escape (:data:`MISSING` or an
     index into ``specs``).  ``escape_ratio`` reports the static density
-    of escape cells — the batch planner's signal for when the vector
-    kernel stops paying (see DESIGN.md).
+    of escape cells; ``residual_ratio`` the post-predication residual —
+    the batch planner's signal for when the vector kernel stops paying
+    (see DESIGN.md).
     """
 
     __slots__ = ("compiled", "size", "n_states", "final", "flat",
-                 "escapes", "specs", "events", "vectorizable", "_np_flat")
+                 "escapes", "residual", "specs", "events",
+                 "vectorizable", "_np_flat", "_np_plan")
 
     def __init__(self, compiled: CompiledMonitor):
         self.compiled = compiled
@@ -177,6 +335,7 @@ class VectorTable:
         self.n_states = compiled.n_states
         self.final = compiled.final
         codec = compiled.codec
+        exclusive = compiled.ladder_exclusive
         events: List[str] = []
         rows: dict = {}
 
@@ -191,6 +350,7 @@ class VectorTable:
         spec_of: dict = {}
         vectorizable = True
         escapes = 0
+        residual = 0
         cells: List[int] = []
         for state in range(compiled.n_states):
             row = compiled._table[state]
@@ -199,6 +359,7 @@ class VectorTable:
                 if cell is None:
                     cells.append(MISSING)
                     escapes += 1
+                    residual += 1
                     continue
                 if type(cell) is not tuple and not cell.actions:
                     cells.append(cell.target)
@@ -208,56 +369,84 @@ class VectorTable:
                 index = spec_of.get(key)
                 if index is None:
                     index = len(specs)
-                    if _np is None:
-                        # The fallback loop resolves escapes through
-                        # the scalar cells; condition kernels would
-                        # need NumPy to even build.
+                    try:
+                        specs.append(self._lower_escape(
+                            cell, state, codec, event_row, exclusive
+                        ))
+                    except LookupError:
                         vectorizable = False
                         specs.append(_EscapeSpec("scalar", cell, state))
-                    else:
-                        try:
-                            specs.append(self._lower_escape(
-                                cell, state, codec, event_row
-                            ))
-                        except LookupError:
-                            vectorizable = False
-                            specs.append(_EscapeSpec("scalar", cell, state))
                     spec_of[key] = index
+                if specs[index].plan is None:
+                    residual += 1
                 cells.append(-2 - index)
         self.flat = array("i", cells)
         self.escapes = escapes
+        self.residual = residual
         self.specs = specs
         self.events = tuple(events)
         self.vectorizable = vectorizable
         self._np_flat = None
+        self._np_plan = None
 
     @staticmethod
-    def _lower_escape(cell, state, codec, event_row) -> _EscapeSpec:
+    def _lower_escape(cell, state, codec, event_row,
+                      exclusive) -> _EscapeSpec:
         if type(cell) is not tuple:
-            return _EscapeSpec(
-                "step", cell, state, target=cell.target,
-                ops=_action_ops(cell, event_row),
-            )
-        rungs = []
+            term = (0, 0, 0, 0, cell.target,
+                    _rung_deltas(cell, event_row), 0)
+            return _EscapeSpec("step", cell, state,
+                               plan=_PredicatedPlan((term,), safe=True))
+        groups: dict = {}
+        terms: List[tuple] = []
         for check, transition in cell:
-            cond = (None if check is None
-                    else _vector_cond(check.expr, codec, event_row))
-            rungs.append((cond, transition.target,
-                          _action_ops(transition, event_row), transition))
-        differs = [
-            [
-                (left[3].target, left[3].actions)
-                != (right[3].target, right[3].actions)
-                for right in rungs
-            ]
-            for left in rungs
-        ]
-        return _EscapeSpec("ladder", cell, state, rungs=tuple(rungs),
-                           differs=differs)
+            key = (transition.target, transition.actions)
+            group = groups.setdefault(key, len(groups))
+            deltas = _rung_deltas(transition, event_row)
+            if check is None:
+                literals = [(0, 0, 0, 0)]
+            else:
+                literals = _literal_terms(check.expr, codec, event_row)
+                if literals is None:
+                    raise LookupError(
+                        f"rung condition {check!r} outside the "
+                        f"predicated guard language"
+                    )
+            # Stored per term: masked-compare form — ``pos`` plus the
+            # combined ``pos|neg`` mask per literal family (the term
+            # holds iff ``word & mask == pos``).
+            terms.extend(
+                (cp, cp | cn, ip, ip | im, transition.target, deltas,
+                 group)
+                for cp, cn, ip, im in literals
+            )
+        # First-match safety lets the run skip conflict detection:
+        # exclusive ladders by construction, single-behaviour cells
+        # trivially, full-scan cells via the hardening proof.
+        safe = (exclusive or len(groups) == 1
+                or prove_first_match(cell) is not None)
+        return _EscapeSpec("ladder", cell, state,
+                           plan=_PredicatedPlan(tuple(terms), safe))
 
     @property
     def escape_ratio(self) -> float:
+        """Static lowering density: cells outside the one-gather path."""
         return self.escapes / len(self.flat) if len(self.flat) else 0.0
+
+    @property
+    def residual_ratio(self) -> float:
+        """Post-predication residual: the cell fraction whose lanes
+        still leave array code for per-lane scalar resolution.
+
+        Predicated ladder/step cells stay inside the kernel, so only
+        missing cells (which raise via scalar replay) count — unless
+        some cell resisted predication, in which case every escape
+        lane runs the scalar board path and the residual is the full
+        escape density.
+        """
+        if not self.vectorizable:
+            return self.escape_ratio
+        return self.residual / len(self.flat) if len(self.flat) else 0.0
 
     def np_flat(self):
         """The flat table as a NumPy array (built once, shared)."""
@@ -265,10 +454,16 @@ class VectorTable:
             self._np_flat = _np.asarray(self.flat, dtype=_np.int32)
         return self._np_flat
 
+    def np_plan(self) -> _NpPlan:
+        """The stacked predicated-plan matrices (built once, shared)."""
+        if self._np_plan is None:
+            self._np_plan = _NpPlan(self.specs, len(self.events))
+        return self._np_plan
+
     def __repr__(self):
         return (f"VectorTable({self.compiled.name!r}, "
                 f"states={self.n_states}, size={self.size}, "
-                f"escapes={self.escapes})")
+                f"escapes={self.escapes}, residual={self.residual})")
 
 
 #: Memoized lowerings, keyed by monitor identity.
@@ -365,12 +560,13 @@ def run_many_vector_encoded(
 class _VectorAnomaly(Exception):
     """Internal signal: some escaped lane of this tick must raise.
 
-    Anomalies (strict ``Del_evt`` under-runs, no enabled rung,
-    scoreboard-dependent nondeterminism, missing cells) are detected in
-    cell-group order, but ``run_many`` surfaces the failure of the
-    *lowest trace index* — so detection only flags the tick, and the
-    handler re-resolves every escaped lane in trace order from a
-    pre-tick snapshot to raise the identical error.
+    Anomalies (strict ``Del_evt`` under-runs, no passing rung,
+    scoreboard-dependent nondeterminism, missing cells) are detected
+    batch-wide — and, in the predicated path, *before* any counts
+    mutation — but ``run_many`` surfaces the failure of the *lowest
+    trace index*; the handler re-resolves every escaped lane in trace
+    order from the untouched pre-tick counts to raise the identical
+    error.
     """
 
 
@@ -392,15 +588,19 @@ class _NumpyRun:
         self.order = sorted(range(self.count), key=lambda i: -self.lengths[i])
         self.sorted_lengths = [self.lengths[i] for i in self.order]
         self.max_len = self.sorted_lengths[0] if self.count else 0
-        self.mat = _np.zeros((self.count, self.max_len), dtype=_np.int32)
+        # Tick-major layouts: each tick's gather reads/writes one
+        # contiguous row instead of a strided column.
+        self.mat = _np.zeros((self.max_len, self.count), dtype=_np.int32)
         for row, lane in enumerate(self.order):
             if self.lengths[lane]:
-                self.mat[row, :self.lengths[lane]] = _np.asarray(
+                self.mat[:self.lengths[lane], row] = _np.asarray(
                     mask_arrays[lane], dtype=_np.int32
                 )
-        self.history = _np.empty((self.count, self.max_len + 1),
-                                 dtype=_np.int32)
-        self.history[:, 0] = compiled.initial
+        # -1 never equals a state, so the region past a lane's length
+        # stays inert for the batched detection scan below.
+        self.history = _np.full((self.max_len + 1, self.count), -1,
+                                dtype=_np.int32)
+        self.history[0, :] = compiled.initial
         self.states = _np.full(self.count, compiled.initial, dtype=_np.int32)
         self.scalar_table = _stepping_table(compiled)
         self.vector_boards = scoreboards is None and self.vt.vectorizable
@@ -409,6 +609,14 @@ class _NumpyRun:
                       dtype=_np.int32)
             if self.vector_boards and self.vt.escapes else None
         )
+        self.plan = (
+            self.vt.np_plan()
+            if self.vector_boards and self.vt.escapes else None
+        )
+        # Missing cells are the only escape codes the plan cannot
+        # dispatch; tables without any skip the per-tick max scan.
+        self.check_missing = self.vt.residual > 0
+        self.lane_arange = _np.arange(self.count)
         if scoreboards is not None:
             self.boards: Optional[List[Scoreboard]] = [
                 scoreboards[i] for i in self.order
@@ -429,23 +637,21 @@ class _NumpyRun:
             })
         return board
 
-    def _raise_in_trace_order(self, escaped, snapshot, tick, live):
+    def _raise_in_trace_order(self, escaped, tick, live):
         """Re-resolve every escaped lane scalar, lowest trace index
         first, raising the exact error ``run_many`` would surface.
 
-        ``snapshot`` restores the escaped lanes' counts columns to
-        their pre-tick state (group processing may have mutated some
-        before the anomaly was detected); each lane then replays on a
-        fresh scoreboard built from its own column, so succeeding lanes
+        The predicated resolver detects anomalies before mutating any
+        counts column, so the pre-tick scoreboard state each lane
+        replays from is simply the live matrix; each lane gets a fresh
+        scoreboard built from its own column, so succeeding lanes
         cannot double-apply actions."""
-        if self.counts is not None and snapshot is not None:
-            self.counts[:, escaped] = snapshot
         rows = sorted((int(row) for row in escaped),
                       key=self.order.__getitem__)
         for row in rows:
             _resolve_escape(
                 self.compiled, self.scalar_table, int(live[row]),
-                int(self.mat[row, tick]), self._board_for(row),
+                int(self.mat[tick, row]), self._board_for(row),
                 self.order[row], tick,
             )
         raise MonitorError(  # pragma: no cover - detection was certain
@@ -453,70 +659,49 @@ class _NumpyRun:
             f"tick {tick} did not reproduce under scalar replay"
         )
 
-    # -- vectorized scoreboard ops ----------------------------------------
-    def _apply_ops(self, ops, group) -> None:
-        counts = self.counts
-        for op, row_index in ops:
-            if op == "add":
-                counts[row_index, group] += 1
-            else:
-                column = counts[row_index, group]
-                if (column <= 0).any():
-                    # Strict Del_evt under-run somewhere in the group.
-                    raise _VectorAnomaly
-                counts[row_index, group] = column - 1
+    # -- predicated escape resolution --------------------------------------
+    def _step_escapes(self, escaped, tick, nxt) -> None:
+        """Resolve every escaped lane of one tick inside array code.
 
-    def _ladder_exclusive(self, spec, group, tick, nxt) -> None:
-        remaining = group
-        masks = self.mat[group, tick]
-        for cond, target, ops, _ in spec.rungs:
-            if remaining.size == 0:
-                return
-            if cond is None:
-                chosen = remaining
-                remaining = remaining[:0]
-            else:
-                sel = cond(self.counts[:, remaining], masks)
-                chosen = remaining[sel]
-                remaining = remaining[~sel]
-                masks = masks[~sel]
-            if chosen.size:
-                if ops:
-                    self._apply_ops(ops, chosen)
-                nxt[chosen] = target
-        if remaining.size:
-            # No rung passed: an incomplete monitor.
+        Literal-term matrices select the first passing rung per lane
+        (argmax over the stacked rung axis); targets and scoreboard
+        deltas gather from the plan.  Every anomaly check — missing
+        cell, no passing rung, cross-group conflict, ``Del_evt``
+        under-run — runs *before* the counts matrix is touched, so the
+        replay handler sees the genuine pre-tick state.
+        """
+        plan = self.plan
+        codes = nxt[escaped]
+        # MISSING is the greatest escape code (-1); spec cells are <= -2.
+        if self.check_missing and codes.max() == MISSING:
             raise _VectorAnomaly
-
-    def _ladder_full_scan(self, spec, group, tick, nxt) -> None:
-        masks = self.mat[group, tick]
-        counts_sub = self.counts[:, group]
-        rungs = spec.rungs
-        passing = [
-            (_np.ones(group.shape, bool) if cond is None
-             else cond(counts_sub, masks))
-            for cond, _, _, _ in rungs
-        ]
-        first = _np.full(group.shape, -1, dtype=_np.int32)
-        for index in range(len(rungs)):
-            first = _np.where((first == -1) & passing[index], index, first)
-        if (first == -1).any():
+        sidx = -2 - codes
+        passing = plan.valid[sidx]
+        if plan.any_chk:
+            present = plan.pow2 @ (self.counts[:plan.n_events, escaped] > 0)
+            passing &= (
+                present[:, None] & plan.cmask[sidx]
+            ) == plan.cpos[sidx]
+        if plan.any_inp:
+            col = self.mat[tick, escaped][:, None]
+            passing &= (col & plan.imask[sidx]) == plan.ipos[sidx]
+        first = passing.argmax(axis=1)
+        if not passing[self.lane_arange[:len(first)], first].all():
+            # Some lane passed no rung: an incomplete monitor.
             raise _VectorAnomaly
-        differs = spec.differs
-        for later in range(1, len(rungs)):
-            conflicting = passing[later] & (first != later)
-            if conflicting.any():
-                for row in _np.nonzero(conflicting)[0]:
-                    if differs[int(first[row])][later]:
-                        # Scoreboard-dependent nondeterminism: the full
-                        # scan the interpreted engine runs would raise.
-                        raise _VectorAnomaly
-        for index, (_, target, ops, _) in enumerate(rungs):
-            chosen = group[first == index]
-            if chosen.size:
-                if ops:
-                    self._apply_ops(ops, chosen)
-                nxt[chosen] = target
+        if plan.has_conflicts and (passing & plan.diff[sidx, first]).any():
+            # Scoreboard-dependent nondeterminism: the full scan the
+            # interpreted engine runs would raise.
+            raise _VectorAnomaly
+        nxt[escaped] = plan.target[sidx, first]
+        if plan.has_ops:
+            column = self.counts[:, escaped]
+            if plan.has_dels and (
+                column + plan.minp[sidx, first].T < 0
+            ).any():
+                # Strict Del_evt under-run somewhere in the batch.
+                raise _VectorAnomaly
+            self.counts[:, escaped] = column + plan.delta[sidx, first].T
 
     # -- the tick loop -----------------------------------------------------
     def run(self) -> List[MonitorResult]:
@@ -524,69 +709,59 @@ class _NumpyRun:
         vt = self.vt
         flat = vt.np_flat()
         size = vt.size
-        specs = vt.specs
-        exclusive = compiled.ladder_exclusive
         has_escapes = vt.escapes > 0
         scalar_escapes = self.boards is not None
+        states = self.states
+        mat = self.mat
+        history = self.history
+        index_buf = _np.empty(self.count, dtype=_np.int32)
+        next_buf = _np.empty(self.count, dtype=_np.int32)
         active = self.count
         for tick in range(self.max_len):
             while active > 0 and self.sorted_lengths[active - 1] <= tick:
                 active -= 1
-            live = self.states[:active]
-            index = live * size
-            index += self.mat[:active, tick]
-            nxt = flat.take(index)
-            if has_escapes:
+            live = states[:active]
+            index = index_buf[:active]
+            _np.multiply(live, size, out=index)
+            index += mat[tick, :active]
+            nxt = next_buf[:active]
+            _np.take(flat, index, out=nxt)
+            if has_escapes and nxt.min() < 0:
                 escaped = _np.nonzero(nxt < 0)[0]
-                if escaped.size:
-                    if scalar_escapes:
-                        # Trace-index order: independent boards make
-                        # the results order-free, but *which* lane's
-                        # error surfaces first must match run_many.
-                        for row in sorted((int(r) for r in escaped),
-                                          key=self.order.__getitem__):
-                            transition = _resolve_escape(
-                                compiled, self.scalar_table, int(live[row]),
-                                int(self.mat[row, tick]), self.boards[row],
-                                self.order[row], tick,
-                            )
-                            nxt[row] = transition.target
-                    else:
-                        snapshot = (self.counts[:, escaped].copy()
-                                    if self.counts is not None else None)
-                        try:
-                            codes = nxt.take(escaped)
-                            for code in _np.unique(codes):
-                                group = escaped[codes == code]
-                                if code == MISSING:
-                                    raise _VectorAnomaly
-                                spec = specs[-2 - int(code)]
-                                if spec.kind == "step":
-                                    if spec.ops:
-                                        self._apply_ops(spec.ops, group)
-                                    nxt[group] = spec.target
-                                elif exclusive:
-                                    self._ladder_exclusive(
-                                        spec, group, tick, nxt
-                                    )
-                                else:
-                                    self._ladder_full_scan(
-                                        spec, group, tick, nxt
-                                    )
-                        except _VectorAnomaly:
-                            self._raise_in_trace_order(
-                                escaped, snapshot, tick, live
-                            )
-            self.states[:active] = nxt
-            self.history[:active, tick + 1] = nxt
+                if scalar_escapes:
+                    # Trace-index order: independent boards make the
+                    # results order-free, but *which* lane's error
+                    # surfaces first must match run_many.
+                    for row in sorted((int(r) for r in escaped),
+                                      key=self.order.__getitem__):
+                        transition = _resolve_escape(
+                            compiled, self.scalar_table, int(live[row]),
+                            int(mat[tick, row]), self.boards[row],
+                            self.order[row], tick,
+                        )
+                        nxt[row] = transition.target
+                else:
+                    try:
+                        self._step_escapes(escaped, tick, nxt)
+                    except _VectorAnomaly:
+                        self._raise_in_trace_order(escaped, tick, live)
+            states[:active] = nxt
+            history[tick + 1, :active] = nxt
         results: List[Optional[MonitorResult]] = [None] * self.count
         final = vt.final
+        # One batched scan finds every detection: the -1 fill past each
+        # lane's length can never equal a state, and nonzero's
+        # row-major order keeps per-lane ticks ascending.
+        detections: List[List[int]] = [[] for _ in range(self.count)]
+        tick_hits, lane_hits = _np.nonzero(history[1:, :] == final)
+        for hit_tick, row in zip(tick_hits.tolist(), lane_hits.tolist()):
+            detections[row].append(hit_tick)
+        lane_states = history.T.tolist()
         for row, lane in enumerate(self.order):
             length = self.lengths[lane]
-            lane_history = self.history[row, :length + 1]
-            detections = _np.nonzero(lane_history[1:] == final)[0].tolist()
             results[lane] = MonitorResult(
-                compiled.name, lane_history.tolist(), detections, length
+                compiled.name, lane_states[row][:length + 1],
+                detections[row], length,
             )
         return results
 
@@ -602,13 +777,25 @@ def _run_numpy(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
 
 
 def _run_fallback(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
-    """Pure-Python flat-table lock-step (NumPy absent) — same contract."""
+    """Pure-Python flat-table lock-step (NumPy absent) — same contract.
+
+    Escapes resolve through the same predicated plans the NumPy kernel
+    uses, loop-predicated: per-lane integer counts plus a presence
+    word, literal-term tests instead of check-closure calls, scalar
+    replay reserved for lanes that raise.  Injected scoreboards
+    (observable objects) and non-predicable monitors keep the per-lane
+    scalar board path.
+    """
     count = len(mask_arrays)
     vt = vector_table(compiled)
     flat = vt.flat
     size = vt.size
     final = vt.final
     scalar_table = _stepping_table(compiled)
+    specs = vt.specs
+    events = vt.events
+    n_events = len(events)
+    predicated = scoreboards is None and vt.vectorizable
     masks = [
         stream if type(stream) is list else list(stream)
         for stream in mask_arrays
@@ -620,6 +807,24 @@ def _run_fallback(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
     boards: List[Optional[Scoreboard]] = (
         list(scoreboards) if scoreboards is not None else [None] * count
     )
+    lane_counts: List[Optional[List[int]]] = [None] * count
+    lane_present: List[int] = [0] * count
+
+    def replay(index: int, tick: int, mask: int):
+        """Scalar replay of a failing lane: raises run_many's error."""
+        board = Scoreboard()
+        counts = lane_counts[index]
+        if counts is not None:
+            board.restore({
+                events[row]: counts[row] for row in range(n_events)
+            })
+        _resolve_escape(compiled, scalar_table, states[index], mask, board,
+                        index, tick)
+        raise MonitorError(  # pragma: no cover - detection was certain
+            f"monitor {compiled.name!r}: internal vector anomaly at "
+            f"tick {tick} did not reproduce under scalar replay"
+        )
+
     active = [index for index in range(count) if lengths[index] > 0]
     tick = 0
     while active:
@@ -628,14 +833,58 @@ def _run_fallback(compiled, mask_arrays, scoreboards) -> List[MonitorResult]:
             mask = masks[index][tick]
             state = flat[states[index] * size + mask]
             if state < 0:
-                board = boards[index]
-                if board is None:
-                    board = Scoreboard()
-                    boards[index] = board
-                state = _resolve_escape(
-                    compiled, scalar_table, states[index], mask, board,
-                    index, tick,
-                ).target
+                if not predicated:
+                    board = boards[index]
+                    if board is None:
+                        board = Scoreboard()
+                        boards[index] = board
+                    state = _resolve_escape(
+                        compiled, scalar_table, states[index], mask, board,
+                        index, tick,
+                    ).target
+                elif state == MISSING:
+                    replay(index, tick, mask)
+                else:
+                    spec = specs[-2 - state]
+                    counts = lane_counts[index]
+                    if counts is None:
+                        counts = lane_counts[index] = [0] * n_events
+                    present = lane_present[index]
+                    terms = spec.plan.terms
+                    chosen = None
+                    position = 0
+                    for position, term in enumerate(terms):
+                        if ((present & term[1]) == term[0]
+                                and (mask & term[3]) == term[2]):
+                            chosen = term
+                            break
+                    if chosen is None:
+                        # No passing rung: an incomplete monitor.
+                        replay(index, tick, mask)
+                    if not spec.plan.safe:
+                        group = chosen[6]
+                        for term in terms[position + 1:]:
+                            if (term[6] != group
+                                    and (present & term[1]) == term[0]
+                                    and (mask & term[3]) == term[2]):
+                                # Cross-group double pass: the full
+                                # scan's nondeterminism error.
+                                replay(index, tick, mask)
+                    deltas = chosen[5]
+                    if deltas:
+                        for row, _, floor in deltas:
+                            if counts[row] + floor < 0:
+                                # Strict Del_evt under-run.
+                                replay(index, tick, mask)
+                        for row, total, _ in deltas:
+                            value = counts[row] + total
+                            counts[row] = value
+                            if value > 0:
+                                present |= 1 << row
+                            else:
+                                present &= ~(1 << row)
+                        lane_present[index] = present
+                    state = chosen[4]
             states[index] = state
             histories[index][tick + 1] = state
             if state == final:

@@ -15,7 +15,7 @@ from repro.monitor.automaton import AddEvt, DelEvt, Monitor, Transition
 from repro.monitor.engine import run_monitor
 from repro.monitor.scoreboard import Scoreboard
 from repro.optimize import harden_ladders, optimize_monitor
-from repro.optimize.ladders import _harden_cell
+from repro.optimize.ladders import prove_first_match
 from repro.protocols.ocp import ocp_simple_read_chart
 from repro.runtime.compiled import (
     CompactRow,
@@ -85,7 +85,7 @@ def test_harden_cell_requires_chk_only_residues():
         cell for row in compiled._table for cell in row
         if isinstance(cell, tuple)
     )
-    assert _harden_cell(ladder) is None
+    assert prove_first_match(ladder) is None
 
 
 # --------------------------------------------------- payload slimming ----

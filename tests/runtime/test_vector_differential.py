@@ -353,6 +353,270 @@ def test_streaming_vector_rejects_implications(vector_mode):
         StreamingChecker(implication, engine="vector")
 
 
+# ------------------------------------------------- ladder stress ----
+def _stress_monitor(seed: int, n_states: int = 4) -> Monitor:
+    """Seeded 100%-ladder-density monitor.
+
+    Every guard pairs an input literal with a scoreboard literal, so
+    every compiled cell is a check ladder (escape ratio 1.0) and every
+    rung carries a predicated plan.  The four guards per state
+    partition ``(a?, Chk x?)``, ``Del_evt("x")`` only fires under
+    ``Chk("x")`` (including the del-then-re-add floor shape), and
+    ``y`` only accumulates — so runs never raise and all five
+    execution paths must agree on verdicts.
+    """
+    rng = random.Random(seed)
+    transitions = []
+    for state in range(n_states):
+        for a_high in (False, True):
+            for x_present in (False, True):
+                literal = EventRef("a") if a_high else Not(EventRef("a"))
+                check = ScoreboardCheck("x")
+                guard = literal & (check if x_present else Not(check))
+                actions = []
+                roll = rng.random()
+                if x_present and roll < 0.4:
+                    actions.append(DelEvt("x"))
+                elif x_present and roll < 0.6:
+                    # Net-zero with a -1 floor: exercises the
+                    # min-prefix (under-run) matrices without raising.
+                    actions.extend((DelEvt("x"), AddEvt("x")))
+                elif not x_present and roll < 0.6:
+                    actions.append(AddEvt("x"))
+                if rng.random() < 0.3:
+                    actions.append(AddEvt("y"))
+                transitions.append(Transition(
+                    state, guard, tuple(actions), rng.randrange(n_states)
+                ))
+    return Monitor(
+        f"stress_{seed}", n_states=n_states, initial=0,
+        final=n_states - 1, transitions=transitions, alphabet={"a", "b"},
+    )
+
+
+def _stress_traces(seed: int, count: int = 6):
+    rng = random.Random(1000 + seed)
+    traces = [
+        Trace.from_sets(
+            [
+                {s for s in ("a", "b") if rng.random() < 0.5}
+                for _ in range(rng.randint(1, 25))
+            ],
+            alphabet={"a", "b"},
+        )
+        for _ in range(count)
+    ]
+    traces.append(Trace([], {"a", "b"}))
+    return traces
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_ladder_stress_five_path_identity(seed, vector_mode):
+    """Randomized all-ladder charts: verdict + detection-tick identity
+    across interpreted, scalar compiled, vector (current mode),
+    streaming-vector and sharded-vector execution."""
+    from repro.runtime.vector import vector_table
+
+    monitor = _stress_monitor(seed)
+    compiled = compile_monitor(monitor)
+    table = vector_table(compiled)
+    assert table.escape_ratio == 1.0
+    assert table.vectorizable
+    assert table.residual_ratio == 0.0  # predication covers every cell
+    traces = _stress_traces(seed)
+    reference = [run_monitor(monitor, trace) for trace in traces]
+    scalar = run_many(compiled, traces)
+    vectorized = run_many_vector(compiled, traces)
+    for ref, sca, vec in zip(reference, scalar, vectorized):
+        assert ref.detections == sca.detections == vec.detections
+        assert ref.states == sca.states == vec.states
+        assert ref.ticks == sca.ticks == vec.ticks
+    streamed = [
+        StreamingChecker(compiled, engine="vector", stop_on_detection=False,
+                         chunk_ticks=5).feed(trace)
+        for trace in traces
+    ]
+    assert ([r.detections for r in streamed]
+            == [r.detections for r in reference])
+    sharded = run_sharded(compiled, traces[:-1], jobs=2, oversubscribe=True,
+                          engine="vector")
+    assert ([r.detections for r in sharded]
+            == [r.detections for r in reference[:-1]])
+
+
+@pytest.mark.parametrize("seed", (2, 5))
+def test_ladder_stress_injected_scoreboards(seed, vector_mode):
+    """Injected scoreboards force the per-lane scalar escape path even
+    on all-ladder charts — verdicts and final board contents must
+    match run_many exactly."""
+    monitor = _stress_monitor(seed)
+    compiled = compile_monitor(monitor)
+    traces = _stress_traces(seed)
+    left = [Scoreboard() for _ in traces]
+    right = [Scoreboard() for _ in traces]
+    scalar = run_many(compiled, traces, scoreboards=left)
+    vectorized = run_many_vector(compiled, traces, scoreboards=right)
+    assert ([r.detections for r in scalar]
+            == [r.detections for r in vectorized])
+    assert [b.snapshot() for b in left] == [b.snapshot() for b in right]
+
+
+# ----------------------------------------------- failure replay ----
+def test_predicated_dead_rung_failures_replay_in_trace_order(vector_mode):
+    """Cells that are only *dynamically* incomplete (no rung passes for
+    the runtime scoreboard) must surface run_many's exact
+    no-transition error — and when several lanes die at the same tick,
+    the lowest trace index's error, which names that index."""
+    from repro.errors import MonitorError
+    from repro.runtime.vector import vector_table
+
+    monitor = Monitor(
+        "dead_rung", n_states=1, initial=0, final=0,
+        transitions=[
+            Transition(0, EventRef("a") & Not(ScoreboardCheck("x")),
+                       (AddEvt("x"),), 0),
+            Transition(0, Not(EventRef("a")) & ScoreboardCheck("x"),
+                       (), 0),
+            # a-high with x present / a-low with x absent: dead.
+        ],
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(monitor)
+    assert vector_table(compiled).vectorizable
+    # Lanes 0 and 1 both die at tick 1 (second 'a' sees x present);
+    # lane 2 never dies.
+    traces = [
+        Trace.from_sets([{"a"}, {"a"}, {"a"}], alphabet={"a"}),
+        Trace.from_sets([{"a"}, {"a"}], alphabet={"a"}),
+        Trace.from_sets([{"a"}, set(), set()], alphabet={"a"}),
+    ]
+    outcomes = []
+    for runner in (run_many, run_many_vector):
+        with pytest.raises(MonitorError) as info:
+            runner(compiled, traces)
+        outcomes.append(str(info.value))
+    assert outcomes[0] == outcomes[1]
+    assert "(trace 0, tick 1)" in outcomes[0]
+
+
+def test_predicated_mixed_failures_surface_lowest_index(vector_mode):
+    """Two lanes failing at the same tick with *different* anomalies
+    (strict Del_evt under-run vs dead rung): the surfaced error —
+    type and message — is the lowest trace index's, in both orders."""
+    from repro.errors import MonitorError, ScoreboardError
+
+    monitor = Monitor(
+        "mixed_fail", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, EventRef("a") & ScoreboardCheck("x"), (), 1),
+            Transition(0, Not(EventRef("a")) & ScoreboardCheck("x"),
+                       (), 0),
+            Transition(0, Not(EventRef("a")) & Not(ScoreboardCheck("x")),
+                       (DelEvt("y"),), 0),
+            # a-high with x absent: dead rung.
+        ],
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(monitor)
+    underrun = Trace.from_sets([set()], alphabet={"a"})
+    dead = Trace.from_sets([{"a"}], alphabet={"a"})
+    for traces, expected in (
+        ([underrun, dead], ScoreboardError),
+        ([dead, underrun], MonitorError),
+    ):
+        outcomes = []
+        for runner in (run_many, run_many_vector):
+            with pytest.raises(expected) as info:
+                runner(compiled, traces)
+            outcomes.append(f"{type(info.value).__name__}: {info.value}")
+        assert outcomes[0] == outcomes[1]
+
+
+def test_predicated_full_scan_conflict_matches_scalar(vector_mode):
+    """A cell whose rungs can simultaneously pass with different
+    behaviour fails the first-match proof; the kernel's conflict
+    matrices must then surface the scalar full scan's nondeterminism
+    error at the exact tick it becomes dynamic."""
+    from repro.errors import MonitorError
+    from repro.logic.expr import TRUE as _TRUE
+    from repro.runtime.vector import vector_table
+
+    monitor = Monitor(
+        "nd_runtime", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, ScoreboardCheck("x"), (), 1),
+            Transition(0, _TRUE, (AddEvt("x"),), 0),
+            Transition(1, _TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(monitor)
+    assert not compiled.ladder_exclusive
+    assert vector_table(compiled).vectorizable
+    # Tick 0: only the floor passes (adds x). Tick 1: both rungs pass
+    # with different targets — the full scan reports nondeterminism.
+    traces = [Trace.from_sets([set(), set()], alphabet={"a"})]
+    outcomes = []
+    for runner in (run_many, run_many_vector):
+        with pytest.raises(MonitorError) as info:
+            runner(compiled, traces)
+        outcomes.append(str(info.value))
+    assert outcomes[0] == outcomes[1]
+    assert "nondeterministic in state" in outcomes[0]
+
+
+# ------------------------------------------------ residual ratio ----
+def test_residual_ratio_counts_only_post_predication_residue(vector_mode):
+    """escape_ratio reports static lowering density; residual_ratio
+    only what predication leaves for per-lane scalar resolution."""
+    from repro.runtime.vector import vector_table
+
+    monitor = Monitor(
+        "residual", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, EventRef("a") & Not(ScoreboardCheck("x")),
+                       (AddEvt("x"),), 1),
+            Transition(0, EventRef("a") & ScoreboardCheck("x"), (), 1),
+            # the no-'a' cell at state 0 is missing entirely
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    table = vector_table(compile_monitor(monitor))
+    assert table.vectorizable
+    assert table.escape_ratio == 0.5     # ladder + missing, of 4 cells
+    assert table.residual_ratio == 0.25  # only the missing cell remains
+    assert "escapes=2, residual=1" in repr(table)
+
+
+def test_unpredicable_cell_keeps_scalar_residual(vector_mode):
+    """A rung condition outside the literal language (DNF blowup) makes
+    the whole monitor fall back to per-lane scalar escapes:
+    residual_ratio then reports the full escape density — and verdicts
+    still match the scalar engine."""
+    from repro.runtime.vector import vector_table
+
+    wide = ScoreboardCheck("e0")
+    for index in range(1, 40):
+        wide = wide | ScoreboardCheck(f"e{index}")
+    monitor = Monitor(
+        "wide_or", n_states=2, initial=0, final=1,
+        transitions=[
+            Transition(0, wide, (), 1),
+            Transition(0, Not(wide), (), 0),
+            Transition(1, TRUE, (), 1),
+        ],
+        alphabet={"a"},
+    )
+    compiled = compile_monitor(monitor)
+    table = vector_table(compiled)
+    assert not table.vectorizable
+    assert table.escape_ratio == table.residual_ratio == 0.5
+    traces = [Trace.from_sets([set(), {"a"}], alphabet={"a"})]
+    assert (run_many_vector(compiled, traces)[0].states
+            == run_many(compiled, traces)[0].states)
+
+
 def test_bank_encodes_each_trace_once():
     """Batch runs share mask arrays across same-alphabet monitors."""
     from repro.logic import codec as codec_module
