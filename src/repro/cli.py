@@ -40,7 +40,15 @@ from repro.errors import ReproError
 from repro.monitor.dot import monitor_to_dot
 from repro.monitor.engine import run_monitor
 from repro.monitor.stats import monitor_stats
-from repro.runtime.compiled import run_compiled
+from repro.runtime.engines import (
+    AUTO,
+    Workload,
+    backend as engine_backend,
+    engine_choices,
+    plan_execution,
+    require_backend,
+    resolve_step_backend,
+)
 from repro.synthesis.symbolic import symbolic_monitor
 from repro.synthesis.tr import tr, tr_compiled
 from repro.visual.ascii_chart import render_scesc
@@ -86,9 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", nargs="?",
         help="WaveDrom JSON trace file (or use --vcd)")
     check.add_argument(
-        "--engine", default="compiled",
-        choices=("compiled", "interpreted", "vector"),
-        help="stepping backend: dense table dispatch (default), the "
+        "--engine", default=AUTO, choices=engine_choices(),
+        help="stepping backend (default: auto — the planner picks "
+             "from the workload shape): dense table dispatch, the "
              "reference guard-tree interpreter, or the trace-parallel "
              "vector kernel (flat-array batch stepping; identical "
              "verdicts)")
@@ -146,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse each dump's change stream across N worker "
              "processes (default 0 = one per core)")
     ingest.add_argument(
+        "--engine", default=AUTO, choices=engine_choices("batch"),
+        help="the batch backend later checks will use (default: auto); "
+             "validated against the registry — .rtrc output itself is "
+             "backend-agnostic mask arrays")
+    ingest.add_argument(
         "--optimize", action="store_true",
         help="encode against the optimized monitor's (possibly pruned) "
              "alphabet — match the flag you will pass to check")
@@ -185,11 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard batch execution across N worker processes "
              "(0 = one per core)")
     campaign.add_argument(
-        "--engine", default="compiled",
-        choices=("compiled", "interpreted"),
+        "--engine", default=AUTO, choices=engine_choices("step"),
         help="monitor form the campaign covers: the compiled dispatch "
-             "table's compressed edges (default) or the dense "
-             "interpreted automaton")
+             "table's compressed edges (auto resolves here, the "
+             "default) or the dense interpreted automaton")
     campaign.add_argument(
         "--optimize", action="store_true",
         help="cover the optimized monitor (minimised, pruned, "
@@ -224,10 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8750, metavar="N",
         help="bind port (default: 8750; 0 picks a free port)")
     serve.add_argument(
-        "--engine", default="vector",
-        choices=("compiled", "interpreted", "vector"),
-        help="stepping backend for streams (default: vector — enables "
-             "chunked push and the push_masks zero-decode path)")
+        "--engine", default=AUTO, choices=engine_choices("streaming"),
+        help="stepping backend for streams (default: auto — chunked "
+             "vector push when NumPy is live, scalar tables otherwise; "
+             "per-open overrides still apply)")
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan corpus checks out to N persistent worker processes "
+             "off the event loop (0 = one per core; default 1: check "
+             "on-loop)")
     serve.add_argument(
         "--optimize", action="store_true",
         help="serve optimized monitors (minimised, pruned, compacted); "
@@ -372,13 +389,16 @@ def _validate_check_args(args) -> None:
         )
     if args.jobs < 0:
         raise ReproError(f"--jobs must be >= 0 (got {args.jobs})")
-    if args.jobs != 1 and args.engine == "interpreted":
+    backend = engine_backend(args.engine) if args.engine != AUTO else None
+    if args.jobs != 1 and backend is not None \
+            and not backend.sharded_worker:
         raise ReproError("--jobs needs --engine compiled or vector")
-    if args.optimize and args.engine == "interpreted":
+    if args.optimize and backend is not None and not backend.optimize_ok:
         # The pipeline's artifact is a compiled dispatch table; the
         # interpreted backend exists as the unoptimized reference.
         raise ReproError("--optimize needs --engine compiled or vector")
-    if args.cache is not None and args.engine == "interpreted":
+    if args.cache is not None and backend is not None \
+            and not backend.batch:
         # Cached entries are mask arrays over the compiled codec; the
         # interpreted engine steps guard trees on valuations.
         raise ReproError("--cache needs --engine compiled or vector")
@@ -415,19 +435,22 @@ def _check_vcd(args, chart, out) -> int:
             _note_missing_lanes(
                 chart, reader.alphabet(clock=args.clock), path, out
             )
-    if args.engine in ("compiled", "vector"):
+    backend = engine_backend(args.engine) if args.engine != AUTO else None
+    if backend is None or backend.wants_compiled:
         reports = run_sharded_vcd(
             _compiled_for_check(args, chart), args.vcd, jobs=args.jobs,
             clock=args.clock, period=args.period, binding=binding,
             engine=args.engine, cache=args.cache,
         )
     else:
+        # The interpreted reference walks guard trees on the raw
+        # synthesis output, in-process.
         monitor = tr(chart)
         reports = []
         for path in args.vcd:
             with VcdReader(path, binding=binding) as reader:
                 reports.append(
-                    StreamingChecker(monitor, engine="interpreted").feed(
+                    StreamingChecker(monitor, engine=args.engine).feed(
                         reader.valuations(clock=args.clock,
                                           period=args.period)
                     )
@@ -454,14 +477,15 @@ def _cmd_check(args, out) -> int:
     if args.vcd:
         return _check_vcd(args, chart, out)
     trace = _load_wavedrom_trace(args, chart, out)
-    if args.engine == "vector":
-        from repro.runtime.vector import run_many_vector
-
-        result = run_many_vector(_compiled_for_check(args, chart), [trace])[0]
-    elif args.engine == "compiled":
-        result = run_compiled(_compiled_for_check(args, chart), trace)
-    else:
+    backend = engine_backend(args.engine) if args.engine != AUTO else None
+    if backend is not None and not backend.batch:
         result = run_monitor(tr(chart), trace)
+    else:
+        compiled = _compiled_for_check(args, chart)
+        plan = plan_execution(compiled, Workload.from_traces([trace]),
+                              args.engine, capability="batch",
+                              error_cls=ReproError)
+        result = plan.batch_runner()(compiled, [trace])[0]
     out.write(f"{args.trace}: {trace.length} ticks; "
               f"detections at {result.detections}\n")
     return 0 if result.accepted else 3
@@ -488,6 +512,10 @@ def _cmd_ingest(args, out) -> int:
     if not args.out and not args.cache:
         raise ReproError("ingest needs a destination: --cache DIR or "
                          "--out FILE")
+    if args.engine != AUTO:
+        # Validated against the registry (the .rtrc output itself is
+        # backend-agnostic; this catches a later-check mismatch early).
+        require_backend(args.engine, "batch", error_cls=ReproError)
     compiled = _compiled_for_check(args, chart)
     binding = SignalBinding.parse(args.bind) if args.bind else None
     cache = CorpusCache(args.cache) if args.cache else None
@@ -522,14 +550,16 @@ def _cmd_campaign(args, out) -> int:
         )
     if args.budget <= 0:
         raise ReproError(f"--budget must be positive (got {args.budget})")
+    backend = resolve_step_backend(args.engine, error_cls=ReproError)
     if args.optimize:
         from repro.optimize import optimize_monitor
 
         optimized = optimize_monitor(tr(chart))
-        monitor = (optimized.compiled if args.engine == "compiled"
+        monitor = (optimized.compiled if backend.wants_compiled
                    else optimized.monitor)
     else:
-        monitor = tr_compiled(chart) if args.engine == "compiled" else tr(chart)
+        monitor = (tr_compiled(chart) if backend.wants_compiled
+                   else tr(chart))
     campaign = CoverageCampaign(
         chart, monitor=monitor, seed=args.seed, jobs=args.jobs,
     )
@@ -610,8 +640,10 @@ def _cmd_serve(args, out) -> int:
 
     from repro.serve import MonitorService, ServeConfig
 
-    if args.optimize and args.engine == "interpreted":
+    backend = engine_backend(args.engine) if args.engine != AUTO else None
+    if args.optimize and backend is not None and not backend.optimize_ok:
         raise ReproError("--optimize needs --engine compiled or vector")
+    wants_compiled = backend.wants_compiled if backend is not None else True
     monitors = {}
     for name in args.charts:
         chart = _load_scesc(args.spec, name)
@@ -619,14 +651,15 @@ def _cmd_serve(args, out) -> int:
             from repro.optimize import optimize_monitor
 
             monitors[name] = optimize_monitor(tr(chart)).compiled
-        elif args.engine == "interpreted":
-            monitors[name] = tr(chart)
-        else:
+        elif wants_compiled:
             monitors[name] = tr_compiled(chart)
+        else:
+            monitors[name] = tr(chart)
     service = MonitorService(monitors, ServeConfig(
         host=args.host, port=args.port, engine=args.engine,
-        queue_chunks=args.queue_chunks, shed_slow=args.shed_slow,
-        max_streams=args.max_streams, cache_root=args.cache,
+        jobs=args.jobs, queue_chunks=args.queue_chunks,
+        shed_slow=args.shed_slow, max_streams=args.max_streams,
+        cache_root=args.cache,
     ))
 
     async def _run():

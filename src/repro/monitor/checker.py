@@ -26,7 +26,6 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.cesc.charts import Chart, Implication, as_chart
 from repro.errors import MonitorError
 from repro.logic.valuation import Valuation
-from repro.monitor.engine import MonitorEngine
 from repro.semantics.run import Trace
 
 __all__ = [
@@ -152,16 +151,19 @@ class AssertionChecker:
                 "AssertionChecker requires an Implication chart; plain "
                 "charts are detectors — use synthesize_chart"
             )
-        if engine not in ("interpreted", "compiled"):
-            raise MonitorError(f"unknown engine backend {engine!r}")
-        if optimize and engine != "compiled":
+        # Imported lazily for the same monitor-importability reason;
+        # engines.py only pulls in repro.errors at module level.
+        from repro.runtime.engines import resolve_step_backend
+
+        backend = resolve_step_backend(engine, error_cls=MonitorError)
+        if optimize and not backend.optimize_ok:
             # The pipeline's artifact is a compiled dispatch table; the
             # interpreted members would silently run unoptimized.
             raise MonitorError(
                 "optimize=True requires engine=\"compiled\""
             )
         self._chart = chart
-        self._engine_backend = engine
+        self._backend = backend
         self._bank: MonitorBank = synthesize_chart(
             chart.antecedent, variant=variant, loop_limit=loop_limit,
             optimize=optimize,
@@ -180,17 +182,9 @@ class AssertionChecker:
 
     def check(self, trace: Trace) -> CheckReport:
         """Scan the whole trace; return every obligation's verdict."""
-        if self._engine_backend == "compiled":
-            from repro.runtime.compiled import CompiledEngine
-
-            engines = [
-                CompiledEngine(compiled)
-                for compiled in self._bank.compiled_members()
-            ]
-        else:
-            engines = [
-                MonitorEngine(monitor) for monitor in self._bank.monitors
-            ]
+        members = (self._bank.compiled_members()
+                   if self._backend.wants_compiled else self._bank.monitors)
+        engines = [self._backend.make_engine(member) for member in members]
         obligations: List[Obligation] = []
         live: List[Obligation] = []
         detections: List[int] = []

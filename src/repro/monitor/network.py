@@ -126,28 +126,25 @@ class MonitorNetwork:
         two-phase (selection against the pre-instant scoreboard).
 
         ``engine`` selects the stepping backend for every local
-        monitor: ``"interpreted"`` (guard-tree walking, the reference
-        semantics) or ``"compiled"`` (dense table dispatch via
-        :class:`~repro.runtime.compiled.CompiledEngine`).  Both honour
-        the two-phase contract, so results are identical.
+        monitor from the registry — any backend honouring the
+        two-phase contract (``"interpreted"``: guard-tree walking, the
+        reference semantics; ``"compiled"``: dense table dispatch via
+        :class:`~repro.runtime.compiled.CompiledEngine`; ``"auto"``
+        resolves to compiled).  Results are identical.
         """
-        if engine not in ("interpreted", "compiled"):
-            raise MonitorError(f"unknown engine backend {engine!r}")
-        shared = scoreboard if scoreboard is not None else Scoreboard()
-        if engine == "compiled":
-            from repro.runtime.compiled import CompiledEngine
+        from repro.runtime.engines import resolve_step_backend
 
-            engines = {
-                lm.clock.name: CompiledEngine(
-                    self._compiled_local(lm), scoreboard=shared
-                )
-                for lm in self.locals
-            }
-        else:
-            engines = {
-                lm.clock.name: MonitorEngine(lm.monitor, scoreboard=shared)
-                for lm in self.locals
-            }
+        backend = resolve_step_backend(engine, "two_phase",
+                                       error_cls=MonitorError)
+        shared = scoreboard if scoreboard is not None else Scoreboard()
+        engines = {
+            lm.clock.name: backend.make_engine(
+                self._compiled_local(lm) if backend.wants_compiled
+                else lm.monitor,
+                scoreboard=shared,
+            )
+            for lm in self.locals
+        }
         component_of = {lm.clock.name: lm.component for lm in self.locals}
         detections: Dict[str, List[Fraction]] = {
             lm.component: [] for lm in self.locals

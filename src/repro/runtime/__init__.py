@@ -23,7 +23,11 @@ performs, made persistent — so the hot loop is a list lookup:
 * :mod:`repro.runtime.vector` — the trace-parallel batch kernel:
   check-free cells lowered to one flat integer array stepped with
   NumPy fancy indexing (pure-Python fallback when NumPy is absent),
-  escape lanes resolved through the scalar dispatch above.
+  escape lanes resolved through the scalar dispatch above;
+* :mod:`repro.runtime.engines` — the backend registry and the
+  ``engine="auto"`` execution planner: every entry point resolves
+  backend names and capability checks through it, and a new backend
+  (e.g. a C table stepper) is one :func:`register_backend` call.
 
 The interpreted engine remains the reference semantics; equivalence is
 enforced by property tests (``tests/test_properties.py``) and the
@@ -38,6 +42,15 @@ from repro.runtime.compiled import (
     run_compiled,
     run_many,
     run_many_encoded,
+)
+from repro.runtime.engines import (
+    AUTO,
+    EngineBackend,
+    ExecutionPlan,
+    Workload,
+    engine_choices,
+    plan_execution,
+    register_backend,
 )
 
 #: Vector-kernel names resolved lazily (PEP 562): importing the vector
@@ -61,9 +74,16 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AUTO",
     "CompiledEngine",
     "CompiledMonitor",
+    "EngineBackend",
+    "ExecutionPlan",
     "VectorEngine",
+    "Workload",
+    "engine_choices",
+    "plan_execution",
+    "register_backend",
     "as_compiled",
     "compile_monitor",
     "run_compiled",

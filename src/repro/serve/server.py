@@ -32,6 +32,12 @@ import time
 from typing import Dict, Optional, Set
 
 from repro.errors import ReproError, ServeError
+from repro.runtime.engines import (
+    AUTO,
+    Workload,
+    plan_execution,
+    require_backend,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -46,8 +52,6 @@ from repro.trace.streaming import StreamingChecker
 
 __all__ = ["MAX_WIRE_DETECTIONS", "MonitorService", "ServeConfig"]
 
-_ENGINES = ("compiled", "interpreted", "vector")
-
 #: Per-trace cap on detection ticks shipped in a ``corpus`` response.
 MAX_WIRE_DETECTIONS = 1000
 
@@ -55,15 +59,16 @@ MAX_WIRE_DETECTIONS = 1000
 class ServeConfig:
     """Knobs of one service instance (all bounded-memory relevant)."""
 
-    __slots__ = ("host", "port", "engine", "queue_chunks", "shed_slow",
-                 "max_streams", "stop_on_violation", "loop_limit",
-                 "cache_root", "max_line_bytes")
+    __slots__ = ("host", "port", "engine", "jobs", "queue_chunks",
+                 "shed_slow", "max_streams", "stop_on_violation",
+                 "loop_limit", "cache_root", "max_line_bytes")
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        engine: str = "vector",
+        engine: str = AUTO,
+        jobs: int = 1,
         queue_chunks: int = DEFAULT_QUEUE_CHUNKS,
         shed_slow: bool = False,
         max_streams: int = 1024,
@@ -72,10 +77,10 @@ class ServeConfig:
         cache_root: Optional[str] = None,
         max_line_bytes: int = MAX_LINE_BYTES,
     ):
-        if engine not in _ENGINES:
-            raise ServeError(
-                f"unknown engine {engine!r} (choose from {list(_ENGINES)})"
-            )
+        if engine != AUTO:
+            require_backend(engine, "streaming", error_cls=ServeError)
+        if jobs < 0:
+            raise ServeError("jobs must be >= 0 (0: one per core)")
         if queue_chunks <= 0:
             raise ServeError("queue_chunks must be positive")
         if max_streams <= 0:
@@ -85,6 +90,7 @@ class ServeConfig:
         self.host = host
         self.port = port
         self.engine = engine
+        self.jobs = jobs
         self.queue_chunks = queue_chunks
         self.shed_slow = shed_slow
         self.max_streams = max_streams
@@ -207,6 +213,7 @@ class MonitorService:
             "status": "ok",
             "uptime_s": round(self.metrics.uptime_s, 3),
             "engine": self.config.engine,
+            "jobs": self.config.jobs,
             "monitors": self.monitor_names(),
             "streams": {
                 "live": len(self._sessions),
@@ -281,7 +288,7 @@ class MonitorService:
                 return await self._op_poll(message, sessions)
             if op == "close":
                 return await self._op_close(message, sessions)
-            return self._op_corpus(message)
+            return await self._op_corpus(message)
         except ServeError as error:
             self.metrics.protocol_errors += 1
             return error_message(error, stream=message.get("stream"))
@@ -318,10 +325,10 @@ class MonitorService:
             )
         name, spec = self._spec_for(message.get("monitor"))
         engine = message.get("engine", self.config.engine)
-        if engine not in _ENGINES:
-            raise ServeError(
-                f"unknown engine {engine!r} (choose from {list(_ENGINES)})"
-            )
+        if engine != AUTO:
+            # Central validation: the registry's wording, the
+            # streaming-capable choice list.
+            require_backend(engine, "streaming", error_cls=ServeError)
         checker = StreamingChecker(
             spec,
             engine=engine,
@@ -340,8 +347,10 @@ class MonitorService:
         sessions[stream] = session
         self._sessions.add(session)
         self.metrics.streams_opened += 1
+        # Echo the *resolved* backend: an "auto" request learns what
+        # the planner actually picked for this stream.
         return {"ok": True, "stream": stream, "monitor": name,
-                "engine": engine}
+                "engine": checker.engine}
 
     async def _op_push(self, message, sessions: Dict[str, StreamSession],
                        field: str, validate) -> dict:
@@ -369,12 +378,18 @@ class MonitorService:
         return {"ok": True, "stream": stream, "report": report}
 
     # -- corpus op -------------------------------------------------------
-    def _op_corpus(self, message) -> dict:
+    async def _op_corpus(self, message) -> dict:
         """Batch-check a warm ``.rtrc`` corpus, no re-encode.
 
-        Runs synchronously on the event loop: the kernel holds the GIL
-        either way, so an executor would only add handoff latency while
-        other streams still could not progress.
+        The engine (and whether the batch stays on the event loop at
+        all) comes from the planner.  With ``jobs == 1`` the kernel
+        runs on-loop: it holds the GIL either way, so an executor would
+        only add handoff latency while other streams still could not
+        progress.  With ``jobs != 1`` the pre-encoded mask arrays fan
+        out to the persistent shard worker pools
+        (:func:`~repro.trace.shard.run_sharded_encoded`) from an
+        executor thread — the thread blocks on pool IPC, not the GIL,
+        so pings and live streams keep being served mid-corpus.
         """
         from repro.trace.columnar import ColumnarTraceSet, codec_fingerprint
 
@@ -393,10 +408,9 @@ class MonitorService:
         if not isinstance(path, str) or not os.path.exists(path):
             raise ServeError(f"no corpus at {path!r}")
         name, compiled = self._compiled_for(message.get("monitor"))
-        if self.config.engine == "interpreted":
-            raise ServeError(
-                "corpus checks need --engine compiled or vector"
-            )
+        if self.config.engine != AUTO:
+            require_backend(self.config.engine, "batch",
+                            error_cls=ServeError)
         columns = ColumnarTraceSet.load(path)
         if columns.fingerprint != codec_fingerprint(compiled.codec):
             raise ServeError(
@@ -404,15 +418,27 @@ class MonitorService:
                 f"different alphabet than monitor {name!r}; re-ingest "
                 "it against this monitor"
             )
-        if self.config.engine == "vector":
-            from repro.runtime.vector import run_many_vector_encoded
+        mask_arrays = columns.mask_arrays()
+        plan = plan_execution(compiled, Workload.from_traces(mask_arrays),
+                              self.config.engine, capability="batch",
+                              error_cls=ServeError)
+        if self.config.jobs != 1 and columns.n_traces > 1:
+            import functools
 
-            results = run_many_vector_encoded(compiled,
-                                              columns.mask_arrays())
+            from repro.trace.shard import run_sharded_encoded
+
+            loop = asyncio.get_running_loop()
+            # An explicit --jobs is honoured verbatim (oversubscribe):
+            # the operator sized the pool deliberately, and clamping to
+            # this host's affinity set would silently re-serialise the
+            # corpus on small containers.
+            results = await loop.run_in_executor(None, functools.partial(
+                run_sharded_encoded, compiled, mask_arrays,
+                jobs=self.config.jobs, engine=plan.engine,
+                oversubscribe=True,
+            ))
         else:
-            from repro.runtime.compiled import run_many_encoded
-
-            results = run_many_encoded(compiled, columns.mask_arrays())
+            results = plan.encoded_runner()(compiled, mask_arrays)
         self.metrics.corpus_checks += 1
         self.metrics.corpus_ticks += columns.total_ticks
         reports = [

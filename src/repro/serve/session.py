@@ -92,7 +92,7 @@ class StreamSession:
         checker = self.checker
         if kind == "masks":
             checker.push_masks(payload)
-        elif checker.engine == "vector":
+        elif checker.chunked:
             checker.push_chunk([Valuation(tick) for tick in payload])
         else:
             for tick in payload:

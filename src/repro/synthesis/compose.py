@@ -23,7 +23,7 @@ from repro.cesc.charts import Chart, as_chart
 from repro.errors import SynthesisError
 from repro.logic.valuation import Valuation
 from repro.monitor.automaton import Monitor
-from repro.monitor.engine import MonitorEngine, MonitorResult
+from repro.monitor.engine import MonitorResult
 from repro.monitor.scoreboard import Scoreboard
 from repro.semantics.run import Trace
 from repro.synthesis.pattern import FlatPattern, flatten_chart
@@ -127,9 +127,10 @@ class MonitorBank:
             raise SynthesisError(
                 "one scoreboard per bank member is required when provided"
             )
-        if engine not in ("interpreted", "compiled"):
-            raise SynthesisError(f"unknown engine backend {engine!r}")
-        if self.optimize and engine != "compiled":
+        from repro.runtime.engines import resolve_step_backend
+
+        backend = resolve_step_backend(engine, error_cls=SynthesisError)
+        if self.optimize and not backend.optimize_ok:
             # Mirrors AssertionChecker: the pipeline's artifact is the
             # compiled table, and silently running the raw interpreted
             # members would fake an optimized run.
@@ -137,28 +138,17 @@ class MonitorBank:
                 "an optimize=True bank runs with engine=\"compiled\" "
                 "(the interpreted members are the unoptimized reference)"
             )
-        if engine == "compiled":
-            from repro.runtime.compiled import CompiledEngine
-
-            engines = [
-                CompiledEngine(
-                    compiled,
-                    scoreboard=(
-                        scoreboards[i] if scoreboards is not None else None
-                    ),
-                )
-                for i, compiled in enumerate(self.compiled_members())
-            ]
-        else:
-            engines = [
-                MonitorEngine(
-                    monitor,
-                    scoreboard=(
-                        scoreboards[i] if scoreboards is not None else None
-                    ),
-                )
-                for i, (_, monitor) in enumerate(self.members)
-            ]
+        stepped = (self.compiled_members() if backend.wants_compiled
+                   else [monitor for _, monitor in self.members])
+        engines = [
+            backend.make_engine(
+                member,
+                scoreboard=(
+                    scoreboards[i] if scoreboards is not None else None
+                ),
+            )
+            for i, member in enumerate(stepped)
+        ]
         for valuation in trace:
             for eng in engines:
                 eng.step(valuation)
@@ -166,16 +156,17 @@ class MonitorBank:
 
     def run_batch(self, traces: Sequence[Trace],
                   jobs: Optional[int] = None,
-                  engine: str = "compiled") -> List[BankResult]:
+                  engine: str = "auto") -> List[BankResult]:
         """Scan many traces with a batch backend.
 
         Every member monitor is compiled once (memoized) and fed all
-        ``traces`` through :func:`~repro.runtime.compiled.run_many`
-        (``engine="compiled"``) or the trace-parallel
-        :func:`~repro.runtime.vector.run_many_vector`
-        (``engine="vector"``, identical results); returns one
-        :class:`BankResult` per trace, each identical to what
-        ``run(trace)`` would produce.  This is the bulk entry point for
+        ``traces`` through the registry's batch kernel for ``engine``
+        (``"compiled"``: scalar lock-step; ``"vector"``: the
+        trace-parallel gather kernel; ``"auto"``, the default, lets
+        :func:`~repro.runtime.engines.plan_execution` pick from the
+        batch width and chart shape — identical results either way);
+        returns one :class:`BankResult` per trace, each identical to
+        what ``run(trace)`` would produce.  This is the bulk entry point for
         serving many concurrent scenarios against one specification.
         Each trace is encoded to its mask array once per distinct
         member alphabet (the shared codec cache), not once per member.
@@ -184,23 +175,22 @@ class MonitorBank:
         processes via :func:`~repro.trace.shard.run_bank_sharded`
         (``jobs=0`` means one per core); the default stays in-process.
         """
-        if engine not in ("compiled", "vector"):
-            raise SynthesisError(f"unknown batch engine {engine!r}")
+        from repro.runtime.engines import Workload, plan_execution
+
+        plan = plan_execution(
+            self.compiled_members()[0] if self.members else None,
+            Workload.from_traces(traces) if self.members else Workload(),
+            engine, capability="batch", error_cls=SynthesisError,
+        )
         if jobs is not None and jobs != 1:
             from repro.trace.shard import run_bank_sharded
 
-            return run_bank_sharded(self, traces, jobs=jobs, engine=engine)
-        if engine == "vector":
-            from repro.runtime import vector
-
-            runner = vector.run_many_vector_encoded
-            # The NumPy kernel wants buffer-backed arrays; the
-            # pure-Python fallback indexes plain lists fastest.
-            as_list = vector._np is None
-        else:
-            from repro.runtime.compiled import run_many_encoded as runner
-
-            as_list = True
+            return run_bank_sharded(self, traces, jobs=jobs,
+                                    engine=plan.engine)
+        runner = plan.encoded_runner()
+        # The NumPy kernel wants buffer-backed arrays; every scalar
+        # loop (and the pure-Python fallback) indexes lists fastest.
+        as_list = not plan.backend.buffer_masks()
         # Mask arrays are shared *explicitly* across same-alphabet
         # members — one encode per distinct codec per call, robust at
         # any batch size (the bounded encode cache alone thrashes on

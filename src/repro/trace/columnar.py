@@ -934,7 +934,7 @@ def check_vcd_cached(
     binding=None,
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
-    engine: str = "vector",
+    engine: str = "auto",
     max_recorded: int = 10_000,
 ) -> list:
     """Check dumps through the corpus cache; one StreamReport per path.
@@ -944,12 +944,23 @@ def check_vcd_cached(
     through :func:`ingest_vcd` (warm hits read pre-encoded masks off
     disk; misses run the chunk-parallel converter and populate the
     cache) and the mask stream is fed to the batch kernel selected by
-    ``engine`` — verdicts are identical to the streaming path on
-    detector specs.
+    ``engine`` (the planner resolves ``"auto"`` per dump — each dump
+    is one width-1 batch, so auto takes the scalar compiled loop) —
+    verdicts are identical to the streaming path on detector specs.
     """
-    from repro.runtime.compiled import as_compiled, run_many_encoded
+    from repro.runtime.compiled import as_compiled
+    from repro.runtime.engines import (
+        AUTO,
+        Workload,
+        plan_execution,
+        require_backend,
+    )
     from repro.trace.streaming import StreamReport
 
+    if engine != AUTO:
+        # Validate up front so an empty path list still rejects a bad
+        # engine with the registry's uniform wording.
+        require_backend(engine, "batch", error_cls=TraceError)
     compiled = as_compiled(monitor)
     if not isinstance(cache, CorpusCache):
         cache = CorpusCache(cache)
@@ -961,12 +972,9 @@ def check_vcd_cached(
             jobs=jobs, mp_context=mp_context, oversubscribe=oversubscribe,
         )
         masks = columns.masks(0)
-        if engine == "vector":
-            from repro.runtime.vector import run_many_vector_encoded
-
-            result = run_many_vector_encoded(compiled, [masks])[0]
-        else:
-            result = run_many_encoded(compiled, [masks])[0]
+        plan = plan_execution(compiled, Workload(1, len(masks)), engine,
+                              capability="batch", error_cls=TraceError)
+        result = plan.encoded_runner()(compiled, [masks])[0]
         detections = list(result.detections)
         reports.append(StreamReport(
             compiled.name,

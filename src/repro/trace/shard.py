@@ -63,37 +63,18 @@ from repro.monitor.scoreboard import Scoreboard
 from repro.runtime.compiled import (
     CompiledMonitor,
     as_compiled,
-    run_many,
-    run_many_encoded,
+)
+from repro.runtime.engines import (
+    AUTO,
+    Workload,
+    plan_execution,
+    require_backend,
 )
 from repro.semantics.run import Trace
 
-_ENGINES = ("compiled", "vector")
-
-
-def _require_engine(engine: str) -> str:
-    if engine not in _ENGINES:
-        raise MonitorError(
-            f"unknown batch engine {engine!r} (choose from {_ENGINES})"
-        )
-    return engine
-
-
-def _batch_runner(engine: str):
-    """The in-process batch entry point for an engine name.
-
-    The vector kernel is imported lazily — it pulls in NumPy when
-    present, and compiled-engine runs should not pay that import.
-    """
-    _require_engine(engine)
-    if engine == "vector":
-        from repro.runtime.vector import run_many_vector
-
-        return run_many_vector
-    return run_many
-
-__all__ = ["run_sharded", "run_bank_sharded", "run_sharded_vcd",
-           "available_cores", "resolve_jobs", "shutdown_worker_pools"]
+__all__ = ["run_sharded", "run_sharded_encoded", "run_bank_sharded",
+           "run_sharded_vcd", "available_cores", "resolve_jobs",
+           "shutdown_worker_pools"]
 
 
 def available_cores() -> int:
@@ -385,15 +366,16 @@ def _shared_chunk_views(name: str, offsets: Sequence[int],
 
 def _run_chunk(task) -> List[MonitorResult]:
     digest, payload, mask_spec, scoreboards, record_transitions, engine = task
-    if engine == "vector":
-        from repro.runtime.vector import run_many_vector_encoded as runner
-    else:
-        runner = run_many_encoded
+    # Tasks carry a concrete registered backend name (the parent planned
+    # any "auto" before fanning out), so workers resolve it the same way
+    # every in-process entry point does.
+    backend = require_backend(engine, "sharded_worker")
+    runner = backend.encoded_runner()
     monitor = _cached_monitor(digest, payload)
     if mask_spec[0] == "shm":
         _, name, offsets, start, end = mask_spec
         segment, views = _shared_chunk_views(
-            name, offsets, start, end, want_numpy=engine == "vector"
+            name, offsets, start, end, want_numpy=backend.prefers_numpy
         )
         try:
             return runner(monitor, views, scoreboards,
@@ -450,7 +432,7 @@ def run_sharded(
     mp_context: Optional[str] = None,
     record_transitions: bool = False,
     oversubscribe: bool = False,
-    engine: str = "compiled",
+    engine: str = AUTO,
 ) -> List[MonitorResult]:
     """Run one monitor over many traces across worker processes.
 
@@ -462,9 +444,11 @@ def run_sharded(
     ``record_transitions`` reports the transitions each trace took
     (coverage folding); transition objects round-trip pickling with
     structural equality, so they fold into collectors tracking the
-    caller's monitor.  ``engine`` selects the worker-side batch kernel:
-    ``"compiled"`` (scalar lock-step) or ``"vector"``
-    (:func:`~repro.runtime.vector.run_many_vector`, identical results).
+    caller's monitor.  ``engine`` selects the worker-side batch kernel
+    from the registry (``"auto"``, the default, lets
+    :func:`~repro.runtime.engines.plan_execution` pick per chunk shape;
+    explicit names are honoured verbatim, identical results either
+    way).
 
     Traces are encoded to valuation-mask arrays *once, in the parent*
     (through the shared codec cache); large batches hand the arrays to
@@ -473,7 +457,8 @@ def run_sharded(
     cost of shipping ``Trace`` objects, and workers never re-encode.
     """
     compiled = as_compiled(monitor)
-    runner = _batch_runner(engine)
+    plan = plan_execution(compiled, Workload.from_traces(traces),
+                          engine, capability="sharded_worker")
     if scoreboards is not None and len(scoreboards) != len(traces):
         raise MonitorError(
             "run_sharded needs exactly one scoreboard per trace when provided"
@@ -485,11 +470,55 @@ def run_sharded(
         # must not mutate the caller's scoreboards either.
         if scoreboards is not None:
             scoreboards = pickle.loads(pickle.dumps(list(scoreboards)))
-        return runner(compiled, traces, scoreboards,
-                      record_transitions=record_transitions)
+        return plan.batch_runner()(compiled, traces, scoreboards,
+                                   record_transitions=record_transitions)
     masks = compiled.codec.encode_many(traces)
+    return _fan_out_encoded(compiled, masks, plan.engine, jobs,
+                            scoreboards, mp_context, record_transitions)
+
+
+def run_sharded_encoded(
+    monitor: Union[Monitor, CompiledMonitor],
+    mask_arrays: Sequence,
+    jobs: Optional[int] = None,
+    scoreboards: Optional[Sequence[Scoreboard]] = None,
+    mp_context: Optional[str] = None,
+    record_transitions: bool = False,
+    oversubscribe: bool = False,
+    engine: str = AUTO,
+) -> List[MonitorResult]:
+    """:func:`run_sharded` over pre-encoded valuation-mask arrays.
+
+    The entry point for callers that already hold the encoded corpus —
+    the serve layer's cached ``corpus`` op hands
+    :class:`~repro.trace.columnar.ColumnarTraceSet` mask arrays
+    straight to the pool without re-encoding (or re-touching the trace
+    objects at all).  Semantics otherwise match :func:`run_sharded`.
+    """
+    compiled = as_compiled(monitor)
+    plan = plan_execution(compiled, Workload.from_traces(mask_arrays),
+                          engine, capability="sharded_worker")
+    if scoreboards is not None and len(scoreboards) != len(mask_arrays):
+        raise MonitorError(
+            "run_sharded needs exactly one scoreboard per trace when provided"
+        )
+    jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
+    if jobs <= 1 or len(mask_arrays) <= 1:
+        if scoreboards is not None:
+            scoreboards = pickle.loads(pickle.dumps(list(scoreboards)))
+        return plan.encoded_runner()(
+            compiled, mask_arrays, scoreboards,
+            record_transitions=record_transitions,
+        )
+    return _fan_out_encoded(compiled, mask_arrays, plan.engine, jobs,
+                            scoreboards, mp_context, record_transitions)
+
+
+def _fan_out_encoded(compiled, masks, engine_name, jobs, scoreboards,
+                     mp_context, record_transitions) -> List[MonitorResult]:
+    """Chunk encoded mask arrays and run them through the pool."""
     lengths = [len(stream) for stream in masks]
-    bounds = _chunk_bounds(lengths, min(jobs, len(traces)))
+    bounds = _chunk_bounds(lengths, min(jobs, len(masks)))
     digest, payload = _ship(compiled)
     shared = _share_masks(masks)
     try:
@@ -499,7 +528,7 @@ def run_sharded(
              else ("inline", list(masks[start:end])),
              list(scoreboards[start:end]) if scoreboards is not None
              else None,
-             record_transitions, engine)
+             record_transitions, engine_name)
             for start, end in bounds
         ]
         pool = _get_pool(mp_context, min(jobs, len(tasks)))
@@ -542,7 +571,7 @@ def run_sharded_vcd(
     binding=None,
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
-    engine: str = "compiled",
+    engine: str = AUTO,
     cache=None,
 ) -> list:
     """Check many VCD dumps in parallel, parsing inside the workers.
@@ -566,7 +595,10 @@ def run_sharded_vcd(
     and populate the cache.  Verdicts are identical either way.
     """
     compiled = as_compiled(monitor)
-    _require_engine(engine)
+    # Streams resolve per worker: "auto" travels verbatim and each
+    # StreamingChecker plans against its own process's NumPy state.
+    if engine != AUTO:
+        require_backend(engine, "streaming")
     if cache is not None:
         from repro.trace.columnar import check_vcd_cached
 
@@ -595,7 +627,7 @@ def run_bank_sharded(
     jobs: Optional[int] = None,
     mp_context: Optional[str] = None,
     oversubscribe: bool = False,
-    engine: str = "compiled",
+    engine: str = AUTO,
 ) -> list:
     """Run every member of a monitor bank over many traces, sharded.
 
@@ -610,10 +642,14 @@ def run_bank_sharded(
     from repro.synthesis.compose import BankResult
 
     members = bank.compiled_members()
-    _require_engine(engine)
+    # The bank's members share one workload shape; plan once against
+    # the first member (same-alphabet members lower to like tables).
+    workload = Workload.from_traces(traces) if members else Workload()
+    plan = plan_execution(members[0] if members else None, workload,
+                          engine, capability="sharded_worker")
     jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     if jobs <= 1 or (len(traces) <= 1 and len(members) <= 1):
-        return bank.run_batch(traces, engine=engine)
+        return bank.run_batch(traces, engine=plan.engine)
     if not traces:
         return []
     lengths = [len(trace) for trace in traces]
@@ -640,7 +676,7 @@ def run_bank_sharded(
                               shared.task_spec(start, end)
                               if shared is not None
                               else ("inline", list(masks[start:end])),
-                              None, False, engine))
+                              None, False, plan.engine))
                 member_of_task.append(member_index)
         pool = _get_pool(mp_context, min(jobs, len(tasks)))
         chunk_results = pool.map(_run_chunk, tasks)

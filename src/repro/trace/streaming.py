@@ -38,11 +38,14 @@ from repro.monitor.checker import (
     Verdict,
     advance_obligation,
 )
-from repro.monitor.engine import MonitorEngine
+from repro.runtime.engines import (
+    AUTO,
+    backend as engine_backend,
+    plan_streaming,
+    require_backend,
+)
 
 __all__ = ["StreamReport", "StreamingChecker"]
-
-_ENGINE_BACKENDS = ("compiled", "interpreted", "vector")
 
 #: Ticks buffered per vector-mode chunk: enough to amortize the
 #: per-chunk Python overhead, small enough that early exits stay
@@ -103,20 +106,22 @@ class StreamingChecker:
     def __init__(
         self,
         spec,
-        engine: str = "compiled",
+        engine: str = AUTO,
         stop_on_violation: bool = True,
         stop_on_detection: bool = False,
         max_recorded: int = 10_000,
         loop_limit: int = 3,
         chunk_ticks: int = DEFAULT_CHUNK_TICKS,
     ):
-        if engine not in _ENGINE_BACKENDS:
-            raise MonitorError(f"unknown engine backend {engine!r}")
+        # An explicit engine validates up front; "auto" stays
+        # unresolved until the spec's shape is known (implications
+        # interleave obligations per tick, so they plan differently).
+        self._backend = (require_backend(engine, "streaming")
+                         if engine != AUTO else None)
         if max_recorded < 0:
             raise MonitorError("max_recorded must be >= 0")
         if chunk_ticks <= 0:
             raise MonitorError("chunk_ticks must be positive")
-        self._engine_backend = engine
         self._stop_on_violation = stop_on_violation
         self._stop_on_detection = stop_on_detection
         self._max_recorded = max_recorded
@@ -131,6 +136,10 @@ class StreamingChecker:
         self._consequents = None
         self._live: List[Obligation] = []
         self.name, monitors = self._resolve_spec(spec, loop_limit)
+        if self._backend is None:
+            # A detector spec with engine="auto": chunked vector
+            # streaming when NumPy is live, scalar compiled otherwise.
+            self._backend = engine_backend(plan_streaming(AUTO))
         if self._consequents is not None and stop_on_detection:
             # An implication opens an obligation at each (antecedent)
             # detection; stopping there would never check anything.
@@ -138,7 +147,10 @@ class StreamingChecker:
                 "stop_on_detection applies to detector specs; an "
                 "implication stops early via stop_on_violation"
             )
-        self._engines = [self._make_engine(monitor) for monitor in monitors]
+        self._engines = [
+            self._backend.make_engine(monitor, record_history=False)
+            for monitor in monitors
+        ]
         # Multi-member specs (banks, implication antecedents) usually
         # synthesize every member over the *same* alphabet; stepping
         # them per tick used to re-encode the valuation once per
@@ -146,7 +158,7 @@ class StreamingChecker:
         # encodes once per distinct alphabet — the interpreted backend
         # steps on guard trees and has no mask to share.
         self._push_groups = None
-        if self._engine_backend != "interpreted" and len(self._engines) > 1:
+        if self._backend.wants_compiled and len(self._engines) > 1:
             groups: dict = {}
             for engine in self._engines:
                 codec = engine.monitor.codec
@@ -163,8 +175,13 @@ class StreamingChecker:
         from repro.runtime.compiled import CompiledMonitor
         from repro.synthesis.compose import MonitorBank
 
+        explicit = self._backend
+        # "auto" never resolves to the interpreted walker, so an
+        # unresolved backend steps compiled tables.
+        wants_compiled = (explicit.wants_compiled
+                          if explicit is not None else True)
         if isinstance(spec, CompiledMonitor):
-            if self._engine_backend == "interpreted":
+            if not wants_compiled:
                 # Interpreted stepping needs guard trees; recover them
                 # from the lowering source when the monitor kept one.
                 if spec.source is None:
@@ -177,49 +194,48 @@ class StreamingChecker:
         if isinstance(spec, Monitor):
             return spec.name, [spec]
         if isinstance(spec, MonitorBank):
-            if self._engine_backend != "interpreted":
+            if wants_compiled:
                 return spec.name, list(spec.compiled_members())
             return spec.name, list(spec.monitors)
         chart = as_chart(spec) if not isinstance(spec, Chart) else spec
         if isinstance(chart, Implication):
-            if self._engine_backend == "vector":
+            if explicit is not None and not explicit.step:
                 # Obligations interleave with detections tick by tick —
                 # chunked lookahead would have to re-derive them anyway.
                 raise MonitorError(
-                    "the vector engine streams detector specs; "
+                    f"the {explicit.name} engine streams detector specs; "
                     "implications run with engine='compiled'"
                 )
+            if explicit is None:
+                self._backend = explicit = engine_backend(
+                    plan_streaming(AUTO, implication=True)
+                )
+                wants_compiled = explicit.wants_compiled
             checker = AssertionChecker(
-                chart, loop_limit=loop_limit, engine=self._engine_backend
+                chart, loop_limit=loop_limit, engine=explicit.name
             )
             self._consequents = checker.consequent_patterns
             bank = checker.antecedent_bank
-            if self._engine_backend != "interpreted":
+            if wants_compiled:
                 return chart.name, list(bank.compiled_members())
             return chart.name, list(bank.monitors)
         from repro.synthesis.compose import synthesize_chart
 
         bank = synthesize_chart(chart, loop_limit=loop_limit)
-        if self._engine_backend != "interpreted":
+        if wants_compiled:
             return bank.name, list(bank.compiled_members())
         return bank.name, list(bank.monitors)
-
-    def _make_engine(self, monitor):
-        if self._engine_backend == "vector":
-            from repro.runtime.vector import VectorEngine
-
-            return VectorEngine(monitor, record_history=False)
-        if self._engine_backend == "compiled":
-            from repro.runtime.compiled import CompiledEngine
-
-            return CompiledEngine(monitor, record_history=False)
-        return MonitorEngine(monitor, record_history=False)
 
     # -- observers -------------------------------------------------------
     @property
     def engine(self) -> str:
-        """The stepping backend this checker was constructed with."""
-        return self._engine_backend
+        """The resolved stepping backend's registered name."""
+        return self._backend.name
+
+    @property
+    def chunked(self) -> bool:
+        """Does this checker's backend consume chunked mask pushes?"""
+        return self._backend.chunked
 
     @property
     def ticks(self) -> int:
@@ -323,7 +339,7 @@ class StreamingChecker:
         single-member specs (the common case) behave identically to
         per-tick pushing.
         """
-        if self._engine_backend != "vector":
+        if not self._backend.chunked:
             raise MonitorError(
                 "push_chunk is the vector fast path; construct the "
                 "checker with engine='vector' (push() streams per tick)"
@@ -375,18 +391,22 @@ class StreamingChecker:
         return symbols
 
     def push_masks(self, masks: List[int]) -> bool:
-        """Consume a batch of pre-encoded ticks (vector backend).
+        """Consume a batch of pre-encoded ticks (table backends).
 
         The zero-encode twin of :meth:`push_chunk` for input that is
         *already* in mask form — a columnar trace set's arrays, a
-        cached corpus entry — verdict-equivalent tick for tick.  All
-        members must share one alphabet (the masks are in a single
-        codec's bit layout).  Returns ``False`` once checking stopped.
+        cached corpus entry — verdict-equivalent tick for tick.  A
+        chunked backend eats the whole batch per
+        :meth:`~repro.runtime.vector.VectorEngine.feed_masks` call;
+        other table-stepping backends loop ``step_mask`` (identical
+        verdict ticks).  All members must share one alphabet (the
+        masks are in a single codec's bit layout).  Returns ``False``
+        once checking stopped.
         """
-        if self._engine_backend != "vector":
+        if not self._backend.wants_compiled:
             raise MonitorError(
-                "push_masks is the vector fast path; construct the "
-                "checker with engine='vector'"
+                "push_masks steps pre-encoded tables; construct the "
+                "checker with engine='vector' or engine='compiled'"
             )
         if self._consequents is not None:
             raise MonitorError(
@@ -398,7 +418,7 @@ class StreamingChecker:
             return False
         if not len(masks):
             return True
-        if self._stop_on_detection:
+        if self._stop_on_detection or not self._backend.chunked:
             for mask in masks:
                 if self._stopped:
                     return False
@@ -412,7 +432,8 @@ class StreamingChecker:
                     self._n_detections += 1
                     if len(self._detections) < self._max_recorded:
                         self._detections.append(tick)
-                    self._stopped = True
+                    if self._stop_on_detection:
+                        self._stopped = True
                 self._tick += 1
             return not self._stopped
         base = self._tick
@@ -458,7 +479,7 @@ class StreamingChecker:
         backend: buffering a chunk would pull (and step) live-source
         ticks past the stopping detection.
         """
-        if self._engine_backend == "vector" and not self._stop_on_detection:
+        if self._backend.chunked and not self._stop_on_detection:
             iterator = iter(valuations)
             while not self._stopped:
                 chunk = list(islice(iterator, self._chunk_ticks))

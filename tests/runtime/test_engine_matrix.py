@@ -1,0 +1,454 @@
+"""Capability matrix: every backend against every entry point.
+
+For each registered backend and each execution entry point — per-tick
+bank stepping, in-process batches, streaming checks, sharded worker
+pools, the serving layer, cached corpus checks — the run either
+produces verdicts and tick counts identical to the interpreted
+reference, or raises the registry's uniform capability error with the
+exact wording and the entry point's own error subclass.  Every case
+runs in both NumPy and fallback modes (the ``REPRO_NO_NUMPY=1``
+contract), so the planner's ``auto`` resolution is exercised on both
+sides of the crossover.
+
+This file also pins the README engines table to
+:func:`repro.runtime.engines.engines_markdown_table` so the docs
+cannot drift from the registry.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.cesc.builder import ev, scesc
+from repro.errors import (
+    MonitorError,
+    ServeError,
+    SynthesisError,
+    TraceError,
+)
+from repro.monitor.checker import AssertionChecker
+from repro.monitor.engine import run_monitor
+from repro.protocols.fixtures import ocp_simple_vcd
+from repro.protocols.ocp import ocp_simple_read_chart
+from repro.runtime import vector as vector_module
+from repro.runtime.engines import (
+    AUTO,
+    EngineBackend,
+    Workload,
+    backend,
+    backend_names,
+    engine_choices,
+    engines_markdown_table,
+    numpy_ready,
+    plan_execution,
+    register_backend,
+    require_backend,
+)
+from repro.semantics.generator import TraceGenerator
+from repro.serve import MonitorService, ServeConfig
+from repro.synthesis.compose import synthesize_chart
+from repro.synthesis.tr import tr_compiled
+from repro.trace.columnar import check_vcd_cached
+from repro.trace.shard import run_sharded
+from repro.trace.streaming import StreamingChecker
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def vector_mode(request, monkeypatch):
+    """Run each matrix cell in both kernel modes."""
+    if request.param == "fallback":
+        monkeypatch.setattr(vector_module, "_np", None)
+    elif vector_module._np is None:
+        pytest.skip("NumPy not installed; only the fallback mode runs")
+    return request.param
+
+
+def _chart():
+    return ocp_simple_read_chart()
+
+
+def _traces(count=6):
+    chart = _chart()
+    traces = []
+    for seed in range(count):
+        generator = TraceGenerator(chart, seed=seed)
+        if seed % 3 == 2:
+            traces.append(generator.random_trace(5 + seed))
+        else:
+            traces.append(generator.satisfying_trace(
+                prefix=seed % 2, suffix=seed % 3))
+    return traces
+
+
+def _reference(traces):
+    chart = _chart()
+    bank = synthesize_chart(chart)
+    monitors = [monitor for _, monitor in bank.members]
+    return [
+        [run_monitor(monitor, trace) for monitor in monitors]
+        for trace in traces
+    ]
+
+
+def _assert_bank_identity(results, reference):
+    for bank_result, expected in zip(results, reference):
+        for member, ref in zip(bank_result.results, expected):
+            assert member.detections == ref.detections
+            assert member.ticks == ref.ticks
+            assert member.accepted == ref.accepted
+
+
+# ----------------------------------------------------------- the matrix ----
+def test_registry_shape_is_the_documented_matrix():
+    """The capability matrix itself: flags per registered backend."""
+    assert backend_names() == ("interpreted", "compiled", "vector")
+    matrix = {
+        name: {
+            flag: getattr(backend(name), flag)
+            for flag in ("step", "batch", "streaming", "chunked",
+                         "sharded_worker", "two_phase", "optimize_ok")
+        }
+        for name in backend_names()
+    }
+    assert matrix == {
+        "interpreted": {"step": True, "batch": False, "streaming": True,
+                        "chunked": False, "sharded_worker": False,
+                        "two_phase": True, "optimize_ok": False},
+        "compiled": {"step": True, "batch": True, "streaming": True,
+                     "chunked": False, "sharded_worker": True,
+                     "two_phase": True, "optimize_ok": True},
+        "vector": {"step": False, "batch": True, "streaming": True,
+                   "chunked": True, "sharded_worker": True,
+                   "two_phase": False, "optimize_ok": True},
+    }
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_bank_run_per_tick(engine, vector_mode):
+    traces = _traces(3)
+    bank = synthesize_chart(_chart())
+    reference = _reference(traces)
+    if not (engine == AUTO or backend(engine).step):
+        with pytest.raises(SynthesisError) as caught:
+            bank.run(traces[0], engine=engine)
+        assert str(caught.value) == (
+            f"engine {engine!r} does not support per-tick stepping "
+            "(choose from: auto, interpreted, compiled)"
+        )
+        return
+    results = [bank.run(trace, engine=engine) for trace in traces]
+    _assert_bank_identity(results, reference)
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_bank_run_batch(engine, vector_mode):
+    traces = _traces()
+    bank = synthesize_chart(_chart())
+    reference = _reference(traces)
+    if not (engine == AUTO or backend(engine).batch):
+        with pytest.raises(SynthesisError) as caught:
+            bank.run_batch(traces, engine=engine)
+        assert str(caught.value) == (
+            f"engine {engine!r} does not support batch execution "
+            "(choose from: auto, compiled, vector)"
+        )
+        return
+    _assert_bank_identity(bank.run_batch(traces, engine=engine), reference)
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_streaming_checker(engine, vector_mode):
+    traces = _traces(3)
+    chart = _chart()
+    for trace in traces:
+        expected = run_monitor(
+            synthesize_chart(chart).members[0][1], trace)
+        checker = StreamingChecker(chart, engine=engine)
+        for valuation in trace:
+            checker.push(valuation)
+        report = checker.report()
+        assert report.detections == expected.detections
+        assert report.ticks == expected.ticks
+        # auto resolves to a concrete registered name, never "auto".
+        assert checker.engine in backend_names("streaming")
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_run_sharded_worker_pool(engine, vector_mode):
+    traces = _traces()
+    compiled = tr_compiled(_chart())
+    reference = [run_monitor(synthesize_chart(_chart()).members[0][1],
+                             trace) for trace in traces]
+    if not (engine == AUTO or backend(engine).sharded_worker):
+        with pytest.raises(MonitorError) as caught:
+            run_sharded(compiled, traces, jobs=2, engine=engine,
+                        oversubscribe=True)
+        assert str(caught.value) == (
+            f"engine {engine!r} does not support sharded execution "
+            "(choose from: auto, compiled, vector)"
+        )
+        return
+    results = run_sharded(compiled, traces, jobs=2, engine=engine,
+                          oversubscribe=True)
+    for result, expected in zip(results, reference):
+        assert result.detections == expected.detections
+        assert result.ticks == expected.ticks
+        assert result.accepted == expected.accepted
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_serve_streaming_per_open_override(engine, vector_mode):
+    chart = _chart()
+    trace = TraceGenerator(chart, seed=4).satisfying_trace(suffix=1)
+    expected = run_monitor(synthesize_chart(chart).members[0][1], trace)
+    # All registered backends stream, so every cell of this column runs.
+    assert engine == AUTO or backend(engine).streaming
+
+    async def scenario():
+        service = MonitorService({"ocp": chart}, ServeConfig(port=0))
+        host, port = await service.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                async def rpc(message):
+                    writer.write(json.dumps(message).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                opened = await rpc({"op": "open", "stream": "s",
+                                    "engine": engine})
+                assert opened["ok"], opened
+                ticks = [sorted(v.true) for v in trace]
+                ack = await rpc({"op": "push", "stream": "s",
+                                 "ticks": ticks})
+                assert ack["ok"], ack
+                closed = await rpc({"op": "close", "stream": "s"})
+                return opened, closed
+            finally:
+                writer.close()
+        finally:
+            await service.aclose()
+
+    opened, closed = asyncio.run(scenario())
+    # The service echoes the resolved backend, never the sentinel.
+    assert opened["engine"] in backend_names("streaming")
+    if engine != AUTO:
+        assert opened["engine"] == engine
+    report = closed["report"]
+    assert report["detections"] == expected.detections
+    assert report["ticks"] == expected.ticks
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
+                                    AUTO])
+def test_check_vcd_cached_corpus(engine, vector_mode, tmp_path):
+    compiled = tr_compiled(_chart())
+    paths = []
+    for seed in (3, 5):
+        path = tmp_path / f"ocp{seed}.vcd"
+        path.write_text(ocp_simple_vcd(seed=seed, repeats=2))
+        paths.append(str(path))
+    cache_root = str(tmp_path / "cache")
+    if not (engine == AUTO or backend(engine).batch):
+        with pytest.raises(TraceError) as caught:
+            check_vcd_cached(compiled, paths, cache_root, clock="clk",
+                             engine=engine)
+        assert str(caught.value) == (
+            f"engine {engine!r} does not support batch execution "
+            "(choose from: auto, compiled, vector)"
+        )
+        return
+    results = check_vcd_cached(compiled, paths, cache_root, clock="clk",
+                               engine=engine)
+    reference = check_vcd_cached(compiled, paths, cache_root, clock="clk",
+                                 engine="compiled")
+    for result, expected in zip(results, reference):
+        assert result.detections == expected.detections
+        assert result.ticks == expected.ticks
+        assert result.accepted == expected.accepted
+
+
+# ----------------------------------------- uniform errors, every seam ----
+# One template everywhere; the choice list names exactly the engines
+# valid at the raising entry point.
+_UNKNOWN_FULL = ("unknown engine 'bogus' "
+                 "(choose from: auto, interpreted, compiled, vector)")
+_UNKNOWN_STEP = ("unknown engine 'bogus' "
+                 "(choose from: auto, interpreted, compiled)")
+_UNKNOWN_BATCH = ("unknown engine 'bogus' "
+                  "(choose from: auto, compiled, vector)")
+
+
+def test_unknown_engine_message_is_identical_everywhere():
+    chart = _chart()
+    trace = _traces(1)[0]
+    compiled = tr_compiled(chart)
+    bank = synthesize_chart(chart)
+
+    with pytest.raises(MonitorError, match="unknown engine") as streaming:
+        StreamingChecker(chart, engine="bogus")
+    assert str(streaming.value) == _UNKNOWN_FULL
+
+    from repro.cesc.charts import Implication
+
+    antecedent = (scesc("ab").instances("M")
+                  .tick(ev("a")).tick(ev("b")).build())
+    consequent = (scesc("cd").instances("M")
+                  .tick(ev("c")).tick(ev("d")).build())
+    with pytest.raises(MonitorError) as checker:
+        AssertionChecker(Implication(antecedent, consequent),
+                         engine="bogus")
+    assert str(checker.value) == _UNKNOWN_STEP
+
+    with pytest.raises(SynthesisError) as step:
+        bank.run(trace, engine="bogus")
+    assert str(step.value) == _UNKNOWN_STEP
+
+    with pytest.raises(SynthesisError) as batch:
+        bank.run_batch([trace], engine="bogus")
+    assert str(batch.value) == _UNKNOWN_BATCH
+
+    with pytest.raises(MonitorError) as sharded:
+        run_sharded(compiled, [trace], engine="bogus")
+    assert str(sharded.value) == _UNKNOWN_BATCH
+
+    with pytest.raises(TraceError) as cached:
+        check_vcd_cached(compiled, [], "unused-cache", engine="bogus")
+    assert str(cached.value) == _UNKNOWN_BATCH
+
+    with pytest.raises(ServeError) as serve:
+        ServeConfig(engine="bogus")
+    assert str(serve.value) == _UNKNOWN_FULL
+
+
+def test_serve_rejects_unknown_per_open_engine():
+    chart = _chart()
+
+    async def scenario():
+        service = MonitorService({"ocp": chart}, ServeConfig(port=0))
+        host, port = await service.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(json.dumps(
+                    {"op": "open", "stream": "s", "engine": "bogus"}
+                ).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+            finally:
+                writer.close()
+        finally:
+            await service.aclose()
+
+    answer = asyncio.run(scenario())
+    assert not answer["ok"]
+    assert answer["error"] == _UNKNOWN_FULL
+
+
+def test_two_phase_capability_error_from_network():
+    from repro.cesc.ast import Clock, EventRefInChart
+    from repro.cesc.charts import AsyncPar, CrossArrow
+    from repro.semantics.run import GlobalRun, Trace
+    from repro.synthesis.multiclock import synthesize_network
+
+    m1 = (scesc("M1", clock=Clock("clk1", period=10)).instances("A")
+          .tick(ev("req")).tick(ev("data")).build())
+    m2 = (scesc("M2", clock=Clock("clk2", period=7)).instances("B")
+          .tick(ev("req3")).tick(ev("data3")).build())
+    arrow = CrossArrow("e4", "M1", EventRefInChart(0, "req"), "M2",
+                       EventRefInChart(0, "req3"))
+    network = synthesize_network(AsyncPar([m1, m2], cross_arrows=[arrow]))
+    t1 = Trace.from_sets([{"req"}, {"data"}],
+                         alphabet={"req", "data"})
+    t2 = Trace.from_sets([set(), {"req3"}, {"data3"}],
+                         alphabet={"req3", "data3"})
+    run = GlobalRun.merge({m1.clock: t1, m2.clock: t2})
+    with pytest.raises(MonitorError) as caught:
+        network.run(run, engine="vector")
+    assert str(caught.value) == (
+        "engine 'vector' does not support two-phase network stepping "
+        "(choose from: auto, interpreted, compiled)"
+    )
+    # The same run steps identically on both two-phase backends.
+    by_engine = {name: network.run(run, engine=name)
+                 for name in backend_names("two_phase")}
+    assert (by_engine["interpreted"].detections
+            == by_engine["compiled"].detections)
+    assert (by_engine["interpreted"].accepted
+            is by_engine["compiled"].accepted)
+
+
+# --------------------------------------------------- planner behaviour ----
+def test_auto_plans_scalar_below_the_ladder_crossover(vector_mode):
+    compiled = tr_compiled(_chart())
+    narrow = plan_execution(compiled, Workload(32, 32 * 12))
+    wide = plan_execution(compiled, Workload(256, 256 * 12))
+    assert narrow.engine == "compiled"
+    if vector_mode == "numpy":
+        # The PR 8 regression case: 32 lanes on a ladder-heavy chart
+        # stay scalar; 256 lanes amortize the vector overhead.
+        assert "narrow batch" in narrow.reason
+        assert wide.engine == "vector"
+    else:
+        assert wide.engine == "compiled"
+        assert "no NumPy" in wide.reason
+    assert not numpy_ready() or vector_mode == "numpy"
+
+
+def test_auto_resolution_follows_the_vector_module_switch(vector_mode):
+    expected = vector_mode == "numpy"
+    assert numpy_ready() is expected
+
+
+def test_registry_rejects_duplicates_and_the_sentinel():
+    with pytest.raises(MonitorError, match="already registered"):
+        register_backend(backend("compiled"))
+    with pytest.raises(MonitorError, match="planner sentinel"):
+        register_backend(EngineBackend(AUTO, "-", "-",
+                                       wants_compiled=True))
+    # replace=True is the accelerator seam: swapping implementations
+    # under an existing name must keep the registry intact.
+    register_backend(backend("compiled"), replace=True)
+    assert backend_names() == ("interpreted", "compiled", "vector")
+
+
+def test_engine_choices_per_capability():
+    assert engine_choices() == ("auto", "interpreted", "compiled",
+                                "vector")
+    assert engine_choices("batch") == ("auto", "compiled", "vector")
+    assert engine_choices("step") == ("auto", "interpreted", "compiled")
+    assert engine_choices("streaming") == ("auto", "interpreted",
+                                           "compiled", "vector")
+    assert engine_choices("chunked", auto=False) == ("vector",)
+
+
+def test_require_backend_returns_the_registered_descriptor():
+    assert require_backend("vector", "chunked") is backend("vector")
+    assert require_backend("interpreted", "streaming").wants_compiled \
+        is False
+
+
+# ------------------------------------------------------- documentation ----
+def test_readme_engines_table_matches_the_registry():
+    """README's engines table is generated output — it cannot drift."""
+    root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    with open(os.path.join(root, "README.md"), encoding="utf-8") as stream:
+        readme = stream.read()
+    begin = "<!-- engines-table:begin -->\n"
+    end = "<!-- engines-table:end -->"
+    assert begin in readme and end in readme, (
+        "README.md must keep the engines-table markers"
+    )
+    block = readme.split(begin, 1)[1].split(end, 1)[0]
+    assert block == engines_markdown_table(), (
+        "README engines table drifted from the registry; regenerate "
+        "with: python tools/gen_engines_table.py"
+    )

@@ -340,6 +340,81 @@ def test_corpus_by_key_without_cache_root_is_refused(tmp_path):
     assert not answer["ok"] and "--cache" in answer["error"]
 
 
+def test_corpus_jobs_offload_keeps_loop_responsive(tmp_path, monkeypatch):
+    """``--jobs 2`` fans the corpus out to shard worker pools off the
+    event loop: verdicts stay identical to the on-loop check, and a
+    ping on a second connection is answered while the corpus is still
+    in flight.
+
+    The sharded runner is wrapped with a delay so "in flight" is
+    deterministic (the persistent worker pools may already be warm
+    from earlier tests): the delay runs where the runner runs, so if
+    the corpus op ever moves back onto the event loop, the ping
+    stalls behind it and the mid-corpus assertion fails.
+    """
+    import time as time_module
+
+    from repro.trace import shard as shard_module
+
+    chart = ocp_simple_read_chart()
+    compiled = tr_compiled(chart)
+    traces = []
+    for seed in range(48):
+        generator = TraceGenerator(chart, seed=seed)
+        traces.append(generator.satisfying_trace(
+            prefix=seed % 4, suffix=2 + seed % 5))
+    path = str(tmp_path / "corpus.rtrc")
+    _corpus_for(compiled, traces).save(path)
+
+    real_run = shard_module.run_sharded_encoded
+    calls = []
+
+    def slow_run(*args, **kwargs):
+        calls.append(kwargs.get("jobs"))
+        time_module.sleep(0.3)
+        return real_run(*args, **kwargs)
+
+    monkeypatch.setattr(shard_module, "run_sharded_encoded", slow_run)
+
+    async def check(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            return await _rpc(reader, writer,
+                              {"op": "corpus", "path": path})
+        finally:
+            writer.close()
+
+    async def offloaded(service, host, port):
+        corpus_task = asyncio.ensure_future(check(service, host, port))
+        # Give the request a head start so the ping lands mid-corpus.
+        await asyncio.sleep(0.05)
+        ping_reader, ping_writer = await asyncio.open_connection(
+            host, port)
+        try:
+            pong = await asyncio.wait_for(
+                _rpc(ping_reader, ping_writer, {"op": "ping"}), timeout=2
+            )
+        finally:
+            ping_writer.close()
+        mid_corpus = not corpus_task.done()
+        answer = await corpus_task
+        return pong, mid_corpus, answer
+
+    pong, mid_corpus, answer = _serve({"ocp": compiled},
+                                      jobs=2)(offloaded)
+    baseline = _serve({"ocp": compiled})(check)
+    assert calls == [2], "jobs!=1 must route through run_sharded_encoded"
+    assert pong["ok"] and "pong" in pong
+    assert mid_corpus, "ping was not answered until the corpus finished"
+    assert answer["ok"] and answer["n_traces"] == len(traces)
+    assert answer["reports"] == baseline["reports"]
+
+
+def test_serve_config_rejects_negative_jobs():
+    with pytest.raises(ServeError, match="jobs"):
+        ServeConfig(jobs=-1)
+
+
 # ------------------------------------------------------------- HTTP plane ----
 async def _http(host, port, request):
     reader, writer = await asyncio.open_connection(host, port)
@@ -421,6 +496,7 @@ def test_per_open_engine_override():
 
     opened, closed = _serve({"hs": chart}, engine="vector")(scenario)
     assert opened["ok"] and opened["engine"] == "compiled"
-    # push_masks needs the vector backend; the compiled-engine stream
-    # records that as its stream error.
-    assert "push_masks" in closed["report"]["error"]
+    # The override stuck, and push_masks steps any table backend: the
+    # compiled-engine stream consumed the pre-encoded tick cleanly.
+    assert "error" not in closed["report"]
+    assert closed["report"]["ticks"] == 1

@@ -118,13 +118,15 @@ def test_shed_slow_refuses_overrun_and_stays_shed():
 
 
 def test_worker_error_surfaces_on_ack_and_report():
-    """push_masks on a compiled-engine stream fails inside the worker;
-    the stream reports the error instead of killing the service."""
+    """push_masks on an interpreted-engine stream fails inside the
+    worker (guard trees step valuations, not pre-encoded masks); the
+    stream reports the error instead of killing the service."""
     chart = _handshake()
 
     async def scenario():
         session = StreamSession("s1",
-                                StreamingChecker(chart, engine="compiled"))
+                                StreamingChecker(chart,
+                                                 engine="interpreted"))
         session.start()
         assert (await session.submit("masks", [1, 2]))["ok"]
         await session.drain()

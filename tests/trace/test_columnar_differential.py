@@ -307,7 +307,12 @@ def test_feed_masks_matches_feed(columnar_mode):
 
 
 def test_push_masks_guards():
+    # Any table backend accepts pre-encoded masks; only the interpreted
+    # engine (guard trees step valuations) refuses them.
     compiled = tr_compiled(_handshake_chart())
     checker = StreamingChecker(compiled, engine="compiled")
-    with pytest.raises(MonitorError, match="vector"):
-        checker.push_masks([0])
+    checker.push_masks([0])
+    assert checker.report().ticks == 1
+    interpreted = StreamingChecker(_handshake_chart(), engine="interpreted")
+    with pytest.raises(MonitorError, match="push_masks"):
+        interpreted.push_masks([0])

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate README.md's engines table from the live registry.
+
+The block between ``<!-- engines-table:begin -->`` and
+``<!-- engines-table:end -->`` is generated output —
+``tests/runtime/test_engine_matrix.py`` fails when it drifts from
+:func:`repro.runtime.engines.engines_markdown_table`.  After
+registering or editing a backend, run:
+
+    PYTHONPATH=src python tools/gen_engines_table.py
+"""
+
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+BEGIN = "<!-- engines-table:begin -->\n"
+END = "<!-- engines-table:end -->"
+
+
+def main() -> int:
+    from repro.runtime.engines import engines_markdown_table
+
+    readme = os.path.join(ROOT, "README.md")
+    with open(readme, encoding="utf-8") as stream:
+        text = stream.read()
+    if BEGIN not in text or END not in text:
+        print("README.md is missing the engines-table markers",
+              file=sys.stderr)
+        return 1
+    head, rest = text.split(BEGIN, 1)
+    _, tail = rest.split(END, 1)
+    updated = head + BEGIN + engines_markdown_table() + END + tail
+    if updated == text:
+        print("README engines table already current")
+        return 0
+    with open(readme, "w", encoding="utf-8") as stream:
+        stream.write(updated)
+    print("README engines table regenerated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
