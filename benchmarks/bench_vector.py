@@ -185,10 +185,11 @@ def test_auto_small_width_leg(report):
     at both widths — the planner's dispatch overhead is two memoized
     attribute reads, not a tax.
     """
-    from repro.runtime.engines import AUTO, Workload, plan_execution
+    from repro.runtime.engines import AUTO, Workload, backend, plan_execution
 
     chart = ocp_simple_read_chart()
     compiled = tr_compiled(chart)
+    native_ready = backend("native").unavailable_reason() is None
     generator = TraceGenerator(ScescChart(chart), seed=7)
     base = generator.satisfying_trace(
         prefix=_TRACE_TICKS // 2, suffix=_TRACE_TICKS // 2
@@ -202,13 +203,20 @@ def test_auto_small_width_leg(report):
 
         plan = plan_execution(compiled, Workload.from_traces(batch))
         if _np is not None:
-            expected = "compiled" if width < 64 else "vector"
+            if width < 64:
+                # Narrow ladder-heavy batches go native when a C
+                # compiler is present, scalar compiled otherwise.
+                expected = "native" if native_ready else "compiled"
+            else:
+                expected = "vector"
             assert plan.engine == expected, (
                 f"auto planned {plan.engine!r} at w{width} "
                 f"({plan.reason}); expected {expected!r}"
             )
         else:
-            assert plan.engine == "compiled", plan.reason
+            assert plan.engine == (
+                "native" if native_ready else "compiled"
+            ), plan.reason
         results[f"auto_engine_w{width}"] = plan.engine
 
         def run_auto():

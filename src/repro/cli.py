@@ -44,6 +44,7 @@ from repro.runtime.engines import (
     AUTO,
     Workload,
     backend as engine_backend,
+    backend_names,
     engine_choices,
     plan_execution,
     require_backend,
@@ -97,15 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default=AUTO, choices=engine_choices(),
         help="stepping backend (default: auto — the planner picks "
              "from the workload shape): dense table dispatch, the "
-             "reference guard-tree interpreter, or the trace-parallel "
-             "vector kernel (flat-array batch stepping; identical "
-             "verdicts)")
+             "reference guard-tree interpreter, the trace-parallel "
+             "vector kernel, or the compile-on-demand native C "
+             "stepper (needs a host C compiler; identical verdicts)")
     check.add_argument(
         "--optimize", action="store_true",
         help="run the monitor through the optimization pipeline "
              "(state minimisation, alphabet pruning, table compaction) "
              "before checking — identical verdicts, smaller tables "
-             "(needs --engine compiled or vector)")
+             "(needs a table-compiling --engine)")
     check.add_argument(
         "--vcd", action="append", default=[], metavar="DUMP",
         help="VCD waveform dump to check (repeatable; each dump is one "
@@ -124,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="shard trace checking across N worker processes "
-             "(0 = one per core; needs --engine compiled)")
+             "(0 = one per core; needs a table-compiling --engine)")
     check.add_argument(
         "--cache", metavar="DIR",
         help="content-addressed columnar corpus cache: dumps are "
@@ -248,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--optimize", action="store_true",
         help="serve optimized monitors (minimised, pruned, compacted); "
-             "identical verdicts (needs --engine compiled or vector)")
+             "identical verdicts (needs a table-compiling --engine)")
     serve.add_argument(
         "--queue-chunks", type=int, default=8, metavar="N",
         help="chunks buffered per stream before backpressure (or "
@@ -392,16 +393,24 @@ def _validate_check_args(args) -> None:
     backend = engine_backend(args.engine) if args.engine != AUTO else None
     if args.jobs != 1 and backend is not None \
             and not backend.sharded_worker:
-        raise ReproError("--jobs needs --engine compiled or vector")
+        raise ReproError(
+            "--jobs needs --engine "
+            + ", ".join(backend_names("sharded_worker"))
+        )
     if args.optimize and backend is not None and not backend.optimize_ok:
         # The pipeline's artifact is a compiled dispatch table; the
         # interpreted backend exists as the unoptimized reference.
-        raise ReproError("--optimize needs --engine compiled or vector")
+        raise ReproError(
+            "--optimize needs --engine "
+            + ", ".join(backend_names("optimize_ok"))
+        )
     if args.cache is not None and backend is not None \
             and not backend.batch:
         # Cached entries are mask arrays over the compiled codec; the
         # interpreted engine steps guard trees on valuations.
-        raise ReproError("--cache needs --engine compiled or vector")
+        raise ReproError(
+            "--cache needs --engine " + ", ".join(backend_names("batch"))
+        )
 
 
 def _write_stream_report(out, path, report) -> bool:

@@ -3,8 +3,8 @@
 Every execution path in the package — per-tick stepping, in-process
 batches, streaming, sharded worker pools, the serving layer, cached
 corpus checks — dispatches on a *backend name* (``"interpreted"``,
-``"compiled"``, ``"vector"``).  This module is the single seam those
-names pass through:
+``"compiled"``, ``"vector"``, ``"native"``).  This module is the
+single seam those names pass through:
 
 * :class:`EngineBackend` — one backend's descriptor: capability flags
   (can it batch?  stream?  run as a sharded worker kernel?  honour the
@@ -25,11 +25,16 @@ names pass through:
   charts stay on the scalar compiled loop — the vector kernel's
   per-tick array-op overhead only amortizes across wide batches.
 
-Registering a new backend (say, a C table-stepper emitted by the
-codegen layer) is one :func:`register_backend` call: the CLI choice
-lists, the validation errors, the streaming checker, the sharded
-worker kernels and the serve layer all read the registry, so no entry
-point needs to change.  See DESIGN.md for the registration contract.
+Registering a new backend is one :func:`register_backend` call: the
+CLI choice lists, the validation errors, the streaming checker, the
+sharded worker kernels and the serve layer all read the registry, so
+no entry point needs to change.  The ``native`` backend (the C
+table-stepper emitted by :mod:`repro.codegen.c_gen`, compiled on
+demand by :mod:`repro.runtime.native`) is exactly that call: it adds
+an ``availability`` hook so a missing host compiler (or
+``REPRO_NO_CC=1``) keeps it out of the planner and turns explicit
+selection into a uniform "is unavailable" error.  See DESIGN.md for
+the registration contract.
 
 Backend *names* are data here and nowhere else: a lint gate
 (``tools/lint_engine_dispatch.py``, run by the test suite and CI)
@@ -111,7 +116,7 @@ class EngineBackend:
         "name", "steps", "when", "wants_compiled", "step", "batch",
         "streaming", "chunked", "sharded_worker", "two_phase",
         "optimize_ok", "prefers_numpy", "_engine_factory",
-        "_batch_factory", "_encoded_factory",
+        "_batch_factory", "_encoded_factory", "_availability",
     )
 
     def __init__(
@@ -132,6 +137,7 @@ class EngineBackend:
         engine_factory: Optional[Callable] = None,
         batch_factory: Optional[Callable] = None,
         encoded_factory: Optional[Callable] = None,
+        availability: Optional[Callable] = None,
     ):
         self.name = name
         self.steps = steps
@@ -148,6 +154,7 @@ class EngineBackend:
         self._engine_factory = engine_factory
         self._batch_factory = batch_factory
         self._encoded_factory = encoded_factory
+        self._availability = availability
 
     # -- runner hooks ----------------------------------------------------
     def make_engine(self, monitor, scoreboard=None, record_history=True):
@@ -181,6 +188,20 @@ class EngineBackend:
                 f"engine {self.name!r} does not support batch execution"
             )
         return self._encoded_factory()
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why this backend cannot run here, or ``None`` when it can.
+
+        Backends with an optional host dependency (the native
+        table-stepper needs a C compiler) register an ``availability``
+        hook; backends without one are always available.  The planner
+        never selects an unavailable backend, and
+        :func:`require_backend` turns the reason into the uniform
+        "engine ... is unavailable" error on explicit selection.
+        """
+        if self._availability is None:
+            return None
+        return self._availability()
 
     def buffer_masks(self) -> bool:
         """Should encoded input be buffer-backed arrays (vs lists)?
@@ -278,6 +299,13 @@ def require_backend(name: str, capability: Optional[str] = None,
             f"engine {name!r} does not support {feature} "
             f"(choose from: {choices})"
         )
+    reason = found.unavailable_reason()
+    if reason is not None:
+        choices = ", ".join(engine_choices(capability, auto=auto))
+        raise error_cls(
+            f"engine {name!r} is unavailable: {reason} "
+            f"(choose from: {choices})"
+        )
     return found
 
 
@@ -348,6 +376,26 @@ class ExecutionPlan:
 
 
 # -- the planner ------------------------------------------------------------
+def _native_ready(monitor) -> bool:
+    """Can the native table-stepper run ``monitor`` here?
+
+    True only when the backend is registered, a C compiler is present
+    (and not vetoed by ``REPRO_NO_CC``), and the monitor's lowered
+    table fits the C emitter's constraints.  Consults the memoized
+    lowering only — no compilation happens at planning time.
+    """
+    entry = _REGISTRY.get("native")
+    if entry is None or monitor is None:
+        return False
+    if entry.unavailable_reason() is not None:
+        return False
+    from repro.runtime.compiled import as_compiled
+    from repro.runtime.native import native_plan_ok
+    from repro.runtime.vector import vector_table
+
+    return native_plan_ok(vector_table(as_compiled(monitor)))
+
+
 def plan_execution(monitor, workload: Optional[Workload] = None,
                    engine: str = AUTO, capability: str = "batch",
                    error_cls=MonitorError) -> ExecutionPlan:
@@ -357,22 +405,30 @@ def plan_execution(monitor, workload: Optional[Workload] = None,
     verbatim.  ``"auto"`` picks from measurable features, cheapest
     test first:
 
-    1. no live NumPy -> **compiled** (the pure-Python vector fallback
+    1. no live NumPy -> **native** when a C compiler can lower the
+       table, else **compiled** (the pure-Python vector fallback
        exists for verdict identity, not speed);
-    2. single-lane workloads -> **compiled** (the vector kernel
-       amortizes per-tick overhead across lanes);
+    2. single-lane workloads -> **native** when buildable, else
+       **compiled** (the vector kernel amortizes per-tick overhead
+       across lanes; the native stepper needs no amortization);
     3. a lowered table whose post-predication residual exceeds
        :data:`RESIDUAL_CUTOFF` (or that resisted predication entirely)
-       -> **compiled** at any width;
+       -> **compiled** at any width (such tables also fall outside the
+       C lowering);
     4. narrow batches (under :data:`VECTOR_WIDE_WIDTH` lanes) on
        ladder-heavy charts (escape density over
-       :data:`ESCAPE_DENSITY_CUTOFF`) -> **compiled** — the measured
-       PR 8 w32 regression case;
-    5. otherwise -> **vector**.
+       :data:`ESCAPE_DENSITY_CUTOFF`) -> **native** when buildable,
+       else **compiled** — the measured PR 8 w32 regression case;
+    5. otherwise -> **vector** (wide batches amortize the array-op
+       overhead; the gather kernel scales with lanes).
 
-    The lowering consulted in rules 3-4 is memoized
+    The lowering consulted in rules 2-4 is memoized
     (:func:`~repro.runtime.vector.vector_table`), so planning a batch
-    against a warm monitor costs two attribute reads.
+    against a warm monitor costs a few attribute reads.  Whether the
+    native backend is *selectable* follows the same optional-dependency
+    policy as NumPy: no host compiler (or ``REPRO_NO_CC=1``) and the
+    planner never picks it, while explicit ``engine="native"`` raises
+    the uniform "is unavailable" error from :func:`require_backend`.
     """
     if engine != AUTO:
         chosen = require_backend(engine, capability, error_cls=error_cls)
@@ -380,6 +436,13 @@ def plan_execution(monitor, workload: Optional[Workload] = None,
     if workload is None:
         workload = Workload()
     if not numpy_ready():
+        if _native_ready(monitor):
+            return ExecutionPlan(
+                backend("native"),
+                "auto: no NumPy — the native table-stepper replaces "
+                "the scalar loop",
+                workload,
+            )
         return ExecutionPlan(
             backend("compiled"),
             "auto: no NumPy — the scalar table loop beats the "
@@ -387,6 +450,13 @@ def plan_execution(monitor, workload: Optional[Workload] = None,
             workload,
         )
     if workload.n_traces <= 1:
+        if _native_ready(monitor):
+            return ExecutionPlan(
+                backend("native"),
+                "auto: single-lane workload — the native stepper "
+                "needs no batch to amortize over",
+                workload,
+            )
         return ExecutionPlan(
             backend("compiled"),
             "auto: single-lane workload — vector overhead cannot amortize",
@@ -405,13 +475,14 @@ def plan_execution(monitor, workload: Optional[Workload] = None,
         )
     if (workload.n_traces < VECTOR_WIDE_WIDTH
             and table.escape_ratio > ESCAPE_DENSITY_CUTOFF):
-        return ExecutionPlan(
-            backend("compiled"),
+        reason = (
             f"auto: narrow batch ({workload.n_traces} lanes) on a "
             f"ladder-heavy chart ({table.escape_ratio:.0%} escape "
-            "density)",
-            workload,
+            "density)"
         )
+        if _native_ready(monitor):
+            return ExecutionPlan(backend("native"), reason, workload)
+        return ExecutionPlan(backend("compiled"), reason, workload)
     return ExecutionPlan(
         backend("vector"),
         f"auto: {workload.n_traces}-lane batch over a predicable table",
@@ -512,6 +583,24 @@ def _vector_encoded_factory():
     return run_many_vector_encoded
 
 
+def _native_batch_factory():
+    from repro.runtime.native import run_many_native
+
+    return run_many_native
+
+
+def _native_encoded_factory():
+    from repro.runtime.native import run_many_native_encoded
+
+    return run_many_native_encoded
+
+
+def _native_availability():
+    from repro.runtime.native import unavailable_reason
+
+    return unavailable_reason()
+
+
 register_backend(EngineBackend(
     "interpreted",
     steps="guard expression trees, as written",
@@ -558,4 +647,22 @@ register_backend(EngineBackend(
     engine_factory=_vector_engine_factory,
     batch_factory=_vector_batch_factory,
     encoded_factory=_vector_encoded_factory,
+))
+
+register_backend(EngineBackend(
+    "native",
+    steps="compile-on-demand C table-stepper (same flat table and "
+          "predicated rungs), one shared object per monitor",
+    when="single streams and narrow ladder-heavy batches when a host "
+         "C compiler is present: ~3–6x over `compiled` per lane, "
+         "anomalies replay through the scalar engine for identical "
+         "errors",
+    wants_compiled=True,
+    step=False,
+    batch=True,
+    sharded_worker=True,
+    optimize_ok=True,
+    batch_factory=_native_batch_factory,
+    encoded_factory=_native_encoded_factory,
+    availability=_native_availability,
 ))

@@ -613,6 +613,14 @@ class _NumpyRun:
             self.vt.np_plan()
             if self.vector_boards and self.vt.escapes else None
         )
+        # Per-lane packed Chk_evt-presence words, maintained
+        # incrementally under the counts deltas: rebuilding them as
+        # ``pow2 @ (counts > 0)`` every escape tick costs a whole-batch
+        # matmul, while flips are rare and sparse.
+        self.presence = (
+            _np.zeros(self.count, dtype=_np.int64)
+            if self.plan is not None and self.plan.any_chk else None
+        )
         # Missing cells are the only escape codes the plan cannot
         # dispatch; tables without any skip the per-tick max scan.
         self.check_missing = self.vt.residual > 0
@@ -678,7 +686,7 @@ class _NumpyRun:
         sidx = -2 - codes
         passing = plan.valid[sidx]
         if plan.any_chk:
-            present = plan.pow2 @ (self.counts[:plan.n_events, escaped] > 0)
+            present = self.presence[escaped]
             passing &= (
                 present[:, None] & plan.cmask[sidx]
             ) == plan.cpos[sidx]
@@ -701,7 +709,15 @@ class _NumpyRun:
             ).any():
                 # Strict Del_evt under-run somewhere in the batch.
                 raise _VectorAnomaly
-            self.counts[:, escaped] = column + plan.delta[sidx, first].T
+            updated = column + plan.delta[sidx, first].T
+            if self.presence is not None:
+                flips = (
+                    (updated[:plan.n_events] > 0)
+                    != (column[:plan.n_events] > 0)
+                )
+                if flips.any():
+                    self.presence[escaped] ^= plan.pow2 @ flips
+            self.counts[:, escaped] = updated
 
     # -- the tick loop -----------------------------------------------------
     def run(self) -> List[MonitorResult]:

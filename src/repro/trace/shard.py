@@ -595,11 +595,11 @@ def run_sharded_vcd(
     and populate the cache.  Verdicts are identical either way.
     """
     compiled = as_compiled(monitor)
-    # Streams resolve per worker: "auto" travels verbatim and each
-    # StreamingChecker plans against its own process's NumPy state.
-    if engine != AUTO:
-        require_backend(engine, "streaming")
     if cache is not None:
+        # The corpus path feeds pre-encoded masks to the *batch*
+        # kernels, so it accepts batch-only backends (native) that the
+        # streaming path below must reject; check_vcd_cached validates
+        # against the batch capability itself.
         from repro.trace.columnar import check_vcd_cached
 
         return check_vcd_cached(
@@ -608,6 +608,10 @@ def run_sharded_vcd(
             until=until, binding=binding, mp_context=mp_context,
             oversubscribe=oversubscribe, engine=engine,
         )
+    # Streams resolve per worker: "auto" travels verbatim and each
+    # StreamingChecker plans against its own process's NumPy state.
+    if engine != AUTO:
+        require_backend(engine, "streaming")
     jobs = resolve_jobs(jobs, oversubscribe=oversubscribe)
     stream_tasks = [
         (os.fspath(path), clock, period, offset, until, binding, engine)

@@ -9,7 +9,9 @@ all five execution paths:
 2. the compiled table engine (``run_compiled``),
 3. the streaming checker (``StreamingChecker.feed``),
 4. the sharded parallel runner (``run_sharded``, 2 worker processes),
-5. the generated standalone Python checker (``monitor_to_python``).
+5. the generated standalone Python checker (``monitor_to_python``),
+6. the native C table-stepper (``run_many_native``, when the host has
+   a C compiler).
 
 Each must report the identical detection ticks.  Case volume is
 controlled by ``REPRO_FUZZ_CASES`` (default 210, the acceptance bar is
@@ -186,6 +188,23 @@ def test_differential_sharded_family(name):
         assert shard_result.detections == reference.detections
         assert shard_result.ticks == reference.ticks
         assert lock_result.detections == reference.detections
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_differential_native_family(name):
+    """Path 6: the native C kernel agrees on the whole family batch."""
+    from repro.runtime.native import run_many_native, unavailable_reason
+
+    reason = unavailable_reason()
+    if reason is not None:
+        pytest.skip(f"native backend unavailable: {reason}")
+    family = _family(name)
+    native = run_many_native(family.compiled, family.traces)
+    assert len(native) == len(family.traces)
+    for result, reference in zip(native, family.reference):
+        assert result.detections == reference.detections
+        assert result.ticks == reference.ticks
+        assert result.states == reference.states
 
 
 # ------------------------------------------------- implication verdicts ----

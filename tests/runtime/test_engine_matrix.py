@@ -100,10 +100,22 @@ def _assert_bank_identity(results, reference):
             assert member.accepted == ref.accepted
 
 
+def _native_or_skip():
+    """Skip a native identity cell when the host has no C compiler.
+
+    Capability-error cells never need the compiler — the registry
+    raises before any build — so only identity cells call this.
+    """
+    reason = backend("native").unavailable_reason()
+    if reason is not None:
+        pytest.skip(f"native backend unavailable: {reason}")
+
+
 # ----------------------------------------------------------- the matrix ----
 def test_registry_shape_is_the_documented_matrix():
     """The capability matrix itself: flags per registered backend."""
-    assert backend_names() == ("interpreted", "compiled", "vector")
+    assert backend_names() == ("interpreted", "compiled", "vector",
+                               "native")
     matrix = {
         name: {
             flag: getattr(backend(name), flag)
@@ -122,11 +134,14 @@ def test_registry_shape_is_the_documented_matrix():
         "vector": {"step": False, "batch": True, "streaming": True,
                    "chunked": True, "sharded_worker": True,
                    "two_phase": False, "optimize_ok": True},
+        "native": {"step": False, "batch": True, "streaming": False,
+                   "chunked": False, "sharded_worker": True,
+                   "two_phase": False, "optimize_ok": True},
     }
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_bank_run_per_tick(engine, vector_mode):
     traces = _traces(3)
     bank = synthesize_chart(_chart())
@@ -144,7 +159,7 @@ def test_bank_run_per_tick(engine, vector_mode):
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_bank_run_batch(engine, vector_mode):
     traces = _traces()
     bank = synthesize_chart(_chart())
@@ -154,17 +169,27 @@ def test_bank_run_batch(engine, vector_mode):
             bank.run_batch(traces, engine=engine)
         assert str(caught.value) == (
             f"engine {engine!r} does not support batch execution "
-            "(choose from: auto, compiled, vector)"
+            "(choose from: auto, compiled, vector, native)"
         )
         return
+    if engine == "native":
+        _native_or_skip()
     _assert_bank_identity(bank.run_batch(traces, engine=engine), reference)
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_streaming_checker(engine, vector_mode):
     traces = _traces(3)
     chart = _chart()
+    if not (engine == AUTO or backend(engine).streaming):
+        with pytest.raises(MonitorError) as caught:
+            StreamingChecker(chart, engine=engine)
+        assert str(caught.value) == (
+            f"engine {engine!r} does not support streaming checks "
+            "(choose from: auto, interpreted, compiled, vector)"
+        )
+        return
     for trace in traces:
         expected = run_monitor(
             synthesize_chart(chart).members[0][1], trace)
@@ -179,7 +204,7 @@ def test_streaming_checker(engine, vector_mode):
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_run_sharded_worker_pool(engine, vector_mode):
     traces = _traces()
     compiled = tr_compiled(_chart())
@@ -191,9 +216,11 @@ def test_run_sharded_worker_pool(engine, vector_mode):
                         oversubscribe=True)
         assert str(caught.value) == (
             f"engine {engine!r} does not support sharded execution "
-            "(choose from: auto, compiled, vector)"
+            "(choose from: auto, compiled, vector, native)"
         )
         return
+    if engine == "native":
+        _native_or_skip()
     results = run_sharded(compiled, traces, jobs=2, engine=engine,
                           oversubscribe=True)
     for result, expected in zip(results, reference):
@@ -203,13 +230,12 @@ def test_run_sharded_worker_pool(engine, vector_mode):
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_serve_streaming_per_open_override(engine, vector_mode):
     chart = _chart()
     trace = TraceGenerator(chart, seed=4).satisfying_trace(suffix=1)
     expected = run_monitor(synthesize_chart(chart).members[0][1], trace)
-    # All registered backends stream, so every cell of this column runs.
-    assert engine == AUTO or backend(engine).streaming
+    streams = engine == AUTO or backend(engine).streaming
 
     async def scenario():
         service = MonitorService({"ocp": chart}, ServeConfig(port=0))
@@ -224,7 +250,8 @@ def test_serve_streaming_per_open_override(engine, vector_mode):
 
                 opened = await rpc({"op": "open", "stream": "s",
                                     "engine": engine})
-                assert opened["ok"], opened
+                if not opened["ok"]:
+                    return opened, None
                 ticks = [sorted(v.true) for v in trace]
                 ack = await rpc({"op": "push", "stream": "s",
                                  "ticks": ticks})
@@ -237,6 +264,15 @@ def test_serve_streaming_per_open_override(engine, vector_mode):
             await service.aclose()
 
     opened, closed = asyncio.run(scenario())
+    if not streams:
+        # Per-open validation answers with the registry's wording.
+        assert not opened["ok"]
+        assert opened["error"] == (
+            f"engine {engine!r} does not support streaming checks "
+            "(choose from: auto, interpreted, compiled, vector)"
+        )
+        return
+    assert opened["ok"], opened
     # The service echoes the resolved backend, never the sentinel.
     assert opened["engine"] in backend_names("streaming")
     if engine != AUTO:
@@ -247,7 +283,7 @@ def test_serve_streaming_per_open_override(engine, vector_mode):
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled", "vector",
-                                    AUTO])
+                                    "native", AUTO])
 def test_check_vcd_cached_corpus(engine, vector_mode, tmp_path):
     compiled = tr_compiled(_chart())
     paths = []
@@ -262,9 +298,11 @@ def test_check_vcd_cached_corpus(engine, vector_mode, tmp_path):
                              engine=engine)
         assert str(caught.value) == (
             f"engine {engine!r} does not support batch execution "
-            "(choose from: auto, compiled, vector)"
+            "(choose from: auto, compiled, vector, native)"
         )
         return
+    if engine == "native":
+        _native_or_skip()
     results = check_vcd_cached(compiled, paths, cache_root, clock="clk",
                                engine=engine)
     reference = check_vcd_cached(compiled, paths, cache_root, clock="clk",
@@ -275,15 +313,47 @@ def test_check_vcd_cached_corpus(engine, vector_mode, tmp_path):
         assert result.accepted == expected.accepted
 
 
+def test_run_sharded_vcd_cache_path_accepts_batch_only_backends(
+        vector_mode, tmp_path):
+    """``run_sharded_vcd(cache=...)`` feeds the *batch* kernels, so a
+    batch-only backend (native) must pass through to the corpus path
+    instead of being rejected by the stream path's capability check —
+    while the uncached call, whose workers genuinely stream, keeps
+    raising the streaming capability error."""
+    from repro.trace.shard import run_sharded_vcd
+
+    _native_or_skip()
+    compiled = tr_compiled(_chart())
+    path = tmp_path / "ocp.vcd"
+    path.write_text(ocp_simple_vcd(seed=3, repeats=2))
+    cache_root = str(tmp_path / "cache")
+    results = run_sharded_vcd(compiled, [str(path)], clock="clk",
+                              cache=cache_root, engine="native")
+    reference = run_sharded_vcd(compiled, [str(path)], clock="clk",
+                                cache=cache_root, engine="compiled")
+    for result, expected in zip(results, reference):
+        assert result.detections == expected.detections
+        assert result.ticks == expected.ticks
+    with pytest.raises(MonitorError) as caught:
+        run_sharded_vcd(compiled, [str(path)], clock="clk",
+                        engine="native")
+    assert str(caught.value) == (
+        "engine 'native' does not support streaming checks "
+        "(choose from: auto, interpreted, compiled, vector)"
+    )
+
+
 # ----------------------------------------- uniform errors, every seam ----
 # One template everywhere; the choice list names exactly the engines
 # valid at the raising entry point.
+# The streaming seams (StreamingChecker, ServeConfig) validate against
+# the streaming capability, so their choice list omits `native`.
 _UNKNOWN_FULL = ("unknown engine 'bogus' "
                  "(choose from: auto, interpreted, compiled, vector)")
 _UNKNOWN_STEP = ("unknown engine 'bogus' "
                  "(choose from: auto, interpreted, compiled)")
 _UNKNOWN_BATCH = ("unknown engine 'bogus' "
-                  "(choose from: auto, compiled, vector)")
+                  "(choose from: auto, compiled, vector, native)")
 
 
 def test_unknown_engine_message_is_identical_everywhere():
@@ -388,18 +458,47 @@ def test_two_phase_capability_error_from_network():
 # --------------------------------------------------- planner behaviour ----
 def test_auto_plans_scalar_below_the_ladder_crossover(vector_mode):
     compiled = tr_compiled(_chart())
+    # With a host compiler, narrow ladder-heavy batches go native; the
+    # scalar compiled loop is the compilerless fallback either way.
+    scalar = ("native" if backend("native").unavailable_reason() is None
+              else "compiled")
     narrow = plan_execution(compiled, Workload(32, 32 * 12))
     wide = plan_execution(compiled, Workload(256, 256 * 12))
-    assert narrow.engine == "compiled"
+    assert narrow.engine == scalar
     if vector_mode == "numpy":
         # The PR 8 regression case: 32 lanes on a ladder-heavy chart
-        # stay scalar; 256 lanes amortize the vector overhead.
+        # leave the vector kernel; 256 lanes amortize its overhead.
         assert "narrow batch" in narrow.reason
         assert wide.engine == "vector"
     else:
-        assert wide.engine == "compiled"
+        assert wide.engine == scalar
         assert "no NumPy" in wide.reason
     assert not numpy_ready() or vector_mode == "numpy"
+
+
+def test_native_availability_gates_planner_and_explicit_use(monkeypatch):
+    """REPRO_NO_CC vetoes native exactly like REPRO_NO_NUMPY vetoes
+    the vector kernel: the planner falls back silently, explicit
+    selection gets the uniform unavailability error, and capability
+    errors still take precedence over availability."""
+    monkeypatch.setenv("REPRO_NO_CC", "1")
+    compiled = tr_compiled(_chart())
+    single = plan_execution(compiled, Workload(1, 12))
+    assert single.engine == "compiled"
+    narrow = plan_execution(compiled, Workload(32, 32 * 12))
+    assert narrow.engine == "compiled"
+    with pytest.raises(MonitorError) as caught:
+        plan_execution(compiled, Workload(1, 12), engine="native")
+    assert str(caught.value) == (
+        "engine 'native' is unavailable: REPRO_NO_CC is set "
+        "(choose from: auto, compiled, vector, native)"
+    )
+    with pytest.raises(MonitorError) as caught:
+        require_backend("native", "step")
+    assert str(caught.value) == (
+        "engine 'native' does not support per-tick stepping "
+        "(choose from: auto, interpreted, compiled)"
+    )
 
 
 def test_auto_resolution_follows_the_vector_module_switch(vector_mode):
@@ -416,16 +515,20 @@ def test_registry_rejects_duplicates_and_the_sentinel():
     # replace=True is the accelerator seam: swapping implementations
     # under an existing name must keep the registry intact.
     register_backend(backend("compiled"), replace=True)
-    assert backend_names() == ("interpreted", "compiled", "vector")
+    assert backend_names() == ("interpreted", "compiled", "vector",
+                               "native")
 
 
 def test_engine_choices_per_capability():
     assert engine_choices() == ("auto", "interpreted", "compiled",
-                                "vector")
-    assert engine_choices("batch") == ("auto", "compiled", "vector")
+                                "vector", "native")
+    assert engine_choices("batch") == ("auto", "compiled", "vector",
+                                       "native")
     assert engine_choices("step") == ("auto", "interpreted", "compiled")
     assert engine_choices("streaming") == ("auto", "interpreted",
                                            "compiled", "vector")
+    assert engine_choices("sharded_worker") == ("auto", "compiled",
+                                                "vector", "native")
     assert engine_choices("chunked", auto=False) == ("vector",)
 
 
